@@ -1,0 +1,294 @@
+// Package ariadne is a Go implementation of Ariadne (SIGMOD 2019): online
+// provenance capture and querying for vertex-centric Big Graph analytics.
+//
+// The package ties together a Pregel-style BSP engine, the compact
+// provenance graph store, and PQL — a Datalog-based provenance query
+// language — offering the paper's three evaluation modes:
+//
+//   - Online: a forward/local PQL query evaluates in lockstep with the
+//     unmodified analytic; at the end both the analytic result and the
+//     query result exist (≈1.3x baseline in the paper).
+//   - Layered: an offline query over captured provenance, materializing
+//     one superstep layer at a time.
+//   - Naive: traditional full materialization of the provenance graph.
+//
+// Quick start:
+//
+//	g, _ := gen.RMAT(gen.DefaultRMAT(10, 16, 1))
+//	res, _ := ariadne.Run(g, &analytics.PageRank{},
+//	    ariadne.WithMaxSupersteps(21),
+//	    ariadne.WithOnlineQuery(queries.PageRankCheck()))
+//	failed := res.Query("q4-pagerank-check").Relation("check_failed")
+package ariadne
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ariadne/internal/capture"
+	"ariadne/internal/driver"
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/provenance"
+	"ariadne/internal/queries"
+	"ariadne/internal/value"
+)
+
+// Convenient aliases so callers rarely need the internal packages directly.
+type (
+	// Graph is the input graph type.
+	Graph = graph.Graph
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Program is a vertex program in the VC model.
+	Program = engine.Program
+	// Value is the universal datum type.
+	Value = value.Value
+	// QueryDef is a parameterized PQL query definition.
+	QueryDef = queries.Definition
+	// QueryResult exposes the relations a query derived.
+	QueryResult = driver.Result
+	// CapturePolicy declares what provenance to persist.
+	CapturePolicy = capture.Policy
+	// Store is a captured provenance graph.
+	Store = provenance.Store
+	// StoreConfig configures provenance storage (budget, spill directory).
+	StoreConfig = provenance.StoreConfig
+)
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Values holds the analytic's final vertex values.
+	Values []Value
+	// Stats summarizes the run (supersteps, messages, active vertices).
+	Stats engine.RunStats
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+	// Provenance is the captured store, when WithCapture* was used.
+	Provenance *Store
+	// Aggregated exposes the analytic's final global aggregators.
+	Aggregated engine.AggregatorReader
+
+	queryResults map[string]*driver.Result
+}
+
+// Query returns the online query result registered under the definition's
+// name, or nil.
+func (r *Result) Query(name string) *QueryResult { return r.queryResults[name] }
+
+type runConfig struct {
+	engineCfg  engine.Config
+	capturePol *capture.Policy
+	captureDef *queries.Definition
+	storeCfg   provenance.StoreConfig
+	onlineDefs []queries.Definition
+	observers  []engine.Observer
+}
+
+// Option customizes Run.
+type Option func(*runConfig) error
+
+// WithMaxSupersteps bounds the number of supersteps.
+func WithMaxSupersteps(n int) Option {
+	return func(c *runConfig) error {
+		c.engineCfg.MaxSupersteps = n
+		return nil
+	}
+}
+
+// WithPartitions sets the number of simulated cluster workers.
+func WithPartitions(n int) Option {
+	return func(c *runConfig) error {
+		c.engineCfg.Partitions = n
+		return nil
+	}
+}
+
+// WithCombiner installs a message combiner (disabled automatically when a
+// capture policy or query needs raw per-message provenance).
+func WithCombiner(f func(a, b Value) Value) Option {
+	return func(c *runConfig) error {
+		c.engineCfg.Combiner = f
+		return nil
+	}
+}
+
+// WithCapture captures provenance under an explicit policy into a store
+// configured by cfg.
+func WithCapture(p CapturePolicy, cfg StoreConfig) Option {
+	return func(c *runConfig) error {
+		if c.capturePol != nil || c.captureDef != nil {
+			return errors.New("ariadne: multiple capture options")
+		}
+		pol := p
+		c.capturePol = &pol
+		c.storeCfg = cfg
+		return nil
+	}
+}
+
+// WithCaptureQuery captures provenance as declared by a PQL capture query
+// (paper Queries 2, 3, 11): the query is analyzed and compiled to a policy.
+func WithCaptureQuery(def QueryDef, cfg StoreConfig) Option {
+	return func(c *runConfig) error {
+		if c.capturePol != nil || c.captureDef != nil {
+			return errors.New("ariadne: multiple capture options")
+		}
+		d := def
+		c.captureDef = &d
+		c.storeCfg = cfg
+		return nil
+	}
+}
+
+// WithOnlineQuery evaluates a forward/local PQL query in lockstep with the
+// analytic (paper §5.2). May be repeated for several always-on queries.
+func WithOnlineQuery(def QueryDef) Option {
+	return func(c *runConfig) error {
+		c.onlineDefs = append(c.onlineDefs, def)
+		return nil
+	}
+}
+
+// WithObserver attaches a custom engine observer.
+func WithObserver(o engine.Observer) Option {
+	return func(c *runConfig) error {
+		c.observers = append(c.observers, o)
+		return nil
+	}
+}
+
+// Run executes the analytic over g with optional provenance capture and
+// online queries. The analytic's code path is identical with or without
+// provenance (transparent capture, paper §1).
+func Run(g *Graph, prog Program, opts ...Option) (*Result, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{queryResults: map[string]*driver.Result{}}
+
+	// Capture observer.
+	var store *provenance.Store
+	if cfg.captureDef != nil {
+		q, err := cfg.captureDef.Build()
+		if err != nil {
+			return nil, err
+		}
+		pol, err := capture.FromQuery(q, cfg.captureDef.Env)
+		if err != nil {
+			return nil, err
+		}
+		cfg.capturePol = &pol
+	}
+	if cfg.capturePol != nil {
+		store = provenance.NewStore(cfg.storeCfg)
+		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, capture.NewObserver(*cfg.capturePol, store))
+	}
+
+	// Online query observers.
+	var onlines []*driver.Online
+	for _, def := range cfg.onlineDefs {
+		q, err := def.Build()
+		if err != nil {
+			return nil, err
+		}
+		o, err := driver.NewOnline(q, g)
+		if err != nil {
+			return nil, fmt.Errorf("ariadne: query %s: %w", def.Name, err)
+		}
+		onlines = append(onlines, o)
+		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, o)
+	}
+	cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, cfg.observers...)
+
+	e, err := engine.New(g, prog, cfg.engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stats, err := e.Run()
+	res.Duration = time.Since(start)
+	res.Stats = stats
+	res.Values = e.Values()
+	res.Aggregated = e.Aggregated()
+	res.Provenance = store
+	for i, def := range cfg.onlineDefs {
+		res.queryResults[def.Name] = onlines[i].Result()
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Mode selects an offline evaluation strategy.
+type Mode uint8
+
+// Offline evaluation modes.
+const (
+	// Auto picks Layered when the query's class allows it, else Naive.
+	Auto Mode = iota
+	// ModeLayered materializes one provenance layer at a time (§5.1).
+	ModeLayered
+	// ModeNaive materializes the entire provenance graph (§6.2 "Naive").
+	ModeNaive
+)
+
+// QueryOffline evaluates def over captured provenance. naiveBudget bounds
+// the naive mode's database bytes (0 = unlimited).
+func QueryOffline(def QueryDef, store *Store, g *Graph, mode Mode, naiveBudget int64) (*QueryResult, error) {
+	q, err := def.Build()
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case ModeNaive:
+		return driver.Naive(q, store, g, naiveBudget)
+	case ModeLayered:
+		return driver.Layered(q, store, g)
+	default:
+		if q.Class.LayeredEvaluable() {
+			return driver.Layered(q, store, g)
+		}
+		return driver.Naive(q, store, g, naiveBudget)
+	}
+}
+
+// Classify analyzes a query definition and returns its class string
+// ("local", "forward", "backward", "mixed") and VC-compatibility.
+func Classify(def QueryDef) (class string, vcCompatible bool, err error) {
+	q, err := def.Build()
+	if err != nil {
+		return "", false, err
+	}
+	return q.Class.String(), q.VCCompatible, nil
+}
+
+// Tuples extracts a result relation as [][]Value rows, sorted, or nil if
+// the relation does not exist.
+func Tuples(r *QueryResult, pred string) [][]Value {
+	rel := r.Relation(pred)
+	if rel == nil {
+		return nil
+	}
+	sorted := rel.Sorted()
+	out := make([][]Value, len(sorted))
+	for i, t := range sorted {
+		out[i] = t
+	}
+	return out
+}
+
+// Count returns the number of tuples in a result relation (0 if absent).
+func Count(r *QueryResult, pred string) int {
+	rel := r.Relation(pred)
+	if rel == nil {
+		return 0
+	}
+	return rel.Len()
+}

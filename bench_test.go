@@ -1,0 +1,346 @@
+// Benchmarks regenerating the paper's evaluation (§6): one benchmark per
+// table and figure, each running the corresponding experiment on the
+// smallest dataset stand-in (IN-04) so `go test -bench=.` stays tractable.
+// The full sweep across all datasets is `go run ./cmd/ariadne-bench`.
+//
+// Ablation benchmarks at the bottom quantify the design decisions called
+// out in DESIGN.md §5.
+package ariadne_test
+
+import (
+	"io"
+	"testing"
+
+	"ariadne"
+	"ariadne/internal/analytics"
+	"ariadne/internal/bench"
+	"ariadne/internal/engine"
+	"ariadne/internal/gen"
+	"ariadne/internal/graph"
+	"ariadne/internal/provenance"
+	"ariadne/internal/queries"
+	"ariadne/internal/value"
+)
+
+func benchRunner() *bench.Runner {
+	return bench.NewRunner(bench.Config{
+		SizeFactor: -1,
+		Supersteps: 10,
+		Datasets:   []string{"IN-04"},
+		Out:        io.Discard,
+	})
+}
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3FullProvenanceSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4CustomProvenanceSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7CaptureOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8MonitoringModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9ALSMonitoring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Table5PageRankApprox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Table5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Table6SSSPApprox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10WCCUnsafe(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Fig10WCC(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11AptModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12BackwardLineage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkALSCaptureBlowup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchRunner().ALSCapture(b.TempDir()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 8, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAblationCompactVsUnfolded compares the compact provenance
+// representation (one record per vertex per layer, DESIGN.md decision 1)
+// against an unfolded graph of per-(vertex, superstep) node objects with
+// explicit evolution pointers, for the same captured SSSP provenance.
+func BenchmarkAblationCompactVsUnfolded(b *testing.B) {
+	g := benchGraph(b)
+	res, err := ariadne.Run(g, &analytics.SSSP{Source: 0},
+		ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := res.Provenance
+	var layers []*provenance.Layer
+	for i := 0; i < store.NumLayers(); i++ {
+		l, err := store.Layer(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		layers = append(layers, l)
+	}
+
+	b.Run("compact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := provenance.NewStore(provenance.StoreConfig{})
+			for _, l := range layers {
+				nl := &provenance.Layer{Superstep: l.Superstep, Records: append([]provenance.Record(nil), l.Records...)}
+				if err := s.AppendLayer(nl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("unfolded", func(b *testing.B) {
+		b.ReportAllocs()
+		type node struct {
+			vertex    graph.VertexID
+			superstep int
+			value     value.Value
+			sends     []provenance.MsgHalf
+			recvs     []provenance.MsgHalf
+			evolution *node
+		}
+		for i := 0; i < b.N; i++ {
+			nodes := map[uint64]*node{}
+			key := func(v graph.VertexID, ss int) uint64 { return uint64(v)<<32 | uint64(ss) }
+			for _, l := range layers {
+				for ri := range l.Records {
+					r := &l.Records[ri]
+					n := &node{vertex: r.Vertex, superstep: l.Superstep, value: r.Value,
+						sends: append([]provenance.MsgHalf(nil), r.Sends...),
+						recvs: append([]provenance.MsgHalf(nil), r.Recvs...)}
+					if r.PrevActive >= 0 {
+						n.evolution = nodes[key(r.Vertex, int(r.PrevActive))]
+					}
+					nodes[key(r.Vertex, l.Superstep)] = n
+				}
+			}
+			if len(nodes) == 0 {
+				b.Fatal("no nodes")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCombiner quantifies the message combiner the engine must
+// disable when capture needs raw messages (DESIGN.md decision 2).
+func BenchmarkAblationCombiner(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("with-combiner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := engine.New(g, &analytics.SSSP{Source: 0}, engine.Config{Combiner: analytics.MinCombiner})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("raw-messages", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := engine.New(g, &analytics.SSSP{Source: 0}, engine.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRetention isolates the cost of the per-vertex last-value
+// retention that layered evaluation uses to satisfy evolution joins
+// (DESIGN.md decision 3): the apt query (needs evolution + retention)
+// versus the silent-change probe of Query 6 stripped of evolution.
+func BenchmarkAblationRetention(b *testing.B) {
+	g := benchGraph(b)
+	res, err := ariadne.Run(g, &analytics.SSSP{Source: 0},
+		ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := res.Provenance
+	withEvolution := queries.Apt(0.1, nil)
+	withoutEvolution := queries.Definition{
+		Name: "apt-no-evolution",
+		Source: `
+got_msg(X, I) :- receive_message(X, Y, M, I).
+no_execute(X, I) :- !got_msg(X, I), superstep(X, I).
+`,
+		Env: withEvolution.Env,
+	}
+	b.Run("with-evolution-joins", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ariadne.QueryOffline(withEvolution, store, g, ariadne.ModeLayered, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-evolution-joins", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ariadne.QueryOffline(withoutEvolution, store, g, ariadne.ModeLayered, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationOnlineVsCaptureQuery compares the paper's two paths to a
+// forward query result: online lockstep evaluation versus capture-to-disk
+// followed by layered offline evaluation (the traditional approach).
+func BenchmarkAblationOnlineVsCaptureQuery(b *testing.B) {
+	g := benchGraph(b)
+	def := queries.MonotoneCheck()
+	b.Run("online", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ariadne.Run(g, &analytics.SSSP{Source: 0},
+				ariadne.WithOnlineQuery(def)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("capture-then-layered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ariadne.Run(g, &analytics.SSSP{Source: 0},
+				ariadne.WithCaptureQuery(queries.CaptureFull(),
+					ariadne.StoreConfig{SpillDir: b.TempDir(), SpillAll: true}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ariadne.QueryOffline(def, res.Provenance, g, ariadne.ModeLayered, 0); err != nil {
+				b.Fatal(err)
+			}
+			res.Provenance.Close()
+		}
+	})
+}
+
+// BenchmarkAblationIncrementalVsBulk compares incremental per-layer
+// fixpoints (semi-naive deltas, what Layered does) against one bulk
+// fixpoint over everything (what Naive does) for the same query and data.
+func BenchmarkAblationIncrementalVsBulk(b *testing.B) {
+	g := benchGraph(b)
+	res, err := ariadne.Run(g, &analytics.SSSP{Source: 0},
+		ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := res.Provenance
+	b.Run("incremental-layers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ariadne.QueryOffline(queries.Apt(0.1, nil), store, g, ariadne.ModeLayered, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ariadne.QueryOffline(queries.Apt(0.1, nil), store, g, ariadne.ModeNaive, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineMessageThroughput is a substrate microbenchmark: BSP
+// message delivery rate without any provenance machinery.
+func BenchmarkEngineMessageThroughput(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		e, err := engine.New(g, &analytics.PageRank{Iterations: 10}, engine.Config{MaxSupersteps: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += st.MessagesSent
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+}

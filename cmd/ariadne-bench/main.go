@@ -1,0 +1,110 @@
+// Command ariadne-bench regenerates the paper's evaluation (§6): every
+// table and figure has a named experiment. Examples:
+//
+//	ariadne-bench -exp all
+//	ariadne-bench -exp table3 -size 1
+//	ariadne-bench -exp fig8 -datasets IN-04,UK-02 -repeat 3
+//
+// Sizes are laptop-scale stand-ins for the paper's web crawls; see
+// DESIGN.md §2 for the substitution rationale and EXPERIMENTS.md for
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ariadne/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table2|table3|table4|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|als-capture|all")
+		size     = flag.Int("size", 0, "dataset size factor (each +1 doubles every dataset)")
+		repeat   = flag.Int("repeat", 1, "timed repetitions per configuration (trimmed mean)")
+		ss       = flag.Int("supersteps", 20, "PageRank iterations")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (IN-04,UK-02,AR-05,UK-05)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		SizeFactor: *size,
+		Supersteps: *ss,
+		Repeat:     *repeat,
+		Out:        os.Stdout,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	r := bench.NewRunner(cfg)
+
+	run := func(name string) error {
+		switch name {
+		case "table2":
+			_, err := r.Table2()
+			return err
+		case "table3":
+			_, err := r.Table3()
+			return err
+		case "table4":
+			_, err := r.Table4()
+			return err
+		case "table5", "fig10-pagerank":
+			_, err := r.Table5()
+			return err
+		case "table6", "fig10-sssp":
+			_, err := r.Table6()
+			return err
+		case "fig10":
+			if _, err := r.Table5(); err != nil {
+				return err
+			}
+			if _, err := r.Table6(); err != nil {
+				return err
+			}
+			_, err := r.Fig10WCC()
+			return err
+		case "fig7":
+			_, err := r.Fig7()
+			return err
+		case "fig8":
+			_, err := r.Fig8()
+			return err
+		case "fig9":
+			_, err := r.Fig9()
+			return err
+		case "fig11":
+			_, err := r.Fig11()
+			return err
+		case "fig12":
+			_, err := r.Fig12()
+			return err
+		case "als-capture":
+			dir, err := os.MkdirTemp("", "ariadne-spill-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			_, err = r.ALSCapture(dir)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{
+			"table2", "table3", "table4", "fig7", "fig8", "fig9",
+			"fig10", "fig11", "fig12", "als-capture",
+		}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "ariadne-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Command ariadne runs graph analytics with provenance capture and PQL
+// querying on the built-in stand-in datasets or an edge-list file.
+//
+//	ariadne stats -dataset UK-02
+//	ariadne run -analytic pagerank -dataset IN-04 -online apt:0.01
+//	ariadne run -analytic sssp -graph edges.txt -capture full
+//	ariadne trace -analytic sssp -dataset IN-04 -mode backward
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ariadne"
+	"ariadne/internal/analytics"
+	"ariadne/internal/cliutil"
+	"ariadne/internal/gen"
+	"ariadne/internal/graph"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/provenance"
+	"ariadne/internal/queries"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ariadne:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ariadne <command> [flags]
+
+commands:
+  stats   print dataset characteristics
+  run     run an analytic with optional capture and online queries
+  trace   run an analytic with capture, then trace a vertex's lineage
+  query   run an analytic, then evaluate a PQL file over its provenance
+          (or online when the query's class allows it)
+
+run "ariadne <command> -h" for flags; "ariadne-bench" regenerates the
+paper's tables and figures; "pqlc" checks and classifies PQL files.`)
+	os.Exit(2)
+}
+
+// loadGraph resolves -graph/-dataset/-size flags into a graph.
+func loadGraph(graphFile, dataset string, size int, weightsForSSSP bool) (*graph.Graph, error) {
+	if graphFile != "" {
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+	d, err := gen.FindDataset(dataset, size-4) // same scaling as the bench harness
+	if err != nil {
+		return nil, err
+	}
+	_ = weightsForSSSP // weights are always generated
+	return d.Build()
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dataset := fs.String("dataset", "IN-04", "built-in dataset name")
+	graphFile := fs.String("graph", "", "edge-list file (overrides -dataset)")
+	size := fs.Int("size", 0, "dataset size factor")
+	samples := fs.Int("diameter-samples", 8, "BFS samples for the diameter estimate")
+	fs.Parse(args)
+	g, err := loadGraph(*graphFile, *dataset, *size, false)
+	if err != nil {
+		return err
+	}
+	st := graph.ComputeStats(g, *samples, 1)
+	fmt.Println(st)
+	fmt.Printf("max-out-degree=%d memory=%dB\n", st.MaxOutDeg, g.MemSize())
+	return nil
+}
+
+func buildAnalytic(name string, g *graph.Graph, supersteps int) (ariadne.Program, *graph.Graph, []ariadne.Option, error) {
+	switch name {
+	case "pagerank":
+		return &analytics.PageRank{Iterations: supersteps}, g,
+			[]ariadne.Option{ariadne.WithMaxSupersteps(supersteps + 1)}, nil
+	case "sssp":
+		return &analytics.SSSP{Source: 0}, g, nil, nil
+	case "wcc":
+		return analytics.WCC{}, g.Undirected(), nil, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown analytic %q (want pagerank, sssp, or wcc)", name)
+	}
+}
+
+// parseOnline maps -online specs to query definitions.
+func parseOnline(spec string) (queries.Definition, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "apt":
+		eps := 0.01
+		if arg != "" {
+			var err error
+			if eps, err = strconv.ParseFloat(arg, 64); err != nil {
+				return queries.Definition{}, err
+			}
+		}
+		return queries.Apt(eps, nil), nil
+	case "q4", "pagerank-check":
+		return queries.PageRankCheck(), nil
+	case "q5", "monotone-check":
+		return queries.MonotoneCheck(), nil
+	case "q6", "silent-change":
+		return queries.SilentChange(), nil
+	default:
+		return queries.Definition{}, fmt.Errorf("unknown online query %q (want apt[:eps], q4, q5, q6)", spec)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	analytic := fs.String("analytic", "pagerank", "pagerank, sssp, or wcc")
+	dataset := fs.String("dataset", "IN-04", "built-in dataset name")
+	graphFile := fs.String("graph", "", "edge-list file (overrides -dataset)")
+	size := fs.Int("size", 0, "dataset size factor")
+	supersteps := fs.Int("supersteps", 20, "PageRank iterations")
+	captureSpec := fs.String("capture", "", "capture policy: full, lineage:<vertex>, or backward")
+	spill := fs.String("spill", "", "spill directory for captured provenance")
+	budget := fs.Int64("budget", 0, "capture memory budget in bytes (0 = unlimited)")
+	online := fs.String("online", "", "comma-separated online queries (apt[:eps], q4, q5, q6)")
+	fs.Parse(args)
+
+	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
+	if err != nil {
+		return err
+	}
+	prog, g, opts, err := buildAnalytic(*analytic, g, *supersteps)
+	if err != nil {
+		return err
+	}
+
+	var onlineNames []string
+	if *online != "" {
+		for _, spec := range strings.Split(*online, ",") {
+			def, err := parseOnline(spec)
+			if err != nil {
+				return err
+			}
+			opts = append(opts, ariadne.WithOnlineQuery(def))
+			onlineNames = append(onlineNames, def.Name)
+		}
+	}
+	if *captureSpec != "" {
+		storeCfg := provenance.StoreConfig{MemoryBudget: *budget, SpillDir: *spill}
+		var def queries.Definition
+		switch {
+		case *captureSpec == "full":
+			def = queries.CaptureFull()
+		case strings.HasPrefix(*captureSpec, "lineage:"):
+			v, err := strconv.ParseUint(strings.TrimPrefix(*captureSpec, "lineage:"), 10, 32)
+			if err != nil {
+				return err
+			}
+			def = queries.CaptureForwardLineage(graph.VertexID(v))
+		case *captureSpec == "backward":
+			def = queries.CaptureBackwardCustom()
+		default:
+			return fmt.Errorf("unknown capture %q (want full, lineage:<vertex>, backward)", *captureSpec)
+		}
+		opts = append(opts, ariadne.WithCaptureQuery(def, storeCfg))
+	}
+
+	res, err := ariadne.Run(g, prog, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analytic=%s supersteps=%d messages=%d time=%v\n",
+		*analytic, res.Stats.Supersteps, res.Stats.MessagesSent, res.Duration.Round(1e6))
+	if res.Provenance != nil {
+		defer res.Provenance.Close()
+		fmt.Printf("provenance: layers=%d tuples=%d bytes=%d (%.1fx input) spilled=%d\n",
+			res.Provenance.NumLayers(), res.Provenance.TotalTuples(), res.Provenance.TotalBytes(),
+			float64(res.Provenance.TotalBytes())/float64(g.MemSize()), res.Provenance.SpilledLayers())
+	}
+	for _, name := range onlineNames {
+		qr := res.Query(name)
+		fmt.Printf("query %s:\n", name)
+		for _, rel := range qr.DerivedRelations() {
+			fmt.Printf("  %-18s %d tuples\n", rel.Name, rel.Count)
+		}
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	analytic := fs.String("analytic", "sssp", "pagerank, sssp, or wcc")
+	dataset := fs.String("dataset", "IN-04", "built-in dataset name")
+	graphFile := fs.String("graph", "", "edge-list file (overrides -dataset)")
+	size := fs.Int("size", 0, "dataset size factor")
+	supersteps := fs.Int("supersteps", 20, "PageRank iterations")
+	mode := fs.String("mode", "auto", "auto, online, layered, or naive")
+	var params cliutil.Params
+	fs.Var(&params, "param", "query parameter name=value (repeatable)")
+	edbs := fs.String("edbs", "", "extra EDB declarations, e.g. prov_error:4")
+	limit := fs.Int("limit", 10, "rows to print per result relation")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ariadne query [flags] <file.pql>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	env := analysis.NewEnv()
+	if err := params.Apply(env); err != nil {
+		return err
+	}
+	if err := cliutil.ApplyEDBs(env, *edbs); err != nil {
+		return err
+	}
+	def := queries.Definition{Name: fs.Arg(0), Source: string(src), Env: env}
+	cls, vc, err := ariadne.Classify(def)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query class=%s vc-compatible=%v\n", cls, vc)
+
+	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
+	if err != nil {
+		return err
+	}
+	prog, g, opts, err := buildAnalytic(*analytic, g, *supersteps)
+	if err != nil {
+		return err
+	}
+
+	var qr *ariadne.QueryResult
+	if *mode == "online" || (*mode == "auto" && (cls == "local" || cls == "forward")) {
+		res, err := ariadne.Run(g, prog, append(opts, ariadne.WithOnlineQuery(def))...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("evaluated online alongside %s (%d supersteps, %v)\n",
+			*analytic, res.Stats.Supersteps, res.Duration.Round(1e6))
+		qr = res.Query(def.Name)
+	} else {
+		res, err := ariadne.Run(g, prog, append(opts,
+			ariadne.WithCaptureQuery(queries.CaptureFull(), provenance.StoreConfig{}))...)
+		if err != nil {
+			return err
+		}
+		offMode := ariadne.ModeLayered
+		if *mode == "naive" {
+			offMode = ariadne.ModeNaive
+		}
+		qr, err = ariadne.QueryOffline(def, res.Provenance, g, offMode, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("captured %d layers (%d tuples), evaluated %s offline\n",
+			res.Provenance.NumLayers(), res.Provenance.TotalTuples(), *mode)
+	}
+
+	for _, rel := range qr.DerivedRelations() {
+		fmt.Printf("%s: %d tuples\n", rel.Name, rel.Count)
+		for i, row := range ariadne.Tuples(qr, rel.Name) {
+			if i == *limit {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %v\n", row)
+		}
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	analytic := fs.String("analytic", "sssp", "pagerank, sssp, or wcc")
+	dataset := fs.String("dataset", "IN-04", "built-in dataset name")
+	graphFile := fs.String("graph", "", "edge-list file (overrides -dataset)")
+	size := fs.Int("size", 0, "dataset size factor")
+	supersteps := fs.Int("supersteps", 20, "PageRank iterations")
+	mode := fs.String("mode", "backward", "backward or forward")
+	vertex := fs.Int64("vertex", -1, "trace start vertex (-1 = auto)")
+	custom := fs.Bool("custom", false, "use custom (reduced) capture, paper Queries 11+12")
+	fs.Parse(args)
+
+	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
+	if err != nil {
+		return err
+	}
+	prog, g, opts, err := buildAnalytic(*analytic, g, *supersteps)
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "backward":
+		def := queries.CaptureFull()
+		if *custom {
+			def = queries.CaptureBackwardCustom()
+		}
+		res, err := ariadne.Run(g, prog, append(opts, ariadne.WithCaptureQuery(def, provenance.StoreConfig{}))...)
+		if err != nil {
+			return err
+		}
+		store := res.Provenance
+		sigma := store.NumLayers() - 1
+		alpha := graph.VertexID(*vertex)
+		if *vertex < 0 {
+			last, err := store.Layer(sigma)
+			if err != nil {
+				return err
+			}
+			if len(last.Records) == 0 {
+				return fmt.Errorf("no vertex active in the last superstep")
+			}
+			alpha = last.Records[0].Vertex
+		}
+		traceDef := queries.BackwardTrace(alpha, sigma)
+		if *custom {
+			traceDef = queries.BackwardTraceCustom(alpha, sigma)
+		}
+		qr, err := ariadne.QueryOffline(traceDef, store, g, ariadne.ModeLayered, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("backward trace from vertex %d at superstep %d:\n", alpha, sigma)
+		fmt.Printf("  provenance nodes visited: %d\n", ariadne.Count(qr, "back_trace"))
+		fmt.Printf("  lineage (inputs at superstep 0): %d vertices\n", ariadne.Count(qr, "back_lineage"))
+		return nil
+	case "forward":
+		alpha := graph.VertexID(0)
+		if *vertex >= 0 {
+			alpha = graph.VertexID(*vertex)
+		}
+		res, err := ariadne.Run(g, prog, append(opts,
+			ariadne.WithCaptureQuery(queries.CaptureForwardLineage(alpha), provenance.StoreConfig{}))...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("forward lineage of vertex %d: %d influenced vertices, %d tuples, %d bytes\n",
+			alpha, res.Provenance.DistinctVertices(), res.Provenance.TotalTuples(), res.Provenance.TotalBytes())
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,124 @@
+// apt-tuning reproduces the paper's motivating scenario (§2.2, §6.2.2):
+// use the apt provenance query to decide, per analytic, whether the
+// approximate optimization (skip messaging on small updates) is safe, then
+// apply it and measure speedup and error.
+//
+// Expected outcome (the paper's):
+//   - PageRank at ε=0.01: many safe vertices, no unsafe ones -> optimize.
+//   - SSSP at ε=0.1: many safe vertices -> optimize.
+//   - WCC at ε=1: every skip is unsafe -> do NOT optimize (and the forced
+//     "optimized" run corrupts labels badly, ~0.9 in the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ariadne"
+	"ariadne/internal/analytics"
+	"ariadne/internal/gen"
+	"ariadne/internal/queries"
+)
+
+func main() {
+	g, err := gen.RMAT(gen.DefaultRMAT(11, 16, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := g.Undirected()
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// --- Ask the apt question online for each analytic. ---
+	type probe struct {
+		name string
+		prog ariadne.Program
+		g    *ariadne.Graph
+		eps  float64
+		opts []ariadne.Option
+	}
+	probes := []probe{
+		{"PageRank", &analytics.PageRank{}, g, 0.01, []ariadne.Option{ariadne.WithMaxSupersteps(21)}},
+		{"SSSP", &analytics.SSSP{Source: 0}, g, 0.1, nil},
+		{"WCC", analytics.WCC{}, u, 1, nil},
+	}
+	for _, p := range probes {
+		res, err := ariadne.Run(p.g, p.prog,
+			append(p.opts, ariadne.WithOnlineQuery(queries.Apt(p.eps, nil)))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apt := res.Query("apt")
+		safe, unsafe := ariadne.Count(apt, "safe"), ariadne.Count(apt, "unsafe")
+		executions := 0
+		for _, a := range res.Stats.ActiveVertices {
+			executions += a
+		}
+		frac := float64(safe) / float64(executions)
+		verdict := "OPTIMIZE"
+		switch {
+		case unsafe > safe/10:
+			verdict = "DO NOT OPTIMIZE (unsafe skips)"
+		case frac < 0.05:
+			verdict = "NOT WORTH IT (almost no safe skips)"
+		}
+		fmt.Printf("%-9s eps=%-5v safe=%-6d unsafe=%-6d safe-frac=%4.1f%% => %s\n",
+			p.name, p.eps, safe, unsafe, 100*frac, verdict)
+	}
+
+	// --- Apply the optimization and measure (Fig 10, Tables 5 & 6). ---
+	fmt.Println("\napplying the optimization:")
+
+	// PageRank: exact vs delta formulation at ε=0.01.
+	exactT, exact := timeRun(g, &analytics.PageRank{}, ariadne.WithMaxSupersteps(21))
+	optT, opt := timeRun(g, &analytics.DeltaPageRank{Epsilon: 0.01}, ariadne.WithMaxSupersteps(21))
+	fmt.Printf("PageRank: speedup %.2fx, relative L2 error %.1e\n",
+		float64(exactT)/float64(optT), relErr(exact.Values, opt.Values, 2))
+
+	// SSSP: suppress small improvements at ε=0.1.
+	apx, err := analytics.NewApproximate(&analytics.SSSP{Source: 0}, analytics.AbsDiff, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactT, exact = timeRun(g, &analytics.SSSP{Source: 0})
+	optT, opt = timeRun(g, apx)
+	fmt.Printf("SSSP:     speedup %.2fx, relative L1 error %.1e\n",
+		float64(exactT)/float64(optT), relErr(exact.Values, opt.Values, 1))
+
+	// WCC: the apt query said no; forcing it shows why.
+	apxW, _ := analytics.NewApproximate(analytics.WCC{}, analytics.AbsDiff, 1)
+	_, exact = timeRun(u, analytics.WCC{})
+	_, opt = timeRun(u, apxW)
+	diff := 0
+	for i := range exact.Values {
+		if !exact.Values[i].Equal(opt.Values[i]) {
+			diff++
+		}
+	}
+	fmt.Printf("WCC:      forced optimization corrupts %.0f%% of labels (apt said unsafe)\n",
+		100*float64(diff)/float64(len(exact.Values)))
+}
+
+func timeRun(g *ariadne.Graph, prog ariadne.Program, opts ...ariadne.Option) (int64, *ariadne.Result) {
+	res, err := ariadne.Run(g, prog, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return int64(res.Duration), res
+}
+
+func relErr(a, b []ariadne.Value, p float64) float64 {
+	var num, den float64
+	for i := range a {
+		x, y := a[i].Float(), b[i].Float()
+		if math.IsInf(x, 0) || math.IsInf(y, 0) {
+			continue
+		}
+		num += math.Pow(math.Abs(x-y), p)
+		den += math.Pow(math.Abs(x), p)
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Pow(num, 1/p) / math.Pow(den, 1/p)
+}

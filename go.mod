@@ -1,0 +1,3 @@
+module ariadne
+
+go 1.22

@@ -1,0 +1,40 @@
+package analytics
+
+import (
+	"math"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/value"
+)
+
+// BFS computes hop distances from Source (unweighted shortest paths): the
+// fourth classic VC analytic alongside PageRank, SSSP, and WCC. Its update
+// rule is monotone-decreasing like SSSP's, so the same monitoring queries
+// (paper Queries 5 and 6) apply unchanged.
+type BFS struct {
+	Source engine.VertexID
+}
+
+// InitialValue implements engine.Program: unreached vertices hold +inf.
+func (b *BFS) InitialValue(_ *graph.Graph, _ engine.VertexID) value.Value {
+	return value.NewFloat(math.Inf(1))
+}
+
+// Compute implements engine.Program.
+func (b *BFS) Compute(ctx *engine.Context, msgs []engine.IncomingMessage) error {
+	best := math.Inf(1)
+	if ctx.ID() == b.Source {
+		best = 0
+	}
+	for _, m := range msgs {
+		if f := m.Val.Float(); f < best {
+			best = f
+		}
+	}
+	if best < ctx.Value().Float() {
+		ctx.SetValue(value.NewFloat(best))
+		ctx.SendToAllNeighbors(value.NewFloat(best + 1))
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package analytics
+
+import (
+	"sort"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/value"
+)
+
+// KCore computes the coreness of every vertex by distributed h-index
+// iteration (Montresor et al., "Distributed k-core decomposition"): each
+// vertex holds an upper bound on its coreness, initialized to its degree,
+// and repeatedly lowers it to the h-index of its neighbors' latest bounds.
+// Bounds decrease monotonically to the true coreness, so — like SSSP and
+// WCC — the paper's monotone monitoring queries apply, and the apt query
+// (Query 1) can probe whether small-update suppression would be safe.
+//
+// Run KCore on an undirected view (g.Undirected()): coreness is defined on
+// undirected graphs. The vertex value is a vector
+// [ownBound, neighborBound_0, ..., neighborBound_{deg-1}] in out-edge
+// order; Coreness extracts the scalar result.
+type KCore struct{}
+
+const kcoreUnknown = 1 << 40 // neighbor bound not yet heard
+
+// InitialValue implements engine.Program.
+func (KCore) InitialValue(g *graph.Graph, v engine.VertexID) value.Value {
+	deg := g.OutDegree(v)
+	vec := make([]float64, 1+deg)
+	vec[0] = float64(deg)
+	for i := 1; i <= deg; i++ {
+		vec[i] = kcoreUnknown
+	}
+	return value.NewVector(vec)
+}
+
+// Compute implements engine.Program.
+func (KCore) Compute(ctx *engine.Context, msgs []engine.IncomingMessage) error {
+	state := ctx.Value().Vec()
+	if ctx.Superstep() == 0 {
+		ctx.SendToAllNeighbors(value.NewFloat(state[0]))
+		return nil
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	// Fold the newly announced neighbor bounds into the stored table.
+	dst, _ := ctx.OutNeighbors()
+	next := append([]float64(nil), state...)
+	for _, m := range msgs {
+		i := sort.Search(len(dst), func(i int) bool { return dst[i] >= m.Src })
+		for ; i < len(dst) && dst[i] == m.Src; i++ { // parallel edges share the bound
+			if b := m.Val.Float(); b < next[1+i] {
+				next[1+i] = b
+			}
+		}
+	}
+	// h-index of the neighbor bounds, capped by the degree bound.
+	h := hIndex(next[1:])
+	if h > next[0] {
+		h = next[0]
+	}
+	changed := h < next[0]
+	next[0] = h
+	ctx.SetValue(value.NewVector(next))
+	if changed {
+		ctx.SendToAllNeighbors(value.NewFloat(h))
+	}
+	return nil
+}
+
+// hIndex returns the largest k such that at least k entries are >= k.
+func hIndex(bounds []float64) float64 {
+	sorted := append([]float64(nil), bounds...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var h float64
+	for i, b := range sorted {
+		k := float64(i + 1)
+		if b >= k {
+			h = k
+		} else {
+			break
+		}
+	}
+	return h
+}
+
+// Coreness extracts the per-vertex coreness from a finished KCore run.
+func Coreness(values []value.Value) []int64 {
+	out := make([]int64, len(values))
+	for i, v := range values {
+		vec := v.Vec()
+		if len(vec) > 0 {
+			out[i] = int64(vec[0])
+		}
+	}
+	return out
+}

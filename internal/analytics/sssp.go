@@ -1,0 +1,60 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/value"
+)
+
+// SSSP is single-source shortest paths, transcribed from the paper's
+// Algorithm 2: a vertex keeps its best-known distance and, on improvement,
+// sends distance+edge-weight along each out-edge.
+//
+// ValidateWeights, if set, makes Compute fail on a negative edge weight —
+// the crash-culprit behaviour; with it unset the algorithm silently computes
+// wrong results on corrupted inputs, which is what paper Query 5 detects.
+type SSSP struct {
+	Source          engine.VertexID
+	ValidateWeights bool
+}
+
+// InitialValue implements engine.Program: MAX.DOUBLE in the paper.
+func (s *SSSP) InitialValue(_ *graph.Graph, _ engine.VertexID) value.Value {
+	return value.NewFloat(math.Inf(1))
+}
+
+// Compute implements engine.Program.
+func (s *SSSP) Compute(ctx *engine.Context, msgs []engine.IncomingMessage) error {
+	minDist := math.Inf(1)
+	if ctx.ID() == s.Source {
+		minDist = 0
+	}
+	for _, m := range msgs {
+		if f := m.Val.Float(); f < minDist {
+			minDist = f
+		}
+	}
+	if minDist < ctx.Value().Float() {
+		ctx.SetValue(value.NewFloat(minDist))
+		dst, w := ctx.OutNeighbors()
+		for i, d := range dst {
+			if s.ValidateWeights && w[i] < 0 {
+				return fmt.Errorf("negative edge weight %v on edge %d->%d", w[i], ctx.ID(), d)
+			}
+			ctx.SendMessage(d, value.NewFloat(minDist+w[i]))
+		}
+	}
+	return nil
+}
+
+// MinCombiner keeps the minimum of messages addressed to the same vertex
+// (valid for SSSP and WCC).
+func MinCombiner(a, b value.Value) value.Value {
+	if b.Float() < a.Float() {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,52 @@
+package analytics
+
+import (
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/value"
+)
+
+// WCC computes weakly connected components by minimum-label propagation,
+// like Giraph's ConnectedComponentsComputation. Each vertex adopts the
+// smallest vertex ID it has heard of and forwards improvements.
+//
+// WCC treats the graph as undirected: run it on g.Undirected(), which the
+// top-level API does automatically.
+type WCC struct{}
+
+// InitialValue implements engine.Program: each vertex starts in its own
+// component, labeled by its ID.
+func (WCC) InitialValue(_ *graph.Graph, v engine.VertexID) value.Value {
+	return value.NewInt(int64(v))
+}
+
+// Compute implements engine.Program.
+func (WCC) Compute(ctx *engine.Context, msgs []engine.IncomingMessage) error {
+	best := ctx.Value().Int()
+	changed := false
+	if ctx.Superstep() == 0 {
+		// Seed: adopt the smallest neighbor ID if smaller than our own.
+		dst, _ := ctx.OutNeighbors()
+		for _, d := range dst {
+			if int64(d) < best {
+				best = int64(d)
+				changed = true
+			}
+		}
+	}
+	for _, m := range msgs {
+		if l := m.Val.Int(); l < best {
+			best = l
+			changed = true
+		}
+	}
+	if changed || ctx.Superstep() == 0 {
+		if changed {
+			ctx.SetValue(value.NewInt(best))
+		}
+		// At superstep 0 every vertex announces its label so sinks learn
+		// about their component even without improving locally.
+		ctx.SendToAllNeighbors(value.NewInt(best))
+	}
+	return nil
+}

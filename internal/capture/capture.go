@@ -1,0 +1,255 @@
+// Package capture turns the engine's transient provenance stream into a
+// persisted provenance.Store according to a Policy — the paper's
+// *customized capturing* (§3, §6.1). A Policy is either built directly or
+// compiled from a declarative PQL capture query (Queries 2, 3, 11) via
+// FromQuery.
+package capture
+
+import (
+	"fmt"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/pql"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/provenance"
+	"ariadne/internal/value"
+)
+
+// Policy declares what goes into the captured provenance graph.
+type Policy struct {
+	// Values captures vertex-value tuples (value(x,d,i)).
+	Values bool
+	// Sends captures send-message edges with message values.
+	Sends bool
+	// Recvs captures receive-message edges with message values.
+	Recvs bool
+	// SendFlags captures only the fact that a vertex sent something
+	// (prov_send(x,i), paper Query 11) without per-edge tuples.
+	SendFlags bool
+	// Emitted lists analytics-emitted tables to persist (e.g. prov_error);
+	// nil persists none, ["*"] persists all.
+	Emitted []string
+	// TaintSource, when non-nil, restricts capture to the forward lineage
+	// of the given vertex (paper Query 3): a vertex is captured only once
+	// it is influenced — it is the source, or it received a message from an
+	// already-tainted vertex.
+	TaintSource *graph.VertexID
+}
+
+// FullPolicy captures the complete provenance graph (paper Query 2).
+func FullPolicy() Policy {
+	return Policy{Values: true, Sends: true, Recvs: true, Emitted: []string{"*"}}
+}
+
+// ForwardLineagePolicy captures the custom provenance sufficient for
+// forward tracing from source (paper Query 3, Table 4): only the *values*
+// of influenced vertices are persisted. The receive-message stream is
+// consumed transiently to propagate the taint but never stored — that is
+// what keeps the custom provenance below the input graph size in Table 4.
+func ForwardLineagePolicy(source graph.VertexID) Policy {
+	src := source
+	return Policy{Values: true, TaintSource: &src}
+}
+
+// BackwardCustomPolicy captures the reduced provenance of paper Query 11:
+// vertex values and send *flags*, relying on the static input edges instead
+// of send-message edges (Query 12 then traces on prov_send + edge).
+func BackwardCustomPolicy() Policy {
+	return Policy{Values: true, SendFlags: true}
+}
+
+// NeedsRaw reports whether the policy requires per-message delivery.
+func (p Policy) NeedsRaw() bool { return p.Recvs }
+
+// Observer captures provenance layers into a Store while the analytic runs.
+type Observer struct {
+	policy Policy
+	store  *provenance.Store
+
+	emitAll bool
+	emitSet map[string]bool
+	tainted map[graph.VertexID]bool
+}
+
+// NewObserver creates a capture observer writing into store.
+func NewObserver(policy Policy, store *provenance.Store) *Observer {
+	o := &Observer{policy: policy, store: store}
+	o.emitSet = map[string]bool{}
+	for _, t := range policy.Emitted {
+		if t == "*" {
+			o.emitAll = true
+			continue
+		}
+		o.emitSet[t] = true
+	}
+	if policy.TaintSource != nil {
+		o.tainted = map[graph.VertexID]bool{*policy.TaintSource: true}
+	}
+	return o
+}
+
+// Store returns the store being written.
+func (o *Observer) Store() *provenance.Store { return o.store }
+
+// NeedsRawMessages implements engine.Observer.
+func (o *Observer) NeedsRawMessages() bool {
+	return o.policy.NeedsRaw() || o.policy.TaintSource != nil
+}
+
+// ObserveSuperstep implements engine.Observer: converts the superstep's
+// records into a compact provenance layer.
+func (o *Observer) ObserveSuperstep(v *engine.SuperstepView) error {
+	l := &provenance.Layer{Superstep: v.Superstep}
+	newTaints := []graph.VertexID{}
+	for i := range v.Records {
+		rec := &v.Records[i]
+		if o.tainted != nil {
+			if !o.taintedNow(rec, &newTaints) {
+				continue
+			}
+		}
+		pr := provenance.Record{
+			Vertex:     rec.ID,
+			PrevActive: int32(rec.PrevActive),
+		}
+		if o.policy.Values {
+			pr.HasValue = true
+			pr.Value = rec.NewValue
+		}
+		if o.policy.Sends {
+			pr.Sends = make([]provenance.MsgHalf, len(rec.Sent))
+			for j, m := range rec.Sent {
+				pr.Sends[j] = provenance.MsgHalf{Peer: m.Dst, Val: m.Val}
+			}
+		}
+		if o.policy.SendFlags {
+			pr.SentAny = len(rec.Sent) > 0
+		}
+		if o.policy.Recvs {
+			pr.Recvs = make([]provenance.MsgHalf, len(rec.Received))
+			for j, m := range rec.Received {
+				pr.Recvs[j] = provenance.MsgHalf{Peer: m.Src, Val: m.Val}
+			}
+		}
+		if o.emitAll || len(o.emitSet) > 0 {
+			for _, f := range rec.Emitted {
+				if o.emitAll || o.emitSet[f.Table] {
+					pr.Emitted = append(pr.Emitted, provenance.Fact{
+						Table: f.Table,
+						Args:  append([]value.Value(nil), f.Args...),
+					})
+				}
+			}
+		}
+		l.Records = append(l.Records, pr)
+	}
+	// Taints become visible after the full layer is processed so that
+	// same-superstep message order cannot matter (BSP semantics: messages
+	// received this superstep were sent last superstep).
+	for _, t := range newTaints {
+		o.tainted[t] = true
+	}
+	return o.store.AppendLayer(l)
+}
+
+// taintedNow decides whether rec belongs to the forward lineage: it is
+// already tainted, or it received a message from a tainted sender this
+// superstep (the sender was tainted when it sent, i.e. before this layer).
+func (o *Observer) taintedNow(rec *engine.VertexRecord, newTaints *[]graph.VertexID) bool {
+	if o.tainted[rec.ID] {
+		return true
+	}
+	for _, m := range rec.Received {
+		if o.tainted[m.Src] {
+			*newTaints = append(*newTaints, rec.ID)
+			return true
+		}
+	}
+	return false
+}
+
+// Finish implements engine.Observer.
+func (o *Observer) Finish(int) error { return nil }
+
+// FromQuery compiles a PQL *capture query* into a Policy. Each rule's body
+// names the provenance stream it draws from and the head schema decides how
+// much of it to persist (the paper's customized capturing, §3):
+//
+//   - a rule over value(...) persists vertex values (Queries 2, 3, 11);
+//   - a rule over send_message(...) with a 4-ary head persists full
+//     send-message tuples (Query 2); a narrower head persists only the
+//     send *flag* (Query 11's prov-send);
+//   - a rule over receive_message(...) persists receive-message tuples;
+//   - a recursive forward rule with a $source parameter adds
+//     forward-lineage tainting (Query 3): only influenced vertices are
+//     captured.
+func FromQuery(q *analysis.Query, env *analysis.Env) (Policy, error) {
+	var p Policy
+	recognized := false
+	for _, r := range q.Rules {
+		// A stream is *persisted* only when its payload variable flows into
+		// the rule head; a message predicate used purely as a guard (like
+		// Query 3's receive_message, which only drives the lineage taint)
+		// is consumed transiently and never stored.
+		headVars := map[string]bool{}
+		var hv []*pql.Var
+		for _, a := range r.Head.Args {
+			hv = pql.Vars(a, hv)
+		}
+		for _, v := range hv {
+			headVars[v.Name] = true
+		}
+		payloadInHead := func(a *pql.Atom, payloadArg int) bool {
+			if payloadArg >= len(a.Args) {
+				return false
+			}
+			if v, ok := a.Args[payloadArg].(*pql.Var); ok && !v.Wildcard() {
+				return headVars[v.Name]
+			}
+			return false
+		}
+		for _, lit := range r.Body {
+			pl, ok := lit.(*pql.PredLit)
+			if !ok || pl.Negated {
+				continue
+			}
+			switch pl.Atom.Pred {
+			case "value":
+				if payloadInHead(pl.Atom, 1) { // value(X, D, I): payload D
+					p.Values = true
+				}
+				recognized = true
+			case "send_message":
+				if payloadInHead(pl.Atom, 2) { // send_message(X, Y, M, I): payload M
+					p.Sends = true
+				} else {
+					// The head records that (or to whom) a message was sent
+					// without its value: the send *flag* suffices (Query 11).
+					p.SendFlags = true
+				}
+				recognized = true
+			case "receive_message":
+				if payloadInHead(pl.Atom, 2) {
+					p.Recvs = true
+				}
+				recognized = true
+			}
+		}
+	}
+	if q.Recursive && q.Class == analysis.Forward {
+		src, ok := env.Params["source"]
+		if !ok {
+			return Policy{}, fmt.Errorf("capture: forward-lineage capture query needs a $source parameter")
+		}
+		if src.Kind() != value.Int {
+			return Policy{}, fmt.Errorf("capture: $source must be a vertex id, got %s", src.Kind())
+		}
+		v := graph.VertexID(src.Int())
+		p.TaintSource = &v
+	}
+	if !recognized {
+		return Policy{}, fmt.Errorf("capture: query does not look like a capture query (no rule draws from a provenance stream)")
+	}
+	return p, nil
+}

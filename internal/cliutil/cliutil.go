@@ -1,0 +1,71 @@
+// Package cliutil holds small flag-parsing helpers shared by the command
+// line tools (cmd/ariadne, cmd/pqlc).
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+// Params collects repeatable -param name=value flags.
+type Params []string
+
+// String implements flag.Value.
+func (p *Params) String() string { return strings.Join(*p, ",") }
+
+// Set implements flag.Value.
+func (p *Params) Set(s string) error {
+	*p = append(*p, s)
+	return nil
+}
+
+// Apply parses each name=value pair into env parameters.
+func (p Params) Apply(env *analysis.Env) error {
+	for _, raw := range p {
+		name, val, ok := strings.Cut(raw, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("bad -param %q, want name=value", raw)
+		}
+		env.SetParam(name, ParseScalar(val))
+	}
+	return nil
+}
+
+// ParseScalar interprets a flag value as the most specific PQL constant:
+// int, then float, then bool, then string.
+func ParseScalar(raw string) value.Value {
+	if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return value.NewInt(n)
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return value.NewFloat(f)
+	}
+	if raw == "true" || raw == "false" {
+		return value.NewBool(raw == "true")
+	}
+	return value.NewString(raw)
+}
+
+// ApplyEDBs parses a comma-separated list of name:arity declarations
+// (e.g. "prov_error:4,prov_prediction:4") into env EDB declarations.
+func ApplyEDBs(env *analysis.Env, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, decl := range strings.Split(spec, ",") {
+		name, arityStr, ok := strings.Cut(decl, ":")
+		if !ok || name == "" {
+			return fmt.Errorf("bad EDB declaration %q, want name:arity", decl)
+		}
+		arity, err := strconv.Atoi(arityStr)
+		if err != nil || arity <= 0 {
+			return fmt.Errorf("bad EDB arity in %q", decl)
+		}
+		env.DeclareEDB(name, arity)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"testing"
+
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+func TestParseScalar(t *testing.T) {
+	cases := []struct {
+		in   string
+		want value.Value
+	}{
+		{"42", value.NewInt(42)},
+		{"-7", value.NewInt(-7)},
+		{"0.5", value.NewFloat(0.5)},
+		{"1e-3", value.NewFloat(0.001)},
+		{"true", value.NewBool(true)},
+		{"false", value.NewBool(false)},
+		{"hello", value.NewString("hello")},
+		{"", value.NewString("")},
+	}
+	for _, c := range cases {
+		got := ParseScalar(c.in)
+		if !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseScalar(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParamsApply(t *testing.T) {
+	var p Params
+	if err := p.Set("eps=0.01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("alpha=5"); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "eps=0.01,alpha=5" {
+		t.Errorf("String = %q", p.String())
+	}
+	env := analysis.NewEnv()
+	if err := p.Apply(env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Params["eps"].Float() != 0.01 || env.Params["alpha"].Int() != 5 {
+		t.Errorf("params = %v", env.Params)
+	}
+	bad := Params{"noequals"}
+	if err := bad.Apply(env); err == nil {
+		t.Error("missing '=' should fail")
+	}
+	bad2 := Params{"=v"}
+	if err := bad2.Apply(env); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestApplyEDBs(t *testing.T) {
+	env := analysis.NewEnv()
+	if err := ApplyEDBs(env, "prov_error:4,prov_prediction:4"); err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := env.EDBArity("prov_error"); !ok || a != 4 {
+		t.Errorf("prov_error arity = %d %v", a, ok)
+	}
+	if err := ApplyEDBs(env, ""); err != nil {
+		t.Error("empty spec should be a no-op")
+	}
+	for _, bad := range []string{"noarity", "x:abc", "x:0", ":4"} {
+		if err := ApplyEDBs(analysis.NewEnv(), bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"ariadne/internal/capture"
+	"ariadne/internal/engine"
+	"ariadne/internal/gen"
+	"ariadne/internal/graph"
+	"ariadne/internal/pql"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/provenance"
+	"ariadne/internal/queries"
+	"ariadne/internal/value"
+)
+
+// captureSSSP runs a tiny SSSP under full capture and returns the store.
+func captureSSSP(t *testing.T, scale int) (*graph.Graph, *provenance.Store) {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewStore(provenance.StoreConfig{})
+	obs := capture.NewObserver(capture.FullPolicy(), store)
+	e, err := engine.New(g, ssspProg{}, engine.Config{Observers: []engine.Observer{obs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return g, store
+}
+
+func TestNaiveEqualsLayered(t *testing.T) {
+	g, store := captureSSSP(t, 6)
+	def := queries.Apt(0.1, nil)
+	q1, err := def.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered, err := Layered(q1, store, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := queries.Apt(0.1, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Naive(q2, store, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []string{"change", "neighbor_change", "no_execute", "safe", "unsafe"} {
+		l, n := layered.Relation(pred), naive.Relation(pred)
+		if l.Len() != n.Len() {
+			t.Errorf("%s: layered %d vs naive %d", pred, l.Len(), n.Len())
+		}
+	}
+	if layered.Facts <= 0 || naive.Facts <= 0 {
+		t.Error("fact accounting missing")
+	}
+	if naive.DBBytes() <= 0 {
+		t.Error("db size accounting missing")
+	}
+	// DerivedRelations lists only IDBs.
+	rels := naive.DerivedRelations()
+	names := map[string]bool{}
+	for _, ri := range rels {
+		names[ri.Name] = true
+	}
+	if !names["safe"] || names["receive_message"] {
+		t.Errorf("derived relations wrong: %v", rels)
+	}
+}
+
+func TestLayeredRejectsMixed(t *testing.T) {
+	g, store := captureSSSP(t, 5)
+	env := analysis.NewEnv()
+	prog, err := pql.Parse(`
+t(X, I) :- value(X, D, I).
+m(X, I) :- t(Y, I), receive_message(X, Y, M, I),
+           t(Z, I), send_message(X, Z, M2, I).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := analysis.Analyze(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Layered(q, store, g); err == nil || !strings.Contains(err.Error(), "mixed") {
+		t.Errorf("want mixed rejection, got %v", err)
+	}
+	// Naive handles it.
+	if _, err := Naive(q, store, g, 0); err != nil {
+		t.Errorf("naive should evaluate mixed queries: %v", err)
+	}
+}
+
+func TestOnlineRejectsBackward(t *testing.T) {
+	g, _ := captureSSSP(t, 5)
+	q, err := queries.BackwardTrace(0, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOnline(q, g); err == nil {
+		t.Error("backward query must not run online")
+	}
+}
+
+func TestOnlinePiggybackCounting(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(6, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := queries.Apt(0.1, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOnline(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(g, ssspProg{}, engine.Config{Observers: []engine.Observer{o}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if o.PiggybackTuples <= 0 {
+		t.Error("piggyback tuple accounting missing")
+	}
+	if !o.NeedsRawMessages() {
+		t.Error("apt references receive_message, needs raw delivery")
+	}
+}
+
+func TestNeedsOf(t *testing.T) {
+	env := analysis.NewEnv()
+	env.DeclareEDB("prov_error", 4)
+	prog, err := pql.Parse(`
+p(X, I) :- superstep(X, I), value(X, D, I), prov_error(X, Y, E, I),
+           edge(Y, X), edge_value(X, Y, W, I), prov_send(X, I),
+           evolution(X, J, I).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := analysis.Analyze(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := needsOf(q)
+	if !n.superstep || !n.value || !n.evolution || !n.edge || !n.edgeValue || !n.provSend || !n.emitted["prov_error"] {
+		t.Errorf("needs = %+v", n)
+	}
+	if n.recv || n.send {
+		t.Errorf("query does not reference messages: %+v", n)
+	}
+}
+
+func TestFeederSkipsUnneededFacts(t *testing.T) {
+	g, store := captureSSSP(t, 5)
+	// Query referencing only superstep feeds far fewer facts than one
+	// referencing messages too — the evaluation-side benefit of customized
+	// capture.
+	narrowDef := queries.Definition{
+		Name:   "narrow",
+		Source: `active(X, I) :- superstep(X, I).`,
+		Env:    analysis.NewEnv(),
+	}
+	// Naive always takes the interpretive feeder path, where the filtering
+	// is observable in the fact counts.
+	narrowQ, err := narrowDef.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Naive(narrowQ, store, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideQ, err := queries.MonotoneCheck().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Naive(wideQ, store, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Facts >= wide.Facts {
+		t.Errorf("narrow query fed %d facts, wide %d — feeder not filtering", narrow.Facts, wide.Facts)
+	}
+}
+
+func TestLayeredOnSpilledStore(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(6, 4, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewStore(provenance.StoreConfig{SpillDir: t.TempDir(), SpillAll: true})
+	defer store.Close()
+	obs := capture.NewObserver(capture.FullPolicy(), store)
+	e, err := engine.New(g, ssspProg{}, engine.Config{Observers: []engine.Observer{obs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if store.SpilledLayers() != store.NumLayers() {
+		t.Fatalf("SpillAll should spill every layer: %d of %d", store.SpilledLayers(), store.NumLayers())
+	}
+	if store.ResidentBytes() != 0 {
+		t.Errorf("resident bytes = %d, want 0", store.ResidentBytes())
+	}
+	q, err := queries.MonotoneCheck().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Layered(q, store, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Facts == 0 {
+		t.Error("no facts read back from spilled layers")
+	}
+}
+
+func TestRetentionSuppliesEvolutionValues(t *testing.T) {
+	// Hand-build a store where a vertex is active at supersteps 0 and 5 —
+	// layered evaluation must still join value(x, d2, 0) via retention at
+	// layer 5 even though layer 0 is long gone.
+	g, err := graph.NewFromEdges(2, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewStore(provenance.StoreConfig{})
+	mk := func(ss int, recs ...provenance.Record) {
+		if err := store.AppendLayer(&provenance.Layer{Superstep: ss, Records: recs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk(0, provenance.Record{Vertex: 1, PrevActive: -1, HasValue: true, Value: value.NewFloat(10)})
+	mk(1)
+	mk(2)
+	mk(3)
+	mk(4)
+	mk(5, provenance.Record{
+		Vertex: 1, PrevActive: 0, HasValue: true, Value: value.NewFloat(3),
+		Recvs: []provenance.MsgHalf{{Peer: 0, Val: value.NewFloat(3)}},
+	})
+	env := analysis.NewEnv()
+	def := queries.Definition{
+		Name: "drop",
+		Source: `
+dropped(X, D1, D2, I) :- value(X, D1, I), value(X, D2, J),
+                         evolution(X, J, I), D1 < D2.`,
+		Env: env,
+	}
+	q, err := def.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Layered(q, store, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := res.Relation("dropped")
+	if rel.Len() != 1 {
+		t.Fatalf("dropped = %v", rel.All())
+	}
+	row := rel.All()[0]
+	if row[1].Float() != 3 || row[2].Float() != 10 || row[3].Int() != 5 {
+		t.Errorf("row = %v", row)
+	}
+}

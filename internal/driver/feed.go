@@ -1,0 +1,245 @@
+// Package driver implements the paper's three PQL evaluation modes over a
+// common fact feeder:
+//
+//   - Naive (§6.2 "Naive"): materialize the entire provenance graph into
+//     the Datalog database, then evaluate. Memory-bound; the paper's Naive
+//     "was not able to scale beyond the two smallest datasets".
+//   - Layered (§5.1): materialize one layer (superstep) at a time, in
+//     ascending order for forward/local queries or descending order for
+//     backward queries, reusing working memory.
+//   - Online (§5.2): evaluate in lockstep with the analytic as an engine
+//     Observer, consuming the transient provenance; no capture step at all.
+package driver
+
+import (
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/pql/eval"
+	"ariadne/internal/provenance"
+	"ariadne/internal/value"
+)
+
+// needs records which provenance EDB tables a query actually references, so
+// the feeder only materializes facts the query can use — the evaluation-side
+// counterpart of customized capture.
+type needs struct {
+	superstep bool
+	value     bool
+	evolution bool
+	send      bool
+	recv      bool
+	provSend  bool
+	edgeValue bool
+	edge      bool
+	emitted   map[string]bool
+}
+
+func needsOf(q *analysis.Query) needs {
+	n := needs{emitted: map[string]bool{}}
+	for name := range q.EDBs {
+		switch name {
+		case "superstep":
+			n.superstep = true
+		case "value":
+			n.value = true
+		case "evolution":
+			n.evolution = true
+		case "send_message":
+			n.send = true
+		case "receive_message":
+			n.recv = true
+		case "prov_send":
+			n.provSend = true
+		case "edge_value":
+			n.edgeValue = true
+		case "edge":
+			n.edge = true
+		default:
+			n.emitted[name] = true
+		}
+	}
+	return n
+}
+
+// retention keeps, per vertex, the last captured value and superstep so
+// evolution joins (value at the *previous active* superstep) work in
+// layered and online modes without materializing older layers — DESIGN.md
+// decision 3. Memory is O(active vertices), not O(supersteps).
+type retention struct {
+	lastVal map[graph.VertexID]value.Value
+	lastSS  map[graph.VertexID]int
+}
+
+func newRetention() *retention {
+	return &retention{
+		lastVal: map[graph.VertexID]value.Value{},
+		lastSS:  map[graph.VertexID]int{},
+	}
+}
+
+// feeder converts provenance records into EDB facts for an evaluator.
+type feeder struct {
+	ev   *eval.Evaluator
+	g    *graph.Graph
+	n    needs
+	ret  *retention
+	prov *provenance.Store // set when feeding from a store (layered/naive)
+
+	edgesFed bool
+	// edgeValueFed tracks vertices whose (static) edge values were already
+	// emitted: edge weights never change in this engine, so one
+	// edge_value(x, y, w, 0) tuple per edge suffices (queries match the
+	// superstep position with a wildcard).
+	edgeValueFed map[graph.VertexID]bool
+	// Facts and bytes fed, for the piggyback/size metrics.
+	FactCount int64
+}
+
+func newFeeder(ev *eval.Evaluator, g *graph.Graph, q *analysis.Query, forward bool) *feeder {
+	f := &feeder{ev: ev, g: g, n: needsOf(q)}
+	if forward && (f.n.evolution || f.n.value) {
+		f.ret = newRetention()
+	}
+	if f.n.edgeValue {
+		f.edgeValueFed = map[graph.VertexID]bool{}
+	}
+	return f
+}
+
+func (f *feeder) add(pred string, t eval.Tuple) {
+	f.ev.AddFact(pred, t)
+	f.FactCount++
+}
+
+// feedStatic loads static input-graph facts (edge) once.
+func (f *feeder) feedStatic() {
+	if !f.n.edge || f.edgesFed {
+		return
+	}
+	f.edgesFed = true
+	for v := 0; v < f.g.NumVertices(); v++ {
+		dst, _ := f.g.OutNeighbors(graph.VertexID(v))
+		for _, d := range dst {
+			f.add("edge", eval.Tuple{value.NewInt(int64(v)), value.NewInt(int64(d))})
+		}
+	}
+}
+
+// record is the mode-independent shape of one provenance record.
+type record struct {
+	vertex     graph.VertexID
+	superstep  int
+	prevActive int
+	hasValue   bool
+	value      value.Value
+	sends      []provenance.MsgHalf
+	recvs      []provenance.MsgHalf
+	sentAny    bool
+	emitted    []provenance.Fact
+}
+
+// feedRecord emits the EDB facts for one record.
+func (f *feeder) feedRecord(r *record) {
+	x := value.NewInt(int64(r.vertex))
+	i := value.NewInt(int64(r.superstep))
+	if f.n.superstep {
+		f.add("superstep", eval.Tuple{x, i})
+	}
+	if f.n.value && r.hasValue {
+		f.add("value", eval.Tuple{x, r.value, i})
+	}
+	if f.n.evolution && r.prevActive >= 0 {
+		j := value.NewInt(int64(r.prevActive))
+		f.add("evolution", eval.Tuple{x, j, i})
+		// Re-inject the retained previous value so value(X, D2, J) joins
+		// resolve without the J-th layer resident (idempotent under naive
+		// mode, where the fact is already present).
+		if f.n.value && f.ret != nil {
+			if pv, ok := f.ret.lastVal[r.vertex]; ok && f.ret.lastSS[r.vertex] == r.prevActive {
+				f.add("value", eval.Tuple{x, pv, j})
+			}
+		}
+	}
+	if f.n.send {
+		for _, m := range r.sends {
+			f.add("send_message", eval.Tuple{x, value.NewInt(int64(m.Peer)), m.Val, i})
+		}
+	}
+	if f.n.recv {
+		for _, m := range r.recvs {
+			f.add("receive_message", eval.Tuple{x, value.NewInt(int64(m.Peer)), m.Val, i})
+		}
+	}
+	if f.n.provSend && (r.sentAny || len(r.sends) > 0) {
+		f.add("prov_send", eval.Tuple{x, i})
+	}
+	if f.n.edgeValue && !f.edgeValueFed[r.vertex] {
+		f.edgeValueFed[r.vertex] = true
+		dst, w := f.g.OutNeighbors(r.vertex)
+		zero := value.NewInt(0)
+		for k, d := range dst {
+			f.add("edge_value", eval.Tuple{x, value.NewInt(int64(d)), value.NewFloat(w[k]), zero})
+		}
+	}
+	for _, fact := range r.emitted {
+		if !f.n.emitted[fact.Table] {
+			continue
+		}
+		t := make(eval.Tuple, 0, len(fact.Args)+2)
+		t = append(t, x)
+		t = append(t, fact.Args...)
+		t = append(t, i)
+		f.add(fact.Table, t)
+	}
+	if f.ret != nil && r.hasValue {
+		f.ret.lastVal[r.vertex] = r.value
+		f.ret.lastSS[r.vertex] = r.superstep
+	}
+}
+
+// feedProvRecord adapts a stored provenance record.
+func (f *feeder) feedProvRecord(rec *provenance.Record, superstep int) {
+	f.feedRecord(&record{
+		vertex:     rec.Vertex,
+		superstep:  superstep,
+		prevActive: int(rec.PrevActive),
+		hasValue:   rec.HasValue,
+		value:      rec.Value,
+		sends:      rec.Sends,
+		recvs:      rec.Recvs,
+		sentAny:    rec.SentAny,
+		emitted:    rec.Emitted,
+	})
+}
+
+// feedEngineRecord adapts a live engine record (online mode).
+func (f *feeder) feedEngineRecord(rec *engine.VertexRecord) {
+	r := record{
+		vertex:     rec.ID,
+		superstep:  rec.Superstep,
+		prevActive: rec.PrevActive,
+		hasValue:   true,
+		value:      rec.NewValue,
+		sentAny:    len(rec.Sent) > 0,
+	}
+	if len(rec.Sent) > 0 {
+		r.sends = make([]provenance.MsgHalf, len(rec.Sent))
+		for i, m := range rec.Sent {
+			r.sends[i] = provenance.MsgHalf{Peer: m.Dst, Val: m.Val}
+		}
+	}
+	if len(rec.Received) > 0 {
+		r.recvs = make([]provenance.MsgHalf, len(rec.Received))
+		for i, m := range rec.Received {
+			r.recvs[i] = provenance.MsgHalf{Peer: m.Src, Val: m.Val}
+		}
+	}
+	if len(rec.Emitted) > 0 {
+		r.emitted = make([]provenance.Fact, len(rec.Emitted))
+		for i, e := range rec.Emitted {
+			r.emitted[i] = provenance.Fact{Table: e.Table, Args: e.Args}
+		}
+	}
+	f.feedRecord(&r)
+}

@@ -1,0 +1,41 @@
+package driver
+
+import (
+	"testing"
+
+	"ariadne/internal/capture"
+	"ariadne/internal/engine"
+	"ariadne/internal/gen"
+	"ariadne/internal/provenance"
+	"ariadne/internal/queries"
+)
+
+// BenchmarkLayeredApt measures the layered driver on a representative
+// workload: the apt query over full SSSP provenance.
+func BenchmarkLayeredApt(b *testing.B) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := provenance.NewStore(provenance.StoreConfig{})
+	obs := capture.NewObserver(capture.FullPolicy(), store)
+	e, err := engine.New(g, ssspProg{}, engine.Config{Observers: []engine.Observer{obs}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("layers=%d tuples=%d", store.NumLayers(), store.TotalTuples())
+	def := queries.Apt(0.1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := def.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Layered(q, store, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

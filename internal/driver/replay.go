@@ -1,0 +1,222 @@
+package driver
+
+import (
+	"fmt"
+	"sync"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/pql/eval"
+	"ariadne/internal/provenance"
+	"ariadne/internal/value"
+)
+
+// Offline layered evaluation runs as a VC computation over the captured
+// provenance graph, exactly as in the paper (§5.1: "ARIADNE translates
+// provenance query evaluation to ordinary vertex programs", §6.2: "the VC
+// system only evaluates ARIADNE's query vertex program"). The replay
+// program below re-materializes one provenance layer per superstep on the
+// BSP engine — activating the layer's nodes and regenerating its message
+// structure — while the query evaluator consumes the layer's facts at the
+// superstep barrier. This is what makes offline layered evaluation cost a
+// full engine pass over the provenance graph on top of reading it back
+// from storage, the overhead the paper's Online mode short-circuits.
+
+// layerCursor shares the currently materialized layer between the replay
+// program (which runs inside parallel workers) and the evaluation observer.
+type layerCursor struct {
+	store *provenance.Store
+	n     int
+	// order maps the replay superstep to a store layer index: identity for
+	// forward/local queries, reversed for backward queries (descending
+	// layer order, §5.1).
+	order func(step int) int
+
+	mu    sync.Mutex
+	step  int
+	layer *provenance.Layer
+	index map[graph.VertexID]*provenance.Record
+	err   error
+}
+
+func newLayerCursor(store *provenance.Store, ascending bool) *layerCursor {
+	n := store.NumLayers()
+	order := func(step int) int { return step }
+	if !ascending {
+		order = func(step int) int { return n - 1 - step }
+	}
+	return &layerCursor{store: store, n: n, order: order, step: -1}
+}
+
+// at returns the layer materialized for the given replay step, loading (and
+// indexing) it on first use. Past layers are dropped — the working memory
+// holds one layer, the point of layered evaluation.
+func (c *layerCursor) at(step int) (*provenance.Layer, map[graph.VertexID]*provenance.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, nil, c.err
+	}
+	if step != c.step {
+		idx := c.order(step)
+		l, err := c.store.Layer(idx)
+		if err != nil {
+			c.err = err
+			return nil, nil, err
+		}
+		c.step = step
+		c.layer = l
+		c.index = make(map[graph.VertexID]*provenance.Record, len(l.Records))
+		for i := range l.Records {
+			c.index[l.Records[i].Vertex] = &l.Records[i]
+		}
+	}
+	return c.layer, c.index, nil
+}
+
+// active returns the vertices of the layer replayed at the given step.
+// Empty layers (possible under selective capture policies) still force a
+// single no-op keepalive so the replay proceeds to later layers.
+func (c *layerCursor) active(step int) []graph.VertexID {
+	if step >= c.n {
+		return nil
+	}
+	l, _, err := c.at(step)
+	if err != nil {
+		return nil
+	}
+	if len(l.Records) == 0 {
+		return []graph.VertexID{0}
+	}
+	out := make([]graph.VertexID, len(l.Records))
+	for i := range l.Records {
+		out[i] = l.Records[i].Vertex
+	}
+	return out
+}
+
+// replayProg is the "query vertex program": at each superstep, a vertex
+// that appears in the current provenance layer regenerates its captured
+// message structure (token payloads — the values live in the evaluator).
+type replayProg struct {
+	cursor *layerCursor
+}
+
+func (p *replayProg) InitialValue(*graph.Graph, engine.VertexID) value.Value {
+	return value.NullValue
+}
+
+func (p *replayProg) Compute(ctx *engine.Context, _ []engine.IncomingMessage) error {
+	if ctx.Superstep() >= p.cursor.n {
+		return nil
+	}
+	_, index, err := p.cursor.at(ctx.Superstep())
+	if err != nil {
+		return err
+	}
+	rec := index[ctx.ID()]
+	if rec == nil {
+		return nil
+	}
+	switch {
+	case len(rec.Sends) > 0:
+		for _, m := range rec.Sends {
+			ctx.SendMessage(m.Peer, value.NullValue)
+		}
+	case rec.SentAny:
+		// Send flags without per-edge tuples (Query 11 capture): the
+		// message structure is the static out-edges (paper §6.3).
+		ctx.SendToAllNeighbors(value.NullValue)
+	}
+	return nil
+}
+
+// replayEvalObserver evaluates each replayed layer at the superstep
+// barrier: on the compiled path rules run directly over the layer's
+// records; on the interpretive path the layer's facts feed the evaluator
+// followed by a per-layer fixpoint.
+type replayEvalObserver struct {
+	cursor *layerCursor
+
+	compiled *eval.Compiled
+	vb       *viewBuilder
+
+	f  *feeder
+	ev *eval.Evaluator
+
+	facts int64
+}
+
+func (o *replayEvalObserver) NeedsRawMessages() bool { return false }
+
+func (o *replayEvalObserver) ObserveSuperstep(v *engine.SuperstepView) error {
+	if v.Superstep >= o.cursor.n {
+		return nil
+	}
+	l, _, err := o.cursor.at(v.Superstep)
+	if err != nil {
+		return err
+	}
+	if o.compiled != nil {
+		views := o.vb.fromProv(l)
+		o.facts += int64(len(views))
+		return o.compiled.Layer(views)
+	}
+	for ri := range l.Records {
+		o.f.feedProvRecord(&l.Records[ri], l.Superstep)
+	}
+	o.facts = o.f.FactCount
+	return o.ev.Fixpoint()
+}
+
+func (o *replayEvalObserver) Finish(int) error { return nil }
+
+// Layered evaluates q one provenance layer at a time (paper §5.1), in
+// ascending superstep order for forward/local queries and descending order
+// for backward queries, as a VC computation over the provenance graph.
+// Mixed queries are rejected (Def. 5.2).
+func Layered(q *analysis.Query, store *provenance.Store, g *graph.Graph) (*Result, error) {
+	if !q.Class.LayeredEvaluable() {
+		return nil, fmt.Errorf("driver: %v queries cannot be evaluated layered; use naive mode", q.Class)
+	}
+	db := eval.NewDatabase()
+	ascending := q.Class != analysis.Backward
+	cursor := newLayerCursor(store, ascending)
+	obs := &replayEvalObserver{cursor: cursor}
+	res := &Result{q: q, db: db}
+	if c, ok := tryCompile(q, db, g); ok {
+		obs.compiled = c
+		obs.vb = newViewBuilder()
+	} else {
+		ev, err := eval.NewEvaluator(q, db)
+		if err != nil {
+			return nil, err
+		}
+		obs.ev = ev
+		obs.f = newFeeder(ev, g, q, ascending)
+		obs.f.feedStatic()
+		res.ev = ev
+	}
+	if cursor.n == 0 {
+		return res, nil
+	}
+	e, err := engine.New(g, &replayProg{cursor: cursor}, engine.Config{
+		MaxSupersteps: cursor.n,
+		ActiveAt:      cursor.active,
+		Observers:     []engine.Observer{obs},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.Run(); err != nil {
+		return nil, err
+	}
+	if obs.compiled != nil {
+		if err := obs.compiled.FinishRun(); err != nil {
+			return nil, err
+		}
+	}
+	res.Facts = obs.facts
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package driver
+
+import (
+	"math"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/graph"
+	"ariadne/internal/value"
+)
+
+type ssspProg struct{}
+
+func (ssspProg) InitialValue(_ *graph.Graph, _ engine.VertexID) value.Value {
+	return value.NewFloat(math.Inf(1))
+}
+
+func (ssspProg) Compute(ctx *engine.Context, msgs []engine.IncomingMessage) error {
+	best := math.Inf(1)
+	if ctx.ID() == 0 {
+		best = 0
+	}
+	for _, m := range msgs {
+		if f := m.Val.Float(); f < best {
+			best = f
+		}
+	}
+	if best < ctx.Value().Float() {
+		ctx.SetValue(value.NewFloat(best))
+		dst, w := ctx.OutNeighbors()
+		for i, d := range dst {
+			ctx.SendMessage(d, value.NewFloat(best+w[i]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package engine
+
+import "math"
+
+// AggOp is a global aggregator reduction operator.
+type AggOp uint8
+
+// Supported aggregator reductions.
+const (
+	AggSum AggOp = iota
+	AggMin
+	AggMax
+	AggCount
+)
+
+// AggregatorReader exposes the merged aggregator values of the previous
+// superstep (Pregel semantics: values written during superstep i are
+// readable during superstep i+1 and after the run).
+type AggregatorReader interface {
+	// Float returns the merged value of the named aggregator and whether it
+	// exists.
+	Float(name string) (float64, bool)
+}
+
+type aggCell struct {
+	op  AggOp
+	val float64
+	n   int64
+}
+
+// aggregators implements per-partition partial aggregation merged at the
+// superstep barrier, mirroring how Pregel workers reduce locally before the
+// master combines. The parts slice is sized up front so each worker only
+// ever touches its own entry (no locks, no append races).
+type aggregators struct {
+	parts   []map[string]aggCell // one map per partition, written without locks
+	current map[string]float64   // merged values visible to readers
+}
+
+func newAggregators(nParts int) *aggregators {
+	return &aggregators{
+		parts:   make([]map[string]aggCell, nParts),
+		current: map[string]float64{},
+	}
+}
+
+func (a *aggregators) beginSuperstep() {
+	for i := range a.parts {
+		a.parts[i] = nil
+	}
+}
+
+func (a *aggregators) add(p int, name string, op AggOp, v float64) {
+	if a.parts[p] == nil {
+		a.parts[p] = map[string]aggCell{}
+	}
+	m := a.parts[p]
+	c, ok := m[name]
+	if !ok {
+		c = aggCell{op: op, val: initial(op)}
+	}
+	c.val = reduce(op, c.val, v)
+	c.n++
+	m[name] = c
+}
+
+func (a *aggregators) endSuperstep() {
+	merged := map[string]aggCell{}
+	for _, m := range a.parts {
+		for name, c := range m {
+			g, ok := merged[name]
+			if !ok {
+				g = aggCell{op: c.op, val: initial(c.op)}
+			}
+			if c.op == AggCount {
+				g.val += float64(c.n) // count reduces by summing per-partition counts
+			} else {
+				g.val = reduce(c.op, g.val, c.val)
+			}
+			g.n += c.n
+			merged[name] = g
+		}
+	}
+	a.current = map[string]float64{}
+	for name, c := range merged {
+		a.current[name] = c.val
+	}
+}
+
+func initial(op AggOp) float64 {
+	switch op {
+	case AggMin:
+		return math.Inf(1)
+	case AggMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+func reduce(op AggOp, acc, v float64) float64 {
+	switch op {
+	case AggMin:
+		return math.Min(acc, v)
+	case AggMax:
+		return math.Max(acc, v)
+	case AggCount:
+		return acc // count ignores v; n tracks it
+	default:
+		return acc + v
+	}
+}
+
+type aggReader map[string]float64
+
+func (r aggReader) Float(name string) (float64, bool) {
+	v, ok := r[name]
+	return v, ok
+}
+
+func (a *aggregators) reader() AggregatorReader { return aggReader(a.current) }

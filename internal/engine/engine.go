@@ -1,0 +1,429 @@
+// Package engine implements a Pregel-style Bulk Synchronous Parallel (BSP)
+// vertex-centric graph processing engine, the substrate the paper assumes
+// (§2.1, Appendix A). It stands in for Apache Giraph: computation proceeds
+// in supersteps separated by global barriers; all vertices run the same
+// vertex program in parallel; messages sent in superstep i are delivered at
+// superstep i+1; a vertex computes only if it received messages (all
+// vertices compute at superstep 0); the run ends when no messages remain or
+// a superstep limit is reached.
+//
+// "Distribution" is simulated: the graph is hash-partitioned across P
+// in-process workers standing in for cluster nodes. Observers (package-level
+// hook interface) receive per-superstep vertex records — the transient
+// provenance stream that Ariadne's capture and online query evaluation
+// consume without modifying the vertex program.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ariadne/internal/graph"
+	"ariadne/internal/value"
+)
+
+// VertexID aliases the graph vertex identifier.
+type VertexID = graph.VertexID
+
+// IncomingMessage is a message delivered to a vertex, retaining the sender
+// for provenance (receive-message tuples need the source vertex).
+type IncomingMessage struct {
+	Src VertexID
+	Val value.Value
+}
+
+// SentMessage records a message produced by a vertex during Compute.
+type SentMessage struct {
+	Dst VertexID
+	Val value.Value
+}
+
+// ProvFact is an auxiliary provenance fact emitted by a vertex program via
+// Context.EmitProv — the mechanism behind analytics-specific tables such as
+// the paper's prov-error / prov-prediction for ALS (Queries 7, 8).
+type ProvFact struct {
+	Table string
+	Args  []value.Value
+}
+
+// Program is a vertex program in the VC model (paper Algorithm 1):
+// read messages, update the vertex value, send messages to neighbors.
+type Program interface {
+	// InitialValue returns the value a vertex holds entering superstep 0.
+	InitialValue(g *graph.Graph, v VertexID) value.Value
+	// Compute runs the per-vertex step. Returning an error aborts the run
+	// and is reported with the culprit vertex and superstep (the
+	// "crash-culprit" debugging scenario).
+	Compute(ctx *Context, msgs []IncomingMessage) error
+}
+
+// Halter is an optional Program extension: after each superstep the engine
+// asks whether to stop (e.g. ALS halts when the aggregated error converges).
+type Halter interface {
+	ShouldHalt(agg AggregatorReader, superstep int) bool
+}
+
+// Config controls a run.
+type Config struct {
+	// MaxSupersteps bounds the run; <=0 means unbounded (until quiescence).
+	MaxSupersteps int
+	// Partitions is the number of simulated cluster workers.
+	// <=0 means GOMAXPROCS.
+	Partitions int
+	// Combiner, if set, merges messages addressed to the same vertex at the
+	// sender side (e.g. min for SSSP). The engine ignores it when any
+	// observer needs raw per-message delivery (NeedsRawMessages).
+	Combiner func(a, b value.Value) value.Value
+	// Observers receive the per-superstep transient provenance stream.
+	Observers []Observer
+	// ActiveAt, when set, forces the returned vertices to compute at the
+	// given superstep even without incoming messages (in addition to
+	// message receivers). Returning nil everywhere and having no messages
+	// still ends the run. Offline layered evaluation uses this to replay a
+	// captured provenance graph whose activation pattern is known
+	// (paper §5.1: only a single layer's nodes execute at each superstep).
+	ActiveAt func(superstep int) []VertexID
+}
+
+// Observer consumes per-superstep vertex records. ObserveSuperstep is called
+// once per superstep, after the barrier, with the records of every vertex
+// that computed. Records (and their slices) are only valid during the call
+// unless the observer copies them.
+type Observer interface {
+	// NeedsRawMessages reports whether the observer must see individual
+	// received messages; if any observer returns true the engine disables
+	// the combiner (DESIGN.md decision 2).
+	NeedsRawMessages() bool
+	ObserveSuperstep(obs *SuperstepView) error
+	// Finish is called once after the last superstep.
+	Finish(lastSuperstep int) error
+}
+
+// SuperstepView is the transient provenance of one completed superstep.
+type SuperstepView struct {
+	Superstep int
+	Records   []VertexRecord
+	Engine    *Engine
+}
+
+// VertexRecord describes the execution of one vertex at one superstep —
+// a node of the paper's (unfolded) provenance graph with its incident
+// message edges and evolution information.
+type VertexRecord struct {
+	ID        VertexID
+	Superstep int
+	// PrevActive is the previous superstep this vertex computed in, or -1.
+	// Together with Superstep it yields the evolution edge.
+	PrevActive int
+	OldValue   value.Value
+	NewValue   value.Value
+	Received   []IncomingMessage
+	Sent       []SentMessage
+	Emitted    []ProvFact
+}
+
+// RunStats summarizes a completed run.
+type RunStats struct {
+	Supersteps     int
+	MessagesSent   int64
+	ActiveVertices []int // per superstep
+	Aborted        bool
+}
+
+// CrashError reports a vertex program failure with its culprit.
+type CrashError struct {
+	Vertex    VertexID
+	Superstep int
+	Err       error
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("engine: vertex %d crashed at superstep %d: %v", e.Vertex, e.Superstep, e.Err)
+}
+
+func (e *CrashError) Unwrap() error { return e.Err }
+
+// Engine executes one Program over one Graph.
+type Engine struct {
+	g       *graph.Graph
+	prog    Program
+	cfg     Config
+	nParts  int
+	rawMsgs bool // at least one observer needs raw messages
+
+	values     []value.Value
+	lastActive []int32 // previous superstep each vertex computed in, -1 if never
+
+	// inboxes[p] holds messages for vertices of partition p, keyed by vertex.
+	inboxes []map[VertexID][]IncomingMessage
+
+	agg  *aggregators
+	stat RunStats
+}
+
+// New creates an engine for prog over g.
+func New(g *graph.Graph, prog Program, cfg Config) (*Engine, error) {
+	if g == nil || prog == nil {
+		return nil, errors.New("engine: nil graph or program")
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{g: g, prog: prog, cfg: cfg, nParts: cfg.Partitions}
+	for _, o := range cfg.Observers {
+		if o.NeedsRawMessages() {
+			e.rawMsgs = true
+		}
+	}
+	n := g.NumVertices()
+	e.values = make([]value.Value, n)
+	e.lastActive = make([]int32, n)
+	for v := 0; v < n; v++ {
+		e.values[v] = prog.InitialValue(g, VertexID(v))
+		e.lastActive[v] = -1
+	}
+	e.inboxes = make([]map[VertexID][]IncomingMessage, e.nParts)
+	for p := range e.inboxes {
+		e.inboxes[p] = make(map[VertexID][]IncomingMessage)
+	}
+	e.agg = newAggregators(e.nParts)
+	return e, nil
+}
+
+// Graph returns the input graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Values returns the current vertex values (the analytic result after Run).
+func (e *Engine) Values() []value.Value { return e.values }
+
+// Stats returns run statistics.
+func (e *Engine) Stats() RunStats { return e.stat }
+
+// Aggregated exposes last-superstep aggregator values.
+func (e *Engine) Aggregated() AggregatorReader { return e.agg.reader() }
+
+func (e *Engine) partition(v VertexID) int { return int(v) % e.nParts }
+
+// Run executes supersteps until quiescence, the superstep limit, a Halter
+// stop, or a vertex crash.
+func (e *Engine) Run() (RunStats, error) {
+	observing := len(e.cfg.Observers) > 0
+	combiner := e.cfg.Combiner
+	if e.rawMsgs {
+		combiner = nil
+	}
+	halter, _ := e.prog.(Halter)
+
+	for ss := 0; ; ss++ {
+		if e.cfg.MaxSupersteps > 0 && ss >= e.cfg.MaxSupersteps {
+			break
+		}
+		// Determine active vertices: all at superstep 0, else inbox owners
+		// plus any ActiveAt-forced vertices.
+		var forced [][]VertexID
+		if e.cfg.ActiveAt != nil {
+			forced = make([][]VertexID, e.nParts)
+			for _, v := range e.cfg.ActiveAt(ss) {
+				p := e.partition(v)
+				forced[p] = append(forced[p], v)
+			}
+		}
+		totalActive := 0
+		if ss == 0 {
+			totalActive = e.g.NumVertices()
+		} else {
+			for p := 0; p < e.nParts; p++ {
+				totalActive += len(e.inboxes[p])
+				if forced != nil {
+					for _, v := range forced[p] {
+						if _, hasMsg := e.inboxes[p][v]; !hasMsg {
+							totalActive++
+						}
+					}
+				}
+			}
+			if totalActive == 0 {
+				break
+			}
+		}
+
+		e.agg.beginSuperstep()
+		results := make([]partResult, e.nParts)
+		var wg sync.WaitGroup
+		for p := 0; p < e.nParts; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				var fp []VertexID
+				if forced != nil {
+					fp = forced[p]
+				}
+				results[p] = e.runPartition(p, ss, observing, fp)
+			}(p)
+		}
+		wg.Wait()
+
+		// Barrier: surface crashes (deterministically: lowest vertex wins).
+		var crash *CrashError
+		for p := range results {
+			if c := results[p].crash; c != nil && (crash == nil || c.Vertex < crash.Vertex) {
+				crash = c
+			}
+		}
+		if crash != nil {
+			e.stat.Aborted = true
+			e.stat.Supersteps = ss + 1
+			return e.stat, crash
+		}
+
+		// Barrier: merge aggregators, deliver messages, account stats.
+		e.agg.endSuperstep()
+		for p := range e.inboxes {
+			e.inboxes[p] = make(map[VertexID][]IncomingMessage)
+		}
+		var sent int64
+		for _, r := range results {
+			for dp, msgs := range r.outbox {
+				for _, m := range msgs {
+					if combiner != nil {
+						if ex := e.inboxes[dp][m.dst]; len(ex) > 0 {
+							ex[0].Val = combiner(ex[0].Val, m.val)
+							continue
+						}
+					}
+					e.inboxes[dp][m.dst] = append(e.inboxes[dp][m.dst], IncomingMessage{Src: m.src, Val: m.val})
+				}
+				sent += int64(len(msgs))
+			}
+		}
+		e.stat.MessagesSent += sent
+		e.stat.ActiveVertices = append(e.stat.ActiveVertices, totalActive)
+		e.stat.Supersteps = ss + 1
+
+		// Observers see the completed superstep as one batch (one provenance
+		// layer), in deterministic vertex order.
+		if observing {
+			var recs []VertexRecord
+			for _, r := range results {
+				recs = append(recs, r.records...)
+			}
+			sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+			view := &SuperstepView{Superstep: ss, Records: recs, Engine: e}
+			for _, o := range e.cfg.Observers {
+				if err := o.ObserveSuperstep(view); err != nil {
+					e.stat.Aborted = true
+					return e.stat, fmt.Errorf("engine: observer failed at superstep %d: %w", ss, err)
+				}
+			}
+		}
+
+		// Mark computed vertices' last-active superstep (after observers,
+		// who need the pre-superstep PrevActive captured in records).
+		for _, r := range results {
+			for _, v := range r.computed {
+				e.lastActive[v] = int32(ss)
+			}
+		}
+
+		if halter != nil && halter.ShouldHalt(e.agg.reader(), ss) {
+			break
+		}
+		if sent == 0 {
+			// Quiescence — unless forced activation has more work queued.
+			if e.cfg.ActiveAt == nil || len(e.cfg.ActiveAt(ss+1)) == 0 {
+				break
+			}
+		}
+	}
+
+	for _, o := range e.cfg.Observers {
+		if err := o.Finish(e.stat.Supersteps - 1); err != nil {
+			return e.stat, fmt.Errorf("engine: observer finish: %w", err)
+		}
+	}
+	return e.stat, nil
+}
+
+type outMsg struct {
+	src, dst VertexID
+	val      value.Value
+}
+
+type partResult struct {
+	outbox   map[int][]outMsg // destination partition -> messages
+	records  []VertexRecord
+	computed []VertexID
+	crash    *CrashError
+}
+
+// runPartition computes all active vertices of partition p for superstep ss.
+func (e *Engine) runPartition(p, ss int, observing bool, forced []VertexID) partResult {
+	res := partResult{outbox: make(map[int][]outMsg)}
+	ctx := &Context{engine: e, superstep: ss, partition: p}
+
+	compute := func(v VertexID, msgs []IncomingMessage) bool {
+		// Deterministic message order regardless of worker scheduling.
+		sort.Slice(msgs, func(i, j int) bool {
+			if msgs[i].Src != msgs[j].Src {
+				return msgs[i].Src < msgs[j].Src
+			}
+			return msgs[i].Val.Compare(msgs[j].Val) < 0
+		})
+		ctx.reset(v)
+		old := e.values[v]
+		if err := e.prog.Compute(ctx, msgs); err != nil {
+			res.crash = &CrashError{Vertex: v, Superstep: ss, Err: err}
+			return false
+		}
+		// Flush this vertex's outgoing messages into the partition outbox.
+		for _, m := range ctx.sent {
+			dp := e.partition(m.Dst)
+			res.outbox[dp] = append(res.outbox[dp], outMsg{src: v, dst: m.Dst, val: m.Val})
+		}
+		res.computed = append(res.computed, v)
+		if observing {
+			rec := VertexRecord{
+				ID:         v,
+				Superstep:  ss,
+				PrevActive: int(e.lastActive[v]),
+				OldValue:   old,
+				NewValue:   e.values[v],
+				Emitted:    ctx.emitted,
+			}
+			rec.Sent = append([]SentMessage(nil), ctx.sent...)
+			rec.Received = append([]IncomingMessage(nil), msgs...)
+			res.records = append(res.records, rec)
+		}
+		return true
+	}
+
+	if ss == 0 {
+		for v := p; v < e.g.NumVertices(); v += e.nParts {
+			if !compute(VertexID(v), nil) {
+				return res
+			}
+		}
+		return res
+	}
+	// Deterministic iteration over inbox keys plus forced vertices.
+	inbox := e.inboxes[p]
+	ids := make([]VertexID, 0, len(inbox)+len(forced))
+	for v := range inbox {
+		ids = append(ids, v)
+	}
+	for _, v := range forced {
+		if _, hasMsg := inbox[v]; !hasMsg {
+			ids = append(ids, v)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, v := range ids {
+		if !compute(v, inbox[v]) {
+			return res
+		}
+	}
+	return res
+}

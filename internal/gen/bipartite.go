@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ariadne/internal/graph"
+)
+
+// Ratings is a synthetic user-item rating graph standing in for the paper's
+// MovieLens-20M dataset (§6: 138 493 users, 26 744 movies, 20M ratings,
+// ratings in [0,5]). Ratings are produced by a planted low-rank model:
+// rating(u,i) = clamp(<p_u, q_i> + noise, 0.5, 5) so ALS has signal to fit.
+type Ratings struct {
+	// Graph is bipartite: vertices [0,NumUsers) are users,
+	// [NumUsers, NumUsers+NumItems) are items. Edges run user->item AND
+	// item->user (both directions carry the rating as weight) because ALS
+	// alternates message flow between the two sides.
+	Graph    *graph.Graph
+	NumUsers int
+	NumItems int
+	Rank     int // rank of the planted factor model
+}
+
+// IsUser reports whether vertex v is on the user side.
+func (r *Ratings) IsUser(v graph.VertexID) bool { return int(v) < r.NumUsers }
+
+// BipartiteConfig parameterizes the ratings generator.
+type BipartiteConfig struct {
+	NumUsers, NumItems int
+	RatingsPerUser     int
+	Rank               int     // planted factor rank
+	Noise              float64 // gaussian noise stddev added to ratings
+	Seed               int64
+}
+
+// DefaultBipartite returns a config shaped like a scaled-down ML-20
+// (users ≈ 5×items, ~dozens of ratings per user).
+func DefaultBipartite(users, items, perUser int, seed int64) BipartiteConfig {
+	return BipartiteConfig{
+		NumUsers: users, NumItems: items, RatingsPerUser: perUser,
+		Rank: 4, Noise: 0.3, Seed: seed,
+	}
+}
+
+// Bipartite generates a synthetic ratings graph.
+func Bipartite(cfg BipartiteConfig) (*Ratings, error) {
+	if cfg.NumUsers <= 0 || cfg.NumItems <= 0 || cfg.RatingsPerUser <= 0 {
+		return nil, fmt.Errorf("gen: bipartite sizes must be positive")
+	}
+	if cfg.Rank <= 0 {
+		return nil, fmt.Errorf("gen: rank must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	userF := randomFactors(rng, cfg.NumUsers, cfg.Rank)
+	itemF := randomFactors(rng, cfg.NumItems, cfg.Rank)
+	n := cfg.NumUsers + cfg.NumItems
+	edges := make([]graph.Edge, 0, 2*cfg.NumUsers*cfg.RatingsPerUser)
+	for u := 0; u < cfg.NumUsers; u++ {
+		seen := make(map[int]bool, cfg.RatingsPerUser)
+		for len(seen) < cfg.RatingsPerUser && len(seen) < cfg.NumItems {
+			// Zipf-ish popularity: square the uniform sample toward item 0.
+			it := int(float64(cfg.NumItems) * rng.Float64() * rng.Float64())
+			if it >= cfg.NumItems {
+				it = cfg.NumItems - 1
+			}
+			if seen[it] {
+				continue
+			}
+			seen[it] = true
+			r := dot(userF[u], itemF[it]) + rng.NormFloat64()*cfg.Noise
+			if r < 0.5 {
+				r = 0.5
+			}
+			if r > 5 {
+				r = 5
+			}
+			// Round to half-star like real rating data.
+			r = float64(int(r*2+0.5)) / 2
+			uid := uint32(u)
+			iid := uint32(cfg.NumUsers + it)
+			edges = append(edges,
+				graph.Edge{Src: uid, Dst: iid, Weight: r},
+				graph.Edge{Src: iid, Dst: uid, Weight: r},
+			)
+		}
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Ratings{Graph: g, NumUsers: cfg.NumUsers, NumItems: cfg.NumItems, Rank: cfg.Rank}, nil
+}
+
+// randomFactors draws factors whose inner products land mostly in [1,5].
+func randomFactors(rng *rand.Rand, n, k int) [][]float64 {
+	f := make([][]float64, n)
+	scale := 1.7 / float64(k) // E[<p,q>] ≈ k * scale^2 * E[u^2] tuned to ~3
+	_ = scale
+	for i := range f {
+		row := make([]float64, k)
+		for j := range row {
+			row[j] = 0.5 + rng.Float64()*1.5/float64(k)*4
+		}
+		f[i] = row
+	}
+	return f
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

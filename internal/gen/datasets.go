@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"ariadne/internal/graph"
+)
+
+// Dataset names a scaled-down stand-in for one of the paper's inputs
+// (Table 2). Scale factors keep the *relative* sizes and average degrees of
+// the originals while fitting a laptop: IN-04 < UK-02 < AR-05 < UK-05.
+type Dataset struct {
+	Name      string
+	PaperName string
+	Scale     int     // vertices = 2^Scale
+	AvgDeg    float64 // matches the paper's Table 2 average degree
+	Seed      int64
+}
+
+// WebDatasets mirrors the paper's four web graphs, smallest to largest.
+// At SizeFactor=0 (default benchmark size) they span 2^12..2^15 vertices;
+// each +1 of sizeFactor doubles every dataset.
+func WebDatasets(sizeFactor int) []Dataset {
+	return []Dataset{
+		{Name: "IN-04", PaperName: "indochina-2004", Scale: 12 + sizeFactor, AvgDeg: 26.17, Seed: 1},
+		{Name: "UK-02", PaperName: "uk-2002", Scale: 13 + sizeFactor, AvgDeg: 16.01, Seed: 2},
+		{Name: "AR-05", PaperName: "arabic-2005", Scale: 14 + sizeFactor, AvgDeg: 28.14, Seed: 3},
+		{Name: "UK-05", PaperName: "uk-2005", Scale: 15 + sizeFactor, AvgDeg: 23.73, Seed: 4},
+	}
+}
+
+// Build generates the dataset's graph.
+func (d Dataset) Build() (*graph.Graph, error) {
+	return RMAT(DefaultRMAT(d.Scale, d.AvgDeg, d.Seed))
+}
+
+// FindDataset returns the web dataset with the given name.
+func FindDataset(name string, sizeFactor int) (Dataset, error) {
+	for _, d := range WebDatasets(sizeFactor) {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	var names []string
+	for _, d := range WebDatasets(sizeFactor) {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, names)
+}
+
+// MLDataset builds the MovieLens-20M stand-in at the benchmark scale:
+// a bipartite ratings graph (users ≈ 5×items, Zipf item popularity).
+// Negative size factors halve the dataset per step; the user and item
+// counts are floored at 50 and 10.
+func MLDataset(sizeFactor int) (*Ratings, error) {
+	users, items := 2000, 400
+	for f := sizeFactor; f > 0; f-- {
+		users *= 2
+		items *= 2
+	}
+	for f := sizeFactor; f < 0; f++ {
+		users /= 2
+		items /= 2
+	}
+	if users < 50 {
+		users = 50
+	}
+	if items < 10 {
+		items = 10
+	}
+	return Bipartite(DefaultBipartite(users, items, 10, 20))
+}
+
+// CorruptWeights returns a copy of g where every k-th edge weight is negated,
+// simulating the corrupted-input scenario of paper Query 5 (§6.2.1:
+// "if there is an edge with negative weight, the query will highlight it").
+func CorruptWeights(g *graph.Graph, k int) (*graph.Graph, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("gen: corruption interval must be positive")
+	}
+	var edges []graph.Edge
+	idx := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		dst, w := g.OutNeighbors(graph.VertexID(v))
+		for i, d := range dst {
+			wt := w[i]
+			if idx%k == k-1 {
+				wt = -wt
+			}
+			idx++
+			edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: d, Weight: wt})
+		}
+	}
+	return graph.NewFromEdges(g.NumVertices(), edges)
+}

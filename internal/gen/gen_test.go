@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"ariadne/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := DefaultRMAT(8, 8, 42)
+	g1, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() || g1.NumVertices() != g2.NumVertices() {
+		t.Fatal("same seed must give same graph size")
+	}
+	for v := 0; v < g1.NumVertices(); v++ {
+		d1, _ := g1.OutNeighbors(graph.VertexID(v))
+		d2, _ := g2.OutNeighbors(graph.VertexID(v))
+		if len(d1) != len(d2) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("vertex %d edges differ", v)
+			}
+		}
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(10, 16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 10
+	if g.NumVertices() != n {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// edges = avgdeg*n + (n-1) connectivity path
+	want := 16*n + n - 1
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	// Power-law: max degree should be far above average.
+	st := graph.ComputeStats(g, 0, 0)
+	if st.MaxOutDeg < 4*int(st.AvgDegree) {
+		t.Errorf("expected skewed degrees: max=%d avg=%.1f", st.MaxOutDeg, st.AvgDegree)
+	}
+	// No self-loops, weights in range.
+	for v := 0; v < n; v++ {
+		dst, w := g.OutNeighbors(graph.VertexID(v))
+		for i, d := range dst {
+			if d == graph.VertexID(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+			if w[i] <= 0 || w[i] > 1 {
+				t.Fatalf("weight %v out of (0,1]", w[i])
+			}
+		}
+	}
+}
+
+func TestRMATConnected(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(9, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak connectivity: union-find over undirected view.
+	u := g.Undirected()
+	parent := make([]int, u.NumVertices())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := 0; v < u.NumVertices(); v++ {
+		dst, _ := u.OutNeighbors(graph.VertexID(v))
+		for _, d := range dst {
+			parent[find(v)] = find(int(d))
+		}
+	}
+	root := find(0)
+	for v := range parent {
+		if find(v) != root {
+			t.Fatalf("graph not weakly connected at vertex %d", v)
+		}
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := RMAT(RMATConfig{Scale: 0}); err == nil {
+		t.Error("scale 0 should fail")
+	}
+	bad := DefaultRMAT(5, 2, 1)
+	bad.A = 0
+	if _, err := RMAT(bad); err == nil {
+		t.Error("a=0 should fail")
+	}
+	bad2 := DefaultRMAT(5, 2, 1)
+	bad2.MaxWeight = bad2.MinWeight - 1
+	if _, err := RMAT(bad2); err == nil {
+		t.Error("max<min weight should fail")
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	r, err := Bipartite(DefaultBipartite(100, 20, 5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph.NumVertices() != 120 {
+		t.Fatalf("vertices = %d", r.Graph.NumVertices())
+	}
+	if !r.IsUser(0) || !r.IsUser(99) || r.IsUser(100) {
+		t.Error("IsUser boundary wrong")
+	}
+	// Every user edge points to the item side and carries a rating in [0.5,5];
+	// each edge has its mirror.
+	for u := 0; u < 100; u++ {
+		dst, w := r.Graph.OutNeighbors(graph.VertexID(u))
+		if len(dst) != 5 {
+			t.Fatalf("user %d has %d ratings, want 5", u, len(dst))
+		}
+		for i, d := range dst {
+			if r.IsUser(d) {
+				t.Fatalf("user->user edge %d->%d", u, d)
+			}
+			if w[i] < 0.5 || w[i] > 5 {
+				t.Fatalf("rating %v out of range", w[i])
+			}
+			if rw, ok := r.Graph.EdgeWeight(d, graph.VertexID(u)); !ok || rw != w[i] {
+				t.Fatalf("missing mirror edge %d->%d", d, u)
+			}
+			if math.Mod(w[i]*2, 1) != 0 {
+				t.Fatalf("rating %v not half-star", w[i])
+			}
+		}
+	}
+}
+
+func TestBipartiteValidation(t *testing.T) {
+	if _, err := Bipartite(BipartiteConfig{NumUsers: 0, NumItems: 1, RatingsPerUser: 1, Rank: 1}); err == nil {
+		t.Error("zero users should fail")
+	}
+	if _, err := Bipartite(BipartiteConfig{NumUsers: 1, NumItems: 1, RatingsPerUser: 1, Rank: 0}); err == nil {
+		t.Error("zero rank should fail")
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	ds := WebDatasets(0)
+	if len(ds) != 4 {
+		t.Fatalf("want 4 datasets, got %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Scale <= ds[i-1].Scale {
+			t.Error("datasets must grow in size like the paper's")
+		}
+	}
+	d, err := FindDataset("IN-04", 0)
+	if err != nil || d.PaperName != "indochina-2004" {
+		t.Errorf("FindDataset: %v %v", d, err)
+	}
+	if _, err := FindDataset("nope", 0); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	g, err := ds[0].Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(g, 0, 0)
+	if math.Abs(st.AvgDegree-ds[0].AvgDeg) > 2 {
+		t.Errorf("avg degree %.1f should approximate paper's %.1f", st.AvgDegree, ds[0].AvgDeg)
+	}
+}
+
+func TestMLDataset(t *testing.T) {
+	r, err := MLDataset(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumUsers != 2000 || r.NumItems != 400 {
+		t.Errorf("ML sizes: %d users %d items", r.NumUsers, r.NumItems)
+	}
+}
+
+func TestCorruptWeights(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(6, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CorruptWeights(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := 0
+	for v := 0; v < c.NumVertices(); v++ {
+		_, w := c.OutNeighbors(graph.VertexID(v))
+		for _, x := range w {
+			if x < 0 {
+				neg++
+			}
+		}
+	}
+	want := g.NumEdges() / 10
+	if neg < want-1 || neg > want+1 {
+		t.Errorf("corrupted %d edges, want ~%d", neg, want)
+	}
+	if _, err := CorruptWeights(g, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

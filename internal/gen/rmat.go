@@ -1,0 +1,103 @@
+// Package gen produces the synthetic datasets that stand in for the paper's
+// evaluation inputs (DESIGN.md §2): R-MAT power-law digraphs replace the
+// indochina/uk/arabic web crawls, and a planted-factor bipartite graph
+// replaces MovieLens-20M. All generators are deterministic given a seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ariadne/internal/graph"
+)
+
+// RMATConfig parameterizes the recursive-matrix (R-MAT) generator.
+// The defaults (a=0.57,b=0.19,c=0.19,d=0.05) produce the skewed degree
+// distributions characteristic of web crawls like the paper's datasets.
+type RMATConfig struct {
+	Scale    int     // number of vertices = 2^Scale
+	EdgesPer float64 // average out-degree; edges = EdgesPer * 2^Scale
+	A, B, C  float64 // R-MAT quadrant probabilities (D = 1-A-B-C)
+	Seed     int64
+
+	// MinWeight/MaxWeight give edge weights uniform in [MinWeight, MaxWeight).
+	// The paper assigns random weights in (0,1] to SSSP inputs (§6).
+	MinWeight, MaxWeight float64
+
+	// Connect ensures weak connectivity by threading the consecutive-ID
+	// path 0->1->...->n-1 through all vertices (one extra edge per vertex).
+	// This keeps SSSP and WCC traces from dying in tiny components, and it
+	// reproduces the *crawl-order ID locality* of the paper's web datasets:
+	// real crawls assign adjacent IDs to neighboring pages, which is what
+	// makes WCC label updates of exactly 1 common (and the ε=1 approximate
+	// WCC of §6.2.2 unsafe).
+	Connect bool
+}
+
+// DefaultRMAT returns a config matched to the paper's web graphs:
+// power-law degrees, average degree ~16-28, connected.
+func DefaultRMAT(scale int, avgDeg float64, seed int64) RMATConfig {
+	return RMATConfig{
+		Scale: scale, EdgesPer: avgDeg,
+		A: 0.57, B: 0.19, C: 0.19,
+		Seed: seed, MinWeight: 0.001, MaxWeight: 1.0,
+		Connect: true,
+	}
+}
+
+// RMAT generates a power-law digraph.
+func RMAT(cfg RMATConfig) (*graph.Graph, error) {
+	if cfg.Scale < 1 || cfg.Scale > 30 {
+		return nil, fmt.Errorf("gen: scale %d out of range [1,30]", cfg.Scale)
+	}
+	if cfg.A <= 0 || cfg.B < 0 || cfg.C < 0 || cfg.A+cfg.B+cfg.C >= 1 {
+		return nil, fmt.Errorf("gen: bad R-MAT probabilities a=%v b=%v c=%v", cfg.A, cfg.B, cfg.C)
+	}
+	if cfg.MaxWeight < cfg.MinWeight {
+		return nil, fmt.Errorf("gen: MaxWeight < MinWeight")
+	}
+	n := 1 << cfg.Scale
+	m := int(cfg.EdgesPer * float64(n))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	edges := make([]graph.Edge, 0, m+n)
+	weight := func() float64 {
+		if cfg.MaxWeight == cfg.MinWeight {
+			return cfg.MinWeight
+		}
+		return cfg.MinWeight + rng.Float64()*(cfg.MaxWeight-cfg.MinWeight)
+	}
+	for i := 0; i < m; i++ {
+		src, dst := rmatEdge(rng, cfg, cfg.Scale)
+		if src == dst {
+			dst = (dst + 1) % uint32(n) // avoid self loops
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, Weight: weight()})
+	}
+	if cfg.Connect {
+		for i := 1; i < n; i++ {
+			edges = append(edges, graph.Edge{
+				Src: uint32(i - 1), Dst: uint32(i), Weight: weight(),
+			})
+		}
+	}
+	return graph.NewFromEdges(n, edges)
+}
+
+func rmatEdge(rng *rand.Rand, cfg RMATConfig, scale int) (uint32, uint32) {
+	var src, dst uint32
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.A:
+			// top-left: neither bit set
+		case r < cfg.A+cfg.B:
+			dst |= 1 << bit
+		case r < cfg.A+cfg.B+cfg.C:
+			src |= 1 << bit
+		default:
+			src |= 1 << bit
+			dst |= 1 << bit
+		}
+	}
+	return src, dst
+}

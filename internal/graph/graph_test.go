@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBasicCSR(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{
+		{0, 1, 1.5}, {0, 2, 2.0}, {1, 2, 0.5}, {2, 3, 1.0}, {3, 0, 0.25},
+	})
+	if g.NumVertices() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("size = %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(3) != 1 {
+		t.Errorf("degrees wrong: %d, %d", g.OutDegree(0), g.OutDegree(3))
+	}
+	dst, w := g.OutNeighbors(0)
+	if len(dst) != 2 || dst[0] != 1 || dst[1] != 2 || w[0] != 1.5 || w[1] != 2.0 {
+		t.Errorf("out(0) = %v %v", dst, w)
+	}
+	if wt, ok := g.EdgeWeight(1, 2); !ok || wt != 0.5 {
+		t.Errorf("EdgeWeight(1,2) = %v %v", wt, ok)
+	}
+	if _, ok := g.EdgeWeight(1, 3); ok {
+		t.Error("EdgeWeight(1,3) should not exist")
+	}
+}
+
+func TestOutOfRangeEdge(t *testing.T) {
+	if _, err := NewFromEdges(2, []Edge{{0, 5, 1}}); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+	if _, err := NewFromEdges(-1, nil); err == nil {
+		t.Error("negative n should fail")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustGraph(t, 0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Error("empty graph wrong")
+	}
+	st := ComputeStats(g, 3, 1)
+	if st.AvgDegree != 0 {
+		t.Error("empty stats wrong")
+	}
+}
+
+func TestOutEdgesSorted(t *testing.T) {
+	g := mustGraph(t, 5, []Edge{{0, 4, 4}, {0, 1, 1}, {0, 3, 3}, {0, 2, 2}})
+	dst, w := g.OutNeighbors(0)
+	for i := 1; i < len(dst); i++ {
+		if dst[i-1] > dst[i] {
+			t.Fatalf("out-edges not sorted: %v", dst)
+		}
+	}
+	for i, d := range dst {
+		if w[i] != float64(d) {
+			t.Errorf("weight misaligned after sort: dst=%d w=%v", d, w[i])
+		}
+	}
+}
+
+func TestInEdges(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 2, 1}, {1, 2, 2}, {3, 2, 3}, {2, 0, 9}})
+	if g.HasInEdges() {
+		t.Error("in-edges should not exist before BuildInEdges")
+	}
+	g.BuildInEdges()
+	g.BuildInEdges() // idempotent
+	if g.InDegree(2) != 3 || g.InDegree(1) != 0 || g.InDegree(0) != 1 {
+		t.Errorf("in-degrees: %d %d %d", g.InDegree(2), g.InDegree(1), g.InDegree(0))
+	}
+	src, w := g.InNeighbors(2)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if len(src) != 3 || sum != 6 {
+		t.Errorf("in(2) = %v %v", src, w)
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1, 1}, {1, 0, 1}, {1, 2, 1}})
+	u := g.Undirected()
+	// 0<->1 already both ways; 1->2 gains 2->1. Total 4.
+	if u.NumEdges() != 4 {
+		t.Fatalf("undirected edges = %d, want 4", u.NumEdges())
+	}
+	if _, ok := u.EdgeWeight(2, 1); !ok {
+		t.Error("reverse edge 2->1 missing")
+	}
+}
+
+func TestStatsChain(t *testing.T) {
+	// 0->1->2->3: eccentricity from 0 is 3.
+	g := mustGraph(t, 4, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}})
+	dist := make([]int32, 4)
+	if ecc := bfsEccentricity(g, 0, dist); ecc != 3 {
+		t.Errorf("ecc(0) = %d, want 3", ecc)
+	}
+	st := ComputeStats(g, 8, 42)
+	if st.AvgDegree != 0.75 {
+		t.Errorf("avg degree = %v", st.AvgDegree)
+	}
+	if st.MaxOutDeg != 1 {
+		t.Errorf("max out deg = %d", st.MaxOutDeg)
+	}
+	if !strings.Contains(st.String(), "|V|=4") {
+		t.Errorf("stats string: %s", st.String())
+	}
+}
+
+func TestHighestDegreeVertex(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{2, 0, 1}, {2, 1, 1}, {2, 3, 1}, {0, 1, 1}})
+	if hd := HighestDegreeVertex(g); hd != 2 {
+		t.Errorf("highest degree = %d, want 2", hd)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1, 0.5}, {1, 2, 1}, {3, 0, 2.25}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 4 || g2.NumEdges() != 3 {
+		t.Fatalf("round trip size %d/%d", g2.NumVertices(), g2.NumEdges())
+	}
+	if w, ok := g2.EdgeWeight(3, 0); !ok || w != 2.25 {
+		t.Errorf("weight lost: %v %v", w, ok)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",       // too few fields
+		"a 1\n",     // bad src
+		"0 b\n",     // bad dst
+		"0 1 zzz\n", // bad weight
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+	// Comments and blanks are fine.
+	g, err := ReadEdgeList(strings.NewReader("# comment\n\n% also comment\n0 1\n"))
+	if err != nil || g.NumEdges() != 1 {
+		t.Errorf("comment handling: %v %v", g, err)
+	}
+}
+
+func TestCSRPropertyDegreeSum(t *testing.T) {
+	// Property: sum of out-degrees == NumEdges, and in-CSR mirrors out-CSR.
+	f := func(raw []uint16) bool {
+		const n = 32
+		edges := make([]Edge, 0, len(raw))
+		for _, r := range raw {
+			edges = append(edges, Edge{VertexID(r % n), VertexID((r >> 5) % n), 1})
+		}
+		g, err := NewFromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.OutDegree(VertexID(v))
+		}
+		if sum != g.NumEdges() {
+			return false
+		}
+		g.BuildInEdges()
+		insum := 0
+		for v := 0; v < n; v++ {
+			insum += g.InDegree(VertexID(v))
+		}
+		return insum == g.NumEdges()
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemSizePositive(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1, 1}})
+	if g.MemSize() <= 0 {
+		t.Error("MemSize should be positive")
+	}
+	before := g.MemSize()
+	g.BuildInEdges()
+	if g.MemSize() <= before {
+		t.Error("in-edges should increase MemSize")
+	}
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text I/O. The format is one edge per line:
+//
+//	src dst [weight]
+//
+// Lines starting with '#' or '%' are comments. Vertex IDs must be
+// non-negative integers; the vertex count is 1 + the largest ID seen.
+
+// ReadEdgeList parses an edge-list stream into a Graph.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var edges []Edge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst [weight]', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %v", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %v", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+			}
+		}
+		edges = append(edges, Edge{VertexID(src), VertexID(dst), w})
+		if int(src) > maxID {
+			maxID = int(src)
+		}
+		if int(dst) > maxID {
+			maxID = int(dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return NewFromEdges(maxID+1, edges)
+}
+
+// WriteEdgeList writes g in edge-list format with weights.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumVertices(); v++ {
+		dst, wts := g.OutNeighbors(VertexID(v))
+		for i, d := range dst {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", v, d, wts[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stats summarizes a graph, mirroring the columns of the paper's Table 2
+// (|V|, |E|, average degree, average diameter estimate).
+type Stats struct {
+	NumVertices int
+	NumEdges    int
+	AvgDegree   float64
+	// AvgDiameter is the mean eccentricity over sampled sources (BFS hops),
+	// an estimate of the paper's "Avg Diameter" column.
+	AvgDiameter float64
+	MaxOutDeg   int
+	MaxInDeg    int
+}
+
+// ComputeStats computes summary statistics. diameterSamples BFS runs from
+// random sources estimate the average diameter; 0 skips the estimate.
+func ComputeStats(g *Graph, diameterSamples int, seed int64) Stats {
+	st := Stats{NumVertices: g.NumVertices(), NumEdges: g.NumEdges()}
+	if st.NumVertices > 0 {
+		st.AvgDegree = float64(st.NumEdges) / float64(st.NumVertices)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > st.MaxOutDeg {
+			st.MaxOutDeg = d
+		}
+	}
+	if g.HasInEdges() {
+		for v := 0; v < g.NumVertices(); v++ {
+			if d := g.InDegree(VertexID(v)); d > st.MaxInDeg {
+				st.MaxInDeg = d
+			}
+		}
+	}
+	if diameterSamples > 0 && st.NumVertices > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		var sum float64
+		var cnt int
+		dist := make([]int32, g.NumVertices())
+		for s := 0; s < diameterSamples; s++ {
+			src := VertexID(rng.Intn(g.NumVertices()))
+			ecc := bfsEccentricity(g, src, dist)
+			if ecc > 0 {
+				sum += float64(ecc)
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			st.AvgDiameter = sum / float64(cnt)
+		}
+	}
+	return st
+}
+
+// bfsEccentricity returns the max BFS hop count reached from src
+// (0 if src has no out-edges). dist is scratch space of size NumVertices.
+func bfsEccentricity(g *Graph, src VertexID, dist []int32) int32 {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []VertexID{src}
+	var ecc int32
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dst, _ := g.OutNeighbors(v)
+		for _, u := range dst {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				if dist[u] > ecc {
+					ecc = dist[u]
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	return ecc
+}
+
+// HighestDegreeVertex returns the vertex with the largest out-degree,
+// used by the paper's Table 4 experiment (forward lineage from the
+// highest-degree vertex for PageRank and WCC).
+func HighestDegreeVertex(g *Graph) VertexID {
+	var best VertexID
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > bestDeg {
+			bestDeg = d
+			best = VertexID(v)
+		}
+	}
+	return best
+}
+
+// String renders a Table-2-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d avg-deg=%.2f avg-diam=%.2f", s.NumVertices, s.NumEdges, s.AvgDegree, s.AvgDiameter)
+}

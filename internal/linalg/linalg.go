@@ -1,0 +1,121 @@
+// Package linalg provides the small dense linear algebra ALS needs:
+// symmetric positive-definite solves of the k×k normal equations
+// (A + λI) x = b via Cholesky decomposition, for k in the paper's 5–15
+// feature range (§6, ML-20^5..ML-20^15).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sym is a dense symmetric k×k matrix stored in row-major full form.
+type Sym struct {
+	K int
+	A []float64 // K*K entries
+}
+
+// NewSym returns a zero symmetric matrix of order k.
+func NewSym(k int) *Sym {
+	return &Sym{K: k, A: make([]float64, k*k)}
+}
+
+// At returns A[i][j].
+func (s *Sym) At(i, j int) float64 { return s.A[i*s.K+j] }
+
+// AddOuter adds w * v vᵀ to the matrix (rank-one update), the accumulation
+// step of the ALS normal equations.
+func (s *Sym) AddOuter(v []float64, w float64) {
+	if len(v) != s.K {
+		panic(fmt.Sprintf("linalg: outer product length %d on order-%d matrix", len(v), s.K))
+	}
+	for i := 0; i < s.K; i++ {
+		wi := w * v[i]
+		row := s.A[i*s.K : (i+1)*s.K]
+		for j := 0; j < s.K; j++ {
+			row[j] += wi * v[j]
+		}
+	}
+}
+
+// AddRidge adds λ to the diagonal (Tikhonov regularization).
+func (s *Sym) AddRidge(lambda float64) {
+	for i := 0; i < s.K; i++ {
+		s.A[i*s.K+i] += lambda
+	}
+}
+
+// ErrNotSPD is returned when Cholesky factorization fails.
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// SolveSPD solves A x = b for symmetric positive-definite A in place,
+// destroying A's contents. It returns the solution vector.
+func (s *Sym) SolveSPD(b []float64) ([]float64, error) {
+	k := s.K
+	if len(b) != k {
+		return nil, fmt.Errorf("linalg: rhs length %d for order-%d system", len(b), k)
+	}
+	// Cholesky: A = L Lᵀ, L stored in the lower triangle of A.
+	a := s.A
+	for j := 0; j < k; j++ {
+		d := a[j*k+j]
+		for p := 0; p < j; p++ {
+			d -= a[j*k+p] * a[j*k+p]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		a[j*k+j] = d
+		for i := j + 1; i < k; i++ {
+			v := a[i*k+j]
+			for p := 0; p < j; p++ {
+				v -= a[i*k+p] * a[j*k+p]
+			}
+			a[i*k+j] = v / d
+		}
+	}
+	// Forward substitution: L y = b.
+	x := make([]float64, k)
+	copy(x, b)
+	for i := 0; i < k; i++ {
+		for p := 0; p < i; p++ {
+			x[i] -= a[i*k+p] * x[p]
+		}
+		x[i] /= a[i*k+i]
+	}
+	// Back substitution: Lᵀ x = y.
+	for i := k - 1; i >= 0; i-- {
+		for p := i + 1; p < k; p++ {
+			x[i] -= a[p*k+i] * x[p]
+		}
+		x[i] /= a[i*k+i]
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AXPY adds alpha*x to y in place.
+func AXPY(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

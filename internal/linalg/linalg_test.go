@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveSPDKnown(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0]
+	s := NewSym(2)
+	s.A = []float64{4, 2, 2, 3}
+	x, err := s.SolveSPD([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.5) > 1e-12 || math.Abs(x[1]) > 1e-12 {
+		t.Errorf("x = %v, want [0.5 0]", x)
+	}
+}
+
+func TestSolveSPDIdentity(t *testing.T) {
+	s := NewSym(3)
+	s.AddRidge(1)
+	b := []float64{1, 2, 3}
+	x, err := s.SolveSPD(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Errorf("identity solve: x=%v", x)
+		}
+	}
+}
+
+func TestSolveSPDRejectsIndefinite(t *testing.T) {
+	s := NewSym(2)
+	s.A = []float64{1, 2, 2, 1} // eigenvalues 3, -1
+	if _, err := s.SolveSPD([]float64{1, 1}); err != ErrNotSPD {
+		t.Errorf("want ErrNotSPD, got %v", err)
+	}
+	s2 := NewSym(2)
+	if _, err := s2.SolveSPD([]float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestAddOuterBuildsNormalEquations(t *testing.T) {
+	s := NewSym(2)
+	s.AddOuter([]float64{1, 2}, 1)
+	s.AddOuter([]float64{3, 1}, 2)
+	// A = [1,2][1,2]^T + 2*[3,1][3,1]^T = [[1+18, 2+6],[2+6, 4+2]]
+	want := []float64{19, 8, 8, 6}
+	for i, w := range want {
+		if math.Abs(s.A[i]-w) > 1e-12 {
+			t.Fatalf("A = %v, want %v", s.A, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched AddOuter should panic")
+		}
+	}()
+	s.AddOuter([]float64{1}, 1)
+}
+
+// Property: for random SPD systems built as Gram matrices + ridge,
+// the residual ||Ax - b|| is tiny.
+func TestSolveSPDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(12)
+		s := NewSym(k)
+		orig := NewSym(k)
+		for i := 0; i < 2*k; i++ {
+			v := make([]float64, k)
+			for j := range v {
+				v[j] = r.NormFloat64()
+			}
+			s.AddOuter(v, 1)
+			orig.AddOuter(v, 1)
+		}
+		s.AddRidge(0.1)
+		orig.AddRidge(0.1)
+		b := make([]float64, k)
+		for j := range b {
+			b[j] = r.NormFloat64()
+		}
+		x, err := s.SolveSPD(b)
+		if err != nil {
+			return false
+		}
+		// residual
+		for i := 0; i < k; i++ {
+			var ax float64
+			for j := 0; j < k; j++ {
+				ax += orig.At(i, j) * x[j]
+			}
+			if math.Abs(ax-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("dot wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Errorf("axpy = %v", y)
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Error("norm wrong")
+	}
+}

@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"fmt"
+
+	"ariadne/internal/pql"
+)
+
+// Class is the paper's directedness classification (Def. 5.2) extended with
+// Local (no remote predicates at all) and Mixed (both directions, like rule
+// R1 in §5.1, which cannot be layered).
+type Class uint8
+
+// Query classes, ordered from most to least evaluation freedom.
+const (
+	// Local queries touch only tuples at the evaluating node. They are
+	// evaluable online and layered in either direction.
+	Local Class = iota
+	// Forward queries guard every remote predicate with receive_message:
+	// evaluable online (Theorem 5.4) and layered ascending.
+	Forward
+	// Backward queries guard every remote predicate with send_message:
+	// evaluable layered descending, offline only.
+	Backward
+	// Mixed queries use both directions: only naive evaluation applies.
+	Mixed
+)
+
+func (c Class) String() string {
+	switch c {
+	case Local:
+		return "local"
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	default:
+		return "mixed"
+	}
+}
+
+// OnlineEvaluable reports whether the class can run in lockstep with the
+// analytic (paper §5.2).
+func (c Class) OnlineEvaluable() bool { return c == Local || c == Forward }
+
+// LayeredEvaluable reports whether the class supports layered offline
+// evaluation (paper §5.1), in ascending or descending superstep order.
+func (c Class) LayeredEvaluable() bool { return c != Mixed }
+
+// Query is an analyzed, classified PQL query ready for evaluation.
+type Query struct {
+	// Rules are the analyzed rules: parameters substituted, boolean
+	// function literals rewritten to comparisons.
+	Rules []*pql.Rule
+	// IDBs and EDBs map predicate names to arities.
+	IDBs map[string]int
+	EDBs map[string]int
+	// Strata groups rules into evaluation strata; stratum i may negate or
+	// aggregate only over predicates fully computed in strata < i.
+	Strata [][]*pql.Rule
+	// StratumOf gives each IDB predicate's stratum.
+	StratumOf map[string]int
+	// Class is the directedness classification.
+	Class Class
+	// VCCompatible reports whether every remote predicate is guarded by a
+	// message predicate (Def. 4.1); false means even distributed evaluation
+	// would need non-neighbor communication.
+	VCCompatible bool
+	// Recursive reports whether any IDB depends on itself.
+	Recursive bool
+
+	env *Env
+}
+
+// Env returns the environment the query was analyzed under.
+func (q *Query) Env() *Env { return q.env }
+
+// SemanticError reports an analysis failure.
+type SemanticError struct {
+	Pos pql.Pos
+	Msg string
+}
+
+func (e *SemanticError) Error() string {
+	return fmt.Sprintf("pql: %s: %s", e.Pos, e.Msg)
+}
+
+func serrf(pos pql.Pos, format string, args ...any) error {
+	return &SemanticError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Analyze checks and classifies a parsed program under env. The input AST
+// is not modified; returned rules are rewritten copies.
+func Analyze(prog *pql.Program, env *Env) (*Query, error) {
+	if env == nil {
+		env = NewEnv()
+	}
+	q := &Query{
+		IDBs:      map[string]int{},
+		EDBs:      map[string]int{},
+		StratumOf: map[string]int{},
+		env:       env,
+	}
+
+	// Pass 1: rewrite rules (params, function literals) and collect IDBs.
+	for _, r := range prog.Rules {
+		rr, err := rewriteRule(r, env)
+		if err != nil {
+			return nil, err
+		}
+		name, arity := rr.Head.Pred, len(rr.Head.Args)
+		if _, isEDB := env.EDBArity(name); isEDB {
+			return nil, serrf(rr.Head.Pos, "rule head %s redefines a provenance EDB predicate", name)
+		}
+		if _, isFn := env.Funcs[name]; isFn {
+			return nil, serrf(rr.Head.Pos, "rule head %s collides with a function name", name)
+		}
+		if prev, ok := q.IDBs[name]; ok && prev != arity {
+			return nil, serrf(rr.Head.Pos, "predicate %s used with arity %d and %d", name, prev, arity)
+		}
+		q.IDBs[name] = arity
+		q.Rules = append(q.Rules, rr)
+	}
+
+	// Pass 2: resolve body predicates, check arities and safety.
+	for _, r := range q.Rules {
+		if err := q.checkRule(r, env); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 3: stratify.
+	if err := q.stratify(); err != nil {
+		return nil, err
+	}
+
+	// Pass 4: locate and classify.
+	if err := q.classify(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustAnalyze is Analyze for statically known-good queries (tests, canned
+// paper queries); it panics on error.
+func MustAnalyze(src string, env *Env) *Query {
+	prog, err := pql.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	q, err := Analyze(prog, env)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// checkRule validates arities and safety (range restriction) of one rule.
+func (q *Query) checkRule(r *pql.Rule, env *Env) error {
+	// Arity checks for body atoms.
+	for _, lit := range r.Body {
+		pl, ok := lit.(*pql.PredLit)
+		if !ok {
+			continue
+		}
+		name, arity := pl.Atom.Pred, len(pl.Atom.Args)
+		if a, ok := env.EDBArity(name); ok {
+			if a != arity {
+				return serrf(pl.Atom.Pos, "EDB %s has arity %d, used with %d", name, a, arity)
+			}
+			q.EDBs[name] = a
+			continue
+		}
+		if a, ok := q.IDBs[name]; ok {
+			if a != arity {
+				return serrf(pl.Atom.Pos, "predicate %s has arity %d, used with %d", name, a, arity)
+			}
+			continue
+		}
+		return serrf(pl.Atom.Pos, "unknown predicate %s/%d (not an EDB, rule head, or function)", name, arity)
+	}
+
+	// Safety: compute bound variables to a fixpoint.
+	bound := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, lit := range r.Body {
+			switch lit := lit.(type) {
+			case *pql.PredLit:
+				if lit.Negated {
+					continue
+				}
+				var vs []*pql.Var
+				for _, a := range lit.Atom.Args {
+					vs = pql.Vars(a, vs)
+				}
+				for _, v := range vs {
+					if !v.Wildcard() && !bound[v.Name] {
+						bound[v.Name] = true
+						changed = true
+					}
+				}
+			case *pql.CmpLit:
+				// X = expr binds X when expr is fully bound (and vice versa).
+				if lit.Op != pql.CmpEq {
+					continue
+				}
+				if v, ok := lit.L.(*pql.Var); ok && !v.Wildcard() && !bound[v.Name] && termBound(lit.R, bound) {
+					bound[v.Name] = true
+					changed = true
+				}
+				if v, ok := lit.R.(*pql.Var); ok && !v.Wildcard() && !bound[v.Name] && termBound(lit.L, bound) {
+					bound[v.Name] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Every head variable must be bound.
+	var headVars []*pql.Var
+	for _, a := range r.Head.Args {
+		headVars = pql.Vars(a, headVars)
+	}
+	for _, v := range headVars {
+		if v.Wildcard() {
+			return serrf(v.Pos, "wildcard not allowed in rule head")
+		}
+		if !bound[v.Name] {
+			return serrf(v.Pos, "head variable %s is not bound by a positive body literal (unsafe rule)", v.Name)
+		}
+	}
+	// Variables under negation and in comparisons must be bound.
+	for _, lit := range r.Body {
+		switch lit := lit.(type) {
+		case *pql.PredLit:
+			if !lit.Negated {
+				continue
+			}
+			var vs []*pql.Var
+			for _, a := range lit.Atom.Args {
+				vs = pql.Vars(a, vs)
+			}
+			for _, v := range vs {
+				if !v.Wildcard() && !bound[v.Name] {
+					return serrf(v.Pos, "variable %s in negated literal is not bound (unsafe negation)", v.Name)
+				}
+			}
+		case *pql.CmpLit:
+			var vs []*pql.Var
+			vs = pql.Vars(lit.L, vs)
+			vs = pql.Vars(lit.R, vs)
+			for _, v := range vs {
+				if v.Wildcard() {
+					return serrf(v.Pos, "wildcard not allowed in comparisons")
+				}
+				if !bound[v.Name] {
+					return serrf(v.Pos, "variable %s in comparison is not bound", v.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func termBound(t pql.Term, bound map[string]bool) bool {
+	var vs []*pql.Var
+	vs = pql.Vars(t, vs)
+	for _, v := range vs {
+		if v.Wildcard() || !bound[v.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// rewriteRule substitutes $params and converts boolean-function literals
+// f(args) / !f(args) into comparisons f(args) = true/false.
+func rewriteRule(r *pql.Rule, env *Env) (*pql.Rule, error) {
+	head, err := rewriteAtom(r.Head, env)
+	if err != nil {
+		return nil, err
+	}
+	out := &pql.Rule{Head: head, Pos: r.Pos}
+	for _, lit := range r.Body {
+		switch lit := lit.(type) {
+		case *pql.PredLit:
+			a, err := rewriteAtom(lit.Atom, env)
+			if err != nil {
+				return nil, err
+			}
+			if fn, ok := env.Funcs[a.Pred]; ok {
+				if fn.Arity >= 0 && fn.Arity != len(a.Args) {
+					return nil, serrf(a.Pos, "function %s takes %d arguments, got %d", a.Pred, fn.Arity, len(a.Args))
+				}
+				want := pql.Const{Val: boolConst(!lit.Negated)}
+				out.Body = append(out.Body, &pql.CmpLit{
+					Op:  pql.CmpEq,
+					L:   &pql.Call{Name: a.Pred, Args: a.Args, Pos: a.Pos},
+					R:   &want,
+					Pos: a.Pos,
+				})
+				continue
+			}
+			out.Body = append(out.Body, &pql.PredLit{Atom: a, Negated: lit.Negated})
+		case *pql.CmpLit:
+			l, err := rewriteTerm(lit.L, env)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := rewriteTerm(lit.R, env)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, &pql.CmpLit{Op: lit.Op, L: l, R: rr, Pos: lit.Pos})
+		default:
+			return nil, serrf(r.Pos, "unsupported literal %T", lit)
+		}
+	}
+	return out, nil
+}
+
+func rewriteAtom(a *pql.Atom, env *Env) (*pql.Atom, error) {
+	out := &pql.Atom{Pred: a.Pred, Pos: a.Pos, Args: make([]pql.Term, len(a.Args))}
+	for i, t := range a.Args {
+		rt, err := rewriteTerm(t, env)
+		if err != nil {
+			return nil, err
+		}
+		out.Args[i] = rt
+	}
+	return out, nil
+}
+
+func rewriteTerm(t pql.Term, env *Env) (pql.Term, error) {
+	switch t := t.(type) {
+	case *pql.Param:
+		v, ok := env.Params[t.Name]
+		if !ok {
+			return nil, serrf(t.Pos, "unbound query parameter $%s", t.Name)
+		}
+		return &pql.Const{Val: v, Pos: t.Pos}, nil
+	case *pql.BinExpr:
+		l, err := rewriteTerm(t.L, env)
+		if err != nil {
+			return nil, err
+		}
+		var r pql.Term
+		if t.R != nil {
+			if r, err = rewriteTerm(t.R, env); err != nil {
+				return nil, err
+			}
+		}
+		return &pql.BinExpr{Op: t.Op, L: l, R: r, Pos: t.Pos}, nil
+	case *pql.Call:
+		if _, ok := env.Funcs[t.Name]; !ok {
+			return nil, serrf(t.Pos, "unknown function %s in term position", t.Name)
+		}
+		out := &pql.Call{Name: t.Name, Pos: t.Pos, Args: make([]pql.Term, len(t.Args))}
+		for i, a := range t.Args {
+			ra, err := rewriteTerm(a, env)
+			if err != nil {
+				return nil, err
+			}
+			out.Args[i] = ra
+		}
+		return out, nil
+	case *pql.Aggregate:
+		arg, err := rewriteTerm(t.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		return &pql.Aggregate{Kind: t.Kind, Arg: arg, Pos: t.Pos}, nil
+	default:
+		return t, nil
+	}
+}

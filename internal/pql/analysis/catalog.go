@@ -1,0 +1,47 @@
+package analysis
+
+// The built-in provenance EDB predicates (paper Table 1 plus the compact-
+// graph extras of §3 and §6.3). By convention the first argument of every
+// predicate is the location specifier.
+//
+//	superstep(X, I)             vertex X was active at superstep I
+//	value(X, D, I)              vertex X had value D at superstep I
+//	evolution(X, J, I)          X active at J and I, J the predecessor of I
+//	send_message(X, Y, M, I)    X sent message M to Y at superstep I
+//	receive_message(X, Y, M, I) X received message M from Y at superstep I
+//	edge_value(X, Y, D, I)      value D of edge X->Y at superstep I
+//	edge(Y, X)                  static input-graph edge Y->X
+//	prov_send(X, I)             X sent at least one message at superstep I
+//	                            (custom capture, paper Query 11)
+var builtinEDBs = map[string]int{
+	"superstep":       2,
+	"value":           3,
+	"evolution":       3,
+	"send_message":    4,
+	"receive_message": 4,
+	"edge_value":      4,
+	"edge":            2,
+	"prov_send":       2,
+}
+
+// staticEDBs hold input-graph structure rather than per-vertex provenance.
+// They are exempt from location analysis: real VC systems replicate or
+// co-locate graph structure with vertices (e.g. Giraph keeps out-edges at
+// the source and can precompute in-degrees), so joining on them requires no
+// message exchange.
+var staticEDBs = map[string]bool{
+	"edge": true,
+}
+
+// EDBArity returns the arity of an EDB predicate and whether it exists,
+// considering both built-ins and env-declared tables.
+func (e *Env) EDBArity(name string) (int, bool) {
+	if a, ok := builtinEDBs[name]; ok {
+		return a, true
+	}
+	a, ok := e.ExtraEDBs[name]
+	return a, ok
+}
+
+// IsStaticEDB reports whether the predicate is location-free static data.
+func IsStaticEDB(name string) bool { return staticEDBs[name] }

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"sort"
+
+	"ariadne/internal/pql"
+	"ariadne/internal/value"
+)
+
+func boolConst(b bool) value.Value { return value.NewBool(b) }
+
+// stratify computes evaluation strata. Dependencies: for each rule H :- B,
+// every positive IDB in B contributes edge p -> H; negated IDBs and (when
+// the head aggregates) all IDB body deps contribute *negative* edges. A
+// negative edge inside a recursive component makes the program
+// non-stratifiable (paper §4.2 supports stratified negation and stratified
+// aggregation; truly monotonic aggregate recursion is out of scope and
+// rejected with a clear error).
+type depEdge struct {
+	from string
+	neg  bool
+}
+
+func (q *Query) stratify() error {
+	// Predicates whose defining rules aggregate: both their inputs and
+	// their consumers must live in strictly earlier/later strata, since an
+	// aggregate value is only final once its stratum's fixpoint completes.
+	aggPreds := map[string]bool{}
+	for _, r := range q.Rules {
+		if headHasAggregate(r.Head) {
+			aggPreds[r.Head.Pred] = true
+		}
+	}
+	deps := map[string][]depEdge{} // head -> body deps
+	for _, r := range q.Rules {
+		h := r.Head.Pred
+		hasAgg := headHasAggregate(r.Head)
+		for _, lit := range r.Body {
+			pl, ok := lit.(*pql.PredLit)
+			if !ok {
+				continue
+			}
+			p := pl.Atom.Pred
+			if _, isIDB := q.IDBs[p]; !isIDB {
+				continue // EDBs are stratum 0 by definition
+			}
+			deps[h] = append(deps[h], depEdge{from: p, neg: pl.Negated || hasAgg || aggPreds[p]})
+		}
+	}
+
+	// Longest-path stratification: stratum(h) >= stratum(p) (+1 if negative).
+	// Iterate to fixpoint; a stratum exceeding the IDB count implies a cycle
+	// through a negative edge.
+	names := make([]string, 0, len(q.IDBs))
+	for n := range q.IDBs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	stratum := map[string]int{}
+	for _, n := range names {
+		stratum[n] = 0
+	}
+	limit := len(names) + 1
+	for changed := true; changed; {
+		changed = false
+		for _, h := range names {
+			for _, e := range deps[h] {
+				want := stratum[e.from]
+				if e.neg {
+					want++
+				}
+				if stratum[h] < want {
+					stratum[h] = want
+					changed = true
+					if stratum[h] > limit {
+						return serrf(pql.Pos{Line: 1, Col: 1},
+							"query is not stratifiable: predicate %s depends negatively on itself (through negation or aggregation)", h)
+					}
+				}
+			}
+		}
+	}
+	q.StratumOf = stratum
+
+	// Detect recursion (positive cycles are fine, just noted).
+	q.Recursive = hasPositiveCycle(names, deps)
+
+	// Group rules by their head's stratum, preserving source order.
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	q.Strata = make([][]*pql.Rule, maxS+1)
+	for _, r := range q.Rules {
+		s := stratum[r.Head.Pred]
+		q.Strata[s] = append(q.Strata[s], r)
+	}
+	return nil
+}
+
+func headHasAggregate(h *pql.Atom) bool {
+	for _, a := range h.Args {
+		if containsAggregate(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAggregate(t pql.Term) bool {
+	switch t := t.(type) {
+	case *pql.Aggregate:
+		return true
+	case *pql.BinExpr:
+		if containsAggregate(t.L) {
+			return true
+		}
+		return t.R != nil && containsAggregate(t.R)
+	case *pql.Call:
+		for _, a := range t.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasPositiveCycle(names []string, deps map[string][]depEdge) bool {
+	// DFS cycle detection over all dependency edges.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, e := range deps[n] {
+			switch color[e.from] {
+			case gray:
+				return true
+			case white:
+				if visit(e.from) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range names {
+		if color[n] == white && visit(n) {
+			return true
+		}
+	}
+	return false
+}

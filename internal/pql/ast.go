@@ -1,0 +1,302 @@
+package pql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ariadne/internal/value"
+)
+
+// Program is a parsed PQL query: an ordered collection of rules.
+type Program struct {
+	Rules []*Rule
+}
+
+// Rule is one Datalog rule: Head :- Body.
+type Rule struct {
+	Head *Atom
+	Body []Literal
+	Pos  Pos
+}
+
+// Atom is a predicate applied to terms. By PQL convention the first
+// argument is the location specifier (paper §4.2).
+type Atom struct {
+	Pred string
+	Args []Term
+	Pos  Pos
+}
+
+// Literal is one body conjunct.
+type Literal interface {
+	literal()
+	fmt.Stringer
+}
+
+// PredLit is a (possibly negated) relational or boolean-function atom.
+// Whether the name denotes a relation or a registered boolean function is
+// resolved during analysis.
+type PredLit struct {
+	Atom    *Atom
+	Negated bool
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case CmpEq:
+		return "="
+	case CmpNeq:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// CmpLit is a comparison predicate t1 θ t2.
+type CmpLit struct {
+	Op   CmpOp
+	L, R Term
+	Pos  Pos
+}
+
+func (*PredLit) literal() {}
+func (*CmpLit) literal()  {}
+
+// Term is an argument expression.
+type Term interface {
+	term()
+	fmt.Stringer
+}
+
+// Var is a variable; "_" is the anonymous wildcard.
+type Var struct {
+	Name string
+	Pos  Pos
+}
+
+// Wildcard reports whether the variable is the anonymous `_`.
+func (v *Var) Wildcard() bool { return v.Name == "_" }
+
+// Const is a literal constant.
+type Const struct {
+	Val value.Value
+	Pos Pos
+}
+
+// Param is a `$name` query parameter resolved at analysis time.
+type Param struct {
+	Name string
+	Pos  Pos
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+)
+
+func (o ArithOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "mod"
+	case OpNeg:
+		return "-"
+	default:
+		return "?"
+	}
+}
+
+// BinExpr is an arithmetic expression L op R (or unary negation with R nil).
+type BinExpr struct {
+	Op   ArithOp
+	L, R Term // R nil for OpNeg
+	Pos  Pos
+}
+
+// Call is a scalar function application in term position.
+type Call struct {
+	Name string
+	Args []Term
+	Pos  Pos
+}
+
+// AggKind is an aggregation function in a rule head.
+type AggKind uint8
+
+// Aggregation kinds (paper §4.2: monotonic min, max, sum, count; AVG added
+// for convenience, evaluated stratified).
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return "?"
+	}
+}
+
+// Aggregate is an aggregation term, legal only in rule heads.
+type Aggregate struct {
+	Kind AggKind
+	Arg  Term
+	Pos  Pos
+}
+
+func (*Var) term()       {}
+func (*Const) term()     {}
+func (*Param) term()     {}
+func (*BinExpr) term()   {}
+func (*Call) term()      {}
+func (*Aggregate) term() {}
+
+// --- Stringers (used in error messages and tests) ---
+
+func (v *Var) String() string { return v.Name }
+
+func (c *Const) String() string {
+	// Quote strings so the rendering re-parses (round-trip stability).
+	if c.Val.Kind() == value.String {
+		return strconv.Quote(c.Val.Str())
+	}
+	return c.Val.String()
+}
+
+func (p *Param) String() string { return "$" + p.Name }
+
+func (b *BinExpr) String() string {
+	if b.Op == OpNeg {
+		return fmt.Sprintf("-(%s)", b.L)
+	}
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func (c *Call) String() string {
+	return c.Name + "(" + joinTerms(c.Args) + ")"
+}
+
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("%s(%s)", a.Kind, a.Arg)
+}
+
+func (a *Atom) String() string {
+	return a.Pred + "(" + joinTerms(a.Args) + ")"
+}
+
+func (p *PredLit) String() string {
+	if p.Negated {
+		return "!" + p.Atom.String()
+	}
+	return p.Atom.String()
+}
+
+func (c *CmpLit) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	if len(r.Body) > 0 {
+		b.WriteString(" :- ")
+		for i, l := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(l.String())
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func joinTerms(ts []Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Vars appends the variables appearing in t to out (wildcards included).
+func Vars(t Term, out []*Var) []*Var {
+	switch t := t.(type) {
+	case *Var:
+		return append(out, t)
+	case *BinExpr:
+		out = Vars(t.L, out)
+		if t.R != nil {
+			out = Vars(t.R, out)
+		}
+		return out
+	case *Call:
+		for _, a := range t.Args {
+			out = Vars(a, out)
+		}
+		return out
+	case *Aggregate:
+		return Vars(t.Arg, out)
+	default:
+		return out
+	}
+}

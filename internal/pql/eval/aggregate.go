@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"ariadne/internal/pql"
+	"ariadne/internal/value"
+)
+
+// Aggregation semantics (paper §4.2 supports min, max, sum, count):
+//
+//   - COUNT(Y) counts *distinct values* of Y per group — the natural Datalog
+//     set semantics, and what the paper's degree(x, COUNT(y)) intends
+//     (number of distinct message partners).
+//   - SUM/AVG fold over distinct *body valuations* per group, so two
+//     different neighbors contributing the same error both count.
+//   - MIN/MAX are monotone lattice folds; no deduplication is needed.
+//
+// Aggregate results live in a later stratum than both their inputs and
+// their consumers (see analysis.stratify), and groups are *replaced* as
+// their inputs grow across layers: during layered/online evaluation a group
+// reflects the snapshot at the current layer, which matches the paper's
+// always-on monitoring semantics.
+
+type aggState struct {
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	seen    map[string]bool // dedup keys (per COUNT arg or per valuation)
+	current Tuple           // head tuple currently in the relation, or nil
+}
+
+type aggTable struct {
+	plan   *rulePlan
+	groups map[string]*aggState
+}
+
+func newAggTable(plan *rulePlan) *aggTable {
+	return &aggTable{plan: plan, groups: map[string]*aggState{}}
+}
+
+// evalAggRule fires an aggregate rule: enumerate new satisfying valuations
+// (delta-driven), fold them into group states, and replace changed head
+// tuples.
+func (e *Evaluator) evalAggRule(r *pql.Rule, plan *rulePlan, delta map[string][]Tuple, derived map[string][]Tuple) error {
+	table := e.aggs[r.Head.Pred]
+	head := e.db.Relation(r.Head.Pred, len(r.Head.Args))
+	touched := map[string]bool{}
+
+	fold := func(b binding) error {
+		// Group key from grouping head args.
+		groupVals := make([]value.Value, len(plan.groupCols))
+		for i, c := range plan.groupCols {
+			v, err := evalTerm(r.Head.Args[c], b, e.env)
+			if err != nil {
+				return err
+			}
+			groupVals[i] = v
+		}
+		gk := Tuple(groupVals).Key()
+		st, ok := table.groups[gk]
+		if !ok {
+			st = &aggState{min: math.Inf(1), max: math.Inf(-1), seen: map[string]bool{}}
+			table.groups[gk] = st
+		}
+		// Fold each aggregate column.
+		for ai, arg := range plan.aggArgs {
+			v, err := evalTerm(arg, b, e.env)
+			if err != nil {
+				return err
+			}
+			kind := plan.aggKinds[ai]
+			switch kind {
+			case pql.AggCount:
+				key := fmt.Sprintf("c%d|", ai) + Tuple{v}.Key()
+				if st.seen[key] {
+					continue
+				}
+				st.seen[key] = true
+				st.count++
+				touched[gk] = true
+			case pql.AggSum, pql.AggAvg:
+				// Dedup on the full body valuation.
+				val := make(Tuple, 0, len(plan.bodyVars))
+				for _, name := range plan.bodyVars {
+					val = append(val, b[name])
+				}
+				key := fmt.Sprintf("s%d|", ai) + val.Key()
+				if st.seen[key] {
+					continue
+				}
+				st.seen[key] = true
+				if !v.IsNumeric() {
+					return fmt.Errorf("pql: %s: %s needs numeric input, got %s", r.Pos, kind, v.Kind())
+				}
+				st.sum += v.Float()
+				st.count++
+				touched[gk] = true
+			case pql.AggMin:
+				if !v.IsNumeric() {
+					return fmt.Errorf("pql: %s: MIN needs numeric input, got %s", r.Pos, v.Kind())
+				}
+				if v.Float() < st.min {
+					st.min = v.Float()
+					touched[gk] = true
+				}
+			case pql.AggMax:
+				if !v.IsNumeric() {
+					return fmt.Errorf("pql: %s: MAX needs numeric input, got %s", r.Pos, v.Kind())
+				}
+				if v.Float() > st.max {
+					st.max = v.Float()
+					touched[gk] = true
+				}
+			}
+		}
+		// Remember the group values for tuple construction.
+		if st.current == nil {
+			st.current = make(Tuple, len(r.Head.Args))
+			for i, c := range plan.groupCols {
+				st.current[c] = groupVals[i]
+			}
+			for _, c := range plan.aggCols {
+				st.current[c] = value.NullValue
+			}
+		}
+		return nil
+	}
+
+	if len(plan.variants) == 0 {
+		return fmt.Errorf("pql: %s: aggregate rule needs a body", r.Pos)
+	}
+	for vi, v := range plan.variants {
+		dts := delta[plan.positivePreds[vi]]
+		if len(dts) == 0 {
+			continue
+		}
+		if err := e.joinFrom(v.steps, 0, binding{}, v.deltaStep, dts, fold); err != nil {
+			return err
+		}
+	}
+
+	// Replace head tuples for changed groups.
+	for gk := range touched {
+		st := table.groups[gk]
+		old := append(Tuple(nil), st.current...)
+		hadResult := false
+		for _, c := range plan.aggCols {
+			if !st.current[c].IsNull() {
+				hadResult = true
+			}
+		}
+		for i, c := range plan.aggCols {
+			switch plan.aggKinds[i] {
+			case pql.AggCount:
+				st.current[c] = value.NewInt(st.count)
+			case pql.AggSum:
+				st.current[c] = value.NewFloat(st.sum)
+			case pql.AggAvg:
+				st.current[c] = value.NewFloat(st.sum / float64(st.count))
+			case pql.AggMin:
+				st.current[c] = value.NewFloat(st.min)
+			case pql.AggMax:
+				st.current[c] = value.NewFloat(st.max)
+			}
+		}
+		if hadResult {
+			head.Delete(old)
+		}
+		t := append(Tuple(nil), st.current...)
+		if head.Insert(t) {
+			derived[r.Head.Pred] = append(derived[r.Head.Pred], t)
+			e.stats.Derivations++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"ariadne/internal/pql"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+// This file implements the paper's query compiler (§4: "ARIADNE
+// incorporates a compiler that maps query evaluation to vertex programs";
+// §2.2: "ARIADNE compiles this query into a provenance query vertex
+// program"). A compiled query evaluates its rules directly against each
+// vertex's transient provenance record — value, previous value (evolution),
+// messages, emitted facts, static edges — without materializing any EDB
+// tuples in the Datalog database. Only derived (IDB) tuples are stored.
+// This is what makes online evaluation cheap: the per-record work is a few
+// closure calls instead of tuple construction, hashing, and join indexing.
+//
+// Not every PQL query compiles: aggregates, remote EDB access, and
+// unrestricted cross-layer joins fall back to the interpretive evaluator
+// (the drivers handle the fallback transparently).
+
+// ErrNotCompilable reports that a query needs the interpretive evaluator.
+var ErrNotCompilable = errors.New("pql: query is not compilable to a vertex program")
+
+func notCompilable(pos pql.Pos, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrNotCompilable, pos, fmt.Sprintf(format, args...))
+}
+
+// MsgView is one message endpoint of a record under compiled evaluation.
+type MsgView struct {
+	Peer int64
+	Val  value.Value
+}
+
+// FactView is one emitted analytic fact of a record.
+type FactView struct {
+	Table string
+	Args  []value.Value
+}
+
+// RecordView is the compiled evaluator's view of one provenance record —
+// the transient state a query vertex program reads.
+type RecordView struct {
+	Vertex    int64
+	Superstep int64
+	HasValue  bool
+	Value     value.Value
+	// PrevActive/PrevValue realize the evolution edge (retention).
+	PrevActive   int64 // -1 if none
+	PrevValue    value.Value
+	HasPrevValue bool
+	SentAny      bool
+	Sends        []MsgView
+	Recvs        []MsgView
+	Emitted      []FactView
+
+	// embIdx lazily indexes Emitted by (table, first-argument) so compiled
+	// joins between emitted tables (e.g. Query 7's prov_error with
+	// prov_prediction on the same neighbor) cost O(deg) instead of O(deg²).
+	embIdx map[string]map[string][]int
+}
+
+// factsByFirstArg returns the indices of emitted facts of the given table
+// keyed by their first argument, building the index on first use.
+func (rv *RecordView) factsByFirstArg(table string) map[string][]int {
+	if rv.embIdx == nil {
+		rv.embIdx = map[string]map[string][]int{}
+	}
+	idx, ok := rv.embIdx[table]
+	if !ok {
+		idx = map[string][]int{}
+		for i := range rv.Emitted {
+			f := &rv.Emitted[i]
+			if f.Table != table || len(f.Args) == 0 {
+				continue
+			}
+			k := Tuple{f.Args[0]}.Key()
+			idx[k] = append(idx[k], i)
+		}
+		rv.embIdx[table] = idx
+	}
+	return idx
+}
+
+// StaticGraph exposes the input graph to compiled edge/edge_value literals.
+type StaticGraph interface {
+	NumVertices() int
+	// OutNeighbors returns destinations and weights of v's out-edges.
+	OutNeighbors(v int64) ([]int64, []float64)
+	// InNeighbors returns sources of v's in-edges (nil if unavailable).
+	InNeighbors(v int64) []int64
+	// EdgeWeight returns the weight of edge src->dst if present.
+	EdgeWeight(src, dst int64) (float64, bool)
+}
+
+// Compiled is a query compiled to per-record vertex-program closures.
+type Compiled struct {
+	q  *analysis.Query
+	db *Database
+	sg StaticGraph
+
+	// strata[i] holds the compiled rules of stratum i.
+	strata [][]*crule
+
+	staticDone bool
+	derived    int64
+	records    int64
+}
+
+// crule is one compiled rule.
+type crule struct {
+	src  *pql.Rule
+	kind ruleKind
+	// steps is the CPS chain; each step binds/filters and calls the next.
+	steps []cstep
+	// Global rules are driven by the new tuples of one IDB relation
+	// (semi-naive): drivePred names it, driveMatch binds a driving tuple,
+	// and driveCursor tracks the insertion-order position already consumed.
+	drivePred   string
+	driveMatch  []argMatcher
+	driveCursor int
+	// head builds and inserts the head tuple from the slot bindings.
+	headPred  string
+	headArity int
+	headArgs  []termFn
+	nslots    int
+
+	// Reusable single-threaded evaluation scratch (see Compiled.scratch).
+	scratchSlots *slots
+	scratchEmit  func() error
+}
+
+type ruleKind uint8
+
+const (
+	ruleRecord ruleKind = iota // anchored at each record
+	ruleGlobal                 // driven by a full scan of its first IDB
+	ruleStatic                 // only static EDBs: evaluated once
+)
+
+// slots is the compiled binding environment: values plus a bound mask.
+type slots struct {
+	val   []value.Value
+	bound []bool
+}
+
+// cstep executes one literal: it may bind slots, and calls k for each match
+// (restoring bindings afterwards).
+type cstep func(rv *RecordView, s *slots, k func() error) error
+
+// termFn evaluates a term under slot bindings.
+type termFn func(s *slots) (value.Value, error)
+
+// Compile compiles an analyzed query. Returns ErrNotCompilable (wrapped)
+// when the query requires the interpretive evaluator.
+func Compile(q *analysis.Query, db *Database, sg StaticGraph) (*Compiled, error) {
+	c := &Compiled{q: q, db: db, sg: sg, strata: make([][]*crule, len(q.Strata))}
+	for name, arity := range q.IDBs {
+		db.Relation(name, arity)
+	}
+	globalHeads := map[string]bool{}
+	for si, stratum := range q.Strata {
+		for _, r := range stratum {
+			cr, err := compileRule(r, q, db, sg)
+			if err != nil {
+				return nil, err
+			}
+			if cr.kind == ruleGlobal {
+				globalHeads[cr.headPred] = true
+			}
+			c.strata[si] = append(c.strata[si], cr)
+		}
+	}
+	// Soundness guard: record rules re-evaluate per record, so they must
+	// not consume predicates whose tuples may appear without a matching
+	// record (global-rule heads complete only at FinishRun).
+	for _, stratum := range c.strata {
+		for _, cr := range stratum {
+			if cr.kind != ruleRecord {
+				continue
+			}
+			for _, lit := range cr.src.Body {
+				if pl, ok := lit.(*pql.PredLit); ok && globalHeads[pl.Atom.Pred] {
+					return nil, notCompilable(cr.src.Pos, "record rule consumes global predicate %s", pl.Atom.Pred)
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// DerivedTuples returns how many head tuples were inserted.
+func (c *Compiled) DerivedTuples() int64 { return c.derived }
+
+// Records returns how many records were processed.
+func (c *Compiled) Records() int64 { return c.records }
+
+// BeginRun evaluates the static rules (bodies over static EDBs only).
+func (c *Compiled) BeginRun() error {
+	if c.staticDone {
+		return nil
+	}
+	c.staticDone = true
+	for _, stratum := range c.strata {
+		for _, r := range stratum {
+			if r.kind != ruleStatic {
+				continue
+			}
+			if err := c.evalRule(r, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Layer evaluates one provenance layer's records: every stratum in order,
+// iterating to an in-layer fixpoint (recursive rules).
+func (c *Compiled) Layer(recs []RecordView) error {
+	if err := c.BeginRun(); err != nil {
+		return err
+	}
+	c.records += int64(len(recs))
+	for _, stratum := range c.strata {
+		for {
+			before := c.derived
+			for _, r := range stratum {
+				switch r.kind {
+				case ruleStatic:
+					// done in BeginRun
+				case ruleGlobal:
+					if err := c.evalGlobal(r); err != nil {
+						return err
+					}
+				default:
+					for i := range recs {
+						if err := c.evalRule(r, &recs[i]); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if c.derived == before {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// FinishRun completes evaluation after the last layer: global rules rescan
+// their driving relations in full once, catching any cross-layer
+// compositions their incremental passes could not see.
+func (c *Compiled) FinishRun() error {
+	for _, stratum := range c.strata {
+		for {
+			before := c.derived
+			for _, r := range stratum {
+				if r.kind != ruleGlobal {
+					continue
+				}
+				r.driveCursor = 0
+				if err := c.evalGlobal(r); err != nil {
+					return err
+				}
+			}
+			if c.derived == before {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// evalGlobal runs a global rule over the driving relation's tuples that
+// arrived since the rule's last pass.
+func (c *Compiled) evalGlobal(r *crule) error {
+	rel := c.db.Get(r.drivePred)
+	if rel == nil {
+		return nil
+	}
+	all := rel.All()
+	if r.driveCursor >= len(all) {
+		return nil
+	}
+	s, emit := c.scratch(r)
+	for i := range s.bound {
+		s.bound[i] = false
+	}
+	start := r.driveCursor
+	r.driveCursor = len(all)
+	for _, t := range all[start:] {
+		if err := matchAll(s, r.driveMatch, t, 0, func() error {
+			return runSteps(r.steps, 0, nil, s, emit)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scratch returns the rule's reusable evaluation state (evaluation is
+// single-threaded: it runs at the superstep barrier).
+func (c *Compiled) scratch(r *crule) (*slots, func() error) {
+	if r.scratchSlots == nil {
+		s := &slots{val: make([]value.Value, r.nslots), bound: make([]bool, r.nslots)}
+		head := c.db.Relation(r.headPred, r.headArity)
+		r.scratchSlots = s
+		r.scratchEmit = func() error {
+			t := make(Tuple, r.headArity)
+			for i, fn := range r.headArgs {
+				v, err := fn(s)
+				if err != nil {
+					return err
+				}
+				t[i] = v
+			}
+			if head.Insert(t) {
+				c.derived++
+			}
+			return nil
+		}
+	}
+	return r.scratchSlots, r.scratchEmit
+}
+
+// evalRule runs one compiled rule over one record (or globally when rv is
+// nil for global/static rules).
+func (c *Compiled) evalRule(r *crule, rv *RecordView) error {
+	s, emit := c.scratch(r)
+	for i := range s.bound {
+		s.bound[i] = false
+	}
+	return runSteps(r.steps, 0, rv, s, emit)
+}
+
+func runSteps(steps []cstep, i int, rv *RecordView, s *slots, emit func() error) error {
+	if i == len(steps) {
+		return emit()
+	}
+	return steps[i](rv, s, func() error {
+		return runSteps(steps, i+1, rv, s, emit)
+	})
+}

@@ -1,0 +1,551 @@
+package eval
+
+import (
+	"ariadne/internal/pql"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+// compileRule translates one rule into closure steps.
+//
+// Shape requirements (anything else is ErrNotCompilable):
+//   - no aggregates in the head;
+//   - every record-local EDB literal (superstep, value, evolution,
+//     send/receive_message, prov_send, emitted tables, edge_value) is
+//     located at the head's location variable;
+//   - superstep positions use a single "current" variable, or — for value
+//     literals — the predecessor variable introduced by an evolution
+//     literal (satisfied from retention);
+//   - remote access happens only through IDB predicates (database lookups)
+//     or static edges, exactly the VC-compatible discipline of Def. 4.1.
+func compileRule(r *pql.Rule, q *analysis.Query, db *Database, sg StaticGraph) (*crule, error) {
+	for _, a := range r.Head.Args {
+		if containsAgg(a) {
+			return nil, notCompilable(r.Pos, "aggregates require the interpretive evaluator")
+		}
+	}
+	rc := &ruleCompiler{
+		r: r, q: q, sg: sg, dbRef: db,
+		slotOf: map[string]int{},
+	}
+	return rc.compile()
+}
+
+type ruleCompiler struct {
+	r     *pql.Rule
+	q     *analysis.Query
+	sg    StaticGraph
+	dbRef *Database
+
+	slotOf map[string]int
+	nslots int
+	bound  map[int]bool // compile-time bound slots
+
+	anchorVar string // head location var ("" when head location is const)
+	curSSVar  string // the current-superstep variable
+	prevSSVar string // the evolution predecessor variable, if any
+
+	steps []cstep
+	// Global-rule driver (semi-naive over the first scheduled IDB).
+	drivePred  string
+	driveMatch []argMatcher
+}
+
+func (rc *ruleCompiler) slot(name string) int {
+	if s, ok := rc.slotOf[name]; ok {
+		return s
+	}
+	s := rc.nslots
+	rc.slotOf[name] = s
+	rc.nslots++
+	return s
+}
+
+func (rc *ruleCompiler) isBound(t pql.Term) bool {
+	var vs []*pql.Var
+	vs = pql.Vars(t, vs)
+	for _, v := range vs {
+		if v.Wildcard() {
+			return false
+		}
+		if !rc.bound[rc.slot(v.Name)] {
+			return false
+		}
+	}
+	return true
+}
+
+func (rc *ruleCompiler) markBound(t pql.Term) {
+	var vs []*pql.Var
+	vs = pql.Vars(t, vs)
+	for _, v := range vs {
+		if !v.Wildcard() {
+			rc.bound[rc.slot(v.Name)] = true
+		}
+	}
+}
+
+// localEDBs are the predicates satisfiable from a RecordView.
+func isRecordLocalEDB(q *analysis.Query, pred string) bool {
+	switch pred {
+	case "superstep", "value", "evolution", "send_message", "receive_message", "prov_send", "edge_value":
+		return true
+	}
+	// Emitted analytic tables are extra EDBs.
+	if _, ok := q.Env().ExtraEDBs[pred]; ok {
+		return true
+	}
+	return false
+}
+
+func (rc *ruleCompiler) compile() (*crule, error) {
+	r := rc.r
+	rc.bound = map[int]bool{}
+
+	// Identify the anchor (head location) and superstep variables.
+	if v, ok := r.Head.Args[0].(*pql.Var); ok && !v.Wildcard() {
+		rc.anchorVar = v.Name
+	}
+	hasRecordLocal := false
+	hasStatic := false
+	hasIDB := false
+	for _, lit := range r.Body {
+		pl, ok := lit.(*pql.PredLit)
+		if !ok {
+			continue
+		}
+		switch {
+		case pl.Atom.Pred == "edge":
+			hasStatic = true
+		case isRecordLocalEDB(rc.q, pl.Atom.Pred):
+			hasRecordLocal = true
+			if pl.Negated && pl.Atom.Pred != "receive_message" && pl.Atom.Pred != "send_message" {
+				return nil, notCompilable(pl.Atom.Pos, "negated %s", pl.Atom.Pred)
+			}
+			// Record-local literals must sit at the anchor.
+			if v, ok := pl.Atom.Args[0].(*pql.Var); !ok || v.Name != rc.anchorVar {
+				return nil, notCompilable(pl.Atom.Pos, "record predicate %s must be located at the head's location variable", pl.Atom.Pred)
+			}
+		case func() bool { _, isIDB := rc.q.IDBs[pl.Atom.Pred]; return isIDB }():
+			hasIDB = true
+		default:
+			return nil, notCompilable(pl.Atom.Pos, "EDB %s is not record-local", pl.Atom.Pred)
+		}
+	}
+	// Discover the evolution variables first (they type the ss positions).
+	for _, lit := range r.Body {
+		pl, ok := lit.(*pql.PredLit)
+		if !ok || pl.Negated || pl.Atom.Pred != "evolution" {
+			continue
+		}
+		if rc.prevSSVar != "" {
+			return nil, notCompilable(pl.Atom.Pos, "multiple evolution literals")
+		}
+		j, ok1 := asVar(pl.Atom.Args[1])
+		i, ok2 := asVar(pl.Atom.Args[2])
+		if !ok1 || !ok2 {
+			return nil, notCompilable(pl.Atom.Pos, "evolution needs variable superstep arguments")
+		}
+		rc.prevSSVar, rc.curSSVar = j, i
+	}
+
+	kind := ruleRecord
+	if !hasRecordLocal {
+		if hasIDB {
+			kind = ruleGlobal
+		} else if hasStatic {
+			kind = ruleStatic
+		} else if len(r.Body) == 0 {
+			kind = ruleStatic // fact rule
+		} else {
+			kind = ruleGlobal
+		}
+	}
+
+	// Anchor step: bind the location (and lazily the current superstep).
+	if kind == ruleRecord && rc.anchorVar != "" {
+		locSlot := rc.slot(rc.anchorVar)
+		rc.steps = append(rc.steps, func(rv *RecordView, s *slots, k func() error) error {
+			return bindInt(s, locSlot, rv.Vertex, k)
+		})
+		rc.bound[locSlot] = true
+	}
+
+	// Greedy scheduling, mirroring the interpretive planner.
+	remaining := append([]pql.Literal(nil), r.Body...)
+	for len(remaining) > 0 {
+		progressed := false
+		// 1. Bindable comparisons and ground negations first.
+		for i := 0; i < len(remaining); i++ {
+			switch lit := remaining[i].(type) {
+			case *pql.CmpLit:
+				st, ok, err := rc.compileCmp(lit)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				rc.steps = append(rc.steps, st)
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				i--
+				progressed = true
+			case *pql.PredLit:
+				if !lit.Negated {
+					continue
+				}
+				ground := true
+				for _, a := range lit.Atom.Args {
+					if !rc.isBound(a) {
+						ground = false
+						break
+					}
+				}
+				if !ground {
+					continue
+				}
+				st, err := rc.compileNegated(lit.Atom)
+				if err != nil {
+					return nil, err
+				}
+				rc.steps = append(rc.steps, st)
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				i--
+				progressed = true
+			}
+		}
+		// 2. Then the best positive literal: cheap record-locals before
+		// enumerators before IDB lookups.
+		bestIdx, bestCost := -1, 1<<30
+		for i, lit := range remaining {
+			pl, ok := lit.(*pql.PredLit)
+			if !ok || pl.Negated {
+				continue
+			}
+			cost := rc.literalCost(pl.Atom, kind)
+			if cost < bestCost {
+				bestIdx, bestCost = i, cost
+			}
+		}
+		if bestIdx >= 0 {
+			pl := remaining[bestIdx].(*pql.PredLit)
+			_, isIDB := rc.q.IDBs[pl.Atom.Pred]
+			if kind == ruleGlobal && rc.drivePred == "" && isIDB {
+				// The first IDB drives the rule semi-naively: compile its
+				// arguments as matchers over driving tuples, not a step.
+				rc.drivePred = pl.Atom.Pred
+				for _, arg := range pl.Atom.Args {
+					m, err := rc.matcher(arg)
+					if err != nil {
+						return nil, err
+					}
+					rc.driveMatch = append(rc.driveMatch, m)
+				}
+			} else {
+				st, err := rc.compilePositive(pl.Atom, kind)
+				if err != nil {
+					return nil, err
+				}
+				rc.steps = append(rc.steps, st)
+			}
+			remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+			progressed = true
+		}
+		if !progressed {
+			return nil, notCompilable(r.Pos, "cannot schedule rule body for compilation")
+		}
+	}
+
+	if kind == ruleGlobal && rc.drivePred == "" {
+		return nil, notCompilable(r.Pos, "global rule without an IDB driver")
+	}
+
+	// Head argument evaluators.
+	cr := &crule{
+		src: r, kind: kind, steps: rc.steps,
+		headPred: r.Head.Pred, headArity: len(r.Head.Args),
+		drivePred: rc.drivePred, driveMatch: rc.driveMatch,
+	}
+	for _, a := range r.Head.Args {
+		fn, err := rc.compileTerm(a)
+		if err != nil {
+			return nil, err
+		}
+		cr.headArgs = append(cr.headArgs, fn)
+	}
+	cr.nslots = rc.nslots
+	return cr, nil
+}
+
+// literalCost orders positive literals for scheduling: lower is earlier.
+func (rc *ruleCompiler) literalCost(a *pql.Atom, kind ruleKind) int {
+	if _, isIDB := rc.q.IDBs[a.Pred]; isIDB {
+		if kind == ruleGlobal {
+			return 50 // the driving scan
+		}
+		return 100
+	}
+	switch a.Pred {
+	case "superstep", "prov_send", "evolution":
+		return 1
+	case "value":
+		return 2
+	case "receive_message", "send_message":
+		return 10
+	case "edge":
+		if rc.isBound(a.Args[0]) && rc.isBound(a.Args[1]) {
+			return 5 // membership test
+		}
+		return 20
+	case "edge_value":
+		if rc.isBound(a.Args[1]) {
+			return 6
+		}
+		return 20
+	default: // emitted tables
+		return 10
+	}
+}
+
+func asVar(t pql.Term) (string, bool) {
+	v, ok := t.(*pql.Var)
+	if !ok || v.Wildcard() {
+		return "", false
+	}
+	return v.Name, true
+}
+
+// --- slot binding helpers (runtime) ---
+
+func bindInt(s *slots, slot int, v int64, k func() error) error {
+	return bindVal(s, slot, value.NewInt(v), k)
+}
+
+func bindVal(s *slots, slot int, v value.Value, k func() error) error {
+	if slot < 0 {
+		return k()
+	}
+	if s.bound[slot] {
+		if !s.val[slot].Equal(v) {
+			return nil
+		}
+		return k()
+	}
+	s.val[slot] = v
+	s.bound[slot] = true
+	err := k()
+	s.bound[slot] = false
+	return err
+}
+
+// argMatcher compiles one atom argument into a match-or-bind closure
+// operating on a produced value.
+type argMatcher func(s *slots, got value.Value, k func() error) error
+
+func (rc *ruleCompiler) matcher(t pql.Term) (argMatcher, error) {
+	switch t := t.(type) {
+	case *pql.Var:
+		if t.Wildcard() {
+			return func(s *slots, _ value.Value, k func() error) error { return k() }, nil
+		}
+		slot := rc.slot(t.Name)
+		rc.bound[slot] = true // after this step the var is bound
+		return func(s *slots, got value.Value, k func() error) error {
+			return bindVal(s, slot, got, k)
+		}, nil
+	case *pql.Const:
+		cv := t.Val
+		return func(s *slots, got value.Value, k func() error) error {
+			if !cv.Equal(got) {
+				return nil
+			}
+			return k()
+		}, nil
+	default:
+		if !rc.isBound(t) {
+			return nil, notCompilable(rc.r.Pos, "argument expression %s has unbound variables", t)
+		}
+		fn, err := rc.compileTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		return func(s *slots, got value.Value, k func() error) error {
+			want, err := fn(s)
+			if err != nil {
+				return err
+			}
+			if !want.Equal(got) {
+				return nil
+			}
+			return k()
+		}, nil
+	}
+}
+
+// compileTerm compiles a term into a slot-based evaluator.
+func (rc *ruleCompiler) compileTerm(t pql.Term) (termFn, error) {
+	switch t := t.(type) {
+	case *pql.Const:
+		v := t.Val
+		return func(*slots) (value.Value, error) { return v, nil }, nil
+	case *pql.Var:
+		if t.Wildcard() {
+			return nil, notCompilable(t.Pos, "wildcard in evaluated term")
+		}
+		slot := rc.slot(t.Name)
+		name, pos := t.Name, t.Pos
+		return func(s *slots) (value.Value, error) {
+			if !s.bound[slot] {
+				return value.NullValue, notCompilable(pos, "unbound variable %s at runtime", name)
+			}
+			return s.val[slot], nil
+		}, nil
+	case *pql.BinExpr:
+		l, err := rc.compileTerm(t.L)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == pql.OpNeg {
+			return func(s *slots) (value.Value, error) {
+				lv, err := l(s)
+				if err != nil {
+					return value.NullValue, err
+				}
+				return value.Neg(lv)
+			}, nil
+		}
+		rf, err := rc.compileTerm(t.R)
+		if err != nil {
+			return nil, err
+		}
+		op := t.Op
+		return func(s *slots) (value.Value, error) {
+			lv, err := l(s)
+			if err != nil {
+				return value.NullValue, err
+			}
+			rv, err := rf(s)
+			if err != nil {
+				return value.NullValue, err
+			}
+			switch op {
+			case pql.OpAdd:
+				return value.Add(lv, rv)
+			case pql.OpSub:
+				return value.Sub(lv, rv)
+			case pql.OpMul:
+				return value.Mul(lv, rv)
+			case pql.OpDiv:
+				return value.Div(lv, rv)
+			default:
+				return value.Mod(lv, rv)
+			}
+		}, nil
+	case *pql.Call:
+		fn, ok := rc.q.Env().Funcs[t.Name]
+		if !ok {
+			return nil, notCompilable(t.Pos, "unknown function %s", t.Name)
+		}
+		args := make([]termFn, len(t.Args))
+		for i, a := range t.Args {
+			af, err := rc.compileTerm(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = af
+		}
+		return func(s *slots) (value.Value, error) {
+			vals := make([]value.Value, len(args))
+			for i, af := range args {
+				v, err := af(s)
+				if err != nil {
+					return value.NullValue, err
+				}
+				vals[i] = v
+			}
+			return fn.Fn(vals)
+		}, nil
+	default:
+		return nil, notCompilable(rc.r.Pos, "cannot compile term %s", t)
+	}
+}
+
+// compileCmp compiles a comparison when its variables are bound (or it is a
+// binder). ok=false means "not schedulable yet".
+func (rc *ruleCompiler) compileCmp(c *pql.CmpLit) (cstep, bool, error) {
+	lb, rb := rc.isBound(c.L), rc.isBound(c.R)
+	// Binder: fresh var = ground expr.
+	if c.Op == pql.CmpEq {
+		if v, ok := asVar(c.L); ok && !rc.bound[rc.slot(v)] && rb {
+			fn, err := rc.compileTerm(c.R)
+			if err != nil {
+				return nil, false, err
+			}
+			slot := rc.slot(v)
+			rc.bound[slot] = true
+			return func(rv *RecordView, s *slots, k func() error) error {
+				val, err := fn(s)
+				if err != nil {
+					return err
+				}
+				return bindVal(s, slot, val, k)
+			}, true, nil
+		}
+		if v, ok := asVar(c.R); ok && !rc.bound[rc.slot(v)] && lb {
+			fn, err := rc.compileTerm(c.L)
+			if err != nil {
+				return nil, false, err
+			}
+			slot := rc.slot(v)
+			rc.bound[slot] = true
+			return func(rv *RecordView, s *slots, k func() error) error {
+				val, err := fn(s)
+				if err != nil {
+					return err
+				}
+				return bindVal(s, slot, val, k)
+			}, true, nil
+		}
+	}
+	if !lb || !rb {
+		return nil, false, nil
+	}
+	lf, err := rc.compileTerm(c.L)
+	if err != nil {
+		return nil, false, err
+	}
+	rf, err := rc.compileTerm(c.R)
+	if err != nil {
+		return nil, false, err
+	}
+	op := c.Op
+	return func(rv *RecordView, s *slots, k func() error) error {
+		lv, err := lf(s)
+		if err != nil {
+			return err
+		}
+		rvv, err := rf(s)
+		if err != nil {
+			return err
+		}
+		ok := false
+		switch op {
+		case pql.CmpEq:
+			ok = lv.Equal(rvv)
+		case pql.CmpNeq:
+			ok = !lv.Equal(rvv)
+		case pql.CmpLt:
+			ok = lv.Compare(rvv) < 0
+		case pql.CmpLe:
+			ok = lv.Compare(rvv) <= 0
+		case pql.CmpGt:
+			ok = lv.Compare(rvv) > 0
+		case pql.CmpGe:
+			ok = lv.Compare(rvv) >= 0
+		}
+		if !ok {
+			return nil
+		}
+		return k()
+	}, true, nil
+}

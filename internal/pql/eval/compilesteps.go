@@ -1,0 +1,533 @@
+package eval
+
+import (
+	"ariadne/internal/pql"
+	"ariadne/internal/value"
+)
+
+// compilePositive compiles one positive relational literal into a step.
+func (rc *ruleCompiler) compilePositive(a *pql.Atom, kind ruleKind) (cstep, error) {
+	if _, isIDB := rc.q.IDBs[a.Pred]; isIDB {
+		return rc.compileIDBLookup(a)
+	}
+	switch a.Pred {
+	case "superstep":
+		return rc.compileSuperstep(a)
+	case "value":
+		return rc.compileValue(a)
+	case "evolution":
+		return rc.compileEvolution(a)
+	case "receive_message":
+		return rc.compileMessages(a, false)
+	case "send_message":
+		return rc.compileMessages(a, true)
+	case "prov_send":
+		return rc.compileProvSend(a)
+	case "edge":
+		return rc.compileEdge(a, kind)
+	case "edge_value":
+		return rc.compileEdgeValue(a)
+	default: // emitted analytic table
+		return rc.compileEmitted(a)
+	}
+}
+
+// ssMatcher validates the superstep argument of a record-local literal:
+// it must be the current superstep variable (or a constant/bound term).
+func (rc *ruleCompiler) ssMatcher(t pql.Term) (argMatcher, error) {
+	if v, ok := asVar(t); ok && rc.prevSSVar != "" && v == rc.prevSSVar {
+		return nil, notCompilable(rc.r.Pos, "only value literals may reference the evolution predecessor superstep")
+	}
+	if v, ok := asVar(t); ok && rc.curSSVar == "" {
+		rc.curSSVar = v
+	}
+	if v, ok := asVar(t); ok && v != rc.curSSVar && !rc.bound[rc.slot(v)] {
+		return nil, notCompilable(rc.r.Pos, "superstep variable %s does not match the rule's current superstep", v)
+	}
+	return rc.matcher(t)
+}
+
+func (rc *ruleCompiler) compileSuperstep(a *pql.Atom) (cstep, error) {
+	mi, err := rc.ssMatcher(a.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	return func(rv *RecordView, s *slots, k func() error) error {
+		return mi(s, value.NewInt(rv.Superstep), k)
+	}, nil
+}
+
+func (rc *ruleCompiler) compileValue(a *pql.Atom) (cstep, error) {
+	// value(X, D, SS) where SS is the current or the predecessor superstep.
+	prev := false
+	if v, ok := asVar(a.Args[2]); ok && rc.prevSSVar != "" && v == rc.prevSSVar {
+		prev = true
+	}
+	md, err := rc.matcher(a.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	var mi argMatcher
+	if prev {
+		mi, err = rc.matcher(a.Args[2])
+	} else {
+		mi, err = rc.ssMatcher(a.Args[2])
+	}
+	if err != nil {
+		return nil, err
+	}
+	if prev {
+		return func(rv *RecordView, s *slots, k func() error) error {
+			if !rv.HasPrevValue {
+				return nil
+			}
+			return md(s, rv.PrevValue, func() error {
+				return mi(s, value.NewInt(rv.PrevActive), k)
+			})
+		}, nil
+	}
+	return func(rv *RecordView, s *slots, k func() error) error {
+		if !rv.HasValue {
+			return nil
+		}
+		return md(s, rv.Value, func() error {
+			return mi(s, value.NewInt(rv.Superstep), k)
+		})
+	}, nil
+}
+
+func (rc *ruleCompiler) compileEvolution(a *pql.Atom) (cstep, error) {
+	mj, err := rc.matcher(a.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	mi, err := rc.matcher(a.Args[2])
+	if err != nil {
+		return nil, err
+	}
+	return func(rv *RecordView, s *slots, k func() error) error {
+		if rv.PrevActive < 0 {
+			return nil
+		}
+		return mj(s, value.NewInt(rv.PrevActive), func() error {
+			return mi(s, value.NewInt(rv.Superstep), k)
+		})
+	}, nil
+}
+
+func (rc *ruleCompiler) compileMessages(a *pql.Atom, sends bool) (cstep, error) {
+	my, err := rc.matcher(a.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	mm, err := rc.matcher(a.Args[2])
+	if err != nil {
+		return nil, err
+	}
+	mi, err := rc.ssMatcher(a.Args[3])
+	if err != nil {
+		return nil, err
+	}
+	return func(rv *RecordView, s *slots, k func() error) error {
+		msgs := rv.Recvs
+		if sends {
+			msgs = rv.Sends
+		}
+		ssVal := value.NewInt(rv.Superstep)
+		for idx := range msgs {
+			m := &msgs[idx]
+			if err := my(s, value.NewInt(m.Peer), func() error {
+				return mm(s, m.Val, func() error {
+					return mi(s, ssVal, k)
+				})
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (rc *ruleCompiler) compileProvSend(a *pql.Atom) (cstep, error) {
+	mi, err := rc.ssMatcher(a.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	return func(rv *RecordView, s *slots, k func() error) error {
+		if !rv.SentAny && len(rv.Sends) == 0 {
+			return nil
+		}
+		return mi(s, value.NewInt(rv.Superstep), k)
+	}, nil
+}
+
+func (rc *ruleCompiler) compileEmitted(a *pql.Atom) (cstep, error) {
+	arity, _ := rc.q.Env().EDBArity(a.Pred)
+	if len(a.Args) != arity {
+		return nil, notCompilable(a.Pos, "emitted table %s arity mismatch", a.Pred)
+	}
+	// Layout: table(X, payload..., I).
+	firstBound := len(a.Args) > 3 && rc.isBound(a.Args[1])
+	var firstFn termFn
+	if firstBound {
+		fn, err := rc.compileTerm(a.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		firstFn = fn
+	}
+	payload := make([]argMatcher, len(a.Args)-2)
+	for i := 1; i < len(a.Args)-1; i++ {
+		m, err := rc.matcher(a.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		payload[i-1] = m
+	}
+	mi, err := rc.ssMatcher(a.Args[len(a.Args)-1])
+	if err != nil {
+		return nil, err
+	}
+	table := a.Pred
+	if firstBound {
+		// Joining on the first payload argument (e.g. the neighbor in
+		// Query 7): use the per-record index instead of a scan.
+		return func(rv *RecordView, s *slots, k func() error) error {
+			want, err := firstFn(s)
+			if err != nil {
+				return err
+			}
+			ssVal := value.NewInt(rv.Superstep)
+			idx := rv.factsByFirstArg(table)
+			for _, fi := range idx[Tuple{want}.Key()] {
+				f := &rv.Emitted[fi]
+				if len(f.Args) != len(payload) {
+					continue
+				}
+				if err := matchAll(s, payload, f.Args, 0, func() error {
+					return mi(s, ssVal, k)
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
+	return func(rv *RecordView, s *slots, k func() error) error {
+		ssVal := value.NewInt(rv.Superstep)
+		for fi := range rv.Emitted {
+			f := &rv.Emitted[fi]
+			if f.Table != table || len(f.Args) != len(payload) {
+				continue
+			}
+			if err := matchAll(s, payload, f.Args, 0, func() error {
+				return mi(s, ssVal, k)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func matchAll(s *slots, ms []argMatcher, vals []value.Value, i int, k func() error) error {
+	if i == len(ms) {
+		return k()
+	}
+	return ms[i](s, vals[i], func() error {
+		return matchAll(s, ms, vals, i+1, k)
+	})
+}
+
+// compileEdge compiles the static edge(A, B) literal: membership test,
+// out-neighbor enumeration, in-neighbor enumeration, or (for static rules)
+// a full edge scan.
+func (rc *ruleCompiler) compileEdge(a *pql.Atom, kind ruleKind) (cstep, error) {
+	aBound := rc.isBound(a.Args[0])
+	bBound := rc.isBound(a.Args[1])
+	sg := rc.sg
+	switch {
+	case aBound && bBound:
+		fa, err := rc.compileTerm(a.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		fb, err := rc.compileTerm(a.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(rv *RecordView, s *slots, k func() error) error {
+			av, err := fa(s)
+			if err != nil {
+				return err
+			}
+			bv, err := fb(s)
+			if err != nil {
+				return err
+			}
+			if _, ok := sg.EdgeWeight(av.Int(), bv.Int()); !ok {
+				return nil
+			}
+			return k()
+		}, nil
+	case aBound:
+		fa, err := rc.compileTerm(a.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		mb, err := rc.matcher(a.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(rv *RecordView, s *slots, k func() error) error {
+			av, err := fa(s)
+			if err != nil {
+				return err
+			}
+			dst, _ := sg.OutNeighbors(av.Int())
+			for _, d := range dst {
+				if err := mb(s, value.NewInt(d), k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case bBound:
+		fb, err := rc.compileTerm(a.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		ma, err := rc.matcher(a.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return func(rv *RecordView, s *slots, k func() error) error {
+			bv, err := fb(s)
+			if err != nil {
+				return err
+			}
+			srcs := sg.InNeighbors(bv.Int())
+			for _, d := range srcs {
+				if err := ma(s, value.NewInt(d), k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	default:
+		if kind != ruleStatic {
+			return nil, notCompilable(a.Pos, "unanchored edge scan outside a static rule")
+		}
+		ma, err := rc.matcher(a.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		mb, err := rc.matcher(a.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(rv *RecordView, s *slots, k func() error) error {
+			for v := 0; v < sg.NumVertices(); v++ {
+				dst, _ := sg.OutNeighbors(int64(v))
+				sv := value.NewInt(int64(v))
+				for _, d := range dst {
+					if err := ma(s, sv, func() error {
+						return mb(s, value.NewInt(d), k)
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}, nil
+	}
+}
+
+// compileEdgeValue compiles edge_value(X, Y, W, SS): X is the anchor; the
+// superstep position matches the feeder convention (static weights, I=0),
+// so it accepts wildcards, the constant 0, or binds a fresh var to 0.
+func (rc *ruleCompiler) compileEdgeValue(a *pql.Atom) (cstep, error) {
+	yBound := rc.isBound(a.Args[1])
+	mw, err := rc.matcher(a.Args[2])
+	if err != nil {
+		return nil, err
+	}
+	ms, err := rc.matcher(a.Args[3])
+	if err != nil {
+		return nil, err
+	}
+	sg := rc.sg
+	zero := value.NewInt(0)
+	if yBound {
+		fy, err := rc.compileTerm(a.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return func(rv *RecordView, s *slots, k func() error) error {
+			yv, err := fy(s)
+			if err != nil {
+				return err
+			}
+			w, ok := sg.EdgeWeight(rv.Vertex, yv.Int())
+			if !ok {
+				return nil
+			}
+			return mw(s, value.NewFloat(w), func() error {
+				return ms(s, zero, k)
+			})
+		}, nil
+	}
+	my, err := rc.matcher(a.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	return func(rv *RecordView, s *slots, k func() error) error {
+		dst, ws := sg.OutNeighbors(rv.Vertex)
+		for i, d := range dst {
+			if err := my(s, value.NewInt(d), func() error {
+				return mw(s, value.NewFloat(ws[i]), func() error {
+					return ms(s, zero, k)
+				})
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// compileIDBLookup compiles a positive IDB literal into an indexed database
+// lookup with the currently bound argument positions as the key.
+func (rc *ruleCompiler) compileIDBLookup(a *pql.Atom) (cstep, error) {
+	arity := rc.q.IDBs[a.Pred]
+	if len(a.Args) != arity {
+		return nil, notCompilable(a.Pos, "IDB %s arity mismatch", a.Pred)
+	}
+	var keyCols []int
+	var keyFns []termFn
+	var matchers []argMatcher
+	matchCols := []int{}
+	for i, arg := range a.Args {
+		if rc.isBound(arg) {
+			fn, err := rc.compileTerm(arg)
+			if err != nil {
+				return nil, err
+			}
+			keyCols = append(keyCols, i)
+			keyFns = append(keyFns, fn)
+			continue
+		}
+		m, err := rc.matcher(arg)
+		if err != nil {
+			return nil, err
+		}
+		matchers = append(matchers, m)
+		matchCols = append(matchCols, i)
+	}
+	pred := a.Pred
+	db := rc.dbRef
+	return func(rv *RecordView, s *slots, k func() error) error {
+		rel := db.Get(pred)
+		if rel == nil {
+			return nil
+		}
+		key := make([]value.Value, len(keyFns))
+		for i, fn := range keyFns {
+			v, err := fn(s)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		for _, t := range rel.Lookup(keyCols, key) {
+			if err := matchTupleCols(s, matchers, matchCols, t, 0, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func matchTupleCols(s *slots, ms []argMatcher, cols []int, t Tuple, i int, k func() error) error {
+	if i == len(ms) {
+		return k()
+	}
+	return ms[i](s, t[cols[i]], func() error {
+		return matchTupleCols(s, ms, cols, t, i+1, k)
+	})
+}
+
+// compileNegated compiles !p(args...) with ground arguments: an IDB (or
+// record-local message) membership test.
+func (rc *ruleCompiler) compileNegated(a *pql.Atom) (cstep, error) {
+	if _, isIDB := rc.q.IDBs[a.Pred]; isIDB {
+		fns := make([]termFn, len(a.Args))
+		for i, arg := range a.Args {
+			fn, err := rc.compileTerm(arg)
+			if err != nil {
+				return nil, err
+			}
+			fns[i] = fn
+		}
+		pred := a.Pred
+		db := rc.dbRef
+		return func(rv *RecordView, s *slots, k func() error) error {
+			rel := db.Get(pred)
+			if rel != nil {
+				t := make(Tuple, len(fns))
+				for i, fn := range fns {
+					v, err := fn(s)
+					if err != nil {
+						return err
+					}
+					t[i] = v
+				}
+				if rel.Contains(t) {
+					return nil
+				}
+			}
+			return k()
+		}, nil
+	}
+	switch a.Pred {
+	case "receive_message", "send_message":
+		sends := a.Pred == "send_message"
+		fns := make([]termFn, 3)
+		for i := 1; i <= 3; i++ {
+			fn, err := rc.compileTerm(a.Args[i])
+			if err != nil {
+				return nil, err
+			}
+			fns[i-1] = fn
+		}
+		return func(rv *RecordView, s *slots, k func() error) error {
+			y, err := fns[0](s)
+			if err != nil {
+				return err
+			}
+			m, err := fns[1](s)
+			if err != nil {
+				return err
+			}
+			i, err := fns[2](s)
+			if err != nil {
+				return err
+			}
+			if i.Int() != rv.Superstep {
+				return k() // other layers hold no current messages
+			}
+			msgs := rv.Recvs
+			if sends {
+				msgs = rv.Sends
+			}
+			for idx := range msgs {
+				if msgs[idx].Peer == y.Int() && msgs[idx].Val.Equal(m) {
+					return nil
+				}
+			}
+			return k()
+		}, nil
+	default:
+		return nil, notCompilable(a.Pos, "negated %s is not compilable", a.Pred)
+	}
+}

@@ -1,0 +1,336 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"ariadne/internal/pql"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+// Evaluator runs semi-naive stratified evaluation of an analyzed query over
+// a Database. It is incremental: facts added between Fixpoint calls are
+// treated as deltas, which is what makes layered (§5.1) and online (§5.2)
+// evaluation possible — each provenance layer is one delta batch.
+type Evaluator struct {
+	q   *analysis.Query
+	db  *Database
+	env *analysis.Env
+
+	plans   map[*pql.Rule]*rulePlan
+	aggs    map[string]*aggTable // aggregate head pred -> state
+	pending map[string][]Tuple
+
+	stats Stats
+}
+
+// Stats counts evaluation work.
+type Stats struct {
+	Rounds      int
+	Derivations int64
+	FactsAdded  int64
+}
+
+// NewEvaluator prepares evaluation of q over db.
+func NewEvaluator(q *analysis.Query, db *Database) (*Evaluator, error) {
+	e := &Evaluator{
+		q: q, db: db, env: q.Env(),
+		plans:   map[*pql.Rule]*rulePlan{},
+		aggs:    map[string]*aggTable{},
+		pending: map[string][]Tuple{},
+	}
+	aggDef := map[string]bool{}
+	for _, r := range q.Rules {
+		plan, err := planRule(r)
+		if err != nil {
+			return nil, err
+		}
+		e.plans[r] = plan
+		if plan.aggregates {
+			if aggDef[r.Head.Pred] {
+				return nil, fmt.Errorf("pql: %s: aggregate predicate %s has multiple defining rules", r.Pos, r.Head.Pred)
+			}
+			aggDef[r.Head.Pred] = true
+			e.aggs[r.Head.Pred] = newAggTable(plan)
+		}
+	}
+	// Pre-create IDB relations so negation over empty IDBs works.
+	for name, arity := range q.IDBs {
+		db.Relation(name, arity)
+	}
+	return e, nil
+}
+
+// Stats returns evaluation counters.
+func (e *Evaluator) Stats() Stats { return e.stats }
+
+// AddFact queues an EDB (or externally derived) fact for the next Fixpoint.
+func (e *Evaluator) AddFact(pred string, t Tuple) {
+	e.pending[pred] = append(e.pending[pred], t)
+}
+
+// Result returns the relation for pred (IDB or EDB), or nil.
+func (e *Evaluator) Result(pred string) *Relation { return e.db.Get(pred) }
+
+// Fixpoint runs all strata to fixpoint over the pending deltas.
+func (e *Evaluator) Fixpoint() error {
+	// Insert pending facts; the ones actually new seed the delta sets.
+	newSince := map[string][]Tuple{}
+	pendNames := make([]string, 0, len(e.pending))
+	for name := range e.pending {
+		pendNames = append(pendNames, name)
+	}
+	sort.Strings(pendNames)
+	for _, name := range pendNames {
+		ts := e.pending[name]
+		arity := len(ts[0])
+		rel := e.db.Relation(name, arity)
+		for _, t := range ts {
+			if rel.Insert(t) {
+				newSince[name] = append(newSince[name], t)
+				e.stats.FactsAdded++
+			}
+		}
+	}
+	e.pending = map[string][]Tuple{}
+
+	for _, stratum := range e.q.Strata {
+		// Round 0 consumes everything new since Fixpoint started (facts and
+		// lower-strata derivations); later rounds consume this stratum's
+		// own derivations (recursion).
+		delta := newSince
+		for {
+			e.stats.Rounds++
+			derived := map[string][]Tuple{}
+			for _, r := range stratum {
+				plan := e.plans[r]
+				if plan.aggregates {
+					if err := e.evalAggRule(r, plan, delta, derived); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := e.evalRule(r, plan, delta, derived); err != nil {
+					return err
+				}
+			}
+			if len(derived) == 0 {
+				break
+			}
+			// Derivations feed both this stratum's next round and the
+			// cumulative delta for later strata.
+			for name, ts := range derived {
+				newSince[name] = append(newSince[name], ts...)
+			}
+			delta = derived
+		}
+	}
+	return nil
+}
+
+// evalRule fires one plain rule semi-naively: once per positive literal
+// whose predicate has a delta, with that literal restricted to the delta.
+// Rules with no positive body literals (facts) fire unconditionally.
+func (e *Evaluator) evalRule(r *pql.Rule, plan *rulePlan, delta map[string][]Tuple, derived map[string][]Tuple) error {
+	head := e.db.Relation(r.Head.Pred, len(r.Head.Args))
+	emit := func(b binding) error {
+		t := make(Tuple, len(r.Head.Args))
+		for i, a := range r.Head.Args {
+			v, err := evalTerm(a, b, e.env)
+			if err != nil {
+				return err
+			}
+			t[i] = v
+		}
+		if head.Insert(t) {
+			derived[r.Head.Pred] = append(derived[r.Head.Pred], t)
+			e.stats.Derivations++
+		}
+		return nil
+	}
+
+	if plan.factPlan != nil {
+		// Fact rule: fires once per Fixpoint (idempotent via dedup).
+		return e.joinFrom(plan.factPlan.steps, 0, binding{}, -1, nil, emit)
+	}
+	for vi, v := range plan.variants {
+		dts := delta[plan.positivePreds[vi]]
+		if len(dts) == 0 {
+			continue
+		}
+		if err := e.joinFrom(v.steps, 0, binding{}, v.deltaStep, dts, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// joinFrom recursively executes plan steps from index si under binding b.
+// Step deltaStep (a step index) draws candidates from deltaTuples instead
+// of the full relation.
+func (e *Evaluator) joinFrom(steps []planStep, si int, b binding, deltaStep int, deltaTuples []Tuple, emit func(binding) error) error {
+	if si == len(steps) {
+		return emit(b)
+	}
+	st := steps[si]
+	switch st.kind {
+	case stepCompare:
+		c := st.cmp
+		// Binder form: Var = expr with the var still unbound.
+		if c.Op == pql.CmpEq {
+			if v, ok := c.L.(*pql.Var); ok && !v.Wildcard() {
+				if _, bound := b[v.Name]; !bound && termGround(c.R, b) {
+					val, err := evalTerm(c.R, b, e.env)
+					if err != nil {
+						return err
+					}
+					b[v.Name] = val
+					err = e.joinFrom(steps, si+1, b, deltaStep, deltaTuples, emit)
+					delete(b, v.Name)
+					return err
+				}
+			}
+			if v, ok := c.R.(*pql.Var); ok && !v.Wildcard() {
+				if _, bound := b[v.Name]; !bound && termGround(c.L, b) {
+					val, err := evalTerm(c.L, b, e.env)
+					if err != nil {
+						return err
+					}
+					b[v.Name] = val
+					err = e.joinFrom(steps, si+1, b, deltaStep, deltaTuples, emit)
+					delete(b, v.Name)
+					return err
+				}
+			}
+		}
+		ok, err := evalCompare(c, b, e.env)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		return e.joinFrom(steps, si+1, b, deltaStep, deltaTuples, emit)
+
+	case stepNegated:
+		t := make(Tuple, len(st.atom.Args))
+		for i, a := range st.atom.Args {
+			v, err := evalTerm(a, b, e.env)
+			if err != nil {
+				return err
+			}
+			t[i] = v
+		}
+		rel := e.db.Get(st.atom.Pred)
+		if rel != nil && rel.Contains(t) {
+			return nil
+		}
+		return e.joinFrom(steps, si+1, b, deltaStep, deltaTuples, emit)
+
+	default: // stepPositive
+		var candidates []Tuple
+		if si == deltaStep {
+			candidates = deltaTuples
+		} else {
+			rel := e.db.Get(st.atom.Pred)
+			if rel == nil {
+				return nil
+			}
+			// Use an index over the argument positions that are already
+			// ground (variables bound earlier, or constants).
+			var cols []int
+			var key []value.Value
+			for i, a := range st.atom.Args {
+				switch a := a.(type) {
+				case *pql.Var:
+					if a.Wildcard() {
+						continue
+					}
+					if v, ok := b[a.Name]; ok {
+						cols = append(cols, i)
+						key = append(key, v)
+					}
+				case *pql.Const:
+					cols = append(cols, i)
+					key = append(key, a.Val)
+				default:
+					if termGround(a, b) {
+						v, err := evalTerm(a, b, e.env)
+						if err != nil {
+							return err
+						}
+						cols = append(cols, i)
+						key = append(key, v)
+					}
+				}
+			}
+			candidates = rel.Lookup(cols, key)
+		}
+		for _, t := range candidates {
+			if len(t) != len(st.atom.Args) {
+				return fmt.Errorf("pql: %s: arity mismatch binding %s", st.atom.Pos, st.atom.Pred)
+			}
+			newVars, ok, err := e.unify(st.atom, t, b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := e.joinFrom(steps, si+1, b, deltaStep, deltaTuples, emit); err != nil {
+				return err
+			}
+			for _, n := range newVars {
+				delete(b, n)
+			}
+		}
+		return nil
+	}
+}
+
+// unify matches tuple t against atom args under b, extending b with newly
+// bound variables (returned so the caller can backtrack).
+func (e *Evaluator) unify(a *pql.Atom, t Tuple, b binding) (newVars []string, ok bool, err error) {
+	for i, arg := range a.Args {
+		switch arg := arg.(type) {
+		case *pql.Var:
+			if arg.Wildcard() {
+				continue
+			}
+			if v, bound := b[arg.Name]; bound {
+				if !v.Equal(t[i]) {
+					for _, n := range newVars {
+						delete(b, n)
+					}
+					return nil, false, nil
+				}
+				continue
+			}
+			b[arg.Name] = t[i]
+			newVars = append(newVars, arg.Name)
+		case *pql.Const:
+			if !arg.Val.Equal(t[i]) {
+				for _, n := range newVars {
+					delete(b, n)
+				}
+				return nil, false, nil
+			}
+		default:
+			if !termGround(arg, b) {
+				return nil, false, fmt.Errorf("pql: %s: argument %s of %s must be ground when matched", a.Pos, arg, a.Pred)
+			}
+			v, err := evalTerm(arg, b, e.env)
+			if err != nil {
+				return nil, false, err
+			}
+			if !v.Equal(t[i]) {
+				for _, n := range newVars {
+					delete(b, n)
+				}
+				return nil, false, nil
+			}
+		}
+	}
+	return newVars, true, nil
+}

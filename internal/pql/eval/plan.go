@@ -1,0 +1,287 @@
+package eval
+
+import (
+	"fmt"
+
+	"ariadne/internal/pql"
+)
+
+type stepKind uint8
+
+const (
+	stepPositive stepKind = iota
+	stepNegated
+	stepCompare
+)
+
+type planStep struct {
+	kind stepKind
+	atom *pql.Atom   // positive / negated
+	cmp  *pql.CmpLit // compare
+}
+
+// planVariant is one execution order for a rule body. Semi-naive evaluation
+// uses one variant per positive literal: that literal (the delta) is joined
+// first, so each delta round costs O(|delta| × indexed lookups) instead of
+// re-enumerating full relations.
+type planVariant struct {
+	steps []planStep
+	// deltaStep is the index in steps of the delta literal, or -1.
+	deltaStep int
+}
+
+// rulePlan is the prepared execution strategy for one rule.
+type rulePlan struct {
+	// variants[i] drives the delta through the i-th positive body literal.
+	variants []*planVariant
+	// positivePreds[i] is the predicate of the i-th positive literal.
+	positivePreds []string
+	// factPlan is the natural-order plan used when the body has no positive
+	// literals (fact rules).
+	factPlan *planVariant
+
+	// Aggregate metadata (heads with COUNT/SUM/MIN/MAX/AVG).
+	aggregates bool
+	groupCols  []int
+	aggCols    []int
+	aggKinds   []pql.AggKind
+	aggArgs    []pql.Term
+	// bodyVars lists all body-bound variables, sorted, for SUM/AVG
+	// valuation deduplication.
+	bodyVars []string
+}
+
+func planRule(r *pql.Rule) (*rulePlan, error) {
+	p := &rulePlan{}
+
+	var positives []*pql.PredLit
+	for _, lit := range r.Body {
+		if pl, ok := lit.(*pql.PredLit); ok && !pl.Negated {
+			positives = append(positives, pl)
+			p.positivePreds = append(p.positivePreds, pl.Atom.Pred)
+		}
+	}
+
+	if len(positives) == 0 {
+		v, err := orderBody(r, nil)
+		if err != nil {
+			return nil, err
+		}
+		p.factPlan = v
+	}
+	for _, deltaLit := range positives {
+		v, err := orderBody(r, deltaLit)
+		if err != nil {
+			return nil, err
+		}
+		p.variants = append(p.variants, v)
+	}
+
+	// Classify head columns.
+	for i, a := range r.Head.Args {
+		if agg, ok := a.(*pql.Aggregate); ok {
+			p.aggregates = true
+			p.aggCols = append(p.aggCols, i)
+			p.aggKinds = append(p.aggKinds, agg.Kind)
+			p.aggArgs = append(p.aggArgs, agg.Arg)
+			continue
+		}
+		if containsAgg(a) {
+			return nil, fmt.Errorf("pql: %s: aggregates must be top-level head arguments", r.Pos)
+		}
+		p.groupCols = append(p.groupCols, i)
+	}
+	if len(p.aggCols) > 1 {
+		return nil, fmt.Errorf("pql: %s: at most one aggregate per rule head (split into multiple rules)", r.Pos)
+	}
+
+	seen := map[string]bool{}
+	for _, lit := range r.Body {
+		pl, ok := lit.(*pql.PredLit)
+		if !ok || pl.Negated {
+			continue
+		}
+		var vs []*pql.Var
+		for _, a := range pl.Atom.Args {
+			vs = pql.Vars(a, vs)
+		}
+		for _, v := range vs {
+			if !v.Wildcard() && !seen[v.Name] {
+				seen[v.Name] = true
+				p.bodyVars = append(p.bodyVars, v.Name)
+			}
+		}
+	}
+	sortStrings(p.bodyVars)
+	return p, nil
+}
+
+// orderBody orders the rule body with deltaLit (may be nil) first, then
+// greedily: comparisons and negations as soon as their variables are bound,
+// and among the remaining positive atoms the one sharing the most bound
+// variables (so indexed lookups apply).
+func orderBody(r *pql.Rule, deltaLit *pql.PredLit) (*planVariant, error) {
+	v := &planVariant{deltaStep: -1}
+	bound := map[string]bool{}
+
+	bindAtomVars := func(a *pql.Atom) {
+		var vs []*pql.Var
+		for _, arg := range a.Args {
+			vs = pql.Vars(arg, vs)
+		}
+		for _, vv := range vs {
+			if !vv.Wildcard() {
+				bound[vv.Name] = true
+			}
+		}
+	}
+
+	remaining := make([]pql.Literal, 0, len(r.Body))
+	for _, lit := range r.Body {
+		if pl, ok := lit.(*pql.PredLit); ok && pl == deltaLit {
+			v.deltaStep = len(v.steps)
+			v.steps = append(v.steps, planStep{kind: stepPositive, atom: pl.Atom})
+			bindAtomVars(pl.Atom)
+			continue
+		}
+		remaining = append(remaining, lit)
+	}
+
+	bindable := func(lit pql.Literal) bool {
+		switch lit := lit.(type) {
+		case *pql.CmpLit:
+			lg := staticGround(lit.L, bound)
+			rg := staticGround(lit.R, bound)
+			if lg && rg {
+				return true
+			}
+			if lit.Op != pql.CmpEq {
+				return false
+			}
+			if vv, ok := lit.L.(*pql.Var); ok && !vv.Wildcard() && !bound[vv.Name] && rg {
+				return true
+			}
+			if vv, ok := lit.R.(*pql.Var); ok && !vv.Wildcard() && !bound[vv.Name] && lg {
+				return true
+			}
+			return false
+		case *pql.PredLit:
+			if !lit.Negated {
+				return false
+			}
+			for _, a := range lit.Atom.Args {
+				if !staticGround(a, bound) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+
+	take := func(i int) pql.Literal {
+		lit := remaining[i]
+		remaining = append(remaining[:i], remaining[i+1:]...)
+		return lit
+	}
+
+	for len(remaining) > 0 {
+		// 1. Schedule every currently bindable filter/binder/negation.
+		progress := true
+		for progress {
+			progress = false
+			for i := 0; i < len(remaining); i++ {
+				lit := remaining[i]
+				if !bindable(lit) {
+					continue
+				}
+				switch lit := take(i).(type) {
+				case *pql.CmpLit:
+					v.steps = append(v.steps, planStep{kind: stepCompare, cmp: lit})
+					if lit.Op == pql.CmpEq {
+						if vv, ok := lit.L.(*pql.Var); ok && !vv.Wildcard() {
+							bound[vv.Name] = true
+						}
+						if vv, ok := lit.R.(*pql.Var); ok && !vv.Wildcard() {
+							bound[vv.Name] = true
+						}
+					}
+				case *pql.PredLit:
+					v.steps = append(v.steps, planStep{kind: stepNegated, atom: lit.Atom})
+				}
+				progress = true
+				i--
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		// 2. Pick the positive atom sharing the most bound variables.
+		bestIdx, bestScore := -1, -1
+		for i, lit := range remaining {
+			pl, ok := lit.(*pql.PredLit)
+			if !ok || pl.Negated {
+				continue
+			}
+			score := 0
+			var vs []*pql.Var
+			for _, a := range pl.Atom.Args {
+				vs = pql.Vars(a, vs)
+			}
+			for _, vv := range vs {
+				if !vv.Wildcard() && bound[vv.Name] {
+					score++
+				}
+			}
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		if bestIdx < 0 {
+			// Safety analysis should have rejected this.
+			return nil, fmt.Errorf("pql: %s: cannot order rule body (unresolvable literals)", r.Pos)
+		}
+		pl := take(bestIdx).(*pql.PredLit)
+		v.steps = append(v.steps, planStep{kind: stepPositive, atom: pl.Atom})
+		bindAtomVars(pl.Atom)
+	}
+	return v, nil
+}
+
+func staticGround(t pql.Term, bound map[string]bool) bool {
+	var vs []*pql.Var
+	vs = pql.Vars(t, vs)
+	for _, v := range vs {
+		if v.Wildcard() || !bound[v.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsAgg(t pql.Term) bool {
+	switch t := t.(type) {
+	case *pql.Aggregate:
+		return true
+	case *pql.BinExpr:
+		if containsAgg(t.L) {
+			return true
+		}
+		return t.R != nil && containsAgg(t.R)
+	case *pql.Call:
+		for _, a := range t.Args {
+			if containsAgg(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

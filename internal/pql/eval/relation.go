@@ -1,0 +1,258 @@
+// Package eval implements PQL query evaluation: relations with hash
+// indexes, semi-naive stratified Datalog with negation and aggregation, and
+// the three evaluation drivers of the paper — Naive (full materialization,
+// §6.2 "Naive"), Layered (§5.1), and Online (§5.2).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ariadne/internal/value"
+)
+
+// Tuple is one relational row.
+type Tuple []value.Value
+
+// Key returns a canonical byte-string identity for the tuple, used for
+// set-semantics deduplication. Numerically equal Ints and Floats encode
+// identically (both as floats) so 3 and 3.0 are one tuple.
+func (t Tuple) Key() string {
+	var buf []byte
+	for _, v := range t {
+		if v.Kind() == value.Int {
+			v = value.NewFloat(v.Float())
+		}
+		buf = v.AppendBinary(buf)
+	}
+	return string(buf)
+}
+
+// String renders the tuple for diagnostics.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Clone copies the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Relation is a set of same-arity tuples with lazily built, incrementally
+// maintained hash indexes on column subsets.
+type Relation struct {
+	arity   int
+	rows    map[string]Tuple
+	order   []Tuple // insertion order, for deterministic iteration
+	indexes map[string]*index
+}
+
+// index is a hash index over a column subset.
+type index struct {
+	cols []int
+	m    map[string][]Tuple
+}
+
+// NewRelation creates an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{arity: arity, rows: map[string]Tuple{}}
+}
+
+// Arity returns the column count.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds t, reporting whether it was new. The tuple is retained.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("eval: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.rows[k]; ok {
+		return false
+	}
+	r.rows[k] = t
+	r.order = append(r.order, t)
+	for _, idx := range r.indexes {
+		pk := projKey(t, idx.cols)
+		idx.m[pk] = append(idx.m[pk], t)
+	}
+	return true
+}
+
+// Delete removes t, reporting whether it was present. Deletion is used only
+// by aggregate-group replacement.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	old, ok := r.rows[k]
+	if !ok {
+		return false
+	}
+	delete(r.rows, k)
+	for i, row := range r.order {
+		if &row[0] == &old[0] || row.Key() == k {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	for _, idx := range r.indexes {
+		pk := projKey(old, idx.cols)
+		lst := idx.m[pk]
+		for i, row := range lst {
+			if row.Key() == k {
+				idx.m[pk] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// All returns the tuples in insertion order. The slice must not be modified.
+func (r *Relation) All() []Tuple { return r.order }
+
+// Lookup returns the tuples whose values at cols equal key, building (and
+// thereafter maintaining) a hash index on cols.
+func (r *Relation) Lookup(cols []int, key []value.Value) []Tuple {
+	if len(cols) == 0 {
+		return r.order
+	}
+	ck := encodeCols(cols)
+	idx, ok := r.indexes[ck]
+	if !ok {
+		idx = &index{cols: append([]int(nil), cols...), m: make(map[string][]Tuple, len(r.rows))}
+		for _, t := range r.order {
+			pk := projKey(t, cols)
+			idx.m[pk] = append(idx.m[pk], t)
+		}
+		if r.indexes == nil {
+			r.indexes = map[string]*index{}
+		}
+		r.indexes[ck] = idx
+	}
+	return idx.m[keyOf(key)]
+}
+
+func projKey(t Tuple, cols []int) string {
+	var buf [64]byte
+	b := buf[:0]
+	for _, c := range cols {
+		v := t[c]
+		if v.Kind() == value.Int {
+			v = value.NewFloat(v.Float())
+		}
+		b = v.AppendBinary(b)
+	}
+	return string(b)
+}
+
+// keyOf encodes the lookup key values (all columns of key, in order).
+func keyOf(key []value.Value) string {
+	var buf [64]byte
+	b := buf[:0]
+	for _, v := range key {
+		if v.Kind() == value.Int {
+			v = value.NewFloat(v.Float())
+		}
+		b = v.AppendBinary(b)
+	}
+	return string(b)
+}
+
+// encodeCols identifies a column subset compactly (columns are tiny ints).
+func encodeCols(cols []int) string {
+	var buf [16]byte
+	b := buf[:0]
+	for _, c := range cols {
+		b = append(b, byte(c))
+	}
+	return string(b)
+}
+
+// MemSize estimates the relation's footprint in bytes (tuples only; indexes
+// excluded since they share tuple storage).
+func (r *Relation) MemSize() int64 {
+	var s int64
+	for _, t := range r.order {
+		s += 24
+		for _, v := range t {
+			s += int64(v.MemSize())
+		}
+	}
+	return s
+}
+
+// Sorted returns the tuples sorted lexicographically, for deterministic
+// result reporting.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.order))
+	copy(out, r.order)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Database is a named collection of relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: map[string]*Relation{}}
+}
+
+// Relation returns the named relation, creating it with the given arity on
+// first use.
+func (d *Database) Relation(name string, arity int) *Relation {
+	r, ok := d.rels[name]
+	if !ok {
+		r = NewRelation(arity)
+		d.rels[name] = r
+	}
+	return r
+}
+
+// Get returns the named relation or nil.
+func (d *Database) Get(name string) *Relation { return d.rels[name] }
+
+// Names returns the relation names, sorted.
+func (d *Database) Names() []string {
+	out := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemSize estimates the database footprint in bytes.
+func (d *Database) MemSize() int64 {
+	var s int64
+	for _, r := range d.rels {
+		s += r.MemSize()
+	}
+	return s
+}

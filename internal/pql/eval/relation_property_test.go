@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ariadne/internal/value"
+)
+
+// TestRelationIndexConsistency drives a relation with interleaved inserts,
+// deletes, and lookups over random column subsets and checks every lookup
+// against a naive reference set.
+func TestRelationIndexConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := NewRelation(3)
+		ref := map[string]Tuple{}
+		mk := func() Tuple {
+			return Tuple{
+				value.NewInt(int64(r.Intn(5))),
+				value.NewInt(int64(r.Intn(5))),
+				value.NewInt(int64(r.Intn(5))),
+			}
+		}
+		for step := 0; step < 200; step++ {
+			switch r.Intn(4) {
+			case 0, 1: // insert
+				tup := mk()
+				_, existed := ref[tup.Key()]
+				if rel.Insert(tup) == existed {
+					return false
+				}
+				ref[tup.Key()] = tup
+			case 2: // delete
+				tup := mk()
+				_, existed := ref[tup.Key()]
+				if rel.Delete(tup) != existed {
+					return false
+				}
+				delete(ref, tup.Key())
+			default: // lookup on a random column subset
+				var cols []int
+				var key []value.Value
+				probe := mk()
+				for c := 0; c < 3; c++ {
+					if r.Intn(2) == 0 {
+						cols = append(cols, c)
+						key = append(key, probe[c])
+					}
+				}
+				got := rel.Lookup(cols, key)
+				want := 0
+				for _, tup := range ref {
+					match := true
+					for i, c := range cols {
+						if !tup[c].Equal(key[i]) {
+							match = false
+							break
+						}
+					}
+					if match {
+						want++
+					}
+				}
+				if len(got) != want {
+					return false
+				}
+			}
+			if rel.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortedIsTotalOrder verifies Sorted's comparator sanity on mixed kinds.
+func TestSortedIsTotalOrder(t *testing.T) {
+	rel := NewRelation(2)
+	rel.Insert(Tuple{value.NewString("b"), value.NewInt(1)})
+	rel.Insert(Tuple{value.NewInt(5), value.NewFloat(2)})
+	rel.Insert(Tuple{value.NewString("a"), value.NewInt(9)})
+	rel.Insert(Tuple{value.NewInt(5), value.NewFloat(1)})
+	s := rel.Sorted()
+	for i := 1; i < len(s); i++ {
+		prev, cur := s[i-1], s[i]
+		less := false
+		for k := 0; k < 2; k++ {
+			if c := prev[k].Compare(cur[k]); c != 0 {
+				less = c < 0
+				break
+			}
+		}
+		if !less {
+			t.Fatalf("sorted order violated at %d: %v !< %v", i, prev, cur)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"fmt"
+
+	"ariadne/internal/pql"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+// binding maps variable names to values during rule evaluation.
+type binding map[string]value.Value
+
+// evalTerm evaluates a ground term under b. Aggregates are handled by the
+// aggregate machinery and are illegal here.
+func evalTerm(t pql.Term, b binding, env *analysis.Env) (value.Value, error) {
+	switch t := t.(type) {
+	case *pql.Const:
+		return t.Val, nil
+	case *pql.Var:
+		v, ok := b[t.Name]
+		if !ok {
+			return value.NullValue, fmt.Errorf("pql: %s: unbound variable %s", t.Pos, t.Name)
+		}
+		return v, nil
+	case *pql.BinExpr:
+		l, err := evalTerm(t.L, b, env)
+		if err != nil {
+			return value.NullValue, err
+		}
+		if t.Op == pql.OpNeg {
+			return value.Neg(l)
+		}
+		r, err := evalTerm(t.R, b, env)
+		if err != nil {
+			return value.NullValue, err
+		}
+		switch t.Op {
+		case pql.OpAdd:
+			return value.Add(l, r)
+		case pql.OpSub:
+			return value.Sub(l, r)
+		case pql.OpMul:
+			return value.Mul(l, r)
+		case pql.OpDiv:
+			return value.Div(l, r)
+		case pql.OpMod:
+			return value.Mod(l, r)
+		default:
+			return value.NullValue, fmt.Errorf("pql: %s: unknown operator", t.Pos)
+		}
+	case *pql.Call:
+		fn, ok := env.Funcs[t.Name]
+		if !ok {
+			return value.NullValue, fmt.Errorf("pql: %s: unknown function %s", t.Pos, t.Name)
+		}
+		args := make([]value.Value, len(t.Args))
+		for i, a := range t.Args {
+			v, err := evalTerm(a, b, env)
+			if err != nil {
+				return value.NullValue, err
+			}
+			args[i] = v
+		}
+		out, err := fn.Fn(args)
+		if err != nil {
+			return value.NullValue, fmt.Errorf("pql: %s: %s: %w", t.Pos, t.Name, err)
+		}
+		return out, nil
+	default:
+		return value.NullValue, fmt.Errorf("pql: %s: cannot evaluate %T here", pos(t), t)
+	}
+}
+
+func pos(t pql.Term) pql.Pos {
+	switch t := t.(type) {
+	case *pql.Var:
+		return t.Pos
+	case *pql.Const:
+		return t.Pos
+	case *pql.Param:
+		return t.Pos
+	case *pql.BinExpr:
+		return t.Pos
+	case *pql.Call:
+		return t.Pos
+	case *pql.Aggregate:
+		return t.Pos
+	default:
+		return pql.Pos{}
+	}
+}
+
+// evalCompare evaluates a comparison literal under b.
+func evalCompare(c *pql.CmpLit, b binding, env *analysis.Env) (bool, error) {
+	l, err := evalTerm(c.L, b, env)
+	if err != nil {
+		return false, err
+	}
+	r, err := evalTerm(c.R, b, env)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case pql.CmpEq:
+		return l.Equal(r), nil
+	case pql.CmpNeq:
+		return !l.Equal(r), nil
+	}
+	// Ordered comparisons need comparable operands.
+	cmp := l.Compare(r)
+	switch c.Op {
+	case pql.CmpLt:
+		return cmp < 0, nil
+	case pql.CmpLe:
+		return cmp <= 0, nil
+	case pql.CmpGt:
+		return cmp > 0, nil
+	case pql.CmpGe:
+		return cmp >= 0, nil
+	default:
+		return false, fmt.Errorf("pql: %s: unknown comparison", c.Pos)
+	}
+}
+
+// termGround reports whether all variables of t are bound in b.
+func termGround(t pql.Term, b binding) bool {
+	var vs []*pql.Var
+	vs = pql.Vars(t, vs)
+	for _, v := range vs {
+		if v.Wildcard() {
+			return false
+		}
+		if _, ok := b[v.Name]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package pql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics throws structured garbage at the parser: any input
+// must produce a rule set or an error, never a panic or a hang.
+func TestParserNeverPanics(t *testing.T) {
+	tokens := []string{
+		"p", "q", "value", "X", "Y", "_", "COUNT", "SUM", "(", ")", ",", ".",
+		":-", "<-", "!", "not", "=", "==", "!=", "<", "<=", ">", ">=",
+		"+", "-", "*", "/", "mod", "$x", "1", "2.5", "1e9", `"s"`, "true",
+		"false", "%c", "\n", " ",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		n := rng.Intn(30)
+		for j := 0; j < n; j++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestLexerNeverPanicsOnBytes feeds raw byte noise.
+func TestLexerNeverPanicsOnBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		raw := make([]byte, rng.Intn(40))
+		for j := range raw {
+			raw[j] = byte(rng.Intn(256))
+		}
+		src := string(raw)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParseIdempotentOnCannedQueries: parse → String → parse is stable for
+// every query shape we ship.
+func TestParseIdempotentOnCannedQueries(t *testing.T) {
+	srcs := []string{
+		`p(X) :- q(X, Y), r(Y, Z), Z > 1 + 2 * 3.`,
+		`agg(X, COUNT(Y)) :- e(X, Y).`,
+		`s(X, SUM(V)) :- e(X, V), not t(X).`,
+		`f(X) :- g(X), h(X, "str"), X != -4.5.`,
+		`a(X, I) :- b(X, I), I = $p.`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p1.String(), err)
+		}
+		if p1.String() != p2.String() {
+			t.Errorf("not idempotent:\n%q\n%q", p1.String(), p2.String())
+		}
+	}
+}

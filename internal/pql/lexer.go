@@ -1,0 +1,253 @@
+package pql
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer converts PQL source into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	r, sz := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += sz
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case r == ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case r == ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case r == '.':
+		l.advance()
+		return Token{Kind: TokDot, Text: ".", Pos: pos}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return Token{}, errf(pos, "expected ':-', found ':%c'", l.peek())
+		}
+		l.advance()
+		return Token{Kind: TokImplies, Text: ":-", Pos: pos}, nil
+	case r == '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokNeq, Text: "!=", Pos: pos}, nil
+		}
+		return Token{Kind: TokBang, Text: "!", Pos: pos}, nil
+	case r == '=':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokEq, Text: "==", Pos: pos}, nil
+		}
+		return Token{Kind: TokEq, Text: "=", Pos: pos}, nil
+	case r == '<':
+		l.advance()
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return Token{Kind: TokLe, Text: "<=", Pos: pos}, nil
+		case '-':
+			l.advance()
+			return Token{Kind: TokImplies, Text: "<-", Pos: pos}, nil
+		default:
+			return Token{Kind: TokLt, Text: "<", Pos: pos}, nil
+		}
+	case r == '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokGe, Text: ">=", Pos: pos}, nil
+		}
+		return Token{Kind: TokGt, Text: ">", Pos: pos}, nil
+	case r == '+':
+		l.advance()
+		return Token{Kind: TokPlus, Text: "+", Pos: pos}, nil
+	case r == '-':
+		l.advance()
+		return Token{Kind: TokMinus, Text: "-", Pos: pos}, nil
+	case r == '*':
+		l.advance()
+		return Token{Kind: TokStar, Text: "*", Pos: pos}, nil
+	case r == '/':
+		l.advance()
+		return Token{Kind: TokSlash, Text: "/", Pos: pos}, nil
+	case r == '$':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && isIdentRune(l.peek()) {
+			l.advance()
+		}
+		if l.off == start {
+			return Token{}, errf(pos, "expected parameter name after '$'")
+		}
+		return Token{Kind: TokParam, Text: l.src[start:l.off], Pos: pos}, nil
+	case r == '"':
+		return l.lexString(pos)
+	case unicode.IsDigit(r):
+		return l.lexNumber(pos)
+	case isIdentStart(r):
+		start := l.off
+		for l.off < len(l.src) && isIdentRune(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		switch text {
+		case "not":
+			return Token{Kind: TokNot, Text: text, Pos: pos}, nil
+		case "true":
+			return Token{Kind: TokTrue, Text: text, Pos: pos}, nil
+		case "false":
+			return Token{Kind: TokFalse, Text: text, Pos: pos}, nil
+		case "mod":
+			return Token{Kind: TokPercentOp, Text: text, Pos: pos}, nil
+		}
+		if text == "_" || unicode.IsUpper(rune(text[0])) {
+			return Token{Kind: TokVar, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	default:
+		return Token{}, errf(pos, "unexpected character %q", r)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		r := l.advance()
+		switch r {
+		case '"':
+			return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+		case '\\':
+			if l.off >= len(l.src) {
+				return Token{}, errf(pos, "unterminated escape in string literal")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteRune(e)
+			default:
+				return Token{}, errf(pos, "unknown escape \\%c", e)
+			}
+		case '\n':
+			return Token{}, errf(pos, "newline in string literal")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	seenDot := false
+	seenExp := false
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsDigit(r):
+			l.advance()
+		case r == '.' && !seenDot && !seenExp:
+			// Lookahead: "1." followed by non-digit is the rule terminator.
+			if l.off+1 >= len(l.src) || !unicode.IsDigit(rune(l.src[l.off+1])) {
+				goto done
+			}
+			seenDot = true
+			l.advance()
+		case (r == 'e' || r == 'E') && !seenExp:
+			// Exponent must be followed by digits or sign+digits.
+			j := l.off + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j >= len(l.src) || !unicode.IsDigit(rune(l.src[j])) {
+				goto done
+			}
+			seenExp = true
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	return Token{Kind: TokNumber, Text: l.src[start:l.off], Pos: pos}, nil
+}

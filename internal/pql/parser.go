@@ -1,0 +1,395 @@
+package pql
+
+import (
+	"strconv"
+	"strings"
+
+	"ariadne/internal/value"
+)
+
+// Parse parses a complete PQL query (one or more rules).
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != TokEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if len(prog.Rules) == 0 {
+		return nil, errf(p.tok.Pos, "empty query")
+	}
+	return prog, nil
+}
+
+// ParseRule parses exactly one rule.
+func ParseRule(src string) (*Rule, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 1 {
+		return nil, errf(Pos{1, 1}, "expected exactly one rule, found %d", len(prog.Rules))
+	}
+	return prog.Rules[0], nil
+}
+
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s %q", k, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	pos := p.tok.Pos
+	head, err := p.parseAtom(true)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Head: head, Pos: pos}
+	if p.tok.Kind == TokImplies {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, lit)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokDot); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parseAtom parses name(args...). Aggregates are allowed only when head.
+func (p *parser) parseAtom(head bool) (*Atom, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	a := &Atom{Pred: name.Text, Pos: name.Pos}
+	if p.tok.Kind == TokRParen {
+		return nil, errf(p.tok.Pos, "predicate %s needs at least one argument (the location specifier)", name.Text)
+	}
+	for {
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !head {
+			if ag := findAggregate(t); ag != nil {
+				return nil, errf(ag.Pos, "aggregate %s only allowed in rule heads", ag.Kind)
+			}
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func findAggregate(t Term) *Aggregate {
+	switch t := t.(type) {
+	case *Aggregate:
+		return t
+	case *BinExpr:
+		if a := findAggregate(t.L); a != nil {
+			return a
+		}
+		if t.R != nil {
+			return findAggregate(t.R)
+		}
+	case *Call:
+		for _, a := range t.Args {
+			if ag := findAggregate(a); ag != nil {
+				return ag
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	pos := p.tok.Pos
+	// Negation prefix.
+	if p.tok.Kind == TokBang || p.tok.Kind == TokNot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		a, err := p.parseAtom(false)
+		if err != nil {
+			return nil, err
+		}
+		return &PredLit{Atom: a, Negated: true}, nil
+	}
+	// Otherwise parse an expression; a following comparison operator makes
+	// this a comparison literal, else it must be a predicate atom.
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpFor(p.tok.Kind); ok {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpLit{Op: op, L: left, R: right, Pos: pos}, nil
+	}
+	if c, ok := left.(*Call); ok {
+		for _, a := range c.Args {
+			if ag := findAggregate(a); ag != nil {
+				return nil, errf(ag.Pos, "aggregate %s only allowed in rule heads", ag.Kind)
+			}
+		}
+		return &PredLit{Atom: &Atom{Pred: c.Name, Args: c.Args, Pos: c.Pos}}, nil
+	}
+	return nil, errf(pos, "expected predicate or comparison, found bare term %s", left)
+}
+
+func cmpFor(k TokKind) (CmpOp, bool) {
+	switch k {
+	case TokEq:
+		return CmpEq, true
+	case TokNeq:
+		return CmpNeq, true
+	case TokLt:
+		return CmpLt, true
+	case TokLe:
+		return CmpLe, true
+	case TokGt:
+		return CmpGt, true
+	case TokGe:
+		return CmpGe, true
+	default:
+		return 0, false
+	}
+}
+
+// --- expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (Term, error) { return p.parseAdditive() }
+
+func (p *parser) parseAdditive() (Term, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := OpAdd
+		if p.tok.Kind == TokMinus {
+			op = OpSub
+		}
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Term, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash || p.tok.Kind == TokPercentOp {
+		var op ArithOp
+		switch p.tok.Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Term, error) {
+	if p.tok.Kind == TokMinus {
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric constants.
+		if c, ok := t.(*Const); ok && c.Val.IsNumeric() {
+			if c.Val.Kind() == value.Int {
+				return &Const{Val: value.NewInt(-c.Val.Int()), Pos: pos}, nil
+			}
+			return &Const{Val: value.NewFloat(-c.Val.Float()), Pos: pos}, nil
+		}
+		return &BinExpr{Op: OpNeg, L: t, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]AggKind{
+	"COUNT": AggCount,
+	"SUM":   AggSum,
+	"MIN":   AggMin,
+	"MAX":   AggMax,
+	"AVG":   AggAvg,
+}
+
+func (p *parser) parsePrimary() (Term, error) {
+	tok := p.tok
+	switch tok.Kind {
+	case TokNumber:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !strings.ContainsAny(tok.Text, ".eE") {
+			n, err := strconv.ParseInt(tok.Text, 10, 64)
+			if err == nil {
+				return &Const{Val: value.NewInt(n), Pos: tok.Pos}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, errf(tok.Pos, "bad number %q: %v", tok.Text, err)
+		}
+		return &Const{Val: value.NewFloat(f), Pos: tok.Pos}, nil
+	case TokString:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Const{Val: value.NewString(tok.Text), Pos: tok.Pos}, nil
+	case TokTrue, TokFalse:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Const{Val: value.NewBool(tok.Kind == TokTrue), Pos: tok.Pos}, nil
+	case TokParam:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Param{Name: tok.Text, Pos: tok.Pos}, nil
+	case TokVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Aggregate call? COUNT(...) lexes as a variable followed by '('.
+		if kind, ok := aggNames[tok.Text]; ok && p.tok.Kind == TokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Aggregate{Kind: kind, Arg: arg, Pos: tok.Pos}, nil
+		}
+		return &Var{Name: tok.Text, Pos: tok.Pos}, nil
+	case TokIdent:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			c := &Call{Name: tok.Text, Pos: tok.Pos}
+			if p.tok.Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, a)
+					if p.tok.Kind != TokComma {
+						break
+					}
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		return nil, errf(tok.Pos, "bare identifier %q: predicates need arguments, variables start uppercase", tok.Text)
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return t, nil
+	default:
+		return nil, errf(tok.Pos, "unexpected %s %q in expression", tok.Kind, tok.Text)
+	}
+}

@@ -1,0 +1,250 @@
+package pql
+
+import (
+	"strings"
+	"testing"
+
+	"ariadne/internal/value"
+)
+
+func TestParseAptQuery(t *testing.T) {
+	// The motivating apt query (paper Query 1), ASCII syntax.
+	src := `
+% approximate optimization query
+change(X, I) :- value(X, D1, I), value(X, D2, J),
+                evolution(X, J, I), udf_diff(D1, D2, $eps).
+neighbor_change(X, I) :- receive_message(X, Y, M, I),
+                         !change(Y, J), J = I - 1.
+no_execute(X, I) :- !neighbor_change(X, I), superstep(X, I).
+safe(X, I) :- no_execute(X, I), change(X, I).
+unsafe(X, I) :- no_execute(X, I), !change(X, I).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 5 {
+		t.Fatalf("rules = %d, want 5", len(prog.Rules))
+	}
+	r0 := prog.Rules[0]
+	if r0.Head.Pred != "change" || len(r0.Head.Args) != 2 {
+		t.Errorf("head = %v", r0.Head)
+	}
+	if len(r0.Body) != 4 {
+		t.Errorf("body literals = %d, want 4", len(r0.Body))
+	}
+	// Fourth literal is the udf call (a PredLit until analysis resolves it).
+	if pl, ok := r0.Body[3].(*PredLit); !ok || pl.Atom.Pred != "udf_diff" {
+		t.Errorf("literal 3 = %v", r0.Body[3])
+	}
+	// $eps parsed as Param.
+	udf := r0.Body[3].(*PredLit).Atom
+	if _, ok := udf.Args[2].(*Param); !ok {
+		t.Errorf("third udf arg = %T, want Param", udf.Args[2])
+	}
+	// Negation recorded.
+	if pl := prog.Rules[1].Body[1].(*PredLit); !pl.Negated {
+		t.Error("!change should be negated")
+	}
+	// Comparison with arithmetic.
+	cmp, ok := prog.Rules[1].Body[2].(*CmpLit)
+	if !ok || cmp.Op != CmpEq {
+		t.Fatalf("literal = %v", prog.Rules[1].Body[2])
+	}
+	if _, ok := cmp.R.(*BinExpr); !ok {
+		t.Errorf("I - 1 should parse as BinExpr, got %T", cmp.R)
+	}
+}
+
+func TestParseAggregateHead(t *testing.T) {
+	prog, err := Parse(`in_degree(X, COUNT(Y)) :- edge(Y, X).
+avg_error(X, I, S / D) :- sum_error(X, I, S), degree(X, D).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, ok := prog.Rules[0].Head.Args[1].(*Aggregate)
+	if !ok || agg.Kind != AggCount {
+		t.Fatalf("head arg = %v", prog.Rules[0].Head.Args[1])
+	}
+	if _, ok := prog.Rules[1].Head.Args[2].(*BinExpr); !ok {
+		t.Errorf("S / D head arg should be BinExpr")
+	}
+}
+
+func TestParseBothArrows(t *testing.T) {
+	a, err := Parse(`p(X) :- q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`p(X) <- q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("arrow forms differ: %q vs %q", a.String(), b.String())
+	}
+}
+
+func TestParseFact(t *testing.T) {
+	prog, err := Parse(`source(5, 0).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules[0].Body) != 0 {
+		t.Error("fact should have empty body")
+	}
+	c := prog.Rules[0].Head.Args[0].(*Const)
+	if c.Val.Int() != 5 {
+		t.Errorf("const = %v", c.Val)
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	prog, err := Parse(`p(X) :- q(X, 3.5, -2, "hi", true, 1e-3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := prog.Rules[0].Body[0].(*PredLit).Atom.Args
+	wants := []value.Value{
+		value.NewFloat(3.5), value.NewInt(-2), value.NewString("hi"),
+		value.NewBool(true), value.NewFloat(0.001),
+	}
+	for i, w := range wants {
+		c, ok := args[i+1].(*Const)
+		if !ok || !c.Val.Equal(w) {
+			t.Errorf("arg %d = %v, want %v", i+1, args[i+1], w)
+		}
+	}
+}
+
+func TestParseNumberDotAmbiguity(t *testing.T) {
+	// `i = 0.` must parse the 0 and then the rule terminator.
+	prog, err := Parse(`p(X, I) :- q(X, I), I = 0.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := prog.Rules[0].Body[1].(*CmpLit)
+	if c := cmp.R.(*Const); c.Val.Int() != 0 {
+		t.Errorf("rhs = %v", cmp.R)
+	}
+}
+
+func TestParseNotKeyword(t *testing.T) {
+	prog, err := Parse(`p(X) :- q(X), not r(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl := prog.Rules[0].Body[1].(*PredLit); !pl.Negated {
+		t.Error("'not r(X)' should be negated")
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	prog, err := Parse(`p(X) :- q(X, _).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := prog.Rules[0].Body[0].(*PredLit).Atom.Args[1].(*Var)
+	if !v.Wildcard() {
+		t.Error("underscore should be a wildcard var")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{``, "empty query"},
+		{`p(X)`, "expected '.'"},
+		{`p() .`, "at least one argument"},
+		{`p(X) :- q(X), .`, "unexpected"},
+		{`p(X) :- X.`, "bare term"},
+		{`p(X) :- q(X) r(X).`, "expected '.'"},
+		{`p(X) :- q(COUNT(X)).`, "only allowed in rule heads"},
+		{`p(X) :- "unterminated.`, "unterminated string"},
+		{`p(lower) :- q(X).`, "bare identifier"},
+		{`p(X) : q(X).`, "expected ':-'"},
+		{`p(X) :- q(X), $.`, "parameter name"},
+		{`p(X) @- q(X).`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseRuleHelper(t *testing.T) {
+	r, err := ParseRule(`p(X) :- q(X).`)
+	if err != nil || r.Head.Pred != "p" {
+		t.Errorf("ParseRule: %v, %v", r, err)
+	}
+	if _, err := ParseRule(`p(X). q(X).`); err == nil {
+		t.Error("two rules should fail ParseRule")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := `safe(X, I) :- no_execute(X, I), change(X, I), I >= 2 + 1, udf(X, $p).`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", prog.String(), err)
+	}
+	if re.String() != prog.String() {
+		t.Errorf("not stable: %q vs %q", prog.String(), re.String())
+	}
+}
+
+func TestVarsCollector(t *testing.T) {
+	r, err := ParseRule(`p(X, SUM(Y + Z)) :- q(X, Y), r(X, Z, f(W)).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vs []*Var
+	for _, a := range r.Head.Args {
+		vs = Vars(a, vs)
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Name] = true
+	}
+	if !names["X"] || !names["Y"] || !names["Z"] {
+		t.Errorf("head vars = %v", names)
+	}
+	var bodyVs []*Var
+	for _, a := range r.Body[1].(*PredLit).Atom.Args {
+		bodyVs = Vars(a, bodyVs)
+	}
+	found := false
+	for _, v := range bodyVs {
+		if v.Name == "W" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("W inside call should be collected")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("p(X) :- q(X).\nbroken(")
+	if err == nil {
+		t.Fatal("should fail")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want SyntaxError, got %T", err)
+	}
+	if se.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Pos.Line)
+	}
+}

@@ -1,0 +1,144 @@
+// Package pql implements the front-end of Ariadne's Provenance Query
+// Language (paper §4): a Datalog dialect with stratified negation,
+// aggregation, comparison predicates, arithmetic, user-defined functions,
+// and location-specified predicates. The package provides the lexer,
+// parser, and AST; semantic analysis and classification live in
+// pql/analysis, evaluation in pql/eval.
+//
+// Syntax summary (ASCII rendering of the paper's notation):
+//
+//	change(X, I) :- value(X, D1, I), value(X, D2, J),
+//	                evolution(X, J, I), udf_diff(D1, D2, $eps).
+//	neighbor_change(X, I) :- receive_message(X, Y, M, I),
+//	                         !change(Y, J), J = I - 1.
+//	in_degree(X, COUNT(Y)) :- edge(Y, X).
+//
+// Variables begin with an uppercase letter (or are the wildcard `_`),
+// predicate and function names with a lowercase letter. `:-` and `<-` both
+// separate head from body; rules end with `.`. `!p(...)` and `not p(...)`
+// negate a body literal. `$name` is a query parameter bound at analysis
+// time. Aggregates COUNT, SUM, MIN, MAX, AVG may appear in head arguments.
+// Comments run from `%` or `//` to end of line.
+package pql
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokVar
+	TokParam
+	TokNumber
+	TokString
+	TokLParen
+	TokRParen
+	TokComma
+	TokDot
+	TokImplies // :- or <-
+	TokBang    // !
+	TokNot     // not
+	TokEq      // = or ==
+	TokNeq     // !=
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercentOp // mod
+	TokTrue
+	TokFalse
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokVar:
+		return "variable"
+	case TokParam:
+		return "parameter"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokImplies:
+		return "':-'"
+	case TokBang:
+		return "'!'"
+	case TokNot:
+		return "'not'"
+	case TokEq:
+		return "'='"
+	case TokNeq:
+		return "'!='"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokPercentOp:
+		return "'%%'"
+	case TokTrue:
+		return "'true'"
+	case TokFalse:
+		return "'false'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("pql: %s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

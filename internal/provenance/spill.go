@@ -1,0 +1,268 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"ariadne/internal/value"
+)
+
+// Binary layer file format (the HDFS-offload stand-in):
+//
+//	magic "APRV" | version:1 | superstep:uvarint | nrecords:uvarint | records
+//
+// Each record:
+//
+//	vertex:uvarint | prevActive+1:uvarint | flags:1 |
+//	[value] | nsends:uvarint sends | nrecvs:uvarint recvs |
+//	nemitted:uvarint { tableLen:uvarint table nargs:uvarint args }
+//
+// flags: bit0 HasValue, bit1 SentAny.
+
+var layerMagic = [4]byte{'A', 'P', 'R', 'V'}
+
+const layerVersion = 1
+
+func writeLayerFile(path string, l *Layer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := encodeLayer(w, l); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readLayerFile(path string) (*Layer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeLayer(bufio.NewReader(f))
+}
+
+func encodeLayer(w *bufio.Writer, l *Layer) error {
+	if _, err := w.Write(layerMagic[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(layerVersion); err != nil {
+		return err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(l.Superstep))
+	buf = binary.AppendUvarint(buf, uint64(len(l.Records)))
+	for i := range l.Records {
+		r := &l.Records[i]
+		buf = binary.AppendUvarint(buf, uint64(r.Vertex))
+		buf = binary.AppendUvarint(buf, uint64(r.PrevActive+1))
+		var flags byte
+		if r.HasValue {
+			flags |= 1
+		}
+		if r.SentAny {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		if r.HasValue {
+			buf = r.Value.AppendBinary(buf)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(r.Sends)))
+		for _, m := range r.Sends {
+			buf = binary.AppendUvarint(buf, uint64(m.Peer))
+			buf = m.Val.AppendBinary(buf)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(r.Recvs)))
+		for _, m := range r.Recvs {
+			buf = binary.AppendUvarint(buf, uint64(m.Peer))
+			buf = m.Val.AppendBinary(buf)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(r.Emitted)))
+		for _, fc := range r.Emitted {
+			buf = binary.AppendUvarint(buf, uint64(len(fc.Table)))
+			buf = append(buf, fc.Table...)
+			buf = binary.AppendUvarint(buf, uint64(len(fc.Args)))
+			for _, a := range fc.Args {
+				buf = a.AppendBinary(buf)
+			}
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+func decodeLayer(r byteReader) (*Layer, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != layerMagic {
+		return nil, fmt.Errorf("provenance: bad layer magic %q", magic[:])
+	}
+	ver, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != layerVersion {
+		return nil, fmt.Errorf("provenance: unsupported layer version %d", ver)
+	}
+	ss, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	l := &Layer{Superstep: int(ss), Records: make([]Record, n)}
+	for i := range l.Records {
+		rec := &l.Records[i]
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		rec.Vertex = VertexID(v)
+		pa, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		rec.PrevActive = int32(pa) - 1
+		flags, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rec.HasValue = flags&1 != 0
+		rec.SentAny = flags&2 != 0
+		if rec.HasValue {
+			if rec.Value, err = readValue(r); err != nil {
+				return nil, err
+			}
+		}
+		if rec.Sends, err = readMsgHalves(r); err != nil {
+			return nil, err
+		}
+		if rec.Recvs, err = readMsgHalves(r); err != nil {
+			return nil, err
+		}
+		ne, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if ne > 0 {
+			rec.Emitted = make([]Fact, ne)
+			for j := range rec.Emitted {
+				tl, err := binary.ReadUvarint(r)
+				if err != nil {
+					return nil, err
+				}
+				tb := make([]byte, tl)
+				if _, err := io.ReadFull(r, tb); err != nil {
+					return nil, err
+				}
+				na, err := binary.ReadUvarint(r)
+				if err != nil {
+					return nil, err
+				}
+				args := make([]value.Value, na)
+				for k := range args {
+					if args[k], err = readValue(r); err != nil {
+						return nil, err
+					}
+				}
+				rec.Emitted[j] = Fact{Table: string(tb), Args: args}
+			}
+		}
+	}
+	return l, nil
+}
+
+func readMsgHalves(r byteReader) ([]MsgHalf, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	ms := make([]MsgHalf, n)
+	for i := range ms {
+		p, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		ms[i].Peer = VertexID(p)
+		if ms[i].Val, err = readValue(r); err != nil {
+			return nil, err
+		}
+	}
+	return ms, nil
+}
+
+// readValue decodes one value from a stream by buffering the maximum value
+// header and payload incrementally.
+func readValue(r byteReader) (value.Value, error) {
+	// Values are self-describing; re-encode the stream bytes into a buffer
+	// large enough for DecodeValue. Read kind byte first.
+	kind, err := r.ReadByte()
+	if err != nil {
+		return value.NullValue, err
+	}
+	switch value.Kind(kind) {
+	case value.Null:
+		return value.NullValue, nil
+	case value.Bool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewBool(b == 1), nil
+	case value.Int, value.Float:
+		var raw [8]byte
+		if _, err := io.ReadFull(r, raw[:]); err != nil {
+			return value.NullValue, err
+		}
+		buf := append([]byte{kind}, raw[:]...)
+		v, _, err := value.DecodeValue(buf)
+		return v, err
+	case value.String:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return value.NullValue, err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return value.NullValue, err
+		}
+		return value.NewString(string(b)), nil
+	case value.Vector:
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return value.NullValue, err
+		}
+		raw := make([]byte, 8*n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return value.NullValue, err
+		}
+		buf := binary.AppendUvarint([]byte{kind}, n)
+		buf = append(buf, raw...)
+		v, _, err := value.DecodeValue(buf)
+		return v, err
+	default:
+		return value.NullValue, fmt.Errorf("provenance: corrupt value kind %d in layer file", kind)
+	}
+}

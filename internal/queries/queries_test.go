@@ -1,0 +1,105 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+func TestAllPaperQueriesBuildAndClassify(t *testing.T) {
+	cases := []struct {
+		def       Definition
+		wantClass analysis.Class
+	}{
+		{Apt(0.01, nil), analysis.Forward},
+		{Apt(0.5, value.EuclideanDist), analysis.Forward},
+		{CaptureFull(), analysis.Local},
+		{CaptureForwardLineage(3), analysis.Forward},
+		{PageRankCheck(), analysis.Local},
+		{MonotoneCheck(), analysis.Local},
+		{SilentChange(), analysis.Local},
+		{ALSRangeCheck(), analysis.Local},
+		{ALSErrorIncrease(0.5), analysis.Local},
+		{BackwardTrace(5, 9), analysis.Backward},
+		{CaptureBackwardCustom(), analysis.Local},
+		{BackwardTraceCustom(5, 9), analysis.Backward},
+	}
+	for _, c := range cases {
+		q, err := c.def.Build()
+		if err != nil {
+			t.Errorf("%s: %v", c.def.Name, err)
+			continue
+		}
+		if q.Class != c.wantClass {
+			t.Errorf("%s: class %v, want %v", c.def.Name, q.Class, c.wantClass)
+		}
+		if !q.VCCompatible {
+			t.Errorf("%s must be VC-compatible", c.def.Name)
+		}
+		if c.def.Paper == "" || len(c.def.ResultPreds) == 0 {
+			t.Errorf("%s: missing metadata", c.def.Name)
+		}
+	}
+}
+
+func TestParametersFlowIntoRules(t *testing.T) {
+	q := BackwardTrace(42, 7).MustBuild()
+	// The substituted constants appear in the analyzed rules.
+	text := ""
+	for _, r := range q.Rules {
+		text += r.String()
+	}
+	if !strings.Contains(text, "42") || !strings.Contains(text, "7") {
+		t.Errorf("parameters not substituted: %s", text)
+	}
+}
+
+func TestAptUsesProvidedDiff(t *testing.T) {
+	called := false
+	def := Apt(0.5, func(a, b value.Value) (float64, error) {
+		called = true
+		return value.AbsDiff(a, b)
+	})
+	q := def.MustBuild()
+	fn := q.Env().Funcs["udf_diff"]
+	if _, err := fn.Fn([]value.Value{value.NewFloat(1), value.NewFloat(2), value.NewFloat(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("custom diff not wired into udf_diff")
+	}
+}
+
+func TestBuildErrorsAreNamed(t *testing.T) {
+	def := Definition{Name: "broken", Source: `p(X) :- nosuch(X).`, Env: analysis.NewEnv()}
+	_, err := def.Build()
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("build error should name the query: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on broken queries")
+		}
+	}()
+	def.MustBuild()
+}
+
+func TestOnlineEligibility(t *testing.T) {
+	for _, def := range []Definition{Apt(0.1, nil), PageRankCheck(), MonotoneCheck(), SilentChange(), ALSRangeCheck(), ALSErrorIncrease(0.1)} {
+		q := def.MustBuild()
+		if !q.Class.OnlineEvaluable() {
+			t.Errorf("%s must be online-evaluable (paper runs it online)", def.Name)
+		}
+	}
+	for _, def := range []Definition{BackwardTrace(0, 1), BackwardTraceCustom(0, 1)} {
+		q := def.MustBuild()
+		if q.Class.OnlineEvaluable() {
+			t.Errorf("%s must not be online-evaluable", def.Name)
+		}
+		if !q.Class.LayeredEvaluable() {
+			t.Errorf("%s must be layered-evaluable", def.Name)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package value defines the tagged datum type shared by the vertex-centric
+// engine, the provenance store, and the PQL evaluator.
+//
+// Ariadne's provenance representation is independent of the native language
+// of the graph analytic (paper §1): vertex values, edge values, and messages
+// are all modeled as Values, so provenance tables and Datalog tuples use a
+// single runtime representation.
+package value
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported kinds. Null sorts before everything else; Vector values
+// (used by ALS feature vectors) compare lexicographically.
+const (
+	Null Kind = iota
+	Bool
+	Int
+	Float
+	String
+	Vector
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Vector:
+		return "vector"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union. The zero Value is Null.
+type Value struct {
+	kind Kind
+	// num holds the integer value, the float bits, or the bool (0/1).
+	num uint64
+	str string
+	vec []float64
+}
+
+// NullValue is the canonical null.
+var NullValue = Value{}
+
+// NewBool returns a boolean Value.
+func NewBool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: Bool, num: n}
+}
+
+// NewInt returns an integer Value.
+func NewInt(i int64) Value { return Value{kind: Int, num: uint64(i)} }
+
+// NewFloat returns a floating-point Value.
+func NewFloat(f float64) Value { return Value{kind: Float, num: math.Float64bits(f)} }
+
+// NewString returns a string Value.
+func NewString(s string) Value { return Value{kind: String, str: s} }
+
+// NewVector returns a vector Value. The slice is retained, not copied.
+func NewVector(v []float64) Value { return Value{kind: Vector, vec: v} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == Null }
+
+// Bool returns the boolean payload; false for non-bool Values.
+func (v Value) Bool() bool { return v.kind == Bool && v.num == 1 }
+
+// Int returns the integer payload; 0 for non-int Values.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		return 0
+	}
+	return int64(v.num)
+}
+
+// Float returns the numeric payload as float64, converting ints.
+// It returns NaN for non-numeric Values.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case Float:
+		return math.Float64frombits(v.num)
+	case Int:
+		return float64(int64(v.num))
+	default:
+		return math.NaN()
+	}
+}
+
+// Str returns the string payload; "" for non-string Values.
+func (v Value) Str() string {
+	if v.kind != String {
+		return ""
+	}
+	return v.str
+}
+
+// Vec returns the vector payload; nil for non-vector Values.
+func (v Value) Vec() []float64 {
+	if v.kind != Vector {
+		return nil
+	}
+	return v.vec
+}
+
+// IsNumeric reports whether v is an Int or Float.
+func (v Value) IsNumeric() bool { return v.kind == Int || v.kind == Float }
+
+// String renders v for display and text encodings.
+func (v Value) String() string {
+	switch v.kind {
+	case Null:
+		return "null"
+	case Bool:
+		if v.num == 1 {
+			return "true"
+		}
+		return "false"
+	case Int:
+		return strconv.FormatInt(int64(v.num), 10)
+	case Float:
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
+	case String:
+		return v.str
+	case Vector:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, f := range v.vec {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality. Int and Float compare numerically, so
+// NewInt(3).Equal(NewFloat(3)) is true, matching PQL's "=" semantics.
+func (v Value) Equal(w Value) bool {
+	if v.kind == w.kind {
+		switch v.kind {
+		case Null:
+			return true
+		case String:
+			return v.str == w.str
+		case Vector:
+			if len(v.vec) != len(w.vec) {
+				return false
+			}
+			for i := range v.vec {
+				if v.vec[i] != w.vec[i] {
+					return false
+				}
+			}
+			return true
+		default:
+			return v.num == w.num
+		}
+	}
+	if v.IsNumeric() && w.IsNumeric() {
+		return v.Float() == w.Float()
+	}
+	return false
+}
+
+// Compare orders Values: by kind class first (null < bool < numeric <
+// string < vector), then by payload. Numeric kinds compare as float64.
+// It returns -1, 0, or +1.
+func (v Value) Compare(w Value) int {
+	vc, wc := v.class(), w.class()
+	if vc != wc {
+		if vc < wc {
+			return -1
+		}
+		return 1
+	}
+	switch vc {
+	case classNull:
+		return 0
+	case classBool:
+		return cmpUint(v.num, w.num)
+	case classNum:
+		a, b := v.Float(), w.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case classString:
+		return strings.Compare(v.str, w.str)
+	default: // classVector
+		n := min(len(v.vec), len(w.vec))
+		for i := 0; i < n; i++ {
+			if v.vec[i] < w.vec[i] {
+				return -1
+			}
+			if v.vec[i] > w.vec[i] {
+				return 1
+			}
+		}
+		return cmpInt(len(v.vec), len(w.vec))
+	}
+}
+
+type class uint8
+
+const (
+	classNull class = iota
+	classBool
+	classNum
+	classString
+	classVector
+)
+
+func (v Value) class() class {
+	switch v.kind {
+	case Null:
+		return classNull
+	case Bool:
+		return classBool
+	case Int, Float:
+		return classNum
+	case String:
+		return classString
+	default:
+		return classVector
+	}
+}
+
+func cmpUint(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a hash of v consistent with Equal: numerically equal Int and
+// Float values hash identically.
+func (v Value) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch v.kind {
+	case Null:
+		h.WriteByte(0)
+	case Bool:
+		h.WriteByte(1)
+		h.WriteByte(byte(v.num))
+	case Int, Float:
+		h.WriteByte(2)
+		// Hash by float bits of the numeric value so 3 and 3.0 collide.
+		f := v.Float()
+		if f == 0 {
+			f = 0 // normalize -0
+		}
+		writeUint64(&h, math.Float64bits(f))
+	case String:
+		h.WriteByte(3)
+		h.WriteString(v.str)
+	case Vector:
+		h.WriteByte(4)
+		for _, f := range v.vec {
+			writeUint64(&h, math.Float64bits(f))
+		}
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h *maphash.Hash, u uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// EncodedSize returns the exact length of AppendBinary's encoding of v,
+// used for serialized-size accounting without encoding.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case Null:
+		return 1
+	case Bool:
+		return 2
+	case Int, Float:
+		return 9
+	case String:
+		return 1 + uvarintLen(uint64(len(v.str))) + len(v.str)
+	case Vector:
+		return 1 + uvarintLen(uint64(len(v.vec))) + 8*len(v.vec)
+	default:
+		return 1
+	}
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// MemSize returns the approximate in-memory footprint of v in bytes,
+// used by the provenance store's size accounting.
+func (v Value) MemSize() int {
+	const base = 8 + 8 + 16 + 24 // kind+pad, num, string header, slice header
+	switch v.kind {
+	case String:
+		return base + len(v.str)
+	case Vector:
+		return base + 8*len(v.vec)
+	default:
+		return base
+	}
+}

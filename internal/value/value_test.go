@@ -1,0 +1,265 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{NullValue, Null, "null"},
+		{NewBool(true), Bool, "true"},
+		{NewBool(false), Bool, "false"},
+		{NewInt(-42), Int, "-42"},
+		{NewFloat(1.5), Float, "1.5"},
+		{NewString("hi"), String, "hi"},
+		{NewVector([]float64{1, 2.5}), Vector, "[1,2.5]"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestAccessorsOnWrongKind(t *testing.T) {
+	s := NewString("x")
+	if s.Int() != 0 || s.Bool() || s.Vec() != nil {
+		t.Errorf("wrong-kind accessors should return zero values")
+	}
+	if !math.IsNaN(s.Float()) {
+		t.Errorf("Float() on string should be NaN, got %v", s.Float())
+	}
+	if NewInt(7).Str() != "" {
+		t.Errorf("Str() on int should be empty")
+	}
+}
+
+func TestNumericEquality(t *testing.T) {
+	if !NewInt(3).Equal(NewFloat(3)) {
+		t.Error("3 (int) should equal 3.0 (float)")
+	}
+	if NewInt(3).Equal(NewFloat(3.5)) {
+		t.Error("3 should not equal 3.5")
+	}
+	if NewInt(3).Hash() != NewFloat(3).Hash() {
+		t.Error("numerically equal values must hash equally")
+	}
+	if NewString("3").Equal(NewInt(3)) {
+		t.Error("string should not equal int")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ordered := []Value{
+		NullValue,
+		NewBool(false),
+		NewBool(true),
+		NewInt(-1),
+		NewFloat(0.5),
+		NewInt(2),
+		NewString("a"),
+		NewString("b"),
+		NewVector([]float64{1}),
+		NewVector([]float64{1, 0}),
+		NewVector([]float64{2}),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestVectorEquality(t *testing.T) {
+	a := NewVector([]float64{1, 2})
+	b := NewVector([]float64{1, 2})
+	c := NewVector([]float64{1, 3})
+	d := NewVector([]float64{1})
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Error("vector equality wrong")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustAdd := func(a, b Value) Value {
+		t.Helper()
+		v, err := Add(a, b)
+		if err != nil {
+			t.Fatalf("Add(%v,%v): %v", a, b, err)
+		}
+		return v
+	}
+	if got := mustAdd(NewInt(2), NewInt(3)); got.Kind() != Int || got.Int() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := mustAdd(NewInt(2), NewFloat(0.5)); got.Kind() != Float || got.Float() != 2.5 {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := mustAdd(NewString("a"), NewString("b")); got.Str() != "ab" {
+		t.Errorf("string add = %v", got)
+	}
+	if v, err := Div(NewInt(7), NewInt(2)); err != nil || v.Float() != 3.5 {
+		t.Errorf("7/2 = %v, %v (division always float)", v, err)
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("int division by zero should error")
+	}
+	if v, err := Mod(NewInt(7), NewInt(3)); err != nil || v.Int() != 1 {
+		t.Errorf("7%%3 = %v, %v", v, err)
+	}
+	if _, err := Add(NewInt(1), NewString("x")); err == nil {
+		t.Error("int+string should error")
+	}
+	if v, err := Neg(NewInt(4)); err != nil || v.Int() != -4 {
+		t.Errorf("neg = %v, %v", v, err)
+	}
+	if v, err := Add(NewVector([]float64{1, 2}), NewVector([]float64{3, 4})); err != nil || v.String() != "[4,6]" {
+		t.Errorf("vector add = %v, %v", v, err)
+	}
+	if _, err := Add(NewVector([]float64{1}), NewVector([]float64{1, 2})); err == nil {
+		t.Error("mismatched vector add should error")
+	}
+	if v, err := Mul(NewVector([]float64{1, 2}), NewFloat(2)); err != nil || v.String() != "[2,4]" {
+		t.Errorf("vector scale = %v, %v", v, err)
+	}
+}
+
+func TestAbsDiffAndEuclidean(t *testing.T) {
+	d, err := AbsDiff(NewFloat(1.5), NewInt(3))
+	if err != nil || d != 1.5 {
+		t.Errorf("AbsDiff = %v, %v", d, err)
+	}
+	if _, err := AbsDiff(NewString("a"), NewInt(1)); err == nil {
+		t.Error("AbsDiff on string should error")
+	}
+	e, err := EuclideanDist(NewVector([]float64{0, 0}), NewVector([]float64{3, 4}))
+	if err != nil || e != 5 {
+		t.Errorf("EuclideanDist = %v, %v", e, err)
+	}
+	if _, err := EuclideanDist(NewVector([]float64{1}), NewInt(2)); err == nil {
+		t.Error("EuclideanDist on non-vector should error")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	vals := []Value{
+		NullValue,
+		NewBool(true),
+		NewBool(false),
+		NewInt(0),
+		NewInt(-1 << 62),
+		NewFloat(math.Pi),
+		NewFloat(math.Inf(-1)),
+		NewString(""),
+		NewString("hello world"),
+		NewVector(nil),
+		NewVector([]float64{1, -2, 3.25}),
+	}
+	var buf []byte
+	for _, v := range vals {
+		buf = v.AppendBinary(buf)
+	}
+	off := 0
+	for _, want := range vals {
+		got, n, err := DecodeValue(buf[off:])
+		if err != nil {
+			t.Fatalf("decode %v: %v", want, err)
+		}
+		// NewVector(nil) round-trips to an empty vector; compare via Equal.
+		if !got.Equal(want) || got.Kind() != want.Kind() {
+			t.Errorf("round trip: got %v (%v), want %v (%v)", got, got.Kind(), want, want.Kind())
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty buffer should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(Int), 1, 2}); err == nil {
+		t.Error("truncated int should error")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("bad kind byte should error")
+	}
+}
+
+func TestCodecQuick(t *testing.T) {
+	f := func(i int64, fl float64, s string, vec []float64) bool {
+		for _, v := range []Value{NewInt(i), NewFloat(fl), NewString(s), NewVector(vec)} {
+			buf := v.AppendBinary(nil)
+			got, n, err := DecodeValue(buf)
+			if err != nil || n != len(buf) {
+				return false
+			}
+			// NaN != NaN under Equal via float compare; handle separately.
+			if v.Kind() == Float && math.IsNaN(fl) {
+				if got.Kind() != Float || !math.IsNaN(got.Float()) {
+					return false
+				}
+				continue
+			}
+			if v.Kind() == Vector {
+				for _, x := range vec {
+					if math.IsNaN(x) {
+						return true // skip NaN vectors
+					}
+				}
+			}
+			if !got.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if va.Equal(vb) && va.Hash() != vb.Hash() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if NewFloat(0).Hash() != NewFloat(math.Copysign(0, -1)).Hash() {
+		t.Error("+0 and -0 must hash equally")
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	if NewString("abcd").MemSize() <= NewString("").MemSize() {
+		t.Error("longer string should report larger size")
+	}
+	if NewVector(make([]float64, 10)).MemSize() <= NewVector(nil).MemSize() {
+		t.Error("longer vector should report larger size")
+	}
+}
