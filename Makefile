@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test bench vet race ci clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# ci is what .github/workflows/ci.yml runs.
+ci: vet race
+
+clean:
+	$(GO) clean ./...

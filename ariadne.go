@@ -22,6 +22,7 @@
 package ariadne
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"ariadne/internal/capture"
 	"ariadne/internal/driver"
 	"ariadne/internal/engine"
+	"ariadne/internal/fault"
 	"ariadne/internal/graph"
 	"ariadne/internal/provenance"
 	"ariadne/internal/queries"
@@ -55,7 +57,17 @@ type (
 	Store = provenance.Store
 	// StoreConfig configures provenance storage (budget, spill directory).
 	StoreConfig = provenance.StoreConfig
+	// CrashError reports a vertex-program failure with its culprit vertex
+	// and superstep; errors.As on any Run/Resume error reaches it.
+	CrashError = engine.CrashError
+	// FaultInjector deterministically injects panics and transient I/O
+	// errors for crash-recovery testing.
+	FaultInjector = fault.Injector
 )
+
+// ErrComputePanic is the cause inside a CrashError when the vertex program
+// panicked (errors.Is-friendly through the public API).
+var ErrComputePanic = engine.ErrComputePanic
 
 // Result is the outcome of a Run.
 type Result struct {
@@ -69,6 +81,9 @@ type Result struct {
 	Provenance *Store
 	// Aggregated exposes the analytic's final global aggregators.
 	Aggregated engine.AggregatorReader
+	// ResumedFrom is the superstep a Resume restarted at (0 for a fresh
+	// Run, or when the first checkpoint had not been written yet).
+	ResumedFrom int
 
 	queryResults map[string]*driver.Result
 }
@@ -159,29 +174,78 @@ func WithObserver(o engine.Observer) Option {
 	}
 }
 
-// Run executes the analytic over g with optional provenance capture and
-// online queries. The analytic's code path is identical with or without
-// provenance (transparent capture, paper §1).
-func Run(g *Graph, prog Program, opts ...Option) (*Result, error) {
+// WithContext makes the run cancelable: ctx is checked at every superstep
+// barrier, so cancellation or a deadline aborts a hung or runaway analytic
+// cleanly with a descriptive error instead of blocking forever.
+func WithContext(ctx context.Context) Option {
+	return func(c *runConfig) error {
+		c.engineCfg.Context = ctx
+		return nil
+	}
+}
+
+// WithCheckpoint snapshots the full run state (vertex values, active set,
+// in-flight messages, aggregators, and observer state) into dir every
+// `every` supersteps. A crashed run restarts from the newest good checkpoint
+// via Resume with the same options.
+func WithCheckpoint(dir string, every int) Option {
+	return func(c *runConfig) error {
+		if dir == "" || every <= 0 {
+			return errors.New("ariadne: WithCheckpoint needs a directory and a positive interval")
+		}
+		c.engineCfg.Checkpoint = &engine.CheckpointConfig{Dir: dir, Interval: every}
+		return nil
+	}
+}
+
+// WithFault installs a deterministic fault injector, consulted by the
+// engine's compute path and the checkpoint/spill writers — the test harness
+// for crash recovery.
+func WithFault(inj *FaultInjector) Option {
+	return func(c *runConfig) error {
+		c.engineCfg.Fault = inj
+		c.storeCfg.Fault = inj
+		return nil
+	}
+}
+
+// WithFaultSpec parses a fault.ParseSpec string (the cmd/ariadne -faults
+// syntax, e.g. "compute:mode=panic:ss=3:vertex=7") into a WithFault option.
+func WithFaultSpec(spec string) Option {
+	return func(c *runConfig) error {
+		rules, err := fault.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		inj := fault.NewInjector(rules...)
+		c.engineCfg.Fault = inj
+		c.storeCfg.Fault = inj
+		return nil
+	}
+}
+
+// prepare applies opts and constructs the observer pipeline. The observer
+// construction order (capture, then online queries in option order, then
+// custom observers) is deterministic — Resume depends on it to re-match
+// checkpointed observer state by position.
+func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.Online, error) {
 	var cfg runConfig
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
-
-	res := &Result{queryResults: map[string]*driver.Result{}}
 
 	// Capture observer.
 	var store *provenance.Store
 	if cfg.captureDef != nil {
 		q, err := cfg.captureDef.Build()
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		pol, err := capture.FromQuery(q, cfg.captureDef.Env)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		cfg.capturePol = &pol
 	}
@@ -195,35 +259,77 @@ func Run(g *Graph, prog Program, opts ...Option) (*Result, error) {
 	for _, def := range cfg.onlineDefs {
 		q, err := def.Build()
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		o, err := driver.NewOnline(q, g)
 		if err != nil {
-			return nil, fmt.Errorf("ariadne: query %s: %w", def.Name, err)
+			return nil, nil, nil, fmt.Errorf("ariadne: query %s: %w", def.Name, err)
 		}
 		onlines = append(onlines, o)
 		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, o)
 	}
 	cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, cfg.observers...)
+	return &cfg, store, onlines, nil
+}
 
+// finish collects the run outcome shared by Run and Resume.
+func finish(e *engine.Engine, cfg *runConfig, store *provenance.Store, onlines []*driver.Online, start time.Time, stats engine.RunStats, err error) (*Result, error) {
+	res := &Result{queryResults: map[string]*driver.Result{}}
+	res.Duration = time.Since(start)
+	res.Stats = stats
+	res.Values = e.Values()
+	res.Aggregated = e.Aggregated()
+	res.Provenance = store
+	res.ResumedFrom = e.ResumedFrom()
+	for i, def := range cfg.onlineDefs {
+		res.queryResults[def.Name] = onlines[i].Result()
+	}
+	return res, err
+}
+
+// Run executes the analytic over g with optional provenance capture and
+// online queries. The analytic's code path is identical with or without
+// provenance (transparent capture, paper §1).
+func Run(g *Graph, prog Program, opts ...Option) (*Result, error) {
+	cfg, store, onlines, err := prepare(g, opts)
+	if err != nil {
+		return nil, err
+	}
 	e, err := engine.New(g, prog, cfg.engineCfg)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	stats, err := e.Run()
-	res.Duration = time.Since(start)
-	res.Stats = stats
-	res.Values = e.Values()
-	res.Aggregated = e.Aggregated()
-	res.Provenance = store
-	for i, def := range cfg.onlineDefs {
-		res.queryResults[def.Name] = onlines[i].Result()
-	}
+	return finish(e, cfg, store, onlines, start, stats, err)
+}
+
+// Resume restarts a crashed Run from its newest readable checkpoint
+// (falling back to older ones in the manifest when the newest is damaged)
+// and runs it to completion. Pass the same graph, program, and options as
+// the original run — including WithCheckpoint, which names the checkpoint
+// directory. Observer state (capture watermark, online-query relations) is
+// restored along with engine state, so the final values and query results
+// are identical to an uninterrupted run.
+//
+// A capture observer resuming in a fresh process recovers its store from
+// the spill directory and therefore needs StoreConfig.SpillAll; in-process
+// resume (same Store object) has no such restriction.
+func Resume(g *Graph, prog Program, opts ...Option) (*Result, error) {
+	cfg, store, onlines, err := prepare(g, opts)
 	if err != nil {
-		return res, err
+		return nil, err
 	}
-	return res, nil
+	if cfg.engineCfg.Checkpoint == nil {
+		return nil, errors.New("ariadne: Resume needs WithCheckpoint to locate checkpoints")
+	}
+	e, err := engine.Resume(g, prog, cfg.engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stats, err := e.Run()
+	return finish(e, cfg, store, onlines, start, stats, err)
 }
 
 // Mode selects an offline evaluation strategy.

@@ -5,9 +5,17 @@
 //	ariadne run -analytic pagerank -dataset IN-04 -online apt:0.01
 //	ariadne run -analytic sssp -graph edges.txt -capture full
 //	ariadne trace -analytic sssp -dataset IN-04 -mode backward
+//
+// Fault tolerance: -checkpoint enables superstep checkpointing, -resume
+// restarts a crashed run from its newest good checkpoint, and -faults
+// injects deterministic worker panics or transient I/O errors for testing:
+//
+//	ariadne run -analytic pagerank -checkpoint ck -faults "compute:mode=panic:ss=7"
+//	ariadne run -analytic pagerank -checkpoint ck -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -146,6 +154,10 @@ func cmdRun(args []string) error {
 	spill := fs.String("spill", "", "spill directory for captured provenance")
 	budget := fs.Int64("budget", 0, "capture memory budget in bytes (0 = unlimited)")
 	online := fs.String("online", "", "comma-separated online queries (apt[:eps], q4, q5, q6)")
+	faults := fs.String("faults", "", `fault-injection spec, e.g. "compute:mode=panic:ss=3:vertex=7" or "spill.write:times=2" (clauses joined with ;)`)
+	ckDir := fs.String("checkpoint", "", "checkpoint directory (enables superstep checkpointing)")
+	ckEvery := fs.Int("checkpoint-every", 5, "supersteps between checkpoints")
+	resume := fs.Bool("resume", false, "resume from the newest good checkpoint in -checkpoint")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
@@ -188,9 +200,30 @@ func cmdRun(args []string) error {
 		opts = append(opts, ariadne.WithCaptureQuery(def, storeCfg))
 	}
 
-	res, err := ariadne.Run(g, prog, opts...)
+	if *faults != "" {
+		opts = append(opts, ariadne.WithFaultSpec(*faults))
+	}
+	if *ckDir != "" {
+		opts = append(opts, ariadne.WithCheckpoint(*ckDir, *ckEvery))
+	} else if *resume {
+		return fmt.Errorf("-resume needs -checkpoint to locate checkpoints")
+	}
+
+	var res *ariadne.Result
+	if *resume {
+		res, err = ariadne.Resume(g, prog, opts...)
+	} else {
+		res, err = ariadne.Run(g, prog, opts...)
+	}
 	if err != nil {
+		var ce *ariadne.CrashError
+		if errors.As(err, &ce) && *ckDir != "" {
+			return fmt.Errorf("%w\nrerun with -resume to restart from the newest checkpoint in %s", err, *ckDir)
+		}
 		return err
+	}
+	if res.ResumedFrom > 0 {
+		fmt.Printf("resumed from checkpoint at superstep %d\n", res.ResumedFrom)
 	}
 	fmt.Printf("analytic=%s supersteps=%d messages=%d time=%v\n",
 		*analytic, res.Stats.Supersteps, res.Stats.MessagesSent, res.Duration.Round(1e6))

@@ -7,6 +7,7 @@ package capture
 
 import (
 	"fmt"
+	"sort"
 
 	"ariadne/internal/engine"
 	"ariadne/internal/graph"
@@ -171,6 +172,69 @@ func (o *Observer) taintedNow(rec *engine.VertexRecord, newTaints *[]graph.Verte
 
 // Finish implements engine.Observer.
 func (o *Observer) Finish(int) error { return nil }
+
+// MarshalCheckpoint implements engine.Checkpointable: the observer's
+// recoverable state is its provenance-store watermark (how many layers have
+// been durably appended) plus the forward-lineage taint set. The layers
+// themselves are not duplicated into the checkpoint — they either remain in
+// the same process's store (in-process recovery) or on disk under SpillAll
+// (cross-process recovery via Store.Reattach).
+func (o *Observer) MarshalCheckpoint() ([]byte, error) {
+	w := value.NewBlob()
+	w.Uvarint(uint64(o.store.NumLayers()))
+	w.Bool(o.tainted != nil)
+	if o.tainted != nil {
+		ids := make([]graph.VertexID, 0, len(o.tainted))
+		for v := range o.tainted {
+			ids = append(ids, v)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.Uvarint(uint64(len(ids)))
+		for _, v := range ids {
+			w.Uvarint(uint64(v))
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalCheckpoint implements engine.Checkpointable: it resets the taint
+// set and aligns the store with the saved watermark — layers a crashed run
+// appended past the checkpoint are discarded so the resumed run re-appends
+// them, and an empty store recovering from a spilled run reattaches its
+// on-disk layers.
+func (o *Observer) UnmarshalCheckpoint(data []byte) error {
+	r := value.NewBlobReader(data)
+	watermark := r.Count()
+	hasTaint := r.Bool()
+	var ids []graph.VertexID
+	if hasTaint {
+		n := r.Count()
+		for i := 0; i < n && r.Err() == nil; i++ {
+			ids = append(ids, graph.VertexID(r.Uvarint()))
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("capture: corrupt checkpoint state: %w", err)
+	}
+	if hasTaint {
+		o.tainted = make(map[graph.VertexID]bool, len(ids))
+		for _, v := range ids {
+			o.tainted[v] = true
+		}
+	} else {
+		o.tainted = nil
+	}
+	if o.store.NumLayers() >= watermark {
+		return o.store.TruncateLayers(watermark)
+	}
+	if o.store.NumLayers() == 0 && watermark > 0 {
+		if err := o.store.Reattach(watermark); err != nil {
+			return fmt.Errorf("capture: store behind checkpoint watermark %d and reattach failed (capture recovery needs the crashed run's store or SpillAll files): %w", watermark, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("capture: store has %d layers, checkpoint watermark is %d", o.store.NumLayers(), watermark)
+}
 
 // FromQuery compiles a PQL *capture query* into a Policy. Each rule's body
 // names the provenance stream it draws from and the head schema decides how

@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ariadne/internal/fault"
+	"ariadne/internal/graph"
+	"ariadne/internal/value"
+)
+
+// Checkpoint/recovery subsystem (Giraph-style superstep checkpointing).
+//
+// At configurable superstep intervals the engine snapshots everything the
+// next superstep depends on — vertex values, last-active supersteps, the
+// in-flight message queues, merged aggregator values, run statistics, and
+// one opaque state blob per checkpointable observer — to a binary file:
+//
+//	magic "ACKP" | version:1 | payload (value.Blob) | crc32(magic..payload)
+//
+// Files are written atomically (temp file + fsync + rename) and registered
+// in a manifest, itself rewritten atomically, listing checkpoints oldest
+// first. Resume walks the manifest newest-first and restores from the first
+// checkpoint that passes the CRC and decodes cleanly, so a truncated or
+// corrupt newest checkpoint falls back to the previous one.
+//
+// Because vertex programs are stateless between supersteps (a BSP
+// requirement), restoring this snapshot and re-running from the saved
+// superstep is byte-identical to an uninterrupted run.
+
+var checkpointMagic = [4]byte{'A', 'C', 'K', 'P'}
+
+const (
+	checkpointVersion  = 1
+	manifestName       = "MANIFEST"
+	checkpointAttempts = 4
+	checkpointBackoff  = time.Millisecond
+)
+
+// CheckpointConfig enables superstep-boundary checkpointing.
+type CheckpointConfig struct {
+	// Dir receives checkpoint files and the manifest.
+	Dir string
+	// Interval checkpoints every Interval supersteps; <=0 disables.
+	Interval int
+	// Keep bounds how many checkpoints are retained; <=0 means 2 (the
+	// newest plus one fallback for corrupt-newest recovery).
+	Keep int
+}
+
+func (c *CheckpointConfig) keep() int {
+	if c.Keep <= 0 {
+		return 2
+	}
+	return c.Keep
+}
+
+// Checkpointable is an optional Observer extension: observers that carry
+// state across supersteps (provenance capture, online query evaluation)
+// implement it so recovery restores their state in lockstep with the
+// engine's — extending the paper's non-interference guarantee across
+// failures.
+type Checkpointable interface {
+	// MarshalCheckpoint snapshots the observer state after the superstep
+	// that was just observed.
+	MarshalCheckpoint() ([]byte, error)
+	// UnmarshalCheckpoint fully resets the observer to the snapshot.
+	UnmarshalCheckpoint(data []byte) error
+}
+
+// checkpointData is a decoded checkpoint.
+type checkpointData struct {
+	resumeSS   int
+	nVertices  int
+	nEdges     int64
+	values     []value.Value
+	lastActive []int32
+	inbox      []inboxEntry
+	aggCurrent map[string]float64
+	stat       RunStats
+	obsPresent []bool
+	obsBlobs   [][]byte
+}
+
+type inboxEntry struct {
+	dst  VertexID
+	msgs []IncomingMessage
+}
+
+// writeCheckpoint snapshots engine state entering superstep resumeSS.
+func (e *Engine) writeCheckpoint(resumeSS int) error {
+	ck := e.cfg.Checkpoint
+	payload, err := e.encodeCheckpoint(resumeSS)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint at superstep %d: %w", resumeSS-1, err)
+	}
+	name := fmt.Sprintf("checkpoint-%06d.ckpt", resumeSS)
+	path := filepath.Join(ck.Dir, name)
+	write := func() error {
+		if err := e.cfg.Fault.Hit(fault.SiteCheckpointWrite, resumeSS-1, -1, -1); err != nil {
+			return err
+		}
+		return writeFileAtomic(path, payload)
+	}
+	if err := fault.Retry(checkpointAttempts, checkpointBackoff, write); err != nil {
+		return fmt.Errorf("engine: writing checkpoint at superstep %d: %w", resumeSS-1, err)
+	}
+	return updateManifest(ck.Dir, name, ck.keep())
+}
+
+// encodeCheckpoint builds the full file contents (magic through CRC).
+func (e *Engine) encodeCheckpoint(resumeSS int) ([]byte, error) {
+	w := value.NewBlob()
+	w.Uvarint(uint64(resumeSS))
+	w.Uvarint(uint64(e.g.NumVertices()))
+	w.Uvarint(uint64(e.g.NumEdges()))
+	for _, v := range e.values {
+		w.Value(v)
+	}
+	for _, la := range e.lastActive {
+		w.Int(int64(la))
+	}
+	// In-flight messages, flattened and sorted by destination so the
+	// checkpoint is independent of the partition count.
+	var entries []inboxEntry
+	for p := range e.inboxes {
+		for dst, msgs := range e.inboxes[p] {
+			entries = append(entries, inboxEntry{dst: dst, msgs: msgs})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].dst < entries[j].dst })
+	w.Uvarint(uint64(len(entries)))
+	for _, en := range entries {
+		w.Uvarint(uint64(en.dst))
+		w.Uvarint(uint64(len(en.msgs)))
+		for _, m := range en.msgs {
+			w.Uvarint(uint64(m.Src))
+			w.Value(m.Val)
+		}
+	}
+	// Merged aggregator values (Pregel semantics: readable next superstep).
+	aggNames := make([]string, 0, len(e.agg.current))
+	for name := range e.agg.current {
+		aggNames = append(aggNames, name)
+	}
+	sort.Strings(aggNames)
+	w.Uvarint(uint64(len(aggNames)))
+	for _, name := range aggNames {
+		w.String(name)
+		w.Float(e.agg.current[name])
+	}
+	// Run statistics.
+	w.Uvarint(uint64(e.stat.Supersteps))
+	w.Uvarint(uint64(e.stat.MessagesSent))
+	w.Uvarint(uint64(len(e.stat.ActiveVertices)))
+	for _, n := range e.stat.ActiveVertices {
+		w.Uvarint(uint64(n))
+	}
+	// Observer state blobs, in cfg.Observers order.
+	w.Uvarint(uint64(len(e.cfg.Observers)))
+	for _, o := range e.cfg.Observers {
+		c, ok := o.(Checkpointable)
+		w.Bool(ok)
+		if !ok {
+			continue
+		}
+		blob, err := c.MarshalCheckpoint()
+		if err != nil {
+			return nil, fmt.Errorf("observer %T: %w", o, err)
+		}
+		w.Bytes8(blob)
+	}
+
+	buf := make([]byte, 0, len(w.Bytes())+9)
+	buf = append(buf, checkpointMagic[:]...)
+	buf = append(buf, checkpointVersion)
+	buf = append(buf, w.Bytes()...)
+	crc := crc32.ChecksumIEEE(buf)
+	buf = append(buf, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+	return buf, nil
+}
+
+// loadCheckpoint reads and verifies one checkpoint file. Every corruption —
+// truncation at any byte, bit flips, bad counts — returns an error.
+func loadCheckpoint(path string) (*checkpointData, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(checkpointMagic)+1+4 {
+		return nil, fmt.Errorf("engine: checkpoint %s truncated (%d bytes)", filepath.Base(path), len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	crc := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("engine: checkpoint %s fails CRC check", filepath.Base(path))
+	}
+	if [4]byte(body[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("engine: checkpoint %s has bad magic %q", filepath.Base(path), body[:4])
+	}
+	if body[4] != checkpointVersion {
+		return nil, fmt.Errorf("engine: checkpoint %s has unsupported version %d", filepath.Base(path), body[4])
+	}
+	r := value.NewBlobReader(body[5:])
+	cp := &checkpointData{}
+	cp.resumeSS = int(r.Uvarint())
+	cp.nVertices = r.Count()
+	cp.nEdges = int64(r.Uvarint())
+	if r.Err() == nil {
+		cp.values = make([]value.Value, cp.nVertices)
+		for i := range cp.values {
+			cp.values[i] = r.Value()
+		}
+		cp.lastActive = make([]int32, cp.nVertices)
+		for i := range cp.lastActive {
+			cp.lastActive[i] = int32(r.Int())
+		}
+	}
+	nInbox := r.Count()
+	for i := 0; i < nInbox && r.Err() == nil; i++ {
+		en := inboxEntry{dst: VertexID(r.Uvarint())}
+		nMsgs := r.Count()
+		for j := 0; j < nMsgs && r.Err() == nil; j++ {
+			en.msgs = append(en.msgs, IncomingMessage{Src: VertexID(r.Uvarint()), Val: r.Value()})
+		}
+		cp.inbox = append(cp.inbox, en)
+	}
+	cp.aggCurrent = map[string]float64{}
+	nAgg := r.Count()
+	for i := 0; i < nAgg && r.Err() == nil; i++ {
+		name := r.String()
+		cp.aggCurrent[name] = r.Float()
+	}
+	cp.stat.Supersteps = int(r.Uvarint())
+	cp.stat.MessagesSent = int64(r.Uvarint())
+	nActive := r.Count()
+	for i := 0; i < nActive && r.Err() == nil; i++ {
+		cp.stat.ActiveVertices = append(cp.stat.ActiveVertices, int(r.Uvarint()))
+	}
+	nObs := r.Count()
+	for i := 0; i < nObs && r.Err() == nil; i++ {
+		present := r.Bool()
+		cp.obsPresent = append(cp.obsPresent, present)
+		if present {
+			cp.obsBlobs = append(cp.obsBlobs, r.Bytes8())
+		} else {
+			cp.obsBlobs = append(cp.obsBlobs, nil)
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("engine: checkpoint %s corrupt: %w", filepath.Base(path), r.Err())
+	}
+	return cp, nil
+}
+
+// restore loads a decoded checkpoint into the engine.
+func (e *Engine) restore(cp *checkpointData) error {
+	if cp.nVertices != e.g.NumVertices() || cp.nEdges != int64(e.g.NumEdges()) {
+		return fmt.Errorf("engine: checkpoint was taken over a different graph (%d vertices / %d edges, have %d / %d)",
+			cp.nVertices, cp.nEdges, e.g.NumVertices(), e.g.NumEdges())
+	}
+	if len(cp.obsPresent) != len(e.cfg.Observers) {
+		return fmt.Errorf("engine: checkpoint has %d observer states, config has %d observers — resume with the same observer set",
+			len(cp.obsPresent), len(e.cfg.Observers))
+	}
+	copy(e.values, cp.values)
+	copy(e.lastActive, cp.lastActive)
+	for p := range e.inboxes {
+		e.inboxes[p] = make(map[VertexID][]IncomingMessage)
+	}
+	for _, en := range cp.inbox {
+		e.inboxes[e.partition(en.dst)][en.dst] = en.msgs
+	}
+	e.agg.current = cp.aggCurrent
+	e.stat = cp.stat
+	e.startSS = cp.resumeSS
+	for i, o := range e.cfg.Observers {
+		c, ok := o.(Checkpointable)
+		if cp.obsPresent[i] != ok {
+			return fmt.Errorf("engine: observer %d (%T) checkpointability mismatch with saved state", i, o)
+		}
+		if !ok {
+			continue
+		}
+		if err := c.UnmarshalCheckpoint(cp.obsBlobs[i]); err != nil {
+			return fmt.Errorf("engine: restoring observer %d (%T): %w", i, o, err)
+		}
+	}
+	return nil
+}
+
+// Resume reconstructs an engine from the newest readable checkpoint in
+// cfg.Checkpoint.Dir, positioned to continue at the saved superstep. When
+// the newest checkpoint is damaged, older manifest entries are tried in
+// turn. Observers in cfg must match the checkpointed run's observer set;
+// checkpointable ones are restored from their saved state.
+func Resume(g *graph.Graph, prog Program, cfg Config) (*Engine, error) {
+	ck := cfg.Checkpoint
+	if ck == nil || ck.Dir == "" {
+		return nil, errors.New("engine: Resume requires Config.Checkpoint with a Dir")
+	}
+	names, err := readManifest(ck.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading checkpoint manifest: %w", err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("engine: no checkpoints recorded in %s", ck.Dir)
+	}
+	var errs []error
+	for i := len(names) - 1; i >= 0; i-- {
+		cp, err := loadCheckpoint(filepath.Join(ck.Dir, names[i]))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		e, err := New(g, prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.restore(cp); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("engine: no usable checkpoint in %s: %w", ck.Dir, errors.Join(errs...))
+}
+
+// ResumedFrom returns the superstep the engine will continue from (0 for a
+// fresh engine).
+func (e *Engine) ResumedFrom() int { return e.startSS }
+
+// LatestCheckpoint reports the superstep the newest readable checkpoint in
+// dir resumes at, or an error when none is usable.
+func LatestCheckpoint(dir string) (int, error) {
+	names, err := readManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		cp, err := loadCheckpoint(filepath.Join(dir, names[i]))
+		if err == nil {
+			return cp.resumeSS, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: no usable checkpoint in %s", dir)
+}
+
+// writeFileAtomic writes data via a temp file, fsync, and rename, so a
+// crash mid-write never leaves a partial file at the final path.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readManifest returns the checkpoint filenames, oldest first.
+func readManifest(dir string) ([]string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}
+
+// updateManifest appends name, prunes entries beyond keep, and rewrites the
+// manifest atomically. The manifest is rewritten before old files are
+// deleted, so a crash between the two leaves only unreferenced files (and a
+// resume that tolerates missing ones), never a referenced-but-deleted one.
+func updateManifest(dir, name string, keep int) error {
+	names, err := readManifest(dir)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("engine: reading checkpoint manifest: %w", err)
+	}
+	names = append(names, name)
+	var drop []string
+	if len(names) > keep {
+		drop = names[:len(names)-keep]
+		names = names[len(names)-keep:]
+	}
+	if err := writeFileAtomic(filepath.Join(dir, manifestName), []byte(strings.Join(names, "\n")+"\n")); err != nil {
+		return fmt.Errorf("engine: writing checkpoint manifest: %w", err)
+	}
+	for _, old := range drop {
+		os.Remove(filepath.Join(dir, old))
+	}
+	return nil
+}

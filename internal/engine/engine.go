@@ -15,12 +15,14 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"ariadne/internal/fault"
 	"ariadne/internal/graph"
 	"ariadne/internal/value"
 )
@@ -86,6 +88,16 @@ type Config struct {
 	// captured provenance graph whose activation pattern is known
 	// (paper §5.1: only a single layer's nodes execute at each superstep).
 	ActiveAt func(superstep int) []VertexID
+	// Context, when set, is checked at each superstep barrier: a hung or
+	// runaway analytic aborts cleanly with an error wrapping ctx.Err()
+	// instead of blocking forever.
+	Context context.Context
+	// Checkpoint, when set with a positive Interval, snapshots engine and
+	// observer state at superstep boundaries for crash recovery via Resume.
+	Checkpoint *CheckpointConfig
+	// Fault, when set, injects deterministic faults at guarded sites
+	// (Compute panics, checkpoint write errors) for recovery testing.
+	Fault *fault.Injector
 }
 
 // Observer consumes per-superstep vertex records. ObserveSuperstep is called
@@ -133,7 +145,10 @@ type RunStats struct {
 	Aborted        bool
 }
 
-// CrashError reports a vertex program failure with its culprit.
+// CrashError reports a vertex program failure with its culprit — the
+// paper's crash-culprit debugging scenario. It wraps the underlying cause,
+// so errors.Is/As reach both the CrashError and (for recovered panics)
+// ErrComputePanic through every API layer.
 type CrashError struct {
 	Vertex    VertexID
 	Superstep int
@@ -145,6 +160,12 @@ func (e *CrashError) Error() string {
 }
 
 func (e *CrashError) Unwrap() error { return e.Err }
+
+// ErrComputePanic is the cause recorded in a CrashError when a vertex
+// program panicked (rather than returning an error): the per-partition
+// recover() converts the panic so one bad vertex degrades into a reported
+// crash instead of killing the process.
+var ErrComputePanic = errors.New("vertex program panicked")
 
 // Engine executes one Program over one Graph.
 type Engine struct {
@@ -162,6 +183,10 @@ type Engine struct {
 
 	agg  *aggregators
 	stat RunStats
+
+	// startSS is the superstep Run begins at: 0 for a fresh engine, the
+	// saved resume point for one restored by Resume.
+	startSS int
 }
 
 // New creates an engine for prog over g.
@@ -217,9 +242,17 @@ func (e *Engine) Run() (RunStats, error) {
 	}
 	halter, _ := e.prog.(Halter)
 
-	for ss := 0; ; ss++ {
+	for ss := e.startSS; ; ss++ {
 		if e.cfg.MaxSupersteps > 0 && ss >= e.cfg.MaxSupersteps {
 			break
+		}
+		if ctx := e.cfg.Context; ctx != nil {
+			select {
+			case <-ctx.Done():
+				e.stat.Aborted = true
+				return e.stat, fmt.Errorf("engine: run canceled at superstep %d: %w", ss, ctx.Err())
+			default:
+			}
 		}
 		// Determine active vertices: all at superstep 0, else inbox owners
 		// plus any ActiveAt-forced vertices.
@@ -328,6 +361,16 @@ func (e *Engine) Run() (RunStats, error) {
 			}
 		}
 
+		// Checkpoint at the barrier: the snapshot holds everything superstep
+		// ss+1 depends on, including observer state as of the superstep the
+		// observers just processed.
+		if ck := e.cfg.Checkpoint; ck != nil && ck.Dir != "" && ck.Interval > 0 && (ss+1)%ck.Interval == 0 {
+			if err := e.writeCheckpoint(ss + 1); err != nil {
+				e.stat.Aborted = true
+				return e.stat, err
+			}
+		}
+
 		if halter != nil && halter.ShouldHalt(e.agg.reader(), ss) {
 			break
 		}
@@ -345,6 +388,22 @@ func (e *Engine) Run() (RunStats, error) {
 		}
 	}
 	return e.stat, nil
+}
+
+// computeOne runs Compute for one vertex with panic containment: a panic in
+// the vertex program (or one injected at the compute fault site) becomes an
+// ErrComputePanic-wrapped error, which the barrier surfaces as a CrashError
+// with the culprit vertex and superstep instead of killing the process.
+func (e *Engine) computeOne(ctx *Context, v VertexID, ss, p int, msgs []IncomingMessage) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrComputePanic, r)
+		}
+	}()
+	if ferr := e.cfg.Fault.Hit(fault.SiteCompute, ss, p, int64(v)); ferr != nil {
+		return ferr
+	}
+	return e.prog.Compute(ctx, msgs)
 }
 
 type outMsg struct {
@@ -374,7 +433,7 @@ func (e *Engine) runPartition(p, ss int, observing bool, forced []VertexID) part
 		})
 		ctx.reset(v)
 		old := e.values[v]
-		if err := e.prog.Compute(ctx, msgs); err != nil {
+		if err := e.computeOne(ctx, v, ss, p, msgs); err != nil {
 			res.crash = &CrashError{Vertex: v, Superstep: ss, Err: err}
 			return false
 		}

@@ -1,0 +1,236 @@
+// Package fault provides deterministic fault injection for the engine,
+// checkpoint, and provenance-spill I/O paths. Production code consults an
+// (always optional, nil-safe) *Injector at named sites; tests and the
+// `ariadne run -faults` flag arm it with rules that fire panics or
+// transient I/O errors at chosen (site, superstep, partition, vertex)
+// points. Injection is deterministic: a rule fires whenever its selectors
+// match, up to its Times budget, independent of goroutine scheduling —
+// matching is keyed on the site coordinates, never on wall clock or
+// randomness, so a crash-recovery test replays exactly.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Injection sites. Each names one guarded operation.
+const (
+	// SiteCompute guards each vertex-program Compute call. Panic rules here
+	// simulate a crashing vertex program on a worker.
+	SiteCompute = "compute"
+	// SiteSpillWrite guards provenance layer-file writes.
+	SiteSpillWrite = "spill.write"
+	// SiteCheckpointWrite guards engine checkpoint-file writes.
+	SiteCheckpointWrite = "checkpoint.write"
+)
+
+// ErrInjected is the base error of injected (transient) I/O failures.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule selects an injection point. Zero selectors (or -1) are wildcards.
+type Rule struct {
+	// Site names the guarded operation (SiteCompute, SiteSpillWrite, ...).
+	Site string
+	// Superstep restricts the rule to one superstep; -1 matches any.
+	Superstep int
+	// Partition restricts the rule to one worker partition; -1 matches any.
+	Partition int
+	// Vertex restricts the rule to one vertex; -1 matches any.
+	Vertex int64
+	// Times bounds how often the rule fires; 0 means once.
+	Times int
+	// Panic makes the site panic instead of returning an error — the
+	// worker-crash scenario (the engine's recover() converts it into a
+	// CrashError).
+	Panic bool
+}
+
+func (r Rule) times() int {
+	if r.Times <= 0 {
+		return 1
+	}
+	return r.Times
+}
+
+type armedRule struct {
+	Rule
+	fired int
+}
+
+// Injector holds armed rules. A nil *Injector is valid and injects nothing,
+// so call sites need no guards.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*armedRule
+	total int
+}
+
+// NewInjector arms the given rules.
+func NewInjector(rules ...Rule) *Injector {
+	in := &Injector{}
+	for _, r := range rules {
+		in.rules = append(in.rules, &armedRule{Rule: r})
+	}
+	return in
+}
+
+// PanicAt is a convenience rule: panic in Compute at (superstep, vertex).
+// vertex -1 crashes the first vertex computed at that superstep.
+func PanicAt(superstep int, vertex int64) Rule {
+	return Rule{Site: SiteCompute, Superstep: superstep, Partition: -1, Vertex: vertex, Panic: true}
+}
+
+// IOErrors is a convenience rule: fail the named I/O site times times.
+func IOErrors(site string, times int) Rule {
+	return Rule{Site: site, Superstep: -1, Partition: -1, Vertex: -1, Times: times}
+}
+
+// Hit consults the injector at a site. It panics if a matching Panic rule
+// fires, returns a wrapped ErrInjected if a matching error rule fires, and
+// returns nil otherwise. Pass -1 for coordinates a site does not have.
+func (in *Injector) Hit(site string, superstep, partition int, vertex int64) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var fire *armedRule
+	for _, r := range in.rules {
+		if r.Site != site || r.fired >= r.times() {
+			continue
+		}
+		if r.Superstep >= 0 && r.Superstep != superstep {
+			continue
+		}
+		if r.Partition >= 0 && r.Partition != partition {
+			continue
+		}
+		if r.Vertex >= 0 && r.Vertex != vertex {
+			continue
+		}
+		r.fired++
+		in.total++
+		fire = r
+		break
+	}
+	in.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	if fire.Panic {
+		panic(fmt.Sprintf("fault: injected panic at %s (superstep %d, partition %d, vertex %d)",
+			site, superstep, partition, vertex))
+	}
+	return fmt.Errorf("%w: %s (superstep %d, partition %d, vertex %d)",
+		ErrInjected, site, superstep, partition, vertex)
+}
+
+// Fired returns how many injections have fired so far.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// ParseSpec parses the CLI fault specification: semicolon-separated
+// clauses, each "site[:key=value...]" with keys ss (superstep), part
+// (partition), vertex, times, and mode=panic|error. Examples:
+//
+//	compute:mode=panic:ss=3
+//	compute:mode=panic:ss=2:vertex=17;spill.write:times=2
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		r := Rule{Site: parts[0], Superstep: -1, Partition: -1, Vertex: -1}
+		switch r.Site {
+		case SiteCompute, SiteSpillWrite, SiteCheckpointWrite:
+		default:
+			return nil, fmt.Errorf("fault: unknown site %q (want %s, %s, or %s)",
+				r.Site, SiteCompute, SiteSpillWrite, SiteCheckpointWrite)
+		}
+		for _, kv := range parts[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: malformed option %q in clause %q", kv, clause)
+			}
+			switch key {
+			case "mode":
+				switch val {
+				case "panic":
+					r.Panic = true
+				case "error":
+					r.Panic = false
+				default:
+					return nil, fmt.Errorf("fault: unknown mode %q (want panic or error)", val)
+				}
+			case "ss", "superstep":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad superstep %q: %v", val, err)
+				}
+				r.Superstep = n
+			case "part", "partition":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad partition %q: %v", val, err)
+				}
+				r.Partition = n
+			case "vertex":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad vertex %q: %v", val, err)
+				}
+				r.Vertex = n
+			case "times":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad times %q: %v", val, err)
+				}
+				r.Times = n
+			default:
+				return nil, fmt.Errorf("fault: unknown option %q in clause %q", key, clause)
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, errors.New("fault: empty specification")
+	}
+	return rules, nil
+}
+
+// Retry runs f up to attempts times, sleeping base, 2*base, 4*base, ...
+// (capped at 50ms) between tries — the capped exponential backoff used by
+// the spill and checkpoint writers for transient I/O errors. The last
+// error is returned when every attempt fails.
+func Retry(attempts int, base time.Duration, f func() error) error {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		if i < attempts-1 {
+			d := base << uint(i)
+			if max := 50 * time.Millisecond; d > max {
+				d = max
+			}
+			time.Sleep(d)
+		}
+	}
+	return err
+}

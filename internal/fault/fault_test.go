@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(SiteCompute, 0, 0, 0); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if in.Fired() != 0 {
+		t.Fatalf("nil injector fired %d times", in.Fired())
+	}
+}
+
+func TestRuleSelectors(t *testing.T) {
+	in := NewInjector(Rule{Site: SiteSpillWrite, Superstep: 2, Partition: -1, Vertex: -1})
+	if err := in.Hit(SiteCompute, 2, 0, 0); err != nil {
+		t.Errorf("wrong site fired: %v", err)
+	}
+	if err := in.Hit(SiteSpillWrite, 1, 0, 0); err != nil {
+		t.Errorf("wrong superstep fired: %v", err)
+	}
+	err := in.Hit(SiteSpillWrite, 2, -1, -1)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching hit = %v, want ErrInjected", err)
+	}
+	// Times defaults to once: the rule is exhausted now.
+	if err := in.Hit(SiteSpillWrite, 2, -1, -1); err != nil {
+		t.Errorf("exhausted rule fired again: %v", err)
+	}
+	if in.Fired() != 1 {
+		t.Errorf("Fired = %d, want 1", in.Fired())
+	}
+}
+
+func TestTimesBudget(t *testing.T) {
+	in := NewInjector(IOErrors(SiteCheckpointWrite, 3))
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Hit(SiteCheckpointWrite, i, -1, -1) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := NewInjector(PanicAt(1, 7))
+	if err := in.Hit(SiteCompute, 1, 0, 3); err != nil {
+		t.Fatalf("non-matching vertex fired: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("matching panic rule did not panic")
+		}
+	}()
+	in.Hit(SiteCompute, 1, 0, 7)
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("compute:mode=panic:ss=3:vertex=17; spill.write:times=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(rules))
+	}
+	if !rules[0].Panic || rules[0].Superstep != 3 || rules[0].Vertex != 17 || rules[0].Site != SiteCompute {
+		t.Errorf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Panic || rules[1].Times != 2 || rules[1].Site != SiteSpillWrite {
+		t.Errorf("rule 1 = %+v", rules[1])
+	}
+
+	for _, bad := range []string{"", "explode", "compute:ss", "compute:mode=sometimes", "compute:ss=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRetry(t *testing.T) {
+	in := NewInjector(IOErrors(SiteSpillWrite, 2))
+	calls := 0
+	err := Retry(4, time.Microsecond, func() error {
+		calls++
+		return in.Hit(SiteSpillWrite, -1, -1, -1)
+	})
+	if err != nil {
+		t.Fatalf("retry should recover from 2 transient errors: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+
+	in2 := NewInjector(IOErrors(SiteSpillWrite, 10))
+	err = Retry(4, time.Microsecond, func() error {
+		return in2.Hit(SiteSpillWrite, -1, -1, -1)
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted retry = %v, want ErrInjected", err)
+	}
+	if in2.Fired() != 4 {
+		t.Errorf("attempts = %d, want 4", in2.Fired())
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"ariadne/internal/fault"
 	"ariadne/internal/value"
 )
 
@@ -24,23 +26,59 @@ import (
 
 var layerMagic = [4]byte{'A', 'P', 'R', 'V'}
 
-const layerVersion = 1
+const (
+	layerVersion = 1
+	// spillAttempts/spillBackoff bound the retry loop for transient write
+	// errors (capped exponential backoff via fault.Retry).
+	spillAttempts = 4
+	spillBackoff  = time.Millisecond
+	// maxDecodeLen caps length-prefixed allocations while decoding so a
+	// corrupt layer file errors out instead of attempting a huge make().
+	maxDecodeLen = 1 << 26
+)
 
-func writeLayerFile(path string, l *Layer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// writeLayerFile persists one layer atomically: the bytes go to a temp
+// file, are fsynced, and only then renamed to the final path, so a crash or
+// I/O error mid-write never leaves a partial layer visible where
+// readLayerFile would trip over it. Transient errors (injectable via inj
+// for testing) are retried with capped exponential backoff.
+func writeLayerFile(path string, l *Layer, inj *fault.Injector) error {
+	attempt := func() error {
+		if err := inj.Hit(fault.SiteSpillWrite, l.Superstep, -1, -1); err != nil {
+			return err
+		}
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		if err := encodeLayer(w, l); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return nil
 	}
-	w := bufio.NewWriter(f)
-	if err := encodeLayer(w, l); err != nil {
-		f.Close()
-		return err
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fault.Retry(spillAttempts, spillBackoff, attempt)
 }
 
 func readLayerFile(path string) (*Layer, error) {
@@ -129,9 +167,15 @@ func decodeLayer(r byteReader) (*Layer, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Layer{Superstep: int(ss), Records: make([]Record, n)}
-	for i := range l.Records {
-		rec := &l.Records[i]
+	if n > maxDecodeLen {
+		return nil, fmt.Errorf("provenance: corrupt layer: record count %d exceeds sanity cap", n)
+	}
+	// Grow incrementally: a corrupt count should fail on the first short
+	// read, not pre-allocate the claimed size.
+	l := &Layer{Superstep: int(ss), Records: make([]Record, 0, min(n, 4096))}
+	for i := uint64(0); i < n; i++ {
+		l.Records = append(l.Records, Record{})
+		rec := &l.Records[len(l.Records)-1]
 		v, err := binary.ReadUvarint(r)
 		if err != nil {
 			return nil, err
@@ -163,12 +207,18 @@ func decodeLayer(r byteReader) (*Layer, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ne > maxDecodeLen {
+			return nil, fmt.Errorf("provenance: corrupt layer: emitted count %d exceeds sanity cap", ne)
+		}
 		if ne > 0 {
 			rec.Emitted = make([]Fact, ne)
 			for j := range rec.Emitted {
 				tl, err := binary.ReadUvarint(r)
 				if err != nil {
 					return nil, err
+				}
+				if tl > maxDecodeLen {
+					return nil, fmt.Errorf("provenance: corrupt layer: table name length %d exceeds sanity cap", tl)
 				}
 				tb := make([]byte, tl)
 				if _, err := io.ReadFull(r, tb); err != nil {
@@ -177,6 +227,9 @@ func decodeLayer(r byteReader) (*Layer, error) {
 				na, err := binary.ReadUvarint(r)
 				if err != nil {
 					return nil, err
+				}
+				if na > maxDecodeLen {
+					return nil, fmt.Errorf("provenance: corrupt layer: arg count %d exceeds sanity cap", na)
 				}
 				args := make([]value.Value, na)
 				for k := range args {
@@ -198,6 +251,9 @@ func readMsgHalves(r byteReader) ([]MsgHalf, error) {
 	}
 	if n == 0 {
 		return nil, nil
+	}
+	if n > maxDecodeLen {
+		return nil, fmt.Errorf("provenance: corrupt layer: message count %d exceeds sanity cap", n)
 	}
 	ms := make([]MsgHalf, n)
 	for i := range ms {
@@ -244,6 +300,9 @@ func readValue(r byteReader) (value.Value, error) {
 		if err != nil {
 			return value.NullValue, err
 		}
+		if n > maxDecodeLen {
+			return value.NullValue, fmt.Errorf("provenance: corrupt layer: string length %d exceeds sanity cap", n)
+		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(r, b); err != nil {
 			return value.NullValue, err
@@ -253,6 +312,9 @@ func readValue(r byteReader) (value.Value, error) {
 		n, err := binary.ReadUvarint(r)
 		if err != nil {
 			return value.NullValue, err
+		}
+		if n > maxDecodeLen/8 {
+			return value.NullValue, fmt.Errorf("provenance: corrupt layer: vector length %d exceeds sanity cap", n)
 		}
 		raw := make([]byte, 8*n)
 		if _, err := io.ReadFull(r, raw); err != nil {

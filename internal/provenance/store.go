@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"ariadne/internal/fault"
 )
 
 // ErrBudgetExceeded is returned when the in-memory provenance exceeds the
@@ -28,6 +30,9 @@ type StoreConfig struct {
 	// of reading it back (§6.2: offline timings include loading the
 	// captured provenance, not capturing it).
 	SpillAll bool
+	// Fault, when set, injects transient I/O errors into layer-file writes
+	// (fault.SiteSpillWrite) to exercise the retry path.
+	Fault *fault.Injector
 }
 
 // Store holds the captured provenance graph as a sequence of layers, with
@@ -74,8 +79,8 @@ func (s *Store) AppendLayer(l *Layer) error {
 			return fmt.Errorf("provenance: SpillAll requires a SpillDir")
 		}
 		i := len(s.layers) - 1
-		path := filepath.Join(s.cfg.SpillDir, fmt.Sprintf("layer-%06d.prov", i))
-		if err := writeLayerFile(path, l); err != nil {
+		path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
+		if err := writeLayerFile(path, l, s.cfg.Fault); err != nil {
 			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
 		}
 		s.resident -= sz
@@ -102,8 +107,8 @@ func (s *Store) spillOldest() error {
 		if s.spilled[i] || s.layers[i] == nil {
 			continue
 		}
-		path := filepath.Join(s.cfg.SpillDir, fmt.Sprintf("layer-%06d.prov", i))
-		if err := writeLayerFile(path, s.layers[i]); err != nil {
+		path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
+		if err := writeLayerFile(path, s.layers[i], s.cfg.Fault); err != nil {
 			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
 		}
 		s.resident -= s.layers[i].MemSize()
@@ -161,6 +166,77 @@ func (s *Store) SpilledLayers() int {
 		}
 	}
 	return n
+}
+
+// layerFileName names the spill file of layer i.
+func layerFileName(i int) string { return fmt.Sprintf("layer-%06d.prov", i) }
+
+// TruncateLayers drops every layer with index >= n — the recovery path: a
+// capture observer restored from a checkpoint with watermark n discards the
+// layers a crashed run appended past its last checkpoint, so the resumed
+// run re-appends them in order. Size and vertex statistics are recomputed
+// from the surviving layers (spilled ones are read back).
+func (s *Store) TruncateLayers(n int) error {
+	if n < 0 || n > len(s.layers) {
+		return fmt.Errorf("provenance: truncate to %d layers out of range [0,%d]", n, len(s.layers))
+	}
+	for i := n; i < len(s.layers); i++ {
+		if s.files[i] != "" {
+			os.Remove(s.files[i])
+		}
+	}
+	s.layers = s.layers[:n]
+	s.spilled = s.spilled[:n]
+	s.files = s.files[:n]
+	s.resident, s.totalBytes, s.totalTuples = 0, 0, 0
+	s.vertices = make(map[VertexID]struct{})
+	for i := 0; i < n; i++ {
+		l, err := s.Layer(i)
+		if err != nil {
+			return fmt.Errorf("provenance: recomputing stats after truncation: %w", err)
+		}
+		if !s.spilled[i] {
+			s.resident += l.MemSize()
+		}
+		s.totalBytes += l.EncodedSize()
+		s.totalTuples += l.NumTuples()
+		for ri := range l.Records {
+			s.vertices[l.Records[ri].Vertex] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Reattach adopts the first n layer files already present in SpillDir (a
+// previous run's spill output) as this store's layers — the cross-process
+// recovery path for capture under SpillAll: the store's content lives on
+// disk, so a restored observer only needs the files re-registered.
+func (s *Store) Reattach(n int) error {
+	if len(s.layers) != 0 {
+		return errors.New("provenance: Reattach requires an empty store")
+	}
+	if s.cfg.SpillDir == "" {
+		return errors.New("provenance: Reattach requires a SpillDir")
+	}
+	for i := 0; i < n; i++ {
+		path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
+		l, err := readLayerFile(path)
+		if err != nil {
+			return fmt.Errorf("provenance: reattaching layer %d: %w", i, err)
+		}
+		if l.Superstep != i {
+			return fmt.Errorf("provenance: reattached layer file %d holds superstep %d", i, l.Superstep)
+		}
+		s.layers = append(s.layers, nil)
+		s.spilled = append(s.spilled, true)
+		s.files = append(s.files, path)
+		s.totalBytes += l.EncodedSize()
+		s.totalTuples += l.NumTuples()
+		for ri := range l.Records {
+			s.vertices[l.Records[ri].Vertex] = struct{}{}
+		}
+	}
+	return nil
 }
 
 // Close removes any spill files.

@@ -67,7 +67,9 @@ func DecodeValue(buf []byte) (Value, int, error) {
 		return NewString(s), 1 + sz + int(n), nil
 	case Vector:
 		n, sz := binary.Uvarint(rest)
-		if sz <= 0 || uint64(len(rest)-sz) < 8*n {
+		// Divide rather than multiply: 8*n overflows for corrupt lengths and
+		// would slip past the bounds check into a huge allocation.
+		if sz <= 0 || n > uint64(len(rest)-sz)/8 {
 			return NullValue, 0, io.ErrUnexpectedEOF
 		}
 		vec := make([]float64, n)
