@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench vet race ci clean
+.PHONY: all build test bench bench-full vet race ci clean
 
 all: build test
 
@@ -16,7 +16,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench runs the driver benchmarks and emits per-superstep BENCH_*.json
+# profiles via the instrumented CLI (-stats-json); CI archives the JSON.
 bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/driver/
+	$(GO) run ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-online q4 -stats-json BENCH_pagerank.json
+	$(GO) run ./cmd/ariadne run -analytic sssp -dataset IN-04 -capture full \
+		-stats-json BENCH_sssp.json
+
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # ci is what .github/workflows/ci.yml runs.

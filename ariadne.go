@@ -32,6 +32,7 @@ import (
 	"ariadne/internal/engine"
 	"ariadne/internal/fault"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/provenance"
 	"ariadne/internal/queries"
 	"ariadne/internal/value"
@@ -63,7 +64,20 @@ type (
 	// FaultInjector deterministically injects panics and transient I/O
 	// errors for crash-recovery testing.
 	FaultInjector = fault.Injector
+	// Metrics is the run's observability registry: atomic counters, gauges,
+	// and histograms plus an optional trace ring and per-superstep profiles.
+	// Scrape-safe while a run is in flight (see obs.Handler / obs.Serve).
+	Metrics = obs.Metrics
+	// SuperstepProfile is one superstep's metrics snapshot (timings, message
+	// counts, capture/spill/checkpoint volumes, per-query piggyback tuples).
+	SuperstepProfile = obs.SuperstepProfile
+	// TraceEvent is one structured trace-ring entry.
+	TraceEvent = obs.Event
 )
+
+// NewMetrics creates an empty metrics registry for WithMetrics. Create it
+// before Run to serve obs.Handler(m) endpoints while the run is live.
+func NewMetrics() *Metrics { return obs.New() }
 
 // ErrComputePanic is the cause inside a CrashError when the vertex program
 // panicked (errors.Is-friendly through the public API).
@@ -84,6 +98,13 @@ type Result struct {
 	// ResumedFrom is the superstep a Resume restarted at (0 for a fresh
 	// Run, or when the first checkpoint had not been written yet).
 	ResumedFrom int
+	// Profile holds one entry per completed superstep when WithMetrics (or
+	// WithTrace) was used — cumulative across Resume, so a recovered run
+	// reports the same per-superstep curve as an uninterrupted one.
+	Profile []SuperstepProfile
+	// Metrics is the registry the run reported into (nil without
+	// WithMetrics/WithTrace); use it for Prometheus text or trace events.
+	Metrics *Metrics
 
 	queryResults map[string]*driver.Result
 }
@@ -99,6 +120,8 @@ type runConfig struct {
 	storeCfg   provenance.StoreConfig
 	onlineDefs []queries.Definition
 	observers  []engine.Observer
+	metrics    *obs.Metrics
+	traceCap   int
 }
 
 // Option customizes Run.
@@ -162,6 +185,35 @@ func WithCaptureQuery(def QueryDef, cfg StoreConfig) Option {
 func WithOnlineQuery(def QueryDef) Option {
 	return func(c *runConfig) error {
 		c.onlineDefs = append(c.onlineDefs, def)
+		return nil
+	}
+}
+
+// WithMetrics threads the run's instrumentation through m: per-superstep
+// profiles, message/capture/spill/checkpoint counters, and phase timing
+// histograms. The same registry may be served over HTTP (obs.Serve) while
+// the run is live; all hot-path updates are atomic. Without this option (or
+// WithTrace) instrumentation is fully disabled at ~zero cost.
+func WithMetrics(m *Metrics) Option {
+	return func(c *runConfig) error {
+		if m == nil {
+			return errors.New("ariadne: WithMetrics needs a non-nil registry (use NewMetrics)")
+		}
+		c.metrics = m
+		return nil
+	}
+}
+
+// WithTrace enables the structured trace ring with the given capacity
+// (events; <=0 picks a default of 4096), creating a registry implicitly if
+// WithMetrics was not given. Trace events record barrier transitions,
+// checkpoint writes, spill retries under I/O faults, and crash recoveries.
+func WithTrace(capacity int) Option {
+	return func(c *runConfig) error {
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		c.traceCap = capacity
 		return nil
 	}
 }
@@ -236,6 +288,19 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 		}
 	}
 
+	// Observability: WithTrace implies a registry; every instrumented
+	// component shares the one registry (nil keeps them all no-ops).
+	if cfg.traceCap > 0 && cfg.metrics == nil {
+		cfg.metrics = obs.New()
+	}
+	if cfg.metrics != nil {
+		if cfg.traceCap > 0 {
+			cfg.metrics.EnableTrace(cfg.traceCap)
+		}
+		cfg.engineCfg.Metrics = cfg.metrics
+		cfg.storeCfg.Metrics = cfg.metrics
+	}
+
 	// Capture observer.
 	var store *provenance.Store
 	if cfg.captureDef != nil {
@@ -251,7 +316,9 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 	}
 	if cfg.capturePol != nil {
 		store = provenance.NewStore(cfg.storeCfg)
-		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, capture.NewObserver(*cfg.capturePol, store))
+		co := capture.NewObserver(*cfg.capturePol, store)
+		co.SetMetrics(cfg.metrics)
+		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, co)
 	}
 
 	// Online query observers.
@@ -265,6 +332,7 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("ariadne: query %s: %w", def.Name, err)
 		}
+		o.SetMetrics(cfg.metrics, def.Name)
 		onlines = append(onlines, o)
 		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, o)
 	}
@@ -281,6 +349,10 @@ func finish(e *engine.Engine, cfg *runConfig, store *provenance.Store, onlines [
 	res.Aggregated = e.Aggregated()
 	res.Provenance = store
 	res.ResumedFrom = e.ResumedFrom()
+	if cfg.metrics != nil {
+		res.Metrics = cfg.metrics
+		res.Profile = cfg.metrics.Profiles()
+	}
 	for i, def := range cfg.onlineDefs {
 		res.queryResults[def.Name] = onlines[i].Result()
 	}

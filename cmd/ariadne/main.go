@@ -12,9 +12,16 @@
 //
 //	ariadne run -analytic pagerank -checkpoint ck -faults "compute:mode=panic:ss=7"
 //	ariadne run -analytic pagerank -checkpoint ck -resume
+//
+// Observability: -metrics-addr serves Prometheus text, expvar, pprof, the
+// trace ring, and per-superstep profiles over HTTP while the run is live;
+// -stats-json writes the profiles to a file; -trace-buf sizes the ring:
+//
+//	ariadne run -analytic pagerank -metrics-addr localhost:9090 -stats-json stats.json -trace-buf 4096
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +34,7 @@ import (
 	"ariadne/internal/cliutil"
 	"ariadne/internal/gen"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/provenance"
 	"ariadne/internal/queries"
@@ -158,6 +166,9 @@ func cmdRun(args []string) error {
 	ckDir := fs.String("checkpoint", "", "checkpoint directory (enables superstep checkpointing)")
 	ckEvery := fs.Int("checkpoint-every", 5, "supersteps between checkpoints")
 	resume := fs.Bool("resume", false, "resume from the newest good checkpoint in -checkpoint")
+	metricsAddr := fs.String("metrics-addr", "", `serve /metrics (Prometheus), /debug/vars, /debug/pprof, /trace, and /supersteps on this address while the run is live (e.g. "localhost:9090")`)
+	statsJSON := fs.String("stats-json", "", "write per-superstep profile JSON to this file after the run")
+	traceBuf := fs.Int("trace-buf", 0, "structured trace ring capacity in events (0 = tracing off)")
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
@@ -181,6 +192,11 @@ func cmdRun(args []string) error {
 		}
 	}
 	if *captureSpec != "" {
+		if *spill != "" {
+			if err := os.MkdirAll(*spill, 0o755); err != nil {
+				return fmt.Errorf("-spill: %w", err)
+			}
+		}
 		storeCfg := provenance.StoreConfig{MemoryBudget: *budget, SpillDir: *spill}
 		var def queries.Definition
 		switch {
@@ -204,9 +220,31 @@ func cmdRun(args []string) error {
 		opts = append(opts, ariadne.WithFaultSpec(*faults))
 	}
 	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
 		opts = append(opts, ariadne.WithCheckpoint(*ckDir, *ckEvery))
 	} else if *resume {
 		return fmt.Errorf("-resume needs -checkpoint to locate checkpoints")
+	}
+
+	// Observability: one registry shared by the run and the HTTP endpoints,
+	// created up front so the endpoints are live while the run progresses.
+	var metrics *ariadne.Metrics
+	if *metricsAddr != "" || *statsJSON != "" || *traceBuf > 0 {
+		metrics = ariadne.NewMetrics()
+		opts = append(opts, ariadne.WithMetrics(metrics))
+		if *traceBuf > 0 {
+			opts = append(opts, ariadne.WithTrace(*traceBuf))
+		}
+	}
+	if *metricsAddr != "" {
+		srv, laddr, err := obs.Serve(*metricsAddr, metrics)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (also /debug/vars /debug/pprof /trace /supersteps)\n", laddr)
 	}
 
 	var res *ariadne.Result
@@ -240,7 +278,37 @@ func cmdRun(args []string) error {
 			fmt.Printf("  %-18s %d tuples\n", rel.Name, rel.Count)
 		}
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, *analytic, res); err != nil {
+			return fmt.Errorf("-stats-json: %w", err)
+		}
+		fmt.Printf("per-superstep stats written to %s\n", *statsJSON)
+	}
 	return nil
+}
+
+// writeStatsJSON dumps the run summary and per-superstep profiles.
+func writeStatsJSON(path, analytic string, res *ariadne.Result) error {
+	out := struct {
+		Analytic    string                     `json:"analytic"`
+		Supersteps  int                        `json:"supersteps"`
+		Messages    int64                      `json:"messages_sent"`
+		DurationMS  float64                    `json:"duration_ms"`
+		ResumedFrom int                        `json:"resumed_from,omitempty"`
+		Profile     []ariadne.SuperstepProfile `json:"profile"`
+	}{
+		Analytic:    analytic,
+		Supersteps:  res.Stats.Supersteps,
+		Messages:    res.Stats.MessagesSent,
+		DurationMS:  float64(res.Duration.Microseconds()) / 1e3,
+		ResumedFrom: res.ResumedFrom,
+		Profile:     res.Profile,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func cmdQuery(args []string) error {

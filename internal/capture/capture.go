@@ -11,6 +11,7 @@ import (
 
 	"ariadne/internal/engine"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/pql"
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/provenance"
@@ -71,6 +72,7 @@ type Observer struct {
 	emitAll bool
 	emitSet map[string]bool
 	tainted map[graph.VertexID]bool
+	metrics *obs.Metrics
 }
 
 // NewObserver creates a capture observer writing into store.
@@ -93,6 +95,11 @@ func NewObserver(policy Policy, store *provenance.Store) *Observer {
 // Store returns the store being written.
 func (o *Observer) Store() *provenance.Store { return o.store }
 
+// SetMetrics attaches a metrics registry: each superstep's appended tuples
+// are counted per table (the paper's capture-cost curves, §6.1, Tables
+// 3-4). nil (the default) disables instrumentation.
+func (o *Observer) SetMetrics(m *obs.Metrics) { o.metrics = m }
+
 // NeedsRawMessages implements engine.Observer.
 func (o *Observer) NeedsRawMessages() bool {
 	return o.policy.NeedsRaw() || o.policy.TaintSource != nil
@@ -103,6 +110,8 @@ func (o *Observer) NeedsRawMessages() bool {
 func (o *Observer) ObserveSuperstep(v *engine.SuperstepView) error {
 	l := &provenance.Layer{Superstep: v.Superstep}
 	newTaints := []graph.VertexID{}
+	var nValues, nSends, nFlags, nRecvs int64
+	var nEmitted map[string]int64
 	for i := range v.Records {
 		rec := &v.Records[i]
 		if o.tainted != nil {
@@ -117,21 +126,27 @@ func (o *Observer) ObserveSuperstep(v *engine.SuperstepView) error {
 		if o.policy.Values {
 			pr.HasValue = true
 			pr.Value = rec.NewValue
+			nValues++
 		}
 		if o.policy.Sends {
 			pr.Sends = make([]provenance.MsgHalf, len(rec.Sent))
 			for j, m := range rec.Sent {
 				pr.Sends[j] = provenance.MsgHalf{Peer: m.Dst, Val: m.Val}
 			}
+			nSends += int64(len(rec.Sent))
 		}
 		if o.policy.SendFlags {
 			pr.SentAny = len(rec.Sent) > 0
+			if pr.SentAny {
+				nFlags++
+			}
 		}
 		if o.policy.Recvs {
 			pr.Recvs = make([]provenance.MsgHalf, len(rec.Received))
 			for j, m := range rec.Received {
 				pr.Recvs[j] = provenance.MsgHalf{Peer: m.Src, Val: m.Val}
 			}
+			nRecvs += int64(len(rec.Received))
 		}
 		if o.emitAll || len(o.emitSet) > 0 {
 			for _, f := range rec.Emitted {
@@ -140,10 +155,25 @@ func (o *Observer) ObserveSuperstep(v *engine.SuperstepView) error {
 						Table: f.Table,
 						Args:  append([]value.Value(nil), f.Args...),
 					})
+					if o.metrics != nil {
+						if nEmitted == nil {
+							nEmitted = map[string]int64{}
+						}
+						nEmitted[f.Table]++
+					}
 				}
 			}
 		}
 		l.Records = append(l.Records, pr)
+	}
+	if o.metrics != nil {
+		o.metrics.AddCaptureTuples("value", nValues)
+		o.metrics.AddCaptureTuples("send_message", nSends)
+		o.metrics.AddCaptureTuples("prov_send", nFlags)
+		o.metrics.AddCaptureTuples("receive_message", nRecvs)
+		for t, n := range nEmitted {
+			o.metrics.AddCaptureTuples(t, n)
+		}
 	}
 	// Taints become visible after the full layer is processed so that
 	// same-superstep message order cannot matter (BSP semantics: messages

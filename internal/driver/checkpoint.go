@@ -23,6 +23,10 @@ func (o *Online) MarshalCheckpoint() ([]byte, error) {
 	w := value.NewBlob()
 	o.db.SaveState(w)
 	w.Uvarint(uint64(o.PiggybackTuples))
+	w.Uvarint(uint64(len(o.perSS)))
+	for _, n := range o.perSS {
+		w.Uvarint(uint64(n))
+	}
 	w.Bool(o.compiled != nil)
 	if o.compiled != nil {
 		o.compiled.SaveState(w)
@@ -67,6 +71,11 @@ func (o *Online) UnmarshalCheckpoint(data []byte) error {
 		return err
 	}
 	o.PiggybackTuples = int64(r.Uvarint())
+	nSS := r.Count()
+	o.perSS = make([]int64, 0, nSS)
+	for i := 0; i < nSS && r.Err() == nil; i++ {
+		o.perSS = append(o.perSS, int64(r.Uvarint()))
+	}
 	wasCompiled := r.Bool()
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("driver: corrupt online checkpoint state: %w", err)

@@ -6,6 +6,7 @@ import (
 
 	"ariadne/internal/engine"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/pql/eval"
 	"ariadne/internal/provenance"
@@ -193,6 +194,16 @@ type Online struct {
 	// PiggybackTuples counts derived tuples, the payload that rides along
 	// analytic messages in a distributed deployment (DESIGN.md decision 4).
 	PiggybackTuples int64
+
+	// perSS holds the per-superstep piggyback deltas (index = superstep) —
+	// the paper's per-superstep query-overhead curve rather than a single
+	// running total. Checkpointed, so a resumed run stays cumulative.
+	perSS []int64
+
+	// metrics/name feed the per-superstep deltas into the shared
+	// observability registry under the query's name.
+	metrics *obs.Metrics
+	name    string
 }
 
 // NewOnline prepares online evaluation of q over graph g. Only forward and
@@ -222,6 +233,29 @@ func NewOnline(q *analysis.Query, g *graph.Graph) (*Online, error) {
 // program (vs the interpretive Datalog fallback).
 func (o *Online) UsesCompiledPath() bool { return o.compiled != nil }
 
+// SetMetrics attaches a metrics registry and the query name used to label
+// its piggyback-tuple series. nil disables instrumentation.
+func (o *Online) SetMetrics(m *obs.Metrics, name string) {
+	o.metrics = m
+	o.name = name
+}
+
+// PiggybackBySuperstep returns the tuples derived at each superstep
+// (index = superstep) — the per-superstep view of PiggybackTuples.
+func (o *Online) PiggybackBySuperstep() []int64 {
+	return append([]int64(nil), o.perSS...)
+}
+
+// notePiggyback accounts the tuples derived while observing superstep ss.
+func (o *Online) notePiggyback(ss int, delta int64) {
+	for len(o.perSS) <= ss {
+		o.perSS = append(o.perSS, 0)
+	}
+	o.perSS[ss] += delta
+	o.PiggybackTuples += delta
+	o.metrics.AddPiggyback(o.name, delta)
+}
+
 // NeedsRawMessages implements engine.Observer: online evaluation needs
 // per-message receive tuples whenever the query mentions them.
 func (o *Online) NeedsRawMessages() bool {
@@ -236,7 +270,7 @@ func (o *Online) ObserveSuperstep(v *engine.SuperstepView) error {
 		if err := o.compiled.Layer(o.vb.fromEngine(v.Records)); err != nil {
 			return err
 		}
-		o.PiggybackTuples += o.compiled.DerivedTuples() - before
+		o.notePiggyback(v.Superstep, o.compiled.DerivedTuples()-before)
 		return nil
 	}
 	for i := range v.Records {
@@ -246,7 +280,7 @@ func (o *Online) ObserveSuperstep(v *engine.SuperstepView) error {
 	if err := o.ev.Fixpoint(); err != nil {
 		return err
 	}
-	o.PiggybackTuples += o.ev.Stats().Derivations - before
+	o.notePiggyback(v.Superstep, o.ev.Stats().Derivations-before)
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"ariadne/internal/fault"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/value"
 )
 
@@ -22,7 +23,7 @@ import (
 // in-flight message queues, merged aggregator values, run statistics, and
 // one opaque state blob per checkpointable observer — to a binary file:
 //
-//	magic "ACKP" | version:1 | payload (value.Blob) | crc32(magic..payload)
+//	magic "ACKP" | version:1B | payload (value.Blob) | crc32(magic..payload)
 //
 // Files are written atomically (temp file + fsync + rename) and registered
 // in a manifest, itself rewritten atomically, listing checkpoints oldest
@@ -37,7 +38,11 @@ import (
 var checkpointMagic = [4]byte{'A', 'C', 'K', 'P'}
 
 const (
-	checkpointVersion  = 1
+	// checkpointVersion 2 extends v1 with the new RunStats totals
+	// (delivered/combined messages, peak active, per-phase wall times) and
+	// the per-superstep metrics profiles, so a recovered run reports
+	// cumulative — not truncated — metrics. v1 files are not readable.
+	checkpointVersion  = 2
 	manifestName       = "MANIFEST"
 	checkpointAttempts = 4
 	checkpointBackoff  = time.Millisecond
@@ -84,6 +89,7 @@ type checkpointData struct {
 	inbox      []inboxEntry
 	aggCurrent map[string]float64
 	stat       RunStats
+	profiles   []obs.SuperstepProfile
 	obsPresent []bool
 	obsBlobs   [][]byte
 }
@@ -102,15 +108,27 @@ func (e *Engine) writeCheckpoint(resumeSS int) error {
 	}
 	name := fmt.Sprintf("checkpoint-%06d.ckpt", resumeSS)
 	path := filepath.Join(ck.Dir, name)
+	m := e.cfg.Metrics
 	write := func() error {
 		if err := e.cfg.Fault.Hit(fault.SiteCheckpointWrite, resumeSS-1, -1, -1); err != nil {
 			return err
 		}
 		return writeFileAtomic(path, payload)
 	}
-	if err := fault.Retry(checkpointAttempts, checkpointBackoff, write); err != nil {
+	notify := func(attempt int, err error) {
+		m.AddRetry("checkpoint")
+		m.Tracef(obs.Warn, "checkpoint", resumeSS-1, "write attempt %d/%d failed, retrying: %v",
+			attempt, checkpointAttempts, err)
+	}
+	start := time.Now()
+	if err := fault.RetryNotify(checkpointAttempts, checkpointBackoff, write, notify); err != nil {
+		m.Tracef(obs.Error, "checkpoint", resumeSS-1, "giving up after %d attempts: %v", checkpointAttempts, err)
 		return fmt.Errorf("engine: writing checkpoint at superstep %d: %w", resumeSS-1, err)
 	}
+	d := time.Since(start)
+	e.stat.CheckpointWall += d
+	m.AddCheckpoint(int64(len(payload)), d)
+	m.Tracef(obs.Info, "checkpoint", resumeSS-1, "wrote %s (%d bytes)", name, len(payload))
 	return updateManifest(ck.Dir, name, ck.keep())
 }
 
@@ -162,6 +180,17 @@ func (e *Engine) encodeCheckpoint(resumeSS int) ([]byte, error) {
 	for _, n := range e.stat.ActiveVertices {
 		w.Uvarint(uint64(n))
 	}
+	// v2: the extended totals and per-phase wall times...
+	w.Uvarint(uint64(e.stat.MessagesDelivered))
+	w.Uvarint(uint64(e.stat.MessagesCombined))
+	w.Uvarint(uint64(e.stat.PeakActiveVertices))
+	w.Uvarint(uint64(e.stat.ComputeWall))
+	w.Uvarint(uint64(e.stat.BarrierWall))
+	w.Uvarint(uint64(e.stat.ObserveWall))
+	w.Uvarint(uint64(e.stat.CheckpointWall))
+	// ...and the per-superstep metrics profiles (empty when the run is
+	// uninstrumented), so Resume restores cumulative observability state.
+	obs.EncodeProfiles(w, e.cfg.Metrics.Profiles())
 	// Observer state blobs, in cfg.Observers order.
 	w.Uvarint(uint64(len(e.cfg.Observers)))
 	for _, o := range e.cfg.Observers {
@@ -243,6 +272,19 @@ func loadCheckpoint(path string) (*checkpointData, error) {
 	for i := 0; i < nActive && r.Err() == nil; i++ {
 		cp.stat.ActiveVertices = append(cp.stat.ActiveVertices, int(r.Uvarint()))
 	}
+	cp.stat.MessagesDelivered = int64(r.Uvarint())
+	cp.stat.MessagesCombined = int64(r.Uvarint())
+	cp.stat.PeakActiveVertices = int(r.Uvarint())
+	cp.stat.ComputeWall = time.Duration(r.Uvarint())
+	cp.stat.BarrierWall = time.Duration(r.Uvarint())
+	cp.stat.ObserveWall = time.Duration(r.Uvarint())
+	cp.stat.CheckpointWall = time.Duration(r.Uvarint())
+	if r.Err() == nil {
+		var perr error
+		if cp.profiles, perr = obs.DecodeProfiles(r); perr != nil {
+			return nil, fmt.Errorf("engine: checkpoint %s corrupt: %w", filepath.Base(path), perr)
+		}
+	}
 	nObs := r.Count()
 	for i := 0; i < nObs && r.Err() == nil; i++ {
 		present := r.Bool()
@@ -280,6 +322,9 @@ func (e *Engine) restore(cp *checkpointData) error {
 	e.agg.current = cp.aggCurrent
 	e.stat = cp.stat
 	e.startSS = cp.resumeSS
+	// Restore the metrics history so a recovered run reports cumulative
+	// per-superstep profiles and counters, not just post-resume ones.
+	e.cfg.Metrics.RestoreProfiles(cp.profiles)
 	for i, o := range e.cfg.Observers {
 		c, ok := o.(Checkpointable)
 		if cp.obsPresent[i] != ok {

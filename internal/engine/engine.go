@@ -21,9 +21,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"ariadne/internal/fault"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/value"
 )
 
@@ -98,6 +100,10 @@ type Config struct {
 	// Fault, when set, injects deterministic faults at guarded sites
 	// (Compute panics, checkpoint write errors) for recovery testing.
 	Fault *fault.Injector
+	// Metrics, when set, receives per-superstep profiles, counters, and
+	// trace events. nil disables instrumentation at ~zero cost (the hot
+	// path pays one nil check and allocates nothing per superstep).
+	Metrics *obs.Metrics
 }
 
 // Observer consumes per-superstep vertex records. ObserveSuperstep is called
@@ -137,12 +143,30 @@ type VertexRecord struct {
 	Emitted    []ProvFact
 }
 
-// RunStats summarizes a completed run.
+// RunStats summarizes a completed run. The original fields (Supersteps,
+// MessagesSent, ActiveVertices, Aborted) keep their meaning; the rest make
+// previously implicit totals observable. All totals are cumulative across
+// a checkpoint/Resume boundary.
 type RunStats struct {
 	Supersteps     int
 	MessagesSent   int64
 	ActiveVertices []int // per superstep
 	Aborted        bool
+
+	// MessagesDelivered counts inbox entries after sender-side combining;
+	// MessagesCombined counts the messages the combiner merged away
+	// (MessagesSent = MessagesDelivered + MessagesCombined).
+	MessagesDelivered int64
+	MessagesCombined  int64
+	// PeakActiveVertices is the maximum per-superstep active-vertex count.
+	PeakActiveVertices int
+	// Wall time per phase: parallel compute, barrier bookkeeping (message
+	// delivery, aggregator merge), observer work (capture and online query
+	// evaluation), and checkpoint writes.
+	ComputeWall    time.Duration
+	BarrierWall    time.Duration
+	ObserveWall    time.Duration
+	CheckpointWall time.Duration
 }
 
 // CrashError reports a vertex program failure with its culprit — the
@@ -241,6 +265,7 @@ func (e *Engine) Run() (RunStats, error) {
 		combiner = nil
 	}
 	halter, _ := e.prog.(Halter)
+	m := e.cfg.Metrics
 
 	for ss := e.startSS; ; ss++ {
 		if e.cfg.MaxSupersteps > 0 && ss >= e.cfg.MaxSupersteps {
@@ -250,6 +275,7 @@ func (e *Engine) Run() (RunStats, error) {
 			select {
 			case <-ctx.Done():
 				e.stat.Aborted = true
+				m.Tracef(obs.Warn, "engine", ss, "run canceled: %v", ctx.Err())
 				return e.stat, fmt.Errorf("engine: run canceled at superstep %d: %w", ss, ctx.Err())
 			default:
 			}
@@ -283,6 +309,12 @@ func (e *Engine) Run() (RunStats, error) {
 			}
 		}
 
+		if totalActive > e.stat.PeakActiveVertices {
+			e.stat.PeakActiveVertices = totalActive
+		}
+		m.BeginSuperstep(ss, totalActive)
+
+		computeStart := time.Now()
 		e.agg.beginSuperstep()
 		results := make([]partResult, e.nParts)
 		var wg sync.WaitGroup
@@ -298,6 +330,8 @@ func (e *Engine) Run() (RunStats, error) {
 			}(p)
 		}
 		wg.Wait()
+		computeDur := time.Since(computeStart)
+		e.stat.ComputeWall += computeDur
 
 		// Barrier: surface crashes (deterministically: lowest vertex wins).
 		var crash *CrashError
@@ -309,36 +343,48 @@ func (e *Engine) Run() (RunStats, error) {
 		if crash != nil {
 			e.stat.Aborted = true
 			e.stat.Supersteps = ss + 1
+			m.AbortSuperstep()
+			m.Tracef(obs.Error, "engine", ss, "vertex %d crashed: %v", crash.Vertex, crash.Err)
 			return e.stat, crash
 		}
 
 		// Barrier: merge aggregators, deliver messages, account stats.
+		barrierStart := time.Now()
 		e.agg.endSuperstep()
 		for p := range e.inboxes {
 			e.inboxes[p] = make(map[VertexID][]IncomingMessage)
 		}
-		var sent int64
+		var sent, delivered, combined int64
 		for _, r := range results {
 			for dp, msgs := range r.outbox {
-				for _, m := range msgs {
+				for _, om := range msgs {
 					if combiner != nil {
-						if ex := e.inboxes[dp][m.dst]; len(ex) > 0 {
-							ex[0].Val = combiner(ex[0].Val, m.val)
+						if ex := e.inboxes[dp][om.dst]; len(ex) > 0 {
+							ex[0].Val = combiner(ex[0].Val, om.val)
+							combined++
 							continue
 						}
 					}
-					e.inboxes[dp][m.dst] = append(e.inboxes[dp][m.dst], IncomingMessage{Src: m.src, Val: m.val})
+					e.inboxes[dp][om.dst] = append(e.inboxes[dp][om.dst], IncomingMessage{Src: om.src, Val: om.val})
+					delivered++
 				}
 				sent += int64(len(msgs))
 			}
 		}
 		e.stat.MessagesSent += sent
+		e.stat.MessagesDelivered += delivered
+		e.stat.MessagesCombined += combined
 		e.stat.ActiveVertices = append(e.stat.ActiveVertices, totalActive)
 		e.stat.Supersteps = ss + 1
+		barrierDur := time.Since(barrierStart)
+		e.stat.BarrierWall += barrierDur
+		m.SuperstepMessages(sent, delivered, combined)
 
 		// Observers see the completed superstep as one batch (one provenance
 		// layer), in deterministic vertex order.
+		var observeDur time.Duration
 		if observing {
+			observeStart := time.Now()
 			var recs []VertexRecord
 			for _, r := range results {
 				recs = append(recs, r.records...)
@@ -348,10 +394,15 @@ func (e *Engine) Run() (RunStats, error) {
 			for _, o := range e.cfg.Observers {
 				if err := o.ObserveSuperstep(view); err != nil {
 					e.stat.Aborted = true
+					m.AbortSuperstep()
+					m.Tracef(obs.Error, "engine", ss, "observer %T failed: %v", o, err)
 					return e.stat, fmt.Errorf("engine: observer failed at superstep %d: %w", ss, err)
 				}
 			}
+			observeDur = time.Since(observeStart)
+			e.stat.ObserveWall += observeDur
 		}
+		m.SuperstepTimings(computeDur, barrierDur, observeDur)
 
 		// Mark computed vertices' last-active superstep (after observers,
 		// who need the pre-superstep PrevActive captured in records).
@@ -360,6 +411,11 @@ func (e *Engine) Run() (RunStats, error) {
 				e.lastActive[v] = int32(ss)
 			}
 		}
+
+		// The superstep's profile is complete; publish it before the
+		// checkpoint below so the snapshot carries metrics through
+		// superstep ss and a recovered run reports cumulative numbers.
+		m.EndSuperstep()
 
 		// Checkpoint at the barrier: the snapshot holds everything superstep
 		// ss+1 depends on, including observer state as of the superstep the

@@ -216,6 +216,15 @@ func ParseSpec(spec string) ([]Rule, error) {
 // the spill and checkpoint writers for transient I/O errors. The last
 // error is returned when every attempt fails.
 func Retry(attempts int, base time.Duration, f func() error) error {
+	return RetryNotify(attempts, base, f, nil)
+}
+
+// RetryNotify is Retry with a retry hook: notify (when non-nil) is called
+// with the 1-based failed attempt number and its error before each backoff
+// sleep — i.e. only when another attempt will follow — so callers can
+// surface transient-fault fallbacks (trace events, retry counters) instead
+// of retrying silently. The final failure is returned, not notified.
+func RetryNotify(attempts int, base time.Duration, f func() error, notify func(attempt int, err error)) error {
 	if attempts <= 0 {
 		attempts = 1
 	}
@@ -225,6 +234,9 @@ func Retry(attempts int, base time.Duration, f func() error) error {
 			return nil
 		}
 		if i < attempts-1 {
+			if notify != nil {
+				notify(i+1, err)
+			}
 			d := base << uint(i)
 			if max := 50 * time.Millisecond; d > max {
 				d = max

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Live introspection endpoint: a long analytic can be inspected mid-run.
+//
+//	/metrics        Prometheus text exposition (counters, gauges, histograms)
+//	/debug/vars     expvar JSON (process vars plus the "ariadne" snapshot)
+//	/debug/pprof/   the standard net/http/pprof profiles
+//	/trace          the structured trace ring buffer as JSON
+//	/supersteps     the completed per-superstep profiles as JSON
+//
+// Everything reads through the registry's race-safe paths, so scraping
+// during an active run is supported (and exercised under -race).
+
+// expvar publication is process-global and panics on duplicate names, so
+// the "ariadne" var is published once and re-pointed at the newest
+// registry to serve.
+var (
+	expvarMu      sync.Mutex
+	expvarCurrent *Metrics
+	expvarOnce    sync.Once
+)
+
+func publishExpvar(m *Metrics) {
+	expvarMu.Lock()
+	expvarCurrent = m
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("ariadne", expvar.Func(func() any {
+			expvarMu.Lock()
+			cur := expvarCurrent
+			expvarMu.Unlock()
+			return cur.Snapshot()
+		}))
+	})
+}
+
+// Handler returns the introspection mux for m.
+func Handler(m *Metrics) http.Handler {
+	publishExpvar(m)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(m.PrometheusText()))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		events, dropped := m.TraceEvents()
+		if events == nil {
+			events = []Event{} // JSON [] rather than null for an empty ring
+		}
+		writeJSON(w, map[string]any{"dropped": dropped, "events": events})
+	})
+	mux.HandleFunc("/supersteps", func(w http.ResponseWriter, r *http.Request) {
+		profiles := m.Profiles()
+		if profiles == nil {
+			profiles = []SuperstepProfile{}
+		}
+		writeJSON(w, profiles)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "ariadne introspection: /metrics /debug/vars /debug/pprof/ /trace /supersteps")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// Serve listens on addr (":0" picks a free port) and serves Handler(m) in
+// a background goroutine. The caller owns the returned server and should
+// Close it when the run ends; the returned address is the bound one.
+func Serve(addr string, m *Metrics) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(m)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}
+
+// PrometheusText renders every registered series in the Prometheus text
+// exposition format, sorted for deterministic output. Nil-safe.
+func (m *Metrics) PrometheusText() string {
+	if m == nil {
+		return ""
+	}
+	var b strings.Builder
+	m.mu.RLock()
+	counters := make(map[string]int64, len(m.counters))
+	for k, c := range m.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]int64, len(m.gauges))
+	for k, g := range m.gauges {
+		gauges[k] = g.Value()
+	}
+	histNames := make([]string, 0, len(m.hists))
+	hists := make(map[string]*Histogram, len(m.hists))
+	for k, h := range m.hists {
+		histNames = append(histNames, k)
+		hists[k] = h
+	}
+	m.mu.RUnlock()
+
+	typed := map[string]bool{}
+	writeScalars := func(vals map[string]int64, typ string) {
+		keys := sortedKeys(vals)
+		for _, k := range keys {
+			name, _ := seriesKey(k)
+			if !typed[name] {
+				typed[name] = true
+				fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+			}
+			fmt.Fprintf(&b, "%s %d\n", k, vals[k])
+		}
+	}
+	writeScalars(counters, "counter")
+	writeScalars(gauges, "gauge")
+
+	sort.Strings(histNames)
+	for _, k := range histNames {
+		h := hists[k]
+		name, labels := seriesKey(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, ub := range histBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, mergeLabels(labels, fmt.Sprintf(`le="%g"`, ub)), cum)
+		}
+		cum += h.counts[len(histBuckets)].Load()
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="+Inf"`), cum)
+		fmt.Fprintf(&b, "%s_sum%s %g\n", name, labels, float64(h.SumNS())/1e9)
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, labels, h.Count())
+	}
+	return b.String()
+}
+
+// mergeLabels combines an existing {a="b"} block with an extra label pair.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}

@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"ariadne/internal/value"
+)
+
+// Canonical series names. Callers thread these through the registry so the
+// /metrics endpoint exposes one coherent namespace.
+const (
+	MetricSuperstep         = "ariadne_superstep"                   // gauge: current superstep
+	MetricActiveVertices    = "ariadne_active_vertices"             // gauge: active vertices this superstep
+	MetricSupersteps        = "ariadne_supersteps_total"            // counter
+	MetricMessagesSent      = "ariadne_messages_sent_total"         // counter
+	MetricMessagesDelivered = "ariadne_messages_delivered_total"    // counter (post-combining)
+	MetricMessagesCombined  = "ariadne_messages_combined_total"     // counter (merged away)
+	MetricCaptureTuples     = "ariadne_capture_tuples_total"        // counter, label table
+	MetricCaptureBytes      = "ariadne_capture_bytes_total"         // counter (encoded layer bytes)
+	MetricPiggybackTuples   = "ariadne_piggyback_tuples_total"      // counter, label query
+	MetricSpillBytes        = "ariadne_spill_bytes_total"           // counter
+	MetricSpillSeconds      = "ariadne_spill_duration_seconds"      // histogram
+	MetricCheckpointBytes   = "ariadne_checkpoint_bytes_total"      // counter
+	MetricCheckpointSeconds = "ariadne_checkpoint_duration_seconds" // histogram
+	MetricComputeSeconds    = "ariadne_compute_duration_seconds"    // histogram per superstep
+	MetricBarrierSeconds    = "ariadne_barrier_duration_seconds"    // histogram per superstep
+	MetricObserveSeconds    = "ariadne_observe_duration_seconds"    // histogram per superstep
+	MetricRetries           = "ariadne_io_retries_total"            // counter, label site
+	MetricFaultsInjected    = "ariadne_faults_injected_total"       // counter
+)
+
+// SuperstepProfile is the per-superstep metrics record — one entry per
+// completed superstep, the unit the -stats-json trajectories and the
+// differential recovery tests consume. Durations are nanoseconds so the
+// JSON form is integer-exact.
+type SuperstepProfile struct {
+	Superstep      int   `json:"superstep"`
+	ActiveVertices int   `json:"active_vertices"`
+	MessagesSent   int64 `json:"messages_sent"`
+	// MessagesDelivered counts inbox entries after sender-side combining.
+	MessagesDelivered int64 `json:"messages_delivered"`
+	// MessagesCombined counts messages merged away by the combiner.
+	MessagesCombined int64 `json:"messages_combined"`
+	ComputeNS        int64 `json:"compute_ns"`
+	BarrierNS        int64 `json:"barrier_ns"`
+	ObserveNS        int64 `json:"observe_ns"`
+	// CaptureTuples counts provenance tuples appended this superstep,
+	// keyed by table (value, send_message, receive_message, prov_send,
+	// and any analytics-emitted tables).
+	CaptureTuples map[string]int64 `json:"capture_tuples,omitempty"`
+	CaptureBytes  int64            `json:"capture_bytes,omitempty"`
+	// PiggybackTuples counts tuples derived by each online query this
+	// superstep — the payload that would ride along analytic messages in a
+	// distributed deployment (DESIGN.md decision 4).
+	PiggybackTuples map[string]int64 `json:"piggyback_tuples,omitempty"`
+	SpillBytes      int64            `json:"spill_bytes,omitempty"`
+	SpillNS         int64            `json:"spill_ns,omitempty"`
+	CheckpointBytes int64            `json:"checkpoint_bytes,omitempty"`
+	CheckpointNS    int64            `json:"checkpoint_ns,omitempty"`
+	// Retries counts transient-I/O retry events by site (spill,
+	// checkpoint) — nonzero only under injected or real faults.
+	Retries map[string]int64 `json:"retries,omitempty"`
+}
+
+// BeginSuperstep opens the profile for superstep ss. Called by the engine
+// run goroutine only. Nil-safe.
+func (m *Metrics) BeginSuperstep(ss, active int) {
+	if m == nil {
+		return
+	}
+	m.cur = SuperstepProfile{Superstep: ss, ActiveVertices: active}
+	m.curOpen = true
+	m.Gauge(MetricSuperstep).Set(int64(ss))
+	m.Gauge(MetricActiveVertices).Set(int64(active))
+}
+
+// SuperstepMessages records the barrier's message accounting. Nil-safe.
+func (m *Metrics) SuperstepMessages(sent, delivered, combined int64) {
+	if m == nil {
+		return
+	}
+	m.cur.MessagesSent = sent
+	m.cur.MessagesDelivered = delivered
+	m.cur.MessagesCombined = combined
+	m.Counter(MetricMessagesSent).Add(sent)
+	m.Counter(MetricMessagesDelivered).Add(delivered)
+	m.Counter(MetricMessagesCombined).Add(combined)
+}
+
+// SuperstepTimings records the phase wall times of the current superstep.
+// Nil-safe.
+func (m *Metrics) SuperstepTimings(compute, barrier, observe time.Duration) {
+	if m == nil {
+		return
+	}
+	m.cur.ComputeNS = int64(compute)
+	m.cur.BarrierNS = int64(barrier)
+	m.cur.ObserveNS = int64(observe)
+	m.Histogram(MetricComputeSeconds).Observe(compute)
+	m.Histogram(MetricBarrierSeconds).Observe(barrier)
+	m.Histogram(MetricObserveSeconds).Observe(observe)
+}
+
+// AddCaptureTuples counts provenance tuples appended for a table this
+// superstep. Nil-safe.
+func (m *Metrics) AddCaptureTuples(table string, n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	if m.cur.CaptureTuples == nil {
+		m.cur.CaptureTuples = map[string]int64{}
+	}
+	m.cur.CaptureTuples[table] += n
+	m.Counter(L(MetricCaptureTuples, "table", table)).Add(n)
+}
+
+// AddCaptureBytes counts encoded provenance bytes appended to the store.
+// Nil-safe.
+func (m *Metrics) AddCaptureBytes(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.cur.CaptureBytes += n
+	m.Counter(MetricCaptureBytes).Add(n)
+}
+
+// AddPiggyback counts tuples derived by an online query this superstep.
+// Nil-safe.
+func (m *Metrics) AddPiggyback(query string, n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	if m.cur.PiggybackTuples == nil {
+		m.cur.PiggybackTuples = map[string]int64{}
+	}
+	m.cur.PiggybackTuples[query] += n
+	m.Counter(L(MetricPiggybackTuples, "query", query)).Add(n)
+}
+
+// AddSpill records one provenance layer-file write. Nil-safe.
+func (m *Metrics) AddSpill(bytes int64, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.cur.SpillBytes += bytes
+	m.cur.SpillNS += int64(d)
+	m.Counter(MetricSpillBytes).Add(bytes)
+	m.Histogram(MetricSpillSeconds).Observe(d)
+}
+
+// AddCheckpoint records one checkpoint-file write. When the current
+// superstep's profile is already closed (checkpoints are written after
+// EndSuperstep so the snapshot carries the full profile), the cost is
+// attributed to the newest completed profile. Nil-safe.
+func (m *Metrics) AddCheckpoint(bytes int64, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if m.curOpen {
+		m.cur.CheckpointBytes += bytes
+		m.cur.CheckpointNS += int64(d)
+	} else {
+		m.pmu.Lock()
+		if n := len(m.profiles); n > 0 {
+			m.profiles[n-1].CheckpointBytes += bytes
+			m.profiles[n-1].CheckpointNS += int64(d)
+		}
+		m.pmu.Unlock()
+	}
+	m.Counter(MetricCheckpointBytes).Add(bytes)
+	m.Histogram(MetricCheckpointSeconds).Observe(d)
+}
+
+// AddRetry counts a transient-I/O retry at the named site (spill,
+// checkpoint). Nil-safe.
+func (m *Metrics) AddRetry(site string) {
+	if m == nil {
+		return
+	}
+	if m.curOpen {
+		if m.cur.Retries == nil {
+			m.cur.Retries = map[string]int64{}
+		}
+		m.cur.Retries[site]++
+	} else {
+		m.pmu.Lock()
+		if n := len(m.profiles); n > 0 {
+			if m.profiles[n-1].Retries == nil {
+				m.profiles[n-1].Retries = map[string]int64{}
+			}
+			m.profiles[n-1].Retries[site]++
+		}
+		m.pmu.Unlock()
+	}
+	m.Counter(L(MetricRetries, "site", site)).Add(1)
+}
+
+// EndSuperstep closes the current profile and publishes it. Nil-safe.
+func (m *Metrics) EndSuperstep() {
+	if m == nil || !m.curOpen {
+		return
+	}
+	m.curOpen = false
+	m.Counter(MetricSupersteps).Add(1)
+	m.pmu.Lock()
+	m.profiles = append(m.profiles, m.cur)
+	m.pmu.Unlock()
+	m.cur = SuperstepProfile{}
+}
+
+// AbortSuperstep discards the profile under construction (the superstep
+// crashed before its barrier completed; a resumed run re-executes it).
+// Nil-safe.
+func (m *Metrics) AbortSuperstep() {
+	if m == nil {
+		return
+	}
+	m.curOpen = false
+	m.cur = SuperstepProfile{}
+}
+
+// Profiles returns a copy of the completed per-superstep profiles.
+// Nil-safe. The maps inside are shared with the registry and must be
+// treated as read-only by callers.
+func (m *Metrics) Profiles() []SuperstepProfile {
+	if m == nil {
+		return nil
+	}
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	return append([]SuperstepProfile(nil), m.profiles...)
+}
+
+// RestoreProfiles resets the registry to the state a run that produced ps
+// would have: the profiles become the completed history and every
+// profile-derived counter/histogram is rebuilt from them, so a resumed run
+// reports cumulative — not truncated — metrics. Counters without a profile
+// column (e.g. injected-fault totals from the crashed attempt) restart at
+// zero. Nil-safe.
+func (m *Metrics) RestoreProfiles(ps []SuperstepProfile) {
+	if m == nil {
+		return
+	}
+	m.reset()
+	m.pmu.Lock()
+	m.profiles = append([]SuperstepProfile(nil), ps...)
+	m.curOpen = false
+	m.cur = SuperstepProfile{}
+	m.pmu.Unlock()
+	for i := range ps {
+		p := &ps[i]
+		m.Counter(MetricSupersteps).Add(1)
+		m.Counter(MetricMessagesSent).Add(p.MessagesSent)
+		m.Counter(MetricMessagesDelivered).Add(p.MessagesDelivered)
+		m.Counter(MetricMessagesCombined).Add(p.MessagesCombined)
+		m.Counter(MetricCaptureBytes).Add(p.CaptureBytes)
+		m.Counter(MetricSpillBytes).Add(p.SpillBytes)
+		m.Counter(MetricCheckpointBytes).Add(p.CheckpointBytes)
+		for t, n := range p.CaptureTuples {
+			m.Counter(L(MetricCaptureTuples, "table", t)).Add(n)
+		}
+		for q, n := range p.PiggybackTuples {
+			m.Counter(L(MetricPiggybackTuples, "query", q)).Add(n)
+		}
+		for s, n := range p.Retries {
+			m.Counter(L(MetricRetries, "site", s)).Add(n)
+		}
+		m.Histogram(MetricComputeSeconds).Observe(time.Duration(p.ComputeNS))
+		m.Histogram(MetricBarrierSeconds).Observe(time.Duration(p.BarrierNS))
+		m.Histogram(MetricObserveSeconds).Observe(time.Duration(p.ObserveNS))
+		if p.SpillNS > 0 || p.SpillBytes > 0 {
+			m.Histogram(MetricSpillSeconds).Observe(time.Duration(p.SpillNS))
+		}
+		if p.CheckpointNS > 0 || p.CheckpointBytes > 0 {
+			m.Histogram(MetricCheckpointSeconds).Observe(time.Duration(p.CheckpointNS))
+		}
+		m.Gauge(MetricSuperstep).Set(int64(p.Superstep))
+		m.Gauge(MetricActiveVertices).Set(int64(p.ActiveVertices))
+	}
+}
+
+// EncodeProfiles appends the profiles to a checkpoint blob — the format
+// that lets a recovered run report cumulative metrics.
+func EncodeProfiles(w *value.Blob, ps []SuperstepProfile) {
+	w.Uvarint(uint64(len(ps)))
+	for i := range ps {
+		p := &ps[i]
+		w.Uvarint(uint64(p.Superstep))
+		w.Uvarint(uint64(p.ActiveVertices))
+		w.Uvarint(uint64(p.MessagesSent))
+		w.Uvarint(uint64(p.MessagesDelivered))
+		w.Uvarint(uint64(p.MessagesCombined))
+		w.Uvarint(uint64(p.ComputeNS))
+		w.Uvarint(uint64(p.BarrierNS))
+		w.Uvarint(uint64(p.ObserveNS))
+		w.Uvarint(uint64(p.CaptureBytes))
+		w.Uvarint(uint64(p.SpillBytes))
+		w.Uvarint(uint64(p.SpillNS))
+		w.Uvarint(uint64(p.CheckpointBytes))
+		w.Uvarint(uint64(p.CheckpointNS))
+		encodeCountMap(w, p.CaptureTuples)
+		encodeCountMap(w, p.PiggybackTuples)
+		encodeCountMap(w, p.Retries)
+	}
+}
+
+// DecodeProfiles reads an EncodeProfiles blob.
+func DecodeProfiles(r *value.BlobReader) ([]SuperstepProfile, error) {
+	n := r.Count()
+	var ps []SuperstepProfile
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var p SuperstepProfile
+		p.Superstep = int(r.Uvarint())
+		p.ActiveVertices = int(r.Uvarint())
+		p.MessagesSent = int64(r.Uvarint())
+		p.MessagesDelivered = int64(r.Uvarint())
+		p.MessagesCombined = int64(r.Uvarint())
+		p.ComputeNS = int64(r.Uvarint())
+		p.BarrierNS = int64(r.Uvarint())
+		p.ObserveNS = int64(r.Uvarint())
+		p.CaptureBytes = int64(r.Uvarint())
+		p.SpillBytes = int64(r.Uvarint())
+		p.SpillNS = int64(r.Uvarint())
+		p.CheckpointBytes = int64(r.Uvarint())
+		p.CheckpointNS = int64(r.Uvarint())
+		p.CaptureTuples = decodeCountMap(r)
+		p.PiggybackTuples = decodeCountMap(r)
+		p.Retries = decodeCountMap(r)
+		ps = append(ps, p)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("obs: corrupt profile blob: %w", err)
+	}
+	return ps, nil
+}
+
+func encodeCountMap(w *value.Blob, m map[string]int64) {
+	w.Uvarint(uint64(len(m)))
+	for _, k := range sortedKeys(m) {
+		w.String(k)
+		w.Uvarint(uint64(m[k]))
+	}
+}
+
+func decodeCountMap(r *value.BlobReader) map[string]int64 {
+	n := r.Count()
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]int64, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.String()
+		m[k] = int64(r.Uvarint())
+	}
+	return m
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Level classifies a trace event.
+type Level uint8
+
+// Trace levels.
+const (
+	Info Level = iota
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// MarshalText renders the level as its lowercase name in JSON/text output.
+func (l Level) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText parses the lowercase level name, so /trace JSON consumers
+// can decode back into Event.
+func (l *Level) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "info":
+		*l = Info
+	case "warn":
+		*l = Warn
+	case "error":
+		*l = Error
+	default:
+		return fmt.Errorf("obs: unknown trace level %q", b)
+	}
+	return nil
+}
+
+// Event is one structured trace entry: what happened, where in the
+// pipeline (site), and at which superstep (-1 when not tied to one).
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	Level     Level     `json:"level"`
+	Site      string    `json:"site"`
+	Superstep int       `json:"superstep"`
+	Msg       string    `json:"msg"`
+}
+
+// Trace is a fixed-capacity ring buffer of events. Appends evict the
+// oldest entry once full; Dropped counts evictions so a post-mortem reader
+// knows whether the window is complete.
+type Trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // index of the slot the next event goes to
+	full    bool
+	seq     uint64
+	dropped uint64
+}
+
+func newTrace(capacity int) *Trace {
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if t.full {
+		t.dropped++
+	}
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// events returns the buffered events oldest-first plus the eviction count.
+func (t *Trace) events() ([]Event, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	if t.full {
+		out = make([]Event, 0, len(t.buf))
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append([]Event(nil), t.buf[:t.next]...)
+	}
+	return out, t.dropped
+}
+
+// TraceEnabled reports whether the trace ring is active, so call sites can
+// skip formatting work when it is not. Nil-safe.
+func (m *Metrics) TraceEnabled() bool {
+	return m != nil && m.trace.Load() != nil
+}
+
+// Tracef appends a formatted trace event. A no-op (without formatting)
+// when m is nil or tracing is disabled. Safe from any goroutine.
+func (m *Metrics) Tracef(level Level, site string, superstep int, format string, args ...any) {
+	if m == nil {
+		return
+	}
+	t := m.trace.Load()
+	if t == nil {
+		return
+	}
+	t.add(Event{
+		Time:      time.Now(),
+		Level:     level,
+		Site:      site,
+		Superstep: superstep,
+		Msg:       fmt.Sprintf(format, args...),
+	})
+}
+
+// TraceEvents returns the buffered trace oldest-first and how many older
+// events were evicted from the ring. Nil-safe.
+func (m *Metrics) TraceEvents() (events []Event, dropped uint64) {
+	if m == nil {
+		return nil, 0
+	}
+	t := m.trace.Load()
+	if t == nil {
+		return nil, 0
+	}
+	return t.events()
+}

@@ -71,7 +71,7 @@ func TestSpillWriteExhaustedRetriesLeaveNoPartialFile(t *testing.T) {
 func TestLayerTruncationNeverPanics(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "layer.prov")
-	if err := writeLayerFile(path, sampleLayer(0, 6), nil); err != nil {
+	if err := writeLayerFile(path, sampleLayer(0, 6), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -95,7 +95,7 @@ func TestLayerTruncationNeverPanics(t *testing.T) {
 func TestLayerCorruptCountsNeverPanic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "layer.prov")
-	if err := writeLayerFile(path, sampleLayer(0, 6), nil); err != nil {
+	if err := writeLayerFile(path, sampleLayer(0, 6), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

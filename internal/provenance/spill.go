@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ariadne/internal/fault"
+	"ariadne/internal/obs"
 	"ariadne/internal/value"
 )
 
@@ -41,8 +42,11 @@ const (
 // file, are fsynced, and only then renamed to the final path, so a crash or
 // I/O error mid-write never leaves a partial layer visible where
 // readLayerFile would trip over it. Transient errors (injectable via inj
-// for testing) are retried with capped exponential backoff.
-func writeLayerFile(path string, l *Layer, inj *fault.Injector) error {
+// for testing) are retried with capped exponential backoff; each fallback
+// to retry is recorded as a warning trace event and a retry counter bump —
+// never silently — so fault-injection runs are auditable from the trace
+// buffer alone.
+func writeLayerFile(path string, l *Layer, inj *fault.Injector, m *obs.Metrics) error {
 	attempt := func() error {
 		if err := inj.Hit(fault.SiteSpillWrite, l.Superstep, -1, -1); err != nil {
 			return err
@@ -78,7 +82,16 @@ func writeLayerFile(path string, l *Layer, inj *fault.Injector) error {
 		}
 		return nil
 	}
-	return fault.Retry(spillAttempts, spillBackoff, attempt)
+	notify := func(n int, err error) {
+		m.AddRetry("spill")
+		m.Tracef(obs.Warn, "spill", l.Superstep, "layer write attempt %d/%d failed, retrying: %v",
+			n, spillAttempts, err)
+	}
+	if err := fault.RetryNotify(spillAttempts, spillBackoff, attempt, notify); err != nil {
+		m.Tracef(obs.Error, "spill", l.Superstep, "layer write giving up after %d attempts: %v", spillAttempts, err)
+		return err
+	}
+	return nil
 }
 
 func readLayerFile(path string) (*Layer, error) {

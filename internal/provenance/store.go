@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ariadne/internal/fault"
+	"ariadne/internal/obs"
 )
 
 // ErrBudgetExceeded is returned when the in-memory provenance exceeds the
@@ -33,6 +35,11 @@ type StoreConfig struct {
 	// Fault, when set, injects transient I/O errors into layer-file writes
 	// (fault.SiteSpillWrite) to exercise the retry path.
 	Fault *fault.Injector
+	// Metrics, when set, receives capture-size counters, spill
+	// bytes/durations, and warning trace events when a layer write falls
+	// back to retry under (injected or real) I/O faults. nil disables
+	// instrumentation.
+	Metrics *obs.Metrics
 }
 
 // Store holds the captured provenance graph as a sequence of layers, with
@@ -64,6 +71,7 @@ func (s *Store) AppendLayer(l *Layer) error {
 		return fmt.Errorf("provenance: layer %d appended out of order (have %d layers)", l.Superstep, len(s.layers))
 	}
 	sz := l.MemSize()
+	enc := l.EncodedSize()
 	for i := range l.Records {
 		s.vertices[l.Records[i].Vertex] = struct{}{}
 	}
@@ -71,8 +79,9 @@ func (s *Store) AppendLayer(l *Layer) error {
 	s.spilled = append(s.spilled, false)
 	s.files = append(s.files, "")
 	s.resident += sz
-	s.totalBytes += l.EncodedSize()
+	s.totalBytes += enc
 	s.totalTuples += l.NumTuples()
+	s.cfg.Metrics.AddCaptureBytes(enc)
 
 	if s.cfg.SpillAll {
 		if s.cfg.SpillDir == "" {
@@ -80,7 +89,7 @@ func (s *Store) AppendLayer(l *Layer) error {
 		}
 		i := len(s.layers) - 1
 		path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
-		if err := writeLayerFile(path, l, s.cfg.Fault); err != nil {
+		if err := s.spillLayer(path, l, enc); err != nil {
 			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
 		}
 		s.resident -= sz
@@ -108,7 +117,7 @@ func (s *Store) spillOldest() error {
 			continue
 		}
 		path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
-		if err := writeLayerFile(path, s.layers[i], s.cfg.Fault); err != nil {
+		if err := s.spillLayer(path, s.layers[i], s.layers[i].EncodedSize()); err != nil {
 			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
 		}
 		s.resident -= s.layers[i].MemSize()
@@ -118,6 +127,24 @@ func (s *Store) spillOldest() error {
 	}
 	if s.resident > s.cfg.MemoryBudget {
 		return fmt.Errorf("%w: a single layer exceeds the budget", ErrBudgetExceeded)
+	}
+	return nil
+}
+
+// spillLayer writes one layer file, accounting bytes and duration to the
+// metrics registry (enc is the layer's encoded size, which the caller has
+// already computed for its own bookkeeping).
+func (s *Store) spillLayer(path string, l *Layer, enc int64) error {
+	m := s.cfg.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	if err := writeLayerFile(path, l, s.cfg.Fault, m); err != nil {
+		return err
+	}
+	if m != nil {
+		m.AddSpill(enc, time.Since(start))
 	}
 	return nil
 }
