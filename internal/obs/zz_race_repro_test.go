@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// Repro: AddRetry after EndSuperstep mutates the published profile's
+// Retries map, which Profiles() callers share by reference.
+func TestReviewRetryMapRace(t *testing.T) {
+	m := New()
+	m.BeginSuperstep(0, 1)
+	m.EndSuperstep()
+	m.AddRetry("checkpoint") // map now exists in profiles[0]
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			m.AddRetry("checkpoint")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			ps := m.Profiles()
+			json.Marshal(ps)
+		}
+	}()
+	wg.Wait()
+}
