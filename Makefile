@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-full vet race ci clean
+.PHONY: all build test bench bench-full vet race ci fault-matrix clean
 
 all: build test
 
@@ -27,6 +27,25 @@ bench:
 
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
+
+# fault-matrix exercises the partition-targeted fault scenarios end to end
+# under the race detector: the supervision/fault test suites, then three CLI
+# runs — an injected partition panic recovered by retry, a hung partition
+# cancelled by its deadline, and repeated capture failures shedding into
+# degraded mode. Each CLI run writes its supervision trace and capture gaps
+# to FAULT_*.json; CI archives the JSON.
+fault-matrix:
+	$(GO) test -race -run 'Supervis|Degrade|HitWait|Matrix|CaptureFault' \
+		./internal/supervise/ ./internal/fault/ ./internal/engine/ ./internal/capture/ .
+	$(GO) run -race ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-supervise -faults "compute:mode=panic:ss=3:part=0" \
+		-trace-buf 1024 -stats-json FAULT_panic.json
+	$(GO) run -race ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-supervise -partition-deadline 250ms -faults "compute:mode=hang:ss=4:part=0" \
+		-trace-buf 1024 -stats-json FAULT_hang.json
+	$(GO) run -race ./cmd/ariadne run -analytic sssp -dataset IN-04 -capture full \
+		-supervise -degrade-capture 2 -faults "capture:part=0:times=3" \
+		-trace-buf 1024 -stats-json FAULT_degrade.json
 
 # ci is what .github/workflows/ci.yml runs.
 ci: vet race

@@ -35,6 +35,7 @@ import (
 	"ariadne/internal/obs"
 	"ariadne/internal/provenance"
 	"ariadne/internal/queries"
+	"ariadne/internal/supervise"
 	"ariadne/internal/value"
 )
 
@@ -73,6 +74,14 @@ type (
 	SuperstepProfile = obs.SuperstepProfile
 	// TraceEvent is one structured trace-ring entry.
 	TraceEvent = obs.Event
+	// SuperviseConfig tunes partition-level supervision: per-partition
+	// superstep deadlines, bounded retry with backoff, and degraded-mode
+	// capture (see WithSupervision).
+	SuperviseConfig = supervise.Config
+	// CaptureGap records a superstep range whose provenance capture was shed
+	// in degraded mode (Partition -1 = all partitions). Queryable from PQL
+	// as capture_gap(P, F, T).
+	CaptureGap = provenance.CaptureGap
 )
 
 // NewMetrics creates an empty metrics registry for WithMetrics. Create it
@@ -105,6 +114,11 @@ type Result struct {
 	// Metrics is the registry the run reported into (nil without
 	// WithMetrics/WithTrace); use it for Prometheus text or trace events.
 	Metrics *Metrics
+	// CaptureGaps lists the superstep ranges whose provenance capture was
+	// shed under degraded mode (empty when capture never degraded). The
+	// analytic values above are exact regardless — degradation drops only
+	// provenance, never analytic state (Theorem 5.4 non-interference).
+	CaptureGaps []CaptureGap
 
 	queryResults map[string]*driver.Result
 }
@@ -122,6 +136,8 @@ type runConfig struct {
 	observers  []engine.Observer
 	metrics    *obs.Metrics
 	traceCap   int
+	supervise  *supervise.Config
+	ckptKeep   int
 }
 
 // Option customizes Run.
@@ -250,6 +266,36 @@ func WithCheckpoint(dir string, every int) Option {
 	}
 }
 
+// WithSupervision wraps every partition worker in a supervisor: per-
+// partition superstep deadlines flag stragglers and cancel hung partitions,
+// transient failures (compute panics, injected faults, deadline expiry) are
+// retried with exponential backoff re-executing only the failed partition
+// from the superstep barrier, and — when sc.DegradeCaptureAfter > 0 —
+// repeated capture-side failures shed provenance capture (and online-query
+// piggybacking) for the failing partition instead of aborting the run. The
+// analytic result is bit-identical with or without supervision; shed ranges
+// surface as Result.CaptureGaps and the capture_gap(P, F, T) PQL predicate.
+func WithSupervision(sc SuperviseConfig) Option {
+	return func(c *runConfig) error {
+		s := sc
+		c.supervise = &s
+		return nil
+	}
+}
+
+// WithCheckpointRetention prunes the checkpoint directory to the newest
+// keep checkpoints after each successful write (default 3 under cmd/ariadne;
+// the engine's own default is 2). Requires WithCheckpoint.
+func WithCheckpointRetention(keep int) Option {
+	return func(c *runConfig) error {
+		if keep <= 0 {
+			return errors.New("ariadne: WithCheckpointRetention needs keep >= 1")
+		}
+		c.ckptKeep = keep
+		return nil
+	}
+}
+
 // WithFault installs a deterministic fault injector, consulted by the
 // engine's compute path and the checkpoint/spill writers — the test harness
 // for crash recovery.
@@ -301,6 +347,21 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 		cfg.storeCfg.Metrics = cfg.metrics
 	}
 
+	// Checkpoint retention and supervision are plain config threading, but
+	// both have cross-option dependencies resolved only after every option
+	// has been applied.
+	if cfg.ckptKeep > 0 {
+		if cfg.engineCfg.Checkpoint == nil {
+			return nil, nil, nil, errors.New("ariadne: WithCheckpointRetention requires WithCheckpoint")
+		}
+		cfg.engineCfg.Checkpoint.Keep = cfg.ckptKeep
+	}
+	var deg *supervise.DegradeState
+	if cfg.supervise != nil {
+		cfg.engineCfg.Supervise = cfg.supervise
+		deg = supervise.NewDegradeState(cfg.supervise.DegradeCaptureAfter)
+	}
+
 	// Capture observer.
 	var store *provenance.Store
 	if cfg.captureDef != nil {
@@ -318,6 +379,7 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 		store = provenance.NewStore(cfg.storeCfg)
 		co := capture.NewObserver(*cfg.capturePol, store)
 		co.SetMetrics(cfg.metrics)
+		co.SetDegradation(deg, cfg.engineCfg.Fault)
 		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, co)
 	}
 
@@ -333,6 +395,7 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 			return nil, nil, nil, fmt.Errorf("ariadne: query %s: %w", def.Name, err)
 		}
 		o.SetMetrics(cfg.metrics, def.Name)
+		o.SetDegrade(deg)
 		onlines = append(onlines, o)
 		cfg.engineCfg.Observers = append(cfg.engineCfg.Observers, o)
 	}
@@ -349,6 +412,9 @@ func finish(e *engine.Engine, cfg *runConfig, store *provenance.Store, onlines [
 	res.Aggregated = e.Aggregated()
 	res.Provenance = store
 	res.ResumedFrom = e.ResumedFrom()
+	if store != nil {
+		res.CaptureGaps = store.Gaps()
+	}
 	if cfg.metrics != nil {
 		res.Metrics = cfg.metrics
 		res.Profile = cfg.metrics.Profiles()

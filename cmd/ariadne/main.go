@@ -13,6 +13,17 @@
 //	ariadne run -analytic pagerank -checkpoint ck -faults "compute:mode=panic:ss=7"
 //	ariadne run -analytic pagerank -checkpoint ck -resume
 //
+// Supervision: -supervise wraps each partition worker with deadlines and
+// bounded retry (partition-scoped recovery); -degrade-capture N sheds
+// provenance capture for a partition after N consecutive capture failures
+// instead of aborting (the analytic result is unchanged; shed ranges are
+// queryable as capture_gap(P, F, T)). SIGINT/SIGTERM write a final
+// checkpoint at the superstep barrier before exiting:
+//
+//	ariadne run -analytic pagerank -supervise -faults "compute:mode=panic:ss=3:part=1"
+//	ariadne run -analytic pagerank -capture full -supervise -degrade-capture 2 \
+//	    -faults "capture:part=0:times=3"
+//
 // Observability: -metrics-addr serves Prometheus text, expvar, pprof, the
 // trace ring, and per-superstep profiles over HTTP while the run is live;
 // -stats-json writes the profiles to a file; -trace-buf sizes the ring:
@@ -21,13 +32,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ariadne"
 	"ariadne/internal/analytics"
@@ -165,7 +179,13 @@ func cmdRun(args []string) error {
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "compute:mode=panic:ss=3:vertex=7" or "spill.write:times=2" (clauses joined with ;)`)
 	ckDir := fs.String("checkpoint", "", "checkpoint directory (enables superstep checkpointing)")
 	ckEvery := fs.Int("checkpoint-every", 5, "supersteps between checkpoints")
+	ckKeep := fs.Int("checkpoint-keep", 3, "checkpoints to retain in -checkpoint (older ones are pruned)")
 	resume := fs.Bool("resume", false, "resume from the newest good checkpoint in -checkpoint")
+	supervised := fs.Bool("supervise", false, "supervise partition workers: deadlines, retry with backoff, partition-scoped recovery")
+	partDeadline := fs.Duration("partition-deadline", 0, "fixed per-partition superstep deadline (0 with -supervise = adaptive multiple-of-median)")
+	maxRetries := fs.Int("max-retries", 2, "partition re-executions per superstep before the run fails (with -supervise)")
+	degradeAfter := fs.Int("degrade-capture", 0, "shed provenance capture for a partition after N consecutive capture failures (0 = capture failures abort the run)")
+	stragglerMult := fs.Float64("straggler-multiple", 4, "flag a partition as straggler beyond this multiple of the median superstep duration")
 	metricsAddr := fs.String("metrics-addr", "", `serve /metrics (Prometheus), /debug/vars, /debug/pprof, /trace, and /supersteps on this address while the run is live (e.g. "localhost:9090")`)
 	statsJSON := fs.String("stats-json", "", "write per-superstep profile JSON to this file after the run")
 	traceBuf := fs.Int("trace-buf", 0, "structured trace ring capacity in events (0 = tracing off)")
@@ -224,9 +244,28 @@ func cmdRun(args []string) error {
 			return fmt.Errorf("-checkpoint: %w", err)
 		}
 		opts = append(opts, ariadne.WithCheckpoint(*ckDir, *ckEvery))
+		if *ckKeep > 0 {
+			opts = append(opts, ariadne.WithCheckpointRetention(*ckKeep))
+		}
 	} else if *resume {
 		return fmt.Errorf("-resume needs -checkpoint to locate checkpoints")
 	}
+	if *supervised || *partDeadline > 0 || *degradeAfter > 0 {
+		opts = append(opts, ariadne.WithSupervision(ariadne.SuperviseConfig{
+			Deadline:            *partDeadline,
+			AdaptiveDeadline:    *partDeadline == 0 && *supervised,
+			StragglerMultiple:   *stragglerMult,
+			MaxRetries:          *maxRetries,
+			DegradeCaptureAfter: *degradeAfter,
+		}))
+	}
+
+	// Trap SIGINT/SIGTERM: the engine sees the cancellation at the next
+	// superstep barrier and, when checkpointing is on, writes a final
+	// checkpoint there before exiting — no more dying mid-superstep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts = append(opts, ariadne.WithContext(ctx))
 
 	// Observability: one registry shared by the run and the HTTP endpoints,
 	// created up front so the endpoints are live while the run progresses.
@@ -254,6 +293,9 @@ func cmdRun(args []string) error {
 		res, err = ariadne.Run(g, prog, opts...)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *ckDir != "" {
+			return fmt.Errorf("%w\na final checkpoint was written at the superstep barrier; rerun with -resume to continue from %s", err, *ckDir)
+		}
 		var ce *ariadne.CrashError
 		if errors.As(err, &ce) && *ckDir != "" {
 			return fmt.Errorf("%w\nrerun with -resume to restart from the newest checkpoint in %s", err, *ckDir)
@@ -265,11 +307,18 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("analytic=%s supersteps=%d messages=%d time=%v\n",
 		*analytic, res.Stats.Supersteps, res.Stats.MessagesSent, res.Duration.Round(1e6))
+	if res.Stats.PartitionRetries > 0 || res.Stats.DeadlineHits > 0 || res.Stats.StragglerFlags > 0 {
+		fmt.Printf("supervision: retries=%d deadline-hits=%d stragglers=%d\n",
+			res.Stats.PartitionRetries, res.Stats.DeadlineHits, res.Stats.StragglerFlags)
+	}
 	if res.Provenance != nil {
 		defer res.Provenance.Close()
 		fmt.Printf("provenance: layers=%d tuples=%d bytes=%d (%.1fx input) spilled=%d\n",
 			res.Provenance.NumLayers(), res.Provenance.TotalTuples(), res.Provenance.TotalBytes(),
 			float64(res.Provenance.TotalBytes())/float64(g.MemSize()), res.Provenance.SpilledLayers())
+	}
+	for _, gap := range res.CaptureGaps {
+		fmt.Printf("capture gap: partition=%d supersteps=%d..%d (%s)\n", gap.Partition, gap.From, gap.To, gap.Reason)
 	}
 	for _, name := range onlineNames {
 		qr := res.Query(name)
@@ -290,19 +339,27 @@ func cmdRun(args []string) error {
 // writeStatsJSON dumps the run summary and per-superstep profiles.
 func writeStatsJSON(path, analytic string, res *ariadne.Result) error {
 	out := struct {
-		Analytic    string                     `json:"analytic"`
-		Supersteps  int                        `json:"supersteps"`
-		Messages    int64                      `json:"messages_sent"`
-		DurationMS  float64                    `json:"duration_ms"`
-		ResumedFrom int                        `json:"resumed_from,omitempty"`
-		Profile     []ariadne.SuperstepProfile `json:"profile"`
+		Analytic         string                     `json:"analytic"`
+		Supersteps       int                        `json:"supersteps"`
+		Messages         int64                      `json:"messages_sent"`
+		DurationMS       float64                    `json:"duration_ms"`
+		ResumedFrom      int                        `json:"resumed_from,omitempty"`
+		PartitionRetries int64                      `json:"partition_retries,omitempty"`
+		DeadlineHits     int64                      `json:"deadline_hits,omitempty"`
+		StragglerFlags   int64                      `json:"straggler_flags,omitempty"`
+		CaptureGaps      []ariadne.CaptureGap       `json:"capture_gaps,omitempty"`
+		Profile          []ariadne.SuperstepProfile `json:"profile"`
 	}{
-		Analytic:    analytic,
-		Supersteps:  res.Stats.Supersteps,
-		Messages:    res.Stats.MessagesSent,
-		DurationMS:  float64(res.Duration.Microseconds()) / 1e3,
-		ResumedFrom: res.ResumedFrom,
-		Profile:     res.Profile,
+		Analytic:         analytic,
+		Supersteps:       res.Stats.Supersteps,
+		Messages:         res.Stats.MessagesSent,
+		DurationMS:       float64(res.Duration.Microseconds()) / 1e3,
+		ResumedFrom:      res.ResumedFrom,
+		PartitionRetries: res.Stats.PartitionRetries,
+		DeadlineHits:     res.Stats.DeadlineHits,
+		StragglerFlags:   res.Stats.StragglerFlags,
+		CaptureGaps:      res.CaptureGaps,
+		Profile:          res.Profile,
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -10,11 +10,13 @@ import (
 	"sort"
 
 	"ariadne/internal/engine"
+	"ariadne/internal/fault"
 	"ariadne/internal/graph"
 	"ariadne/internal/obs"
 	"ariadne/internal/pql"
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/provenance"
+	"ariadne/internal/supervise"
 	"ariadne/internal/value"
 )
 
@@ -73,6 +75,13 @@ type Observer struct {
 	emitSet map[string]bool
 	tainted map[graph.VertexID]bool
 	metrics *obs.Metrics
+
+	// Degraded-mode capture (partition supervision): inj guards each
+	// partition's capture at fault.SiteCapture; deg tracks which
+	// partitions have been shed after repeated failures. With deg nil a
+	// capture failure aborts the run (the pre-supervision behavior).
+	inj *fault.Injector
+	deg *supervise.DegradeState
 }
 
 // NewObserver creates a capture observer writing into store.
@@ -100,20 +109,47 @@ func (o *Observer) Store() *provenance.Store { return o.store }
 // 3-4). nil (the default) disables instrumentation.
 func (o *Observer) SetMetrics(m *obs.Metrics) { o.metrics = m }
 
+// SetDegradation arms graceful degradation: inj is consulted per partition
+// at fault.SiteCapture each superstep, and after repeated failures deg
+// sheds the partition's capture — the analytic continues bit-identically
+// (Theorem 5.4 non-interference) while the shed range is recorded as a
+// capture gap. deg nil keeps failures fatal; inj may be nil (degradation
+// then only triggers on real store failures such as spill errors or an
+// exhausted memory budget).
+func (o *Observer) SetDegradation(deg *supervise.DegradeState, inj *fault.Injector) {
+	o.deg = deg
+	o.inj = inj
+}
+
+// Degraded returns the degradation state (nil unless armed).
+func (o *Observer) Degraded() *supervise.DegradeState { return o.deg }
+
 // NeedsRawMessages implements engine.Observer.
 func (o *Observer) NeedsRawMessages() bool {
 	return o.policy.NeedsRaw() || o.policy.TaintSource != nil
 }
 
 // ObserveSuperstep implements engine.Observer: converts the superstep's
-// records into a compact provenance layer.
+// records into a compact provenance layer. When degradation is armed,
+// each partition's capture is health-checked first: records of failing or
+// already-shed partitions are dropped from the layer and recorded as
+// capture gaps, and whole-layer store failures (spill errors, exhausted
+// memory budget) degrade to an empty placeholder layer instead of
+// aborting the run.
 func (o *Observer) ObserveSuperstep(v *engine.SuperstepView) error {
+	skip, err := o.partitionHealth(v)
+	if err != nil {
+		return err
+	}
 	l := &provenance.Layer{Superstep: v.Superstep}
 	newTaints := []graph.VertexID{}
 	var nValues, nSends, nFlags, nRecvs int64
 	var nEmitted map[string]int64
 	for i := range v.Records {
 		rec := &v.Records[i]
+		if skip != nil && skip[v.Engine.PartitionOf(rec.ID)] {
+			continue
+		}
 		if o.tainted != nil {
 			if !o.taintedNow(rec, &newTaints) {
 				continue
@@ -181,7 +217,103 @@ func (o *Observer) ObserveSuperstep(v *engine.SuperstepView) error {
 	for _, t := range newTaints {
 		o.tainted[t] = true
 	}
-	return o.store.AppendLayer(l)
+	if err := o.store.AppendLayer(l); err != nil {
+		return o.degradeLayer(v.Superstep, err)
+	}
+	return nil
+}
+
+// partitionHealth runs the per-partition capture health check and returns
+// the set of partitions whose records must be dropped this superstep (nil
+// when nothing is dropped). Already-shed partitions extend their gap; a
+// fresh fault-site failure records a gap, counts toward the partition's
+// consecutive-failure threshold, and — without degradation armed — aborts
+// the run.
+func (o *Observer) partitionHealth(v *engine.SuperstepView) (map[int]bool, error) {
+	if o.inj == nil && o.deg == nil {
+		return nil, nil
+	}
+	ss := v.Superstep
+	seen := map[int]bool{}
+	for i := range v.Records {
+		seen[v.Engine.PartitionOf(v.Records[i].ID)] = true
+	}
+	parts := make([]int, 0, len(seen))
+	for p := range seen {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	var skip map[int]bool
+	drop := func(p int) {
+		if skip == nil {
+			skip = map[int]bool{}
+		}
+		skip[p] = true
+		o.store.AddGap(ss, p, "capture shed")
+		o.metrics.Counter(obs.MetricCaptureGaps).Add(1)
+	}
+	if o.deg.Shed(-1) {
+		skip = make(map[int]bool, len(parts))
+		for _, p := range parts {
+			skip[p] = true
+		}
+		o.store.AddGap(ss, -1, "capture shed")
+		o.metrics.Counter(obs.MetricCaptureGaps).Add(1)
+		return skip, nil
+	}
+	for _, p := range parts {
+		if o.deg.Shed(p) {
+			drop(p)
+			continue
+		}
+		err := o.inj.Hit(fault.SiteCapture, ss, p, -1)
+		if err == nil {
+			o.deg.NoteSuccess(p)
+			continue
+		}
+		if o.deg == nil {
+			return nil, fmt.Errorf("capture: partition %d capture failed at superstep %d: %w", p, ss, err)
+		}
+		drop(p)
+		o.metrics.Tracef(obs.Warn, "capture", ss, "partition %d capture failed: %v", p, err)
+		if o.deg.NoteFailure(p, ss) {
+			o.metrics.Tracef(obs.Warn, "capture", ss,
+				"partition %d capture shed after repeated failures (degraded mode)", p)
+		}
+	}
+	if o.deg != nil {
+		o.metrics.Gauge(obs.MetricCaptureShed).Set(int64(len(o.deg.ShedPartitions())))
+	}
+	return skip, nil
+}
+
+// degradeLayer handles a whole-layer store failure (spill error after its
+// retries, exhausted memory budget): with degradation armed the partial
+// layer is dropped, an empty placeholder keeps superstep indexing intact,
+// and the failure counts toward shedding capture globally. Without
+// degradation the error propagates and aborts the run, as before.
+func (o *Observer) degradeLayer(ss int, err error) error {
+	if o.deg == nil {
+		return err
+	}
+	if o.store.NumLayers() == ss+1 {
+		if terr := o.store.TruncateLayers(ss); terr != nil {
+			return err
+		}
+	}
+	if o.store.NumLayers() != ss {
+		return err
+	}
+	if gerr := o.store.AppendGapLayer(ss, "layer append failed: "+err.Error()); gerr != nil {
+		return gerr
+	}
+	o.metrics.Counter(obs.MetricCaptureGaps).Add(1)
+	o.metrics.Tracef(obs.Warn, "capture", ss, "layer shed after store failure (degraded mode): %v", err)
+	if o.deg.NoteFailure(-1, ss) {
+		o.metrics.Tracef(obs.Warn, "capture", ss, "capture shed globally after repeated store failures")
+	}
+	o.metrics.Gauge(obs.MetricCaptureShed).Set(int64(len(o.deg.ShedPartitions())))
+	return nil
 }
 
 // taintedNow decides whether rec belongs to the forward lineage: it is
@@ -205,10 +337,13 @@ func (o *Observer) Finish(int) error { return nil }
 
 // MarshalCheckpoint implements engine.Checkpointable: the observer's
 // recoverable state is its provenance-store watermark (how many layers have
-// been durably appended) plus the forward-lineage taint set. The layers
-// themselves are not duplicated into the checkpoint — they either remain in
-// the same process's store (in-process recovery) or on disk under SpillAll
-// (cross-process recovery via Store.Reattach).
+// been durably appended) plus the forward-lineage taint set, and — since
+// checkpoint v3 — the capture-gap records and degradation state of a
+// degraded run, so a resumed run stays degraded instead of re-attempting
+// capture it already shed. The layers themselves are not duplicated into
+// the checkpoint — they either remain in the same process's store
+// (in-process recovery) or on disk under SpillAll (cross-process recovery
+// via Store.Reattach).
 func (o *Observer) MarshalCheckpoint() ([]byte, error) {
 	w := value.NewBlob()
 	w.Uvarint(uint64(o.store.NumLayers()))
@@ -224,7 +359,44 @@ func (o *Observer) MarshalCheckpoint() ([]byte, error) {
 			w.Uvarint(uint64(v))
 		}
 	}
+	gaps := o.store.Gaps()
+	w.Uvarint(uint64(len(gaps)))
+	for _, g := range gaps {
+		w.Int(int64(g.Partition))
+		w.Int(int64(g.From))
+		w.Int(int64(g.To))
+		w.String(g.Reason)
+	}
+	w.Bool(o.deg != nil)
+	if o.deg != nil {
+		shed, consec := o.deg.Snapshot()
+		encodeIntMap(w, shed)
+		encodeIntMap(w, consec)
+	}
 	return w.Bytes(), nil
+}
+
+func encodeIntMap(w *value.Blob, m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.Int(int64(k))
+		w.Int(int64(m[k]))
+	}
+}
+
+func decodeIntMap(r *value.BlobReader) map[int]int {
+	n := r.Count()
+	m := make(map[int]int, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := int(r.Int())
+		m[k] = int(r.Int())
+	}
+	return m
 }
 
 // UnmarshalCheckpoint implements engine.Checkpointable: it resets the taint
@@ -243,9 +415,29 @@ func (o *Observer) UnmarshalCheckpoint(data []byte) error {
 			ids = append(ids, graph.VertexID(r.Uvarint()))
 		}
 	}
+	nGaps := r.Count()
+	gaps := make([]provenance.CaptureGap, 0, nGaps)
+	for i := 0; i < nGaps && r.Err() == nil; i++ {
+		gaps = append(gaps, provenance.CaptureGap{
+			Partition: int(r.Int()),
+			From:      int(r.Int()),
+			To:        int(r.Int()),
+			Reason:    r.String(),
+		})
+	}
+	var shed, consec map[int]int
+	if r.Bool() {
+		shed = decodeIntMap(r)
+		consec = decodeIntMap(r)
+	}
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("capture: corrupt checkpoint state: %w", err)
 	}
+	// Gaps restore before the watermark truncation below so ranges past
+	// the resume point are trimmed along with their layers; degradation
+	// state is only restored when this run armed it.
+	o.store.RestoreGaps(gaps)
+	o.deg.Restore(shed, consec)
 	if hasTaint {
 		o.tainted = make(map[graph.VertexID]bool, len(ids))
 		for _, v := range ids {

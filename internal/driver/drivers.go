@@ -10,6 +10,7 @@ import (
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/pql/eval"
 	"ariadne/internal/provenance"
+	"ariadne/internal/supervise"
 	"ariadne/internal/value"
 )
 
@@ -126,6 +127,7 @@ func Naive(q *analysis.Query, store *provenance.Store, g *graph.Graph, memoryBud
 		return nil, err
 	}
 	f := newFeeder(ev, g, q, false)
+	f.prov = store
 	f.feedStatic()
 	for _, n := range nodes {
 		rec := record{
@@ -204,6 +206,12 @@ type Online struct {
 	// observability registry under the query's name.
 	metrics *obs.Metrics
 	name    string
+
+	// deg, when set, sheds online-query piggybacking for degraded
+	// partitions: records owned by a shed partition are not fed (their
+	// provenance capture was shed too), keeping the online view consistent
+	// with what offline evaluation of the degraded store would derive.
+	deg *supervise.DegradeState
 }
 
 // NewOnline prepares online evaluation of q over graph g. Only forward and
@@ -240,6 +248,30 @@ func (o *Online) SetMetrics(m *obs.Metrics, name string) {
 	o.name = name
 }
 
+// SetDegrade attaches the degradation state shared with the supervisor so
+// online evaluation sheds piggybacking alongside capture. nil keeps all
+// records flowing.
+func (o *Online) SetDegrade(d *supervise.DegradeState) { o.deg = d }
+
+// shedRecords returns v's records with those of shed partitions removed.
+// The common case (no degradation) returns the original slice untouched.
+func (o *Online) shedRecords(v *engine.SuperstepView) []engine.VertexRecord {
+	if o.deg == nil || !o.deg.AnyShed() {
+		return v.Records
+	}
+	if o.deg.Shed(-1) {
+		return nil
+	}
+	out := make([]engine.VertexRecord, 0, len(v.Records))
+	for i := range v.Records {
+		if o.deg.Shed(v.Engine.PartitionOf(v.Records[i].ID)) {
+			continue
+		}
+		out = append(out, v.Records[i])
+	}
+	return out
+}
+
 // PiggybackBySuperstep returns the tuples derived at each superstep
 // (index = superstep) — the per-superstep view of PiggybackTuples.
 func (o *Online) PiggybackBySuperstep() []int64 {
@@ -265,16 +297,17 @@ func (o *Online) NeedsRawMessages() bool {
 
 // ObserveSuperstep implements engine.Observer.
 func (o *Online) ObserveSuperstep(v *engine.SuperstepView) error {
+	recs := o.shedRecords(v)
 	if o.compiled != nil {
 		before := o.compiled.DerivedTuples()
-		if err := o.compiled.Layer(o.vb.fromEngine(v.Records)); err != nil {
+		if err := o.compiled.Layer(o.vb.fromEngine(recs)); err != nil {
 			return err
 		}
 		o.notePiggyback(v.Superstep, o.compiled.DerivedTuples()-before)
 		return nil
 	}
-	for i := range v.Records {
-		o.f.feedEngineRecord(&v.Records[i])
+	for i := range recs {
+		o.f.feedEngineRecord(&recs[i])
 	}
 	before := o.ev.Stats().Derivations
 	if err := o.ev.Fixpoint(); err != nil {

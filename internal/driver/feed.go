@@ -24,15 +24,16 @@ import (
 // the feeder only materializes facts the query can use — the evaluation-side
 // counterpart of customized capture.
 type needs struct {
-	superstep bool
-	value     bool
-	evolution bool
-	send      bool
-	recv      bool
-	provSend  bool
-	edgeValue bool
-	edge      bool
-	emitted   map[string]bool
+	superstep  bool
+	value      bool
+	evolution  bool
+	send       bool
+	recv       bool
+	provSend   bool
+	edgeValue  bool
+	edge       bool
+	captureGap bool
+	emitted    map[string]bool
 }
 
 func needsOf(q *analysis.Query) needs {
@@ -55,6 +56,8 @@ func needsOf(q *analysis.Query) needs {
 			n.edgeValue = true
 		case "edge":
 			n.edge = true
+		case "capture_gap":
+			n.captureGap = true
 		default:
 			n.emitted[name] = true
 		}
@@ -87,6 +90,7 @@ type feeder struct {
 	prov *provenance.Store // set when feeding from a store (layered/naive)
 
 	edgesFed bool
+	gapsFed  bool
 	// edgeValueFed tracks vertices whose (static) edge values were already
 	// emitted: edge weights never change in this engine, so one
 	// edge_value(x, y, w, 0) tuple per edge suffices (queries match the
@@ -112,16 +116,27 @@ func (f *feeder) add(pred string, t eval.Tuple) {
 	f.FactCount++
 }
 
-// feedStatic loads static input-graph facts (edge) once.
+// feedStatic loads static facts once: input-graph edges and, when feeding
+// from a captured store, the capture-gap ranges recorded under degraded
+// mode.
 func (f *feeder) feedStatic() {
-	if !f.n.edge || f.edgesFed {
-		return
+	if f.n.edge && !f.edgesFed {
+		f.edgesFed = true
+		for v := 0; v < f.g.NumVertices(); v++ {
+			dst, _ := f.g.OutNeighbors(graph.VertexID(v))
+			for _, d := range dst {
+				f.add("edge", eval.Tuple{value.NewInt(int64(v)), value.NewInt(int64(d))})
+			}
+		}
 	}
-	f.edgesFed = true
-	for v := 0; v < f.g.NumVertices(); v++ {
-		dst, _ := f.g.OutNeighbors(graph.VertexID(v))
-		for _, d := range dst {
-			f.add("edge", eval.Tuple{value.NewInt(int64(v)), value.NewInt(int64(d))})
+	if f.n.captureGap && !f.gapsFed && f.prov != nil {
+		f.gapsFed = true
+		for _, g := range f.prov.Gaps() {
+			f.add("capture_gap", eval.Tuple{
+				value.NewInt(int64(g.Partition)),
+				value.NewInt(int64(g.From)),
+				value.NewInt(int64(g.To)),
+			})
 		}
 	}
 }

@@ -195,6 +195,7 @@ func Layered(q *analysis.Query, store *provenance.Store, g *graph.Graph) (*Resul
 		}
 		obs.ev = ev
 		obs.f = newFeeder(ev, g, q, ascending)
+		obs.f.prov = store
 		obs.f.feedStatic()
 		res.ev = ev
 	}

@@ -50,6 +50,14 @@ func (a *aggregators) beginSuperstep() {
 	}
 }
 
+// resetPartition discards partition p's partial contributions for the
+// superstep in flight — the aggregator half of partition-scoped recovery:
+// a supervised re-execution must not double-count the failed attempt.
+// Partition-local like add, so safe from p's worker goroutine.
+func (a *aggregators) resetPartition(p int) {
+	a.parts[p] = nil
+}
+
 func (a *aggregators) add(p int, name string, op AggOp, v float64) {
 	if a.parts[p] == nil {
 		a.parts[p] = map[string]aggCell{}

@@ -38,11 +38,15 @@ import (
 var checkpointMagic = [4]byte{'A', 'C', 'K', 'P'}
 
 const (
-	// checkpointVersion 2 extends v1 with the new RunStats totals
+	// checkpointVersion 2 extended v1 with the new RunStats totals
 	// (delivered/combined messages, peak active, per-phase wall times) and
 	// the per-superstep metrics profiles, so a recovered run reports
-	// cumulative — not truncated — metrics. v1 files are not readable.
-	checkpointVersion  = 2
+	// cumulative — not truncated — metrics. Version 3 adds the partition
+	// supervision columns (RunStats.PartitionRetries/DeadlineHits/
+	// StragglerFlags and the matching per-superstep profile fields) and,
+	// inside the capture observer's blob, the capture-gap records and
+	// degradation state of a degraded run. Older versions are not readable.
+	checkpointVersion  = 3
 	manifestName       = "MANIFEST"
 	checkpointAttempts = 4
 	checkpointBackoff  = time.Millisecond
@@ -127,6 +131,7 @@ func (e *Engine) writeCheckpoint(resumeSS int) error {
 	}
 	d := time.Since(start)
 	e.stat.CheckpointWall += d
+	e.lastCkptSS = resumeSS
 	m.AddCheckpoint(int64(len(payload)), d)
 	m.Tracef(obs.Info, "checkpoint", resumeSS-1, "wrote %s (%d bytes)", name, len(payload))
 	return updateManifest(ck.Dir, name, ck.keep())
@@ -188,6 +193,10 @@ func (e *Engine) encodeCheckpoint(resumeSS int) ([]byte, error) {
 	w.Uvarint(uint64(e.stat.BarrierWall))
 	w.Uvarint(uint64(e.stat.ObserveWall))
 	w.Uvarint(uint64(e.stat.CheckpointWall))
+	// v3: partition supervision totals.
+	w.Uvarint(uint64(e.stat.PartitionRetries))
+	w.Uvarint(uint64(e.stat.DeadlineHits))
+	w.Uvarint(uint64(e.stat.StragglerFlags))
 	// ...and the per-superstep metrics profiles (empty when the run is
 	// uninstrumented), so Resume restores cumulative observability state.
 	obs.EncodeProfiles(w, e.cfg.Metrics.Profiles())
@@ -279,6 +288,9 @@ func loadCheckpoint(path string) (*checkpointData, error) {
 	cp.stat.BarrierWall = time.Duration(r.Uvarint())
 	cp.stat.ObserveWall = time.Duration(r.Uvarint())
 	cp.stat.CheckpointWall = time.Duration(r.Uvarint())
+	cp.stat.PartitionRetries = int64(r.Uvarint())
+	cp.stat.DeadlineHits = int64(r.Uvarint())
+	cp.stat.StragglerFlags = int64(r.Uvarint())
 	if r.Err() == nil {
 		var perr error
 		if cp.profiles, perr = obs.DecodeProfiles(r); perr != nil {
@@ -322,6 +334,7 @@ func (e *Engine) restore(cp *checkpointData) error {
 	e.agg.current = cp.aggCurrent
 	e.stat = cp.stat
 	e.startSS = cp.resumeSS
+	e.lastCkptSS = cp.resumeSS
 	// Restore the metrics history so a recovered run reports cumulative
 	// per-superstep profiles and counters, not just post-resume ones.
 	e.cfg.Metrics.RestoreProfiles(cp.profiles)

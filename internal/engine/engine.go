@@ -26,6 +26,7 @@ import (
 	"ariadne/internal/fault"
 	"ariadne/internal/graph"
 	"ariadne/internal/obs"
+	"ariadne/internal/supervise"
 	"ariadne/internal/value"
 )
 
@@ -104,6 +105,13 @@ type Config struct {
 	// trace events. nil disables instrumentation at ~zero cost (the hot
 	// path pays one nil check and allocates nothing per superstep).
 	Metrics *obs.Metrics
+	// Supervise, when set, wraps each partition worker in a supervised
+	// execution unit: per-partition superstep deadlines, bounded retry
+	// with partition-scoped recovery from the superstep barrier (only the
+	// failed partition re-executes; the other workers' results stand), and
+	// straggler flagging against a multiple-of-median policy. nil keeps
+	// the pre-supervision behavior: any partition failure aborts the run.
+	Supervise *supervise.Config
 }
 
 // Observer consumes per-superstep vertex records. ObserveSuperstep is called
@@ -160,6 +168,13 @@ type RunStats struct {
 	MessagesCombined  int64
 	// PeakActiveVertices is the maximum per-superstep active-vertex count.
 	PeakActiveVertices int
+	// Partition-supervision totals, zero when supervision is off:
+	// re-executed partition attempts, attempts cancelled by the partition
+	// deadline, and straggler flags raised by the multiple-of-median
+	// policy.
+	PartitionRetries int64
+	DeadlineHits     int64
+	StragglerFlags   int64
 	// Wall time per phase: parallel compute, barrier bookkeeping (message
 	// delivery, aggregator merge), observer work (capture and online query
 	// evaluation), and checkpoint writes.
@@ -211,6 +226,15 @@ type Engine struct {
 	// startSS is the superstep Run begins at: 0 for a fresh engine, the
 	// saved resume point for one restored by Resume.
 	startSS int
+
+	// sup supervises partition workers when Config.Supervise is set.
+	sup *supervise.Supervisor
+	// runCtx is the run's parent context, distinguishing a per-partition
+	// deadline expiry from user cancellation inside workers.
+	runCtx context.Context
+	// lastCkptSS is the resume superstep of the newest checkpoint written
+	// (or restored), so the cancellation path never writes a duplicate.
+	lastCkptSS int
 }
 
 // New creates an engine for prog over g.
@@ -239,6 +263,11 @@ func New(g *graph.Graph, prog Program, cfg Config) (*Engine, error) {
 		e.inboxes[p] = make(map[VertexID][]IncomingMessage)
 	}
 	e.agg = newAggregators(e.nParts)
+	e.runCtx = context.Background()
+	e.lastCkptSS = -1
+	if cfg.Supervise != nil {
+		e.sup = supervise.New(*cfg.Supervise, e.nParts, cfg.Metrics)
+	}
 	return e, nil
 }
 
@@ -254,7 +283,19 @@ func (e *Engine) Stats() RunStats { return e.stat }
 // Aggregated exposes last-superstep aggregator values.
 func (e *Engine) Aggregated() AggregatorReader { return e.agg.reader() }
 
-func (e *Engine) partition(v VertexID) int { return int(v) % e.nParts }
+// partition maps a vertex to its worker. The modulo runs in uint64 so the
+// index is non-negative on every platform: VertexID is uint32, and on a
+// 32-bit build int(v) truncates IDs above 2^31 to negative values (programs
+// may SendMessage to any ID, not just ones the loader assigned).
+func (e *Engine) partition(v VertexID) int { return int(uint64(v) % uint64(e.nParts)) }
+
+// Partitions returns the simulated worker count.
+func (e *Engine) Partitions() int { return e.nParts }
+
+// PartitionOf returns the worker partition that owns vertex v — the
+// failure/degradation domain observers (capture shedding, gap records) are
+// scoped to.
+func (e *Engine) PartitionOf(v VertexID) int { return e.partition(v) }
 
 // Run executes supersteps until quiescence, the superstep limit, a Halter
 // stop, or a vertex crash.
@@ -266,6 +307,9 @@ func (e *Engine) Run() (RunStats, error) {
 	}
 	halter, _ := e.prog.(Halter)
 	m := e.cfg.Metrics
+	if e.cfg.Context != nil {
+		e.runCtx = e.cfg.Context
+	}
 
 	for ss := e.startSS; ; ss++ {
 		if e.cfg.MaxSupersteps > 0 && ss >= e.cfg.MaxSupersteps {
@@ -276,6 +320,17 @@ func (e *Engine) Run() (RunStats, error) {
 			case <-ctx.Done():
 				e.stat.Aborted = true
 				m.Tracef(obs.Warn, "engine", ss, "run canceled: %v", ctx.Err())
+				// The engine sits exactly at the superstep-ss barrier here,
+				// so the state is consistent: write a final checkpoint (when
+				// configured) so the interrupted run resumes from this
+				// superstep instead of the last periodic snapshot.
+				if ck := e.cfg.Checkpoint; ck != nil && ck.Dir != "" && ck.Interval > 0 && ss != e.lastCkptSS {
+					if ckErr := e.writeCheckpoint(ss); ckErr != nil {
+						m.Tracef(obs.Error, "checkpoint", ss, "final checkpoint on cancel failed: %v", ckErr)
+					} else {
+						m.Tracef(obs.Info, "checkpoint", ss, "wrote final checkpoint before cancel exit")
+					}
+				}
 				return e.stat, fmt.Errorf("engine: run canceled at superstep %d: %w", ss, ctx.Err())
 			default:
 			}
@@ -317,6 +372,10 @@ func (e *Engine) Run() (RunStats, error) {
 		computeStart := time.Now()
 		e.agg.beginSuperstep()
 		results := make([]partResult, e.nParts)
+		var durs []time.Duration
+		if e.sup != nil {
+			durs = make([]time.Duration, e.nParts)
+		}
 		var wg sync.WaitGroup
 		for p := 0; p < e.nParts; p++ {
 			wg.Add(1)
@@ -326,12 +385,28 @@ func (e *Engine) Run() (RunStats, error) {
 				if forced != nil {
 					fp = forced[p]
 				}
-				results[p] = e.runPartition(p, ss, observing, fp)
+				ids := e.activeIDs(p, ss, fp)
+				if e.sup == nil {
+					results[p] = e.runPartition(e.runCtx, p, ss, observing, ids)
+					return
+				}
+				e.superviseCompute(p, ss, observing, ids, results, durs)
 			}(p)
 		}
 		wg.Wait()
 		computeDur := time.Since(computeStart)
 		e.stat.ComputeWall += computeDur
+
+		// Flush supervision tallies at the barrier — the supervisor
+		// accumulated them atomically from the worker goroutines; the
+		// profile under construction is engine-goroutine-only.
+		if e.sup != nil {
+			sum := e.sup.EndSuperstep(ss, durs)
+			e.stat.PartitionRetries += sum.Retries
+			e.stat.DeadlineHits += sum.DeadlineHits
+			e.stat.StragglerFlags += int64(len(sum.Stragglers))
+			m.SuperstepSupervision(sum.Retries, sum.DeadlineHits, sum.Stragglers)
+		}
 
 		// Barrier: surface crashes (deterministically: lowest vertex wins).
 		var crash *CrashError
@@ -446,17 +521,57 @@ func (e *Engine) Run() (RunStats, error) {
 	return e.stat, nil
 }
 
+// superviseCompute runs partition p's superstep under the supervisor:
+// snapshot the partition's slice of the barrier state, attempt, and on a
+// retryable failure roll back and re-execute only this partition. Runs on
+// the partition's worker goroutine; everything it mutates (values of ids,
+// the partition's aggregator map, results[p], durs[p]) is partition-local.
+func (e *Engine) superviseCompute(p, ss int, observing bool, ids []VertexID, results []partResult, durs []time.Duration) {
+	start := time.Now()
+	snap := make([]value.Value, len(ids))
+	for i, v := range ids {
+		snap[i] = e.values[v]
+	}
+	attempt := func(actx context.Context) error {
+		results[p] = e.runPartition(actx, p, ss, observing, ids)
+		if c := results[p].crash; c != nil {
+			return c
+		}
+		return nil
+	}
+	reset := func() {
+		for i, v := range ids {
+			e.values[v] = snap[i]
+		}
+		e.agg.resetPartition(p)
+	}
+	e.sup.Run(e.runCtx, p, ss, attempt, reset, retryableCrash)
+	durs[p] = time.Since(start)
+}
+
+// retryableCrash classifies partition failures for supervised retry:
+// vertex-program panics, injected faults, and deadline expiries are
+// transient (a re-execution from the barrier state may succeed);
+// program-logic errors and run cancellation are not.
+func retryableCrash(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return errors.Is(err, ErrComputePanic) || errors.Is(err, fault.ErrInjected) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // computeOne runs Compute for one vertex with panic containment: a panic in
 // the vertex program (or one injected at the compute fault site) becomes an
 // ErrComputePanic-wrapped error, which the barrier surfaces as a CrashError
 // with the culprit vertex and superstep instead of killing the process.
-func (e *Engine) computeOne(ctx *Context, v VertexID, ss, p int, msgs []IncomingMessage) (err error) {
+func (e *Engine) computeOne(actx context.Context, ctx *Context, v VertexID, ss, p int, msgs []IncomingMessage) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrComputePanic, r)
 		}
 	}()
-	if ferr := e.cfg.Fault.Hit(fault.SiteCompute, ss, p, int64(v)); ferr != nil {
+	if ferr := e.cfg.Fault.HitWait(actx, fault.SiteCompute, ss, p, int64(v)); ferr != nil {
 		return ferr
 	}
 	return e.prog.Compute(ctx, msgs)
@@ -474,8 +589,38 @@ type partResult struct {
 	crash    *CrashError
 }
 
-// runPartition computes all active vertices of partition p for superstep ss.
-func (e *Engine) runPartition(p, ss int, observing bool, forced []VertexID) partResult {
+// activeIDs returns partition p's active vertices for superstep ss in
+// deterministic ascending order: every owned vertex at superstep 0, else
+// the partition's inbox owners plus any ActiveAt-forced vertices. Computed
+// once per superstep so a supervised re-execution replays the same set.
+func (e *Engine) activeIDs(p, ss int, forced []VertexID) []VertexID {
+	if ss == 0 {
+		var ids []VertexID
+		for v := p; v < e.g.NumVertices(); v += e.nParts {
+			ids = append(ids, VertexID(v))
+		}
+		return ids
+	}
+	inbox := e.inboxes[p]
+	ids := make([]VertexID, 0, len(inbox)+len(forced))
+	for v := range inbox {
+		ids = append(ids, v)
+	}
+	for _, v := range forced {
+		if _, hasMsg := inbox[v]; !hasMsg {
+			ids = append(ids, v)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// runPartition computes the given active vertices of partition p for
+// superstep ss. actx bounds the attempt: injected hangs and delays block
+// on it, and between vertices an expired per-partition deadline (but not
+// parent cancellation, which the superstep-start check handles so the
+// barrier state stays consistent) aborts the partition early.
+func (e *Engine) runPartition(actx context.Context, p, ss int, observing bool, ids []VertexID) partResult {
 	res := partResult{outbox: make(map[int][]outMsg)}
 	ctx := &Context{engine: e, superstep: ss, partition: p}
 
@@ -489,7 +634,7 @@ func (e *Engine) runPartition(p, ss int, observing bool, forced []VertexID) part
 		})
 		ctx.reset(v)
 		old := e.values[v]
-		if err := e.computeOne(ctx, v, ss, p, msgs); err != nil {
+		if err := e.computeOne(actx, ctx, v, ss, p, msgs); err != nil {
 			res.crash = &CrashError{Vertex: v, Superstep: ss, Err: err}
 			return false
 		}
@@ -515,27 +660,18 @@ func (e *Engine) runPartition(p, ss int, observing bool, forced []VertexID) part
 		return true
 	}
 
-	if ss == 0 {
-		for v := p; v < e.g.NumVertices(); v += e.nParts {
-			if !compute(VertexID(v), nil) {
-				return res
-			}
-		}
-		return res
-	}
-	// Deterministic iteration over inbox keys plus forced vertices.
 	inbox := e.inboxes[p]
-	ids := make([]VertexID, 0, len(inbox)+len(forced))
-	for v := range inbox {
-		ids = append(ids, v)
-	}
-	for _, v := range forced {
-		if _, hasMsg := inbox[v]; !hasMsg {
-			ids = append(ids, v)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, v := range ids {
+		// An expired per-partition deadline stops the attempt between
+		// vertices so a genuinely slow partition cancels promptly, not just
+		// ones blocked inside a fault site. Parent cancellation is excluded:
+		// the in-flight superstep finishes (compute is fast) and the
+		// superstep-start check exits with a consistent final checkpoint.
+		if actx.Err() != nil && e.runCtx.Err() == nil {
+			res.crash = &CrashError{Vertex: v, Superstep: ss,
+				Err: fmt.Errorf("partition %d attempt canceled: %w", p, actx.Err())}
+			return res
+		}
 		if !compute(v, inbox[v]) {
 			return res
 		}

@@ -10,6 +10,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -27,6 +28,10 @@ const (
 	SiteSpillWrite = "spill.write"
 	// SiteCheckpointWrite guards engine checkpoint-file writes.
 	SiteCheckpointWrite = "checkpoint.write"
+	// SiteCapture guards per-partition provenance capture at the superstep
+	// barrier. Error rules here simulate a failing capture side-channel
+	// (the degraded-mode trigger); the analytic itself is unaffected.
+	SiteCapture = "capture"
 )
 
 // ErrInjected is the base error of injected (transient) I/O failures.
@@ -48,6 +53,17 @@ type Rule struct {
 	// worker-crash scenario (the engine's recover() converts it into a
 	// CrashError).
 	Panic bool
+	// Hang makes the site block until the HitWait context is done — the
+	// hung-worker scenario. Without a deadline or cancellation on the
+	// context the site blocks forever, exactly like a real wedged worker;
+	// partition supervision bounds it with a per-partition deadline.
+	Hang bool
+	// Delay makes the site sleep before proceeding — the straggler
+	// scenario. A pure-delay rule (Panic false) returns nil after
+	// sleeping: the operation is slow, not failed. The sleep is cut short
+	// by the context passed to HitWait, in which case the rule reports an
+	// injected error wrapping the context error.
+	Delay time.Duration
 }
 
 func (r Rule) times() int {
@@ -90,10 +106,37 @@ func IOErrors(site string, times int) Rule {
 	return Rule{Site: site, Superstep: -1, Partition: -1, Vertex: -1, Times: times}
 }
 
+// Matrix returns the canonical partition-targeted fault scenarios, keyed by
+// name, against the given partition: a worker panic and a worker hang at
+// superstep ss, a Delay-long slowdown at every superstep, and captureFails
+// consecutive capture-side failures. Supervision tests and the CI
+// fault-matrix job iterate over these so every failure domain the
+// supervisor handles is exercised by one table.
+func Matrix(partition, ss int, delay time.Duration, captureFails int) map[string][]Rule {
+	return map[string][]Rule{
+		"panic": {{Site: SiteCompute, Superstep: ss, Partition: partition, Vertex: -1, Panic: true}},
+		"hang":  {{Site: SiteCompute, Superstep: ss, Partition: partition, Vertex: -1, Hang: true}},
+		"delay": {{Site: SiteCompute, Superstep: ss, Partition: partition, Vertex: -1, Delay: delay}},
+		"capture-fail": {{Site: SiteCapture, Superstep: -1, Partition: partition, Vertex: -1,
+			Times: captureFails}},
+	}
+}
+
 // Hit consults the injector at a site. It panics if a matching Panic rule
 // fires, returns a wrapped ErrInjected if a matching error rule fires, and
 // returns nil otherwise. Pass -1 for coordinates a site does not have.
+// Hang and Delay rules block against context.Background() — use HitWait at
+// sites that run under a supervision deadline.
 func (in *Injector) Hit(site string, superstep, partition int, vertex int64) error {
+	return in.HitWait(context.Background(), site, superstep, partition, vertex)
+}
+
+// HitWait is Hit with a context bounding injected hangs and delays: a Hang
+// rule blocks until ctx is done, a Delay rule sleeps (interruptibly) before
+// the rule's normal outcome. The returned error wraps ErrInjected and, when
+// the wait was cut short, the context error — so supervision can classify a
+// deadline-expired hang as retryable via errors.Is(err, ctx.Err()).
+func (in *Injector) HitWait(ctx context.Context, site string, superstep, partition int, vertex int64) error {
 	if in == nil {
 		return nil
 	}
@@ -121,6 +164,25 @@ func (in *Injector) Hit(site string, superstep, partition int, vertex int64) err
 	if fire == nil {
 		return nil
 	}
+	if fire.Hang {
+		<-ctx.Done()
+		return fmt.Errorf("%w: hang at %s (superstep %d, partition %d, vertex %d): %w",
+			ErrInjected, site, superstep, partition, vertex, ctx.Err())
+	}
+	if fire.Delay > 0 {
+		t := time.NewTimer(fire.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("%w: delay interrupted at %s (superstep %d, partition %d, vertex %d): %w",
+				ErrInjected, site, superstep, partition, vertex, ctx.Err())
+		}
+		if !fire.Panic {
+			// Pure slowdown: the operation is late, not broken.
+			return nil
+		}
+	}
 	if fire.Panic {
 		panic(fmt.Sprintf("fault: injected panic at %s (superstep %d, partition %d, vertex %d)",
 			site, superstep, partition, vertex))
@@ -141,10 +203,13 @@ func (in *Injector) Fired() int {
 
 // ParseSpec parses the CLI fault specification: semicolon-separated
 // clauses, each "site[:key=value...]" with keys ss (superstep), part
-// (partition), vertex, times, and mode=panic|error. Examples:
+// (partition), vertex, times, delay (Go duration), and
+// mode=panic|error|hang. Examples:
 //
 //	compute:mode=panic:ss=3
 //	compute:mode=panic:ss=2:vertex=17;spill.write:times=2
+//	compute:mode=hang:ss=4:part=1
+//	compute:delay=50ms:part=2;capture:part=1:times=8
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
 	for _, clause := range strings.Split(spec, ";") {
@@ -155,10 +220,10 @@ func ParseSpec(spec string) ([]Rule, error) {
 		parts := strings.Split(clause, ":")
 		r := Rule{Site: parts[0], Superstep: -1, Partition: -1, Vertex: -1}
 		switch r.Site {
-		case SiteCompute, SiteSpillWrite, SiteCheckpointWrite:
+		case SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture:
 		default:
-			return nil, fmt.Errorf("fault: unknown site %q (want %s, %s, or %s)",
-				r.Site, SiteCompute, SiteSpillWrite, SiteCheckpointWrite)
+			return nil, fmt.Errorf("fault: unknown site %q (want %s, %s, %s, or %s)",
+				r.Site, SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture)
 		}
 		for _, kv := range parts[1:] {
 			key, val, ok := strings.Cut(kv, "=")
@@ -172,9 +237,17 @@ func ParseSpec(spec string) ([]Rule, error) {
 					r.Panic = true
 				case "error":
 					r.Panic = false
+				case "hang":
+					r.Hang = true
 				default:
-					return nil, fmt.Errorf("fault: unknown mode %q (want panic or error)", val)
+					return nil, fmt.Errorf("fault: unknown mode %q (want panic, error, or hang)", val)
 				}
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad delay %q: %v", val, err)
+				}
+				r.Delay = d
 			case "ss", "superstep":
 				n, err := strconv.Atoi(val)
 				if err != nil {

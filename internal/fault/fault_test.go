@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -82,6 +83,88 @@ func TestParseSpec(t *testing.T) {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) should fail", bad)
 		}
+	}
+}
+
+func TestHitWaitHang(t *testing.T) {
+	in := NewInjector(Rule{Site: SiteCompute, Superstep: -1, Partition: 1, Vertex: -1, Hang: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.HitWait(ctx, SiteCompute, 3, 1, 42)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang = %v, want ErrInjected wrapping DeadlineExceeded", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("hang returned before the context deadline")
+	}
+	// Non-matching partition passes through untouched.
+	if err := in.HitWait(ctx, SiteCompute, 3, 0, 42); err != nil {
+		t.Fatalf("non-matching hit = %v", err)
+	}
+}
+
+func TestHitWaitDelay(t *testing.T) {
+	// A completed pure delay is slow, not failed.
+	in := NewInjector(Rule{Site: SiteCompute, Superstep: -1, Partition: -1, Vertex: -1, Delay: time.Millisecond})
+	start := time.Now()
+	if err := in.HitWait(context.Background(), SiteCompute, 0, 0, 0); err != nil {
+		t.Fatalf("completed delay = %v, want nil", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay rule did not sleep")
+	}
+
+	// An interrupted delay reports the injected error with the context cause.
+	in2 := NewInjector(Rule{Site: SiteCompute, Superstep: -1, Partition: -1, Vertex: -1, Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := in2.HitWait(ctx, SiteCompute, 0, 0, 0)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted delay = %v, want ErrInjected wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestParseSpecHangDelayCapture(t *testing.T) {
+	rules, err := ParseSpec("compute:mode=hang:ss=4:part=1; compute:delay=50ms:part=2; capture:part=0:times=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rules))
+	}
+	if !rules[0].Hang || rules[0].Superstep != 4 || rules[0].Partition != 1 {
+		t.Errorf("hang rule = %+v", rules[0])
+	}
+	if rules[1].Delay != 50*time.Millisecond || rules[1].Partition != 2 {
+		t.Errorf("delay rule = %+v", rules[1])
+	}
+	if rules[2].Site != SiteCapture || rules[2].Times != 3 || rules[2].Partition != 0 {
+		t.Errorf("capture rule = %+v", rules[2])
+	}
+	if _, err := ParseSpec("compute:delay=fast"); err == nil {
+		t.Error("bad delay should fail")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := Matrix(1, 3, 10*time.Millisecond, 4)
+	for _, name := range []string{"panic", "hang", "delay", "capture-fail"} {
+		if len(m[name]) == 0 {
+			t.Fatalf("Matrix missing scenario %q", name)
+		}
+	}
+	if r := m["panic"][0]; !r.Panic || r.Partition != 1 || r.Superstep != 3 {
+		t.Errorf("panic scenario = %+v", r)
+	}
+	if r := m["hang"][0]; !r.Hang || r.Partition != 1 {
+		t.Errorf("hang scenario = %+v", r)
+	}
+	if r := m["delay"][0]; r.Delay != 10*time.Millisecond {
+		t.Errorf("delay scenario = %+v", r)
+	}
+	if r := m["capture-fail"][0]; r.Site != SiteCapture || r.Times != 4 || r.Superstep != -1 {
+		t.Errorf("capture-fail scenario = %+v", r)
 	}
 }
 

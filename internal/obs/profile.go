@@ -27,7 +27,13 @@ const (
 	MetricBarrierSeconds    = "ariadne_barrier_duration_seconds"    // histogram per superstep
 	MetricObserveSeconds    = "ariadne_observe_duration_seconds"    // histogram per superstep
 	MetricRetries           = "ariadne_io_retries_total"            // counter, label site
-	MetricFaultsInjected    = "ariadne_faults_injected_total"       // counter
+	// Partition-supervision series (PR 3).
+	MetricPartitionRetries = "ariadne_partition_retries_total"         // counter: supervised re-executions
+	MetricDeadlineHits     = "ariadne_partition_deadline_hits_total"   // counter: deadline-cancelled attempts
+	MetricStragglers       = "ariadne_partition_straggler_flags_total" // counter: multiple-of-median flags
+	MetricCaptureShed      = "ariadne_capture_shed_partitions"         // gauge: partitions currently degraded
+	MetricCaptureGaps      = "ariadne_capture_gap_supersteps_total"    // counter: (partition, superstep) capture gaps
+	MetricFaultsInjected   = "ariadne_faults_injected_total"           // counter
 )
 
 // SuperstepProfile is the per-superstep metrics record — one entry per
@@ -61,6 +67,13 @@ type SuperstepProfile struct {
 	// Retries counts transient-I/O retry events by site (spill,
 	// checkpoint) — nonzero only under injected or real faults.
 	Retries map[string]int64 `json:"retries,omitempty"`
+	// PartitionRetries counts supervised partition re-executions this
+	// superstep; DeadlineHits counts attempts cancelled by the partition
+	// deadline; Stragglers lists partitions flagged by the
+	// multiple-of-median policy. All zero when supervision is off.
+	PartitionRetries int64 `json:"partition_retries,omitempty"`
+	DeadlineHits     int64 `json:"deadline_hits,omitempty"`
+	Stragglers       []int `json:"stragglers,omitempty"`
 }
 
 // BeginSuperstep opens the profile for superstep ss. Called by the engine
@@ -196,6 +209,25 @@ func (m *Metrics) AddRetry(site string) {
 	m.Counter(L(MetricRetries, "site", site)).Add(1)
 }
 
+// SuperstepSupervision records the superstep's partition-supervision
+// summary: re-executions, deadline-cancelled attempts, and flagged
+// stragglers. Called by the engine run goroutine at the barrier (the
+// supervisor tallies from worker goroutines atomically and flushes here so
+// the profile under construction is never touched concurrently). Nil-safe.
+func (m *Metrics) SuperstepSupervision(retries, deadlineHits int64, stragglers []int) {
+	if m == nil {
+		return
+	}
+	m.cur.PartitionRetries = retries
+	m.cur.DeadlineHits = deadlineHits
+	if len(stragglers) > 0 {
+		m.cur.Stragglers = append([]int(nil), stragglers...)
+	}
+	m.Counter(MetricPartitionRetries).Add(retries)
+	m.Counter(MetricDeadlineHits).Add(deadlineHits)
+	m.Counter(MetricStragglers).Add(int64(len(stragglers)))
+}
+
 // EndSuperstep closes the current profile and publishes it. Nil-safe.
 func (m *Metrics) EndSuperstep() {
 	if m == nil || !m.curOpen {
@@ -266,6 +298,9 @@ func (m *Metrics) RestoreProfiles(ps []SuperstepProfile) {
 		for s, n := range p.Retries {
 			m.Counter(L(MetricRetries, "site", s)).Add(n)
 		}
+		m.Counter(MetricPartitionRetries).Add(p.PartitionRetries)
+		m.Counter(MetricDeadlineHits).Add(p.DeadlineHits)
+		m.Counter(MetricStragglers).Add(int64(len(p.Stragglers)))
 		m.Histogram(MetricComputeSeconds).Observe(time.Duration(p.ComputeNS))
 		m.Histogram(MetricBarrierSeconds).Observe(time.Duration(p.BarrierNS))
 		m.Histogram(MetricObserveSeconds).Observe(time.Duration(p.ObserveNS))
@@ -302,6 +337,13 @@ func EncodeProfiles(w *value.Blob, ps []SuperstepProfile) {
 		encodeCountMap(w, p.CaptureTuples)
 		encodeCountMap(w, p.PiggybackTuples)
 		encodeCountMap(w, p.Retries)
+		// Checkpoint v3: supervision columns.
+		w.Uvarint(uint64(p.PartitionRetries))
+		w.Uvarint(uint64(p.DeadlineHits))
+		w.Uvarint(uint64(len(p.Stragglers)))
+		for _, s := range p.Stragglers {
+			w.Uvarint(uint64(s))
+		}
 	}
 }
 
@@ -327,6 +369,12 @@ func DecodeProfiles(r *value.BlobReader) ([]SuperstepProfile, error) {
 		p.CaptureTuples = decodeCountMap(r)
 		p.PiggybackTuples = decodeCountMap(r)
 		p.Retries = decodeCountMap(r)
+		p.PartitionRetries = int64(r.Uvarint())
+		p.DeadlineHits = int64(r.Uvarint())
+		nStrag := r.Count()
+		for j := 0; j < nStrag && r.Err() == nil; j++ {
+			p.Stragglers = append(p.Stragglers, int(r.Uvarint()))
+		}
 		ps = append(ps, p)
 	}
 	if err := r.Err(); err != nil {

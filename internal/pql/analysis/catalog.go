@@ -13,6 +13,9 @@ package analysis
 //	edge(Y, X)                  static input-graph edge Y->X
 //	prov_send(X, I)             X sent at least one message at superstep I
 //	                            (custom capture, paper Query 11)
+//	capture_gap(P, F, T)        provenance capture for partition P was shed
+//	                            for supersteps F..T (degraded-mode record;
+//	                            P = -1 means all partitions)
 var builtinEDBs = map[string]int{
 	"superstep":       2,
 	"value":           3,
@@ -22,6 +25,7 @@ var builtinEDBs = map[string]int{
 	"edge_value":      4,
 	"edge":            2,
 	"prov_send":       2,
+	"capture_gap":     3,
 }
 
 // staticEDBs hold input-graph structure rather than per-vertex provenance.
@@ -31,6 +35,9 @@ var builtinEDBs = map[string]int{
 // message exchange.
 var staticEDBs = map[string]bool{
 	"edge": true,
+	// capture_gap records degraded-mode shed ranges; they are run-global
+	// metadata (a handful of tuples), replicated everywhere for free.
+	"capture_gap": true,
 }
 
 // EDBArity returns the arity of an EDB predicate and whether it exists,

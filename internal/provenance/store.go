@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"ariadne/internal/fault"
@@ -42,6 +43,19 @@ type StoreConfig struct {
 	Metrics *obs.Metrics
 }
 
+// CaptureGap records a contiguous superstep range whose provenance was
+// shed under degraded-mode capture: the analytic kept running (Theorem 5.4
+// non-interference), but layers From..To hold no tuples for Partition.
+// Partition -1 means the whole layer was shed. Gaps surface in PQL as the
+// static EDB capture_gap(Partition, From, To), so an offline query can
+// tell "no result" apart from "provenance not captured here".
+type CaptureGap struct {
+	Partition int    `json:"partition"`
+	From      int    `json:"from"`
+	To        int    `json:"to"`
+	Reason    string `json:"reason,omitempty"`
+}
+
 // Store holds the captured provenance graph as a sequence of layers, with
 // size accounting and optional spill-to-disk.
 type Store struct {
@@ -55,6 +69,8 @@ type Store struct {
 	totalBytes  int64 // serialized bytes ever captured (resident + spilled)
 	totalTuples int64
 	vertices    map[VertexID]struct{} // distinct captured vertices
+
+	gaps []CaptureGap // shed ranges, ordered by (Partition, From)
 }
 
 // NewStore creates an empty store.
@@ -106,6 +122,79 @@ func (s *Store) AppendLayer(l *Layer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// AddGap records that partition p's provenance was shed at superstep ss
+// (p = -1 for the whole layer), merging into the partition's existing gap
+// when the range is contiguous — so one degraded partition yields one
+// CaptureGap row, not one per superstep. Idempotent for repeated
+// (p, ss) notes.
+func (s *Store) AddGap(ss, p int, reason string) {
+	for i := range s.gaps {
+		g := &s.gaps[i]
+		if g.Partition != p {
+			continue
+		}
+		if ss >= g.From && ss <= g.To {
+			return
+		}
+		if ss == g.To+1 {
+			g.To = ss
+			return
+		}
+	}
+	s.gaps = append(s.gaps, CaptureGap{Partition: p, From: ss, To: ss, Reason: reason})
+}
+
+// Gaps returns the recorded capture gaps, ordered by (Partition, From).
+func (s *Store) Gaps() []CaptureGap {
+	out := append([]CaptureGap(nil), s.gaps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Partition != out[j].Partition {
+			return out[i].Partition < out[j].Partition
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}
+
+// RestoreGaps replaces the gap list (checkpoint recovery).
+func (s *Store) RestoreGaps(gaps []CaptureGap) {
+	s.gaps = append([]CaptureGap(nil), gaps...)
+}
+
+// truncateGaps trims the gap list to supersteps < n alongside
+// TruncateLayers, so a recovered run's gaps match its surviving layers.
+func (s *Store) truncateGaps(n int) {
+	kept := s.gaps[:0]
+	for _, g := range s.gaps {
+		if g.From >= n {
+			continue
+		}
+		if g.To >= n {
+			g.To = n - 1
+		}
+		kept = append(kept, g)
+	}
+	s.gaps = kept
+}
+
+// AppendGapLayer appends an *empty* placeholder layer for superstep ss
+// after a whole-layer capture failure, keeping layer indices aligned with
+// supersteps so later layers still append in order. The placeholder stays
+// resident even under SpillAll — it records the absence of provenance, and
+// writing it through the same failing spill path would just fail again.
+func (s *Store) AppendGapLayer(ss int, reason string) error {
+	l := &Layer{Superstep: ss}
+	if ss != len(s.layers) {
+		return fmt.Errorf("provenance: gap layer %d appended out of order (have %d layers)", ss, len(s.layers))
+	}
+	s.layers = append(s.layers, l)
+	s.spilled = append(s.spilled, false)
+	s.files = append(s.files, "")
+	s.resident += l.MemSize()
+	s.AddGap(ss, -1, reason)
 	return nil
 }
 
@@ -215,6 +304,7 @@ func (s *Store) TruncateLayers(n int) error {
 	s.layers = s.layers[:n]
 	s.spilled = s.spilled[:n]
 	s.files = s.files[:n]
+	s.truncateGaps(n)
 	s.resident, s.totalBytes, s.totalTuples = 0, 0, 0
 	s.vertices = make(map[VertexID]struct{})
 	for i := 0; i < n; i++ {

@@ -1,0 +1,439 @@
+// Package supervise implements partition-level supervision for the BSP
+// engine: the simulated worker (one hash partition per superstep) becomes
+// the failure domain, instead of the whole run.
+//
+// A Supervisor wraps each partition's superstep execution in a supervised
+// attempt loop with three mechanisms:
+//
+//   - Deadlines: each attempt runs under a per-partition deadline (fixed,
+//     or adaptive as a multiple of the rolling median partition duration),
+//     so a hung worker is detected and cancelled instead of stalling the
+//     barrier forever.
+//   - Bounded retry: transient failures (vertex-program panics, injected
+//     I/O faults, deadline expiries) are retried up to MaxRetries times
+//     with capped exponential backoff and deterministic jitter. The caller
+//     supplies a reset hook that rolls the partition back to its state at
+//     the superstep barrier, so recovery is partition-scoped — only the
+//     failed partition re-executes; the other workers' results stand.
+//   - Straggler detection: at each barrier the supervisor compares every
+//     partition's duration against the superstep median and flags those
+//     exceeding StragglerMultiple× it (with an absolute floor, so µs-scale
+//     noise on a fast superstep is not misread as straggling).
+//
+// Degraded-mode capture is the fourth mechanism, carried by DegradeState:
+// after DegradeCaptureAfter consecutive capture-side failures for a
+// partition, provenance capture (and online-query piggybacking) for that
+// partition is shed. The analytic result is unaffected — Ariadne's
+// Theorem 5.4 non-interference guarantee is exactly what licenses dropping
+// the provenance side-channel — and the shed range surfaces as capture-gap
+// records queryable from PQL.
+//
+// Concurrency model: Run executes in the engine's per-partition worker
+// goroutines, so everything it touches is either local or atomic.
+// EndSuperstep, Deadline's history, and DegradeState use small mutexes;
+// nothing in this package calls back into the engine.
+package supervise
+
+import (
+	"context"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ariadne/internal/obs"
+)
+
+// Defaults applied by normalize for zero Config fields.
+const (
+	defaultStragglerMultiple = 4.0
+	defaultMaxRetries        = 2
+	defaultBackoff           = time.Millisecond
+	maxBackoff               = 50 * time.Millisecond
+	// stragglerFloor is the absolute minimum a partition must exceed the
+	// median by policy AND in wall time before it is flagged: on a fast
+	// superstep the median is microseconds and scheduler noise alone can
+	// exceed any multiple of it.
+	stragglerFloor = 5 * time.Millisecond
+	// minAdaptiveDeadline floors the derived deadline so a fast run does
+	// not cancel healthy partitions over scheduler jitter.
+	minAdaptiveDeadline = 25 * time.Millisecond
+	// historyWindow bounds the rolling duration history (in supersteps)
+	// behind the adaptive deadline and straggler medians.
+	historyWindow = 8
+)
+
+// Config controls partition supervision. The zero value is usable:
+// normalize fills in the documented defaults.
+type Config struct {
+	// Deadline is a fixed per-partition superstep deadline; 0 defers to
+	// the adaptive policy (when enabled) or no deadline at all.
+	Deadline time.Duration
+	// AdaptiveDeadline derives the deadline from StragglerMultiple × the
+	// rolling median partition duration once enough history exists. Only
+	// consulted when Deadline is 0.
+	AdaptiveDeadline bool
+	// StragglerMultiple flags a partition as straggling when its duration
+	// exceeds this multiple of the superstep median; <=0 means 4.
+	StragglerMultiple float64
+	// MaxRetries bounds re-executions of a failed partition per superstep;
+	// 0 means 2, negative means no retries.
+	MaxRetries int
+	// Backoff is the base backoff between retries (doubled per attempt,
+	// jittered, capped at 50ms); 0 means 1ms.
+	Backoff time.Duration
+	// DegradeCaptureAfter sheds provenance capture for a partition after
+	// this many consecutive capture-side failures; 0 disables degradation
+	// (capture failures then abort the run, the pre-supervision behavior).
+	DegradeCaptureAfter int
+}
+
+func (c Config) normalize() Config {
+	if c.StragglerMultiple <= 0 {
+		c.StragglerMultiple = defaultStragglerMultiple
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = defaultMaxRetries
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = defaultBackoff
+	}
+	return c
+}
+
+// Summary reports one superstep's supervision outcome, flushed into the
+// observability profile at the barrier.
+type Summary struct {
+	// Retries counts partition re-executions this superstep.
+	Retries int64
+	// DeadlineHits counts attempts cancelled by the partition deadline.
+	DeadlineHits int64
+	// Stragglers lists the partitions flagged by the multiple-of-median
+	// policy, ascending.
+	Stragglers []int
+}
+
+// Supervisor supervises the partitions of one engine run. Safe for
+// concurrent use by the per-partition worker goroutines.
+type Supervisor struct {
+	cfg    Config
+	nParts int
+	m      *obs.Metrics
+
+	// Per-superstep tallies, reset by EndSuperstep. Atomic: bumped from
+	// worker goroutines, read on the engine goroutine at the barrier.
+	ssRetries      atomic.Int64
+	ssDeadlineHits atomic.Int64
+
+	mu   sync.Mutex
+	hist []time.Duration // rolling window of partition durations
+
+	totalRetries      int64
+	totalDeadlineHits int64
+	totalStragglers   int64
+}
+
+// New creates a Supervisor for nParts partitions. m may be nil.
+func New(cfg Config, nParts int, m *obs.Metrics) *Supervisor {
+	return &Supervisor{cfg: cfg.normalize(), nParts: nParts, m: m}
+}
+
+// Config returns the normalized configuration.
+func (s *Supervisor) Config() Config { return s.cfg }
+
+// Deadline returns the per-partition deadline currently in force: the
+// fixed configured deadline, else the adaptive multiple-of-median deadline
+// once a full superstep of history exists, else 0 (none).
+func (s *Supervisor) Deadline() time.Duration {
+	if s.cfg.Deadline > 0 {
+		return s.cfg.Deadline
+	}
+	if !s.cfg.AdaptiveDeadline {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.hist) < s.nParts {
+		return 0
+	}
+	d := time.Duration(float64(median(s.hist)) * s.cfg.StragglerMultiple)
+	if d < minAdaptiveDeadline {
+		d = minAdaptiveDeadline
+	}
+	return d
+}
+
+// Run executes one partition's superstep under supervision. attempt runs
+// the partition against a context carrying the current deadline and must
+// be synchronous: injected hangs and delays block on the context, so an
+// expired attempt returns before the next begins and retries never race an
+// abandoned goroutine. reset rolls the partition back to its state at the
+// superstep barrier before each re-execution. retryable classifies
+// failures; non-retryable errors (and parent-context cancellation) return
+// immediately. The returned error is the last attempt's.
+func (s *Supervisor) Run(parent context.Context, p, ss int, attempt func(ctx context.Context) error,
+	reset func(), retryable func(error) bool) error {
+	if parent == nil {
+		parent = context.Background()
+	}
+	for try := 0; ; try++ {
+		actx, cancel := parent, func() {}
+		if d := s.Deadline(); d > 0 {
+			actx, cancel = context.WithTimeout(parent, d)
+		}
+		err := attempt(actx)
+		expired := actx.Err() != nil && parent.Err() == nil
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if expired {
+			s.ssDeadlineHits.Add(1)
+			s.m.Tracef(obs.Warn, "supervise", ss,
+				"partition %d attempt %d exceeded deadline %v", p, try+1, s.Deadline())
+		}
+		if parent.Err() != nil || try >= s.cfg.MaxRetries || !retryable(err) {
+			if try > 0 || expired {
+				s.m.Tracef(obs.Error, "supervise", ss,
+					"partition %d failed after %d attempts: %v", p, try+1, err)
+			}
+			return err
+		}
+		s.ssRetries.Add(1)
+		s.m.Tracef(obs.Warn, "supervise", ss,
+			"partition %d attempt %d failed, retrying after backoff: %v", p, try+1, err)
+		reset()
+		sleepCtx(parent, s.backoff(p, ss, try))
+	}
+}
+
+// backoff returns the jittered, capped exponential backoff before retry
+// number try. Jitter is deterministic — hashed from (partition, superstep,
+// attempt) — so supervised recovery replays exactly, matching the fault
+// injector's determinism contract.
+func (s *Supervisor) backoff(p, ss, try int) time.Duration {
+	d := s.cfg.Backoff << uint(try)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	// Jitter in [0, d): full backoff lands in [d, 2d).
+	return d + time.Duration(float64(d)*jitterFrac(p, ss, try))
+}
+
+func jitterFrac(p, ss, try int) float64 {
+	h := fnv.New64a()
+	var b [24]byte
+	put64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			b[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put64(0, uint64(int64(p)))
+	put64(8, uint64(int64(ss)))
+	put64(16, uint64(int64(try)))
+	h.Write(b[:])
+	return float64(h.Sum64()%1024) / 1024
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// EndSuperstep ingests the superstep's per-partition durations, flags
+// stragglers against the multiple-of-median policy, and returns (and
+// resets) the superstep's supervision summary. Called on the engine
+// goroutine at the barrier, after every worker has returned.
+func (s *Supervisor) EndSuperstep(ss int, durs []time.Duration) Summary {
+	sum := Summary{
+		Retries:      s.ssRetries.Swap(0),
+		DeadlineHits: s.ssDeadlineHits.Swap(0),
+	}
+	med := median(durs)
+	threshold := time.Duration(float64(med) * s.cfg.StragglerMultiple)
+	if threshold < stragglerFloor {
+		threshold = stragglerFloor
+	}
+	for p, d := range durs {
+		if d > threshold {
+			sum.Stragglers = append(sum.Stragglers, p)
+			s.m.Tracef(obs.Warn, "supervise", ss,
+				"partition %d straggling: %v vs superstep median %v", p, d, med)
+		}
+	}
+	s.mu.Lock()
+	s.hist = append(s.hist, durs...)
+	if max := historyWindow * s.nParts; len(s.hist) > max {
+		s.hist = s.hist[len(s.hist)-max:]
+	}
+	s.totalRetries += sum.Retries
+	s.totalDeadlineHits += sum.DeadlineHits
+	s.totalStragglers += int64(len(sum.Stragglers))
+	s.mu.Unlock()
+	return sum
+}
+
+// Totals returns run-cumulative supervision counts.
+func (s *Supervisor) Totals() (retries, deadlineHits, stragglers int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalRetries, s.totalDeadlineHits, s.totalStragglers
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// DegradeState tracks which partitions have had their provenance capture
+// (and online-query piggybacking) shed. Partition -1 is the global domain:
+// whole-layer failures (e.g. a spill that keeps failing) shed capture for
+// every partition. A nil *DegradeState never sheds. Safe for concurrent
+// use.
+type DegradeState struct {
+	mu     sync.Mutex
+	after  int
+	consec map[int]int // partition (-1 global) -> consecutive capture failures
+	shed   map[int]int // partition -> superstep shedding began
+}
+
+// NewDegradeState creates degradation state that sheds a partition's
+// capture after `after` consecutive failures; after <= 0 returns nil
+// (degradation disabled).
+func NewDegradeState(after int) *DegradeState {
+	if after <= 0 {
+		return nil
+	}
+	return &DegradeState{after: after, consec: map[int]int{}, shed: map[int]int{}}
+}
+
+// NoteFailure records a capture failure for partition p (or -1 for the
+// whole layer) at superstep ss and reports whether this failure crossed
+// the threshold and shed the partition now.
+func (d *DegradeState) NoteFailure(p, ss int) (shedNow bool) {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, already := d.shed[p]; already {
+		return false
+	}
+	d.consec[p]++
+	if d.consec[p] >= d.after {
+		d.shed[p] = ss
+		return true
+	}
+	return false
+}
+
+// NoteSuccess resets partition p's consecutive-failure count (a shed
+// partition stays shed: capture is not re-attempted once degraded, so the
+// gap is one contiguous range per partition).
+func (d *DegradeState) NoteSuccess(p int) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	delete(d.consec, p)
+	d.mu.Unlock()
+}
+
+// Shed reports whether capture for partition p is shed (directly or by the
+// global domain).
+func (d *DegradeState) Shed(p int) bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.shed[-1]; ok {
+		return true
+	}
+	_, ok := d.shed[p]
+	return ok
+}
+
+// AnyShed reports whether any partition is degraded.
+func (d *DegradeState) AnyShed() bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.shed) > 0
+}
+
+// ShedPartitions returns the degraded partitions ascending (-1 first when
+// globally degraded), with the superstep each was shed at.
+func (d *DegradeState) ShedPartitions() map[int]int {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]int, len(d.shed))
+	for p, ss := range d.shed {
+		out[p] = ss
+	}
+	return out
+}
+
+// Restore reinstates degradation state from a checkpoint: shed maps
+// partition -> superstep shedding began, consec the in-flight consecutive
+// failure counts. Used by the capture observer's checkpoint restore so a
+// resumed run stays degraded instead of re-attempting capture it already
+// shed.
+func (d *DegradeState) Restore(shed, consec map[int]int) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.shed = make(map[int]int, len(shed))
+	for p, ss := range shed {
+		d.shed[p] = ss
+	}
+	d.consec = make(map[int]int, len(consec))
+	for p, n := range consec {
+		d.consec[p] = n
+	}
+}
+
+// Snapshot returns copies of the shed and consecutive-failure maps for
+// checkpointing.
+func (d *DegradeState) Snapshot() (shed, consec map[int]int) {
+	if d == nil {
+		return nil, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	shed = make(map[int]int, len(d.shed))
+	for p, ss := range d.shed {
+		shed[p] = ss
+	}
+	consec = make(map[int]int, len(d.consec))
+	for p, n := range d.consec {
+		consec[p] = n
+	}
+	return shed, consec
+}

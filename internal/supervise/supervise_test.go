@@ -1,0 +1,254 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func retryAll(error) bool { return true }
+
+func TestRunRetriesUntilSuccess(t *testing.T) {
+	s := New(Config{MaxRetries: 3, Backoff: time.Microsecond}, 2, nil)
+	attempts, resets := 0, 0
+	err := s.Run(context.Background(), 0, 1, func(context.Context) error {
+		attempts++
+		if attempts < 3 {
+			return errBoom
+		}
+		return nil
+	}, func() { resets++ }, retryAll)
+	if err != nil {
+		t.Fatalf("Run = %v, want nil", err)
+	}
+	if attempts != 3 || resets != 2 {
+		t.Fatalf("attempts=%d resets=%d, want 3 and 2", attempts, resets)
+	}
+	sum := s.EndSuperstep(1, []time.Duration{time.Millisecond, time.Millisecond})
+	if sum.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", sum.Retries)
+	}
+}
+
+func TestRunExhaustsRetries(t *testing.T) {
+	s := New(Config{MaxRetries: 2, Backoff: time.Microsecond}, 1, nil)
+	attempts := 0
+	err := s.Run(context.Background(), 0, 0, func(context.Context) error {
+		attempts++
+		return errBoom
+	}, func() {}, retryAll)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Run = %v, want errBoom", err)
+	}
+	if attempts != 3 { // initial + 2 retries
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestRunNonRetryableFailsFast(t *testing.T) {
+	s := New(Config{MaxRetries: 5, Backoff: time.Microsecond}, 1, nil)
+	attempts := 0
+	err := s.Run(context.Background(), 0, 0, func(context.Context) error {
+		attempts++
+		return errBoom
+	}, func() { t.Fatal("reset called for a non-retryable failure") },
+		func(error) bool { return false })
+	if !errors.Is(err, errBoom) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d, want errBoom after exactly 1 attempt", err, attempts)
+	}
+}
+
+func TestRunNoRetriesWhenNegative(t *testing.T) {
+	s := New(Config{MaxRetries: -1}, 1, nil)
+	attempts := 0
+	err := s.Run(context.Background(), 0, 0, func(context.Context) error {
+		attempts++
+		return errBoom
+	}, func() {}, retryAll)
+	if !errors.Is(err, errBoom) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d, want errBoom after exactly 1 attempt", err, attempts)
+	}
+}
+
+func TestRunDeadlineCancelsAttempt(t *testing.T) {
+	s := New(Config{Deadline: 5 * time.Millisecond, MaxRetries: 1, Backoff: time.Microsecond}, 1, nil)
+	attempts := 0
+	err := s.Run(context.Background(), 0, 2, func(ctx context.Context) error {
+		attempts++
+		if attempts == 1 {
+			<-ctx.Done() // simulated hang: blocks until the deadline fires
+			return ctx.Err()
+		}
+		return nil
+	}, func() {}, retryAll)
+	if err != nil {
+		t.Fatalf("Run = %v, want recovery on retry", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	sum := s.EndSuperstep(2, []time.Duration{time.Millisecond})
+	if sum.DeadlineHits != 1 || sum.Retries != 1 {
+		t.Fatalf("DeadlineHits=%d Retries=%d, want 1 and 1", sum.DeadlineHits, sum.Retries)
+	}
+}
+
+func TestRunParentCancellationNotRetried(t *testing.T) {
+	s := New(Config{MaxRetries: 5, Backoff: time.Microsecond}, 1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	err := s.Run(ctx, 0, 0, func(context.Context) error {
+		attempts++
+		cancel()
+		return ctx.Err()
+	}, func() {}, retryAll)
+	if !errors.Is(err, context.Canceled) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d, want context.Canceled after 1 attempt", err, attempts)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	s := New(Config{Backoff: time.Millisecond}, 4, nil)
+	for try := 0; try < 10; try++ {
+		d1 := s.backoff(1, 3, try)
+		d2 := s.backoff(1, 3, try)
+		if d1 != d2 {
+			t.Fatalf("backoff(1,3,%d) not deterministic: %v vs %v", try, d1, d2)
+		}
+		if d1 <= 0 || d1 >= 2*maxBackoff {
+			t.Fatalf("backoff(1,3,%d) = %v, want in (0, %v)", try, d1, 2*maxBackoff)
+		}
+	}
+	// Different coordinates should (for this seed) produce different jitter.
+	if s.backoff(0, 0, 0) == s.backoff(1, 0, 0) && s.backoff(0, 1, 0) == s.backoff(0, 2, 0) {
+		t.Fatal("jitter appears constant across coordinates")
+	}
+}
+
+func TestEndSuperstepFlagsStragglers(t *testing.T) {
+	s := New(Config{StragglerMultiple: 4}, 4, nil)
+	durs := []time.Duration{
+		time.Millisecond, time.Millisecond, time.Millisecond,
+		100 * time.Millisecond, // > 4× median and > absolute floor
+	}
+	sum := s.EndSuperstep(0, durs)
+	if len(sum.Stragglers) != 1 || sum.Stragglers[0] != 3 {
+		t.Fatalf("Stragglers = %v, want [3]", sum.Stragglers)
+	}
+	// Microsecond-scale skew must not flag anything (absolute floor).
+	sum = s.EndSuperstep(1, []time.Duration{time.Microsecond, 40 * time.Microsecond, time.Microsecond, time.Microsecond})
+	if len(sum.Stragglers) != 0 {
+		t.Fatalf("Stragglers = %v on a µs-scale superstep, want none", sum.Stragglers)
+	}
+	r, d, st := s.Totals()
+	if r != 0 || d != 0 || st != 1 {
+		t.Fatalf("Totals = %d,%d,%d, want 0,0,1", r, d, st)
+	}
+}
+
+func TestAdaptiveDeadline(t *testing.T) {
+	s := New(Config{AdaptiveDeadline: true, StragglerMultiple: 4}, 2, nil)
+	if d := s.Deadline(); d != 0 {
+		t.Fatalf("Deadline with no history = %v, want 0", d)
+	}
+	s.EndSuperstep(0, []time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	want := 4 * 15 * time.Millisecond // multiple × median
+	if d := s.Deadline(); d != want {
+		t.Fatalf("adaptive Deadline = %v, want %v", d, want)
+	}
+	// The floor protects µs-scale runs.
+	s2 := New(Config{AdaptiveDeadline: true}, 1, nil)
+	s2.EndSuperstep(0, []time.Duration{time.Microsecond})
+	if d := s2.Deadline(); d != minAdaptiveDeadline {
+		t.Fatalf("floored adaptive Deadline = %v, want %v", d, minAdaptiveDeadline)
+	}
+}
+
+func TestDeadlinePrefersFixed(t *testing.T) {
+	s := New(Config{Deadline: 7 * time.Millisecond, AdaptiveDeadline: true}, 1, nil)
+	s.EndSuperstep(0, []time.Duration{time.Second})
+	if d := s.Deadline(); d != 7*time.Millisecond {
+		t.Fatalf("Deadline = %v, want the fixed 7ms", d)
+	}
+}
+
+func TestDegradeState(t *testing.T) {
+	d := NewDegradeState(2)
+	if d.NoteFailure(1, 3) {
+		t.Fatal("first failure must not shed")
+	}
+	d.NoteSuccess(1) // resets the consecutive count
+	if d.NoteFailure(1, 5) {
+		t.Fatal("count must reset after a success")
+	}
+	if !d.NoteFailure(1, 6) {
+		t.Fatal("second consecutive failure must shed")
+	}
+	if d.NoteFailure(1, 7) {
+		t.Fatal("an already-shed partition must not re-shed")
+	}
+	if !d.Shed(1) || d.Shed(0) {
+		t.Fatalf("Shed(1)=%v Shed(0)=%v, want true,false", d.Shed(1), d.Shed(0))
+	}
+	d.NoteSuccess(1)
+	if !d.Shed(1) {
+		t.Fatal("shedding must be permanent")
+	}
+	if got := d.ShedPartitions(); len(got) != 1 || got[1] != 6 {
+		t.Fatalf("ShedPartitions = %v, want {1: 6}", got)
+	}
+	// The global domain sheds everything.
+	d.NoteFailure(-1, 8)
+	d.NoteFailure(-1, 9)
+	if !d.Shed(0) || !d.AnyShed() {
+		t.Fatal("global shed must cover every partition")
+	}
+}
+
+func TestDegradeStateNilSafe(t *testing.T) {
+	var d *DegradeState
+	if NewDegradeState(0) != nil {
+		t.Fatal("NewDegradeState(0) must disable degradation")
+	}
+	if d.NoteFailure(0, 0) || d.Shed(0) || d.AnyShed() {
+		t.Fatal("nil DegradeState must never shed")
+	}
+	d.NoteSuccess(0)
+	d.Restore(map[int]int{0: 1}, nil)
+	if s, c := d.Snapshot(); s != nil || c != nil {
+		t.Fatal("nil Snapshot must return nils")
+	}
+}
+
+func TestDegradeStateSnapshotRestore(t *testing.T) {
+	d := NewDegradeState(2)
+	d.NoteFailure(0, 1)
+	d.NoteFailure(0, 2) // sheds partition 0 at superstep 2
+	d.NoteFailure(1, 2) // in-flight count for partition 1
+	shed, consec := d.Snapshot()
+
+	r := NewDegradeState(2)
+	r.Restore(shed, consec)
+	if !r.Shed(0) || r.Shed(1) {
+		t.Fatalf("restored Shed(0)=%v Shed(1)=%v, want true,false", r.Shed(0), r.Shed(1))
+	}
+	// The restored in-flight count continues where it left off.
+	if !r.NoteFailure(1, 3) {
+		t.Fatal("restored consec count must shed partition 1 on its next failure")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median(nil); m != 0 {
+		t.Fatalf("median(nil) = %v, want 0", m)
+	}
+	if m := median([]time.Duration{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v, want 2", m)
+	}
+	if m := median([]time.Duration{1, 3}); m != 2 {
+		t.Fatalf("even median = %v, want 2", m)
+	}
+}

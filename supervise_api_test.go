@@ -1,0 +1,229 @@
+package ariadne_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ariadne"
+	"ariadne/internal/analytics"
+	"ariadne/internal/engine"
+	"ariadne/internal/fault"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/queries"
+	"ariadne/internal/value"
+)
+
+// The supervision suite at the public API boundary: a supervised run under
+// injected partition faults must finish with the same analytic result as a
+// fault-free run (recovering only the failed partition), and repeated
+// capture-side failures must degrade capture — never the analytic — with
+// the shed range visible both on Result.CaptureGaps and through PQL.
+
+// gapQuery projects the capture_gap static EDB, the PQL view of degraded-
+// mode capture.
+func gapQuery() ariadne.QueryDef {
+	return ariadne.QueryDef{
+		Name:        "gaps",
+		Source:      `gap(P, F, T) :- capture_gap(P, F, T).`,
+		Env:         analysis.NewEnv(),
+		ResultPreds: []string{"gap"},
+	}
+}
+
+func TestSupervisedPanicDifferentialAPI(t *testing.T) {
+	g := rmatGraph(t)
+	prog := &analytics.PageRank{Iterations: 10}
+	common := []ariadne.Option{
+		ariadne.WithMaxSupersteps(11),
+		ariadne.WithPartitions(4),
+		ariadne.WithOnlineQuery(queries.PageRankCheck()),
+	}
+	baseline, err := ariadne.Run(g, prog, common...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PageRank keeps every vertex active, so partition 1 is guaranteed to
+	// compute at superstep 3 and the injected panic fires exactly once.
+	inj := fault.NewInjector(fault.Matrix(1, 3, 0, 0)["panic"]...)
+	supOpts := append(append([]ariadne.Option{}, common...),
+		ariadne.WithFault(inj),
+		ariadne.WithSupervision(ariadne.SuperviseConfig{MaxRetries: 2, Backoff: time.Microsecond}))
+	res, err := ariadne.Run(g, prog, supOpts...)
+	if err != nil {
+		t.Fatalf("supervised run should absorb the partition panic: %v", err)
+	}
+	if inj.Fired() != 1 {
+		t.Fatalf("injected panic fired %d times, want 1", inj.Fired())
+	}
+	if res.Stats.PartitionRetries < 1 {
+		t.Errorf("PartitionRetries = %d, want >= 1", res.Stats.PartitionRetries)
+	}
+	sameFinalValues(t, res.Values, baseline.Values)
+	sameQueryResults(t, res.Query("q4-pagerank-check"), baseline.Query("q4-pagerank-check"))
+	if res.Stats.Supersteps != baseline.Stats.Supersteps {
+		t.Errorf("supersteps = %d, want %d", res.Stats.Supersteps, baseline.Stats.Supersteps)
+	}
+}
+
+func TestDegradedCaptureDifferentialAPI(t *testing.T) {
+	g := rmatGraph(t)
+	prog := &analytics.PageRank{Iterations: 10}
+	common := []ariadne.Option{
+		ariadne.WithMaxSupersteps(11),
+		ariadne.WithPartitions(4),
+	}
+	capOpt := func() ariadne.Option {
+		return ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{})
+	}
+
+	baseline, err := ariadne.Run(g, prog, append([]ariadne.Option{capOpt()}, common...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.CaptureGaps) != 0 {
+		t.Fatalf("fault-free run reported gaps: %v", baseline.CaptureGaps)
+	}
+
+	// Three consecutive capture failures on partition 1 with a shed
+	// threshold of 2: the first two failures drop the partition's layer
+	// slice and trip degraded mode; from then on the partition is shed
+	// without consulting the injector again.
+	inj := fault.NewInjector(fault.Matrix(1, -1, 0, 3)["capture-fail"]...)
+	degOpts := append([]ariadne.Option{capOpt(),
+		ariadne.WithFault(inj),
+		ariadne.WithSupervision(ariadne.SuperviseConfig{
+			MaxRetries:          2,
+			Backoff:             time.Microsecond,
+			DegradeCaptureAfter: 2,
+		})}, common...)
+	res, err := ariadne.Run(g, prog, degOpts...)
+	if err != nil {
+		t.Fatalf("degraded-mode run should complete: %v", err)
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("capture fault never fired")
+	}
+
+	// Theorem 5.4 non-interference: shedding provenance must not perturb
+	// the analytic by a single bit.
+	sameFinalValues(t, res.Values, baseline.Values)
+
+	if len(res.CaptureGaps) == 0 {
+		t.Fatal("degraded run reported no capture gaps")
+	}
+	for _, gap := range res.CaptureGaps {
+		if gap.Partition != 1 {
+			t.Errorf("gap on partition %d, want 1: %+v", gap.Partition, gap)
+		}
+	}
+	// The shed range must span from the first failure to the last
+	// superstep: shedding is permanent.
+	last := res.CaptureGaps[len(res.CaptureGaps)-1]
+	if last.To != res.Stats.Supersteps-1 {
+		t.Errorf("gap ends at superstep %d, want %d (permanent shed)", last.To, res.Stats.Supersteps-1)
+	}
+
+	// The same gaps are queryable from PQL as capture_gap(P, F, T).
+	qr, err := ariadne.QueryOffline(gapQuery(), res.Provenance, g, ariadne.ModeLayered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ariadne.Tuples(qr, "gap")
+	if len(rows) != len(res.CaptureGaps) {
+		t.Fatalf("PQL gap rows = %d, want %d (%v)", len(rows), len(res.CaptureGaps), rows)
+	}
+	for i, gap := range res.CaptureGaps {
+		want := []ariadne.Value{
+			value.NewInt(int64(gap.Partition)),
+			value.NewInt(int64(gap.From)),
+			value.NewInt(int64(gap.To)),
+		}
+		for c := range want {
+			if !rows[i][c].Equal(want[c]) {
+				t.Errorf("gap row %d col %d = %v, want %v", i, c, rows[i][c], want[c])
+			}
+		}
+	}
+
+	// A fault-free provenance query over the degraded store still works on
+	// the partitions that kept capturing.
+	if _, err := ariadne.QueryOffline(queries.PageRankCheck(), res.Provenance, g, ariadne.ModeLayered, 0); err != nil {
+		t.Errorf("offline query over degraded store: %v", err)
+	}
+}
+
+// Without supervision the same capture fault is fatal — degradation is an
+// opt-in contract, not a silent default.
+func TestCaptureFaultFatalWithoutSupervision(t *testing.T) {
+	g := rmatGraph(t)
+	inj := fault.NewInjector(fault.Matrix(1, -1, 0, 3)["capture-fail"]...)
+	_, err := ariadne.Run(g, &analytics.PageRank{Iterations: 10},
+		ariadne.WithMaxSupersteps(11),
+		ariadne.WithPartitions(4),
+		ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{}),
+		ariadne.WithFault(inj))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("unsupervised capture fault = %v, want ErrInjected", err)
+	}
+}
+
+// aggProg exercises global aggregators through the public API: each round
+// folds a per-vertex contribution into an AggSum and mixes the previous
+// superstep's merged value back into the vertex value, so any divergence in
+// restored aggregator state shows up in the final values.
+type aggProg struct{ rounds int }
+
+func (p *aggProg) InitialValue(*ariadne.Graph, ariadne.VertexID) ariadne.Value {
+	return value.NewFloat(0)
+}
+
+func (p *aggProg) Compute(ctx *engine.Context, _ []engine.IncomingMessage) error {
+	ctx.AggregateFloat("sum", engine.AggSum, float64(ctx.ID()+1)*float64(ctx.Superstep()+1))
+	prev, _ := ctx.Aggregated().Float("sum")
+	ctx.SetValue(value.NewFloat(ctx.Value().Float() + prev))
+	if ctx.Superstep() < p.rounds {
+		ctx.SendMessage(ctx.ID(), value.NewInt(1)) // last round sends nothing: the run quiesces
+	}
+	return nil
+}
+
+// TestResumeAggregatorsAPI crashes an aggregator-carrying run between
+// checkpoints and resumes it: the restored run must reproduce both the
+// final vertex values and the final merged aggregator readings.
+func TestResumeAggregatorsAPI(t *testing.T) {
+	g := chain(t, 16)
+	prog := &aggProg{rounds: 8}
+
+	baseline, err := ariadne.Run(g, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum, ok := baseline.Aggregated.Float("sum")
+	if !ok {
+		t.Fatal("baseline has no merged sum aggregator")
+	}
+
+	dir := t.TempDir()
+	ck := ariadne.WithCheckpoint(dir, 2)
+	_, err = ariadne.Run(g, prog, ck,
+		ariadne.WithFault(fault.NewInjector(fault.PanicAt(5, -1))))
+	var ce *ariadne.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CrashError, got %v", err)
+	}
+
+	res, err := ariadne.Resume(g, prog, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedFrom == 0 {
+		t.Error("Resume did not restart from a checkpoint")
+	}
+	sameFinalValues(t, res.Values, baseline.Values)
+	gotSum, ok := res.Aggregated.Float("sum")
+	if !ok || gotSum != wantSum {
+		t.Errorf("resumed sum aggregator = %v (ok=%v), want %v", gotSum, ok, wantSum)
+	}
+}
