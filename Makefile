@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-full vet race ci fault-matrix clean
+.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix clean
 
 all: build test
 
@@ -18,12 +18,25 @@ race:
 
 # bench runs the driver benchmarks and emits per-superstep BENCH_*.json
 # profiles via the instrumented CLI (-stats-json); CI archives the JSON.
-bench:
+bench: bench-micro
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/driver/
 	$(GO) run ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
 		-online q4 -stats-json BENCH_pagerank.json
 	$(GO) run ./cmd/ariadne run -analytic sssp -dataset IN-04 -capture full \
 		-stats-json BENCH_sssp.json
+
+# bench-micro runs the barrier and spill-pipeline microbenchmarks and feeds
+# them through cmd/benchjson, which writes BENCH_micro.json and fails on a
+# regression of the hardware-independent ratios (sequential/parallel
+# barrier-phase time, sync/async spill time). The committed BENCH_micro.json
+# is the single-core container baseline; CI archives the fresh one.
+bench-micro:
+	$(GO) test -run '^$$' -bench 'BenchmarkBarrier' -benchmem -count 1 \
+		./internal/engine/ > bench-micro.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSpillPipeline' -benchmem -count 1 \
+		./internal/provenance/ >> bench-micro.out
+	$(GO) run ./cmd/benchjson -out BENCH_micro.json < bench-micro.out
+	rm -f bench-micro.out
 
 bench-full:
 	$(GO) test -bench=. -benchmem ./...

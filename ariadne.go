@@ -168,6 +168,19 @@ func WithCombiner(f func(a, b Value) Value) Option {
 	}
 }
 
+// WithSequentialBarrier selects the seed single-threaded superstep barrier
+// (one sequential merge loop, fresh inbox maps each superstep, global
+// record sort) instead of the parallel sharded one. Combining semantics
+// are shared between the modes, so the two paths are bit-identical by
+// construction; this option exists as the reference leg for differential
+// tests and the "before" leg of BenchmarkBarrier.
+func WithSequentialBarrier() Option {
+	return func(c *runConfig) error {
+		c.engineCfg.SequentialBarrier = true
+		return nil
+	}
+}
+
 // WithCapture captures provenance under an explicit policy into a store
 // configured by cfg.
 func WithCapture(p CapturePolicy, cfg StoreConfig) Option {

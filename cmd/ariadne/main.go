@@ -175,6 +175,10 @@ func cmdRun(args []string) error {
 	captureSpec := fs.String("capture", "", "capture policy: full, lineage:<vertex>, or backward")
 	spill := fs.String("spill", "", "spill directory for captured provenance")
 	budget := fs.Int64("budget", 0, "capture memory budget in bytes (0 = unlimited)")
+	syncSpill := fs.Bool("sync-spill", false, "write spilled layers inline in the barrier instead of on the async writer goroutine")
+	spillQueue := fs.Int("spill-queue", 0, "async spill queue depth in layers (0 = default double-buffering)")
+	reloadCache := fs.Int("reload-cache", 0, "spilled-layer reload cache capacity in layers (0 = default, negative = disabled)")
+	seqBarrier := fs.Bool("seq-barrier", false, "use the reference sequential superstep barrier instead of the sharded parallel one (bit-identical results, slower)")
 	online := fs.String("online", "", "comma-separated online queries (apt[:eps], q4, q5, q6)")
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "compute:mode=panic:ss=3:vertex=7" or "spill.write:times=2" (clauses joined with ;)`)
 	ckDir := fs.String("checkpoint", "", "checkpoint directory (enables superstep checkpointing)")
@@ -217,7 +221,13 @@ func cmdRun(args []string) error {
 				return fmt.Errorf("-spill: %w", err)
 			}
 		}
-		storeCfg := provenance.StoreConfig{MemoryBudget: *budget, SpillDir: *spill}
+		storeCfg := provenance.StoreConfig{
+			MemoryBudget: *budget,
+			SpillDir:     *spill,
+			SyncSpill:    *syncSpill,
+			SpillQueue:   *spillQueue,
+			ReloadCache:  *reloadCache,
+		}
 		var def queries.Definition
 		switch {
 		case *captureSpec == "full":
@@ -236,6 +246,9 @@ func cmdRun(args []string) error {
 		opts = append(opts, ariadne.WithCaptureQuery(def, storeCfg))
 	}
 
+	if *seqBarrier {
+		opts = append(opts, ariadne.WithSequentialBarrier())
+	}
 	if *faults != "" {
 		opts = append(opts, ariadne.WithFaultSpec(*faults))
 	}

@@ -1,0 +1,144 @@
+// benchjson converts `go test -bench` output on stdin into a machine-readable
+// JSON report and enforces the hardware-independent regression ratios for the
+// barrier and spill microbenchmarks:
+//
+//	go test -run '^$' -bench 'Barrier|SpillPipeline' ./internal/... | \
+//	    go run ./cmd/benchjson -out BENCH_micro.json -min-barrier-speedup 1.2
+//
+// Absolute ns/op is meaningless across CI runners, so the regression checks
+// compare legs of the same run: the sequential/parallel barrier-phase ratio
+// and the sync/async spill ratio. Exit status 1 means a ratio fell below its
+// threshold (or an expected benchmark is missing).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line. Metrics maps unit → value for
+// every "value unit" pair after the iteration count (ns/op, B/op, allocs/op,
+// and custom b.ReportMetric units like barrier-ns/op).
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_micro.json schema.
+type Report struct {
+	Benchmarks []Bench            `json:"benchmarks"`
+	Ratios     map[string]float64 `json:"ratios"`
+	Failures   []string           `json:"failures,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(lines []string) []Bench {
+	var out []Bench
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		b := Bench{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func metric(benches []Bench, name, unit string) (float64, bool) {
+	for _, b := range benches {
+		if b.Name == name {
+			v, ok := b.Metrics[unit]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// ratio computes num/den for a named check; a missing benchmark or metric is
+// reported as a failure so CI can't silently skip a check.
+func ratio(r *Report, benches []Bench, key, numName, denName, unit string) float64 {
+	num, okN := metric(benches, numName, unit)
+	den, okD := metric(benches, denName, unit)
+	if !okN || !okD || den == 0 {
+		r.Failures = append(r.Failures, fmt.Sprintf("%s: missing %s for %s or %s", key, unit, numName, denName))
+		return 0
+	}
+	v := num / den
+	r.Ratios[key] = v
+	return v
+}
+
+func main() {
+	out := flag.String("out", "BENCH_micro.json", "output JSON path")
+	minBarrier := flag.Float64("min-barrier-speedup", 1.2,
+		"minimum sequential/parallel barrier-phase time ratio (uncombined leg)")
+	minSpill := flag.Float64("min-spill-speedup", 0.9,
+		"minimum sync/async spill pipeline time ratio (on a single core the "+
+			"pipeline cannot overlap, so the guard only rejects async being "+
+			"materially slower than sync)")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fmt.Println(sc.Text()) // pass through so the raw log stays visible
+		lines = append(lines, sc.Text())
+	}
+	benches := parse(lines)
+	rep := &Report{Benchmarks: benches, Ratios: map[string]float64{}}
+
+	if v := ratio(rep, benches, "barrier_phase_speedup",
+		"BenchmarkBarrier/sequential/nocombine",
+		"BenchmarkBarrier/parallel/nocombine", "barrier-ns/op"); v > 0 && v < *minBarrier {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("barrier_phase_speedup %.2f < %.2f", v, *minBarrier))
+	}
+	ratio(rep, benches, "barrier_run_speedup",
+		"BenchmarkBarrier/sequential/nocombine",
+		"BenchmarkBarrier/parallel/nocombine", "ns/op")
+	ratio(rep, benches, "combine_barrier_speedup",
+		"BenchmarkBarrier/sequential/combine",
+		"BenchmarkBarrier/parallel/combine", "barrier-ns/op")
+	if v := ratio(rep, benches, "spill_async_speedup",
+		"BenchmarkSpillPipeline/sync",
+		"BenchmarkSpillPipeline/async", "ns/op"); v > 0 && v < *minSpill {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("spill_async_speedup %.2f < %.2f", v, *minSpill))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(rep.Failures) > 0 {
+		for _, f := range rep.Failures {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks, %d ratios)\n",
+		*out, len(benches), len(rep.Ratios))
+}

@@ -332,8 +332,16 @@ func (o *Observer) taintedNow(rec *engine.VertexRecord, newTaints *[]graph.Verte
 	return false
 }
 
-// Finish implements engine.Observer.
-func (o *Observer) Finish(int) error { return nil }
+// Finish implements engine.Observer: the run is over, so drain the async
+// spill pipeline. A write that exhausted its retries surfaces here (the
+// last chance to report it in-band); the failed layer is resident again,
+// so in-process querying still sees complete provenance.
+func (o *Observer) Finish(int) error {
+	if err := o.store.Sync(); err != nil {
+		return fmt.Errorf("capture: draining spill pipeline at finish: %w", err)
+	}
+	return nil
+}
 
 // MarshalCheckpoint implements engine.Checkpointable: the observer's
 // recoverable state is its provenance-store watermark (how many layers have
@@ -345,6 +353,12 @@ func (o *Observer) Finish(int) error { return nil }
 // (in-process recovery) or on disk under SpillAll (cross-process recovery
 // via Store.Reattach).
 func (o *Observer) MarshalCheckpoint() ([]byte, error) {
+	// Quiesce the async spill pipeline first: the watermark below promises
+	// that this many layers are durable, so every queued layer write must
+	// have landed (and succeeded) before we count them.
+	if err := o.store.Sync(); err != nil {
+		return nil, fmt.Errorf("capture: syncing spill pipeline before checkpoint: %w", err)
+	}
 	w := value.NewBlob()
 	w.Uvarint(uint64(o.store.NumLayers()))
 	w.Bool(o.tainted != nil)

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ariadne/internal/graph"
+	"ariadne/internal/obs"
+	"ariadne/internal/value"
+)
+
+// floodProg is a deliberately message-dominated program: every vertex sums
+// its inbox and re-broadcasts to all out-neighbors every superstep. Compute
+// is a few float adds, so the run time is the barrier — exactly the phase
+// BenchmarkBarrier isolates.
+type floodProg struct{}
+
+func (floodProg) InitialValue(_ *graph.Graph, v VertexID) value.Value {
+	return value.NewFloat(float64(v%7) + 1)
+}
+
+func (floodProg) Compute(ctx *Context, msgs []IncomingMessage) error {
+	sum := ctx.Value().Float()
+	for _, m := range msgs {
+		sum += m.Val.Float()
+	}
+	ctx.SetValue(value.NewFloat(sum))
+	ctx.SendToAllNeighbors(value.NewFloat(sum * 0.25))
+	return nil
+}
+
+func benchGraph(b *testing.B, n, deg int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	edges := make([]graph.Edge, 0, n*deg)
+	for v := 0; v < n; v++ {
+		for d := 0; d < deg; d++ {
+			edges = append(edges, graph.Edge{
+				Src: VertexID(v), Dst: VertexID(rng.Intn(n)), Weight: 1,
+			})
+		}
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBarrier compares the seed sequential superstep barrier against
+// the sharded parallel one at 8 partitions, with and without a combiner.
+// The parallel/sequential time ratio is the regression metric archived by
+// `make bench-micro` — it is hardware-independent, unlike absolute ns/op.
+func BenchmarkBarrier(b *testing.B) {
+	const (
+		nVertices  = 10000
+		degree     = 8
+		partitions = 8
+		supersteps = 8
+	)
+	g := benchGraph(b, nVertices, degree)
+	sum := func(a, v value.Value) value.Value {
+		return value.NewFloat(a.Float() + v.Float())
+	}
+	for _, mode := range []struct {
+		name string
+		seq  bool
+	}{{"sequential", true}, {"parallel", false}} {
+		for _, comb := range []struct {
+			name string
+			fn   func(a, v value.Value) value.Value
+		}{{"nocombine", nil}, {"combine", sum}} {
+			b.Run(fmt.Sprintf("%s/%s", mode.name, comb.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var sent, barrierNS int64
+				for i := 0; i < b.N; i++ {
+					m := obs.New()
+					e, err := New(g, floodProg{}, Config{
+						Partitions:        partitions,
+						MaxSupersteps:     supersteps,
+						Combiner:          comb.fn,
+						SequentialBarrier: mode.seq,
+						Metrics:           m,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats, err := e.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					sent = stats.MessagesSent
+					for _, p := range m.Profiles() {
+						barrierNS += p.BarrierNS
+					}
+				}
+				b.ReportMetric(float64(sent)*float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+				b.ReportMetric(float64(barrierNS)/float64(b.N), "barrier-ns/op")
+			})
+		}
+	}
+}

@@ -45,8 +45,11 @@ const (
 	// supervision columns (RunStats.PartitionRetries/DeadlineHits/
 	// StragglerFlags and the matching per-superstep profile fields) and,
 	// inside the capture observer's blob, the capture-gap records and
-	// degradation state of a degraded run. Older versions are not readable.
-	checkpointVersion  = 3
+	// degradation state of a degraded run. Version 4 adds the parallel
+	// barrier columns (RunStats.MessagesCombinedSender and the profiles'
+	// MessagesCombinedSender/DeliveryMaxShard). Older versions are not
+	// readable.
+	checkpointVersion  = 4
 	manifestName       = "MANIFEST"
 	checkpointAttempts = 4
 	checkpointBackoff  = time.Millisecond
@@ -197,22 +200,39 @@ func (e *Engine) encodeCheckpoint(resumeSS int) ([]byte, error) {
 	w.Uvarint(uint64(e.stat.PartitionRetries))
 	w.Uvarint(uint64(e.stat.DeadlineHits))
 	w.Uvarint(uint64(e.stat.StragglerFlags))
-	// ...and the per-superstep metrics profiles (empty when the run is
-	// uninstrumented), so Resume restores cumulative observability state.
-	obs.EncodeProfiles(w, e.cfg.Metrics.Profiles())
-	// Observer state blobs, in cfg.Observers order.
-	w.Uvarint(uint64(len(e.cfg.Observers)))
+	// v4: parallel-barrier totals.
+	w.Uvarint(uint64(e.stat.MessagesCombinedSender))
+	// Marshal observer blobs before snapshotting the profiles: the capture
+	// observer syncs its async spill pipeline here, which back-fills spill
+	// bytes/durations into the per-superstep profiles the next block writes.
+	// The file layout is unchanged (profiles, then blobs).
+	type obBlob struct {
+		ok   bool
+		blob []byte
+	}
+	blobs := make([]obBlob, 0, len(e.cfg.Observers))
 	for _, o := range e.cfg.Observers {
 		c, ok := o.(Checkpointable)
-		w.Bool(ok)
 		if !ok {
+			blobs = append(blobs, obBlob{})
 			continue
 		}
 		blob, err := c.MarshalCheckpoint()
 		if err != nil {
 			return nil, fmt.Errorf("observer %T: %w", o, err)
 		}
-		w.Bytes8(blob)
+		blobs = append(blobs, obBlob{ok: true, blob: blob})
+	}
+	// ...the per-superstep metrics profiles (empty when the run is
+	// uninstrumented), so Resume restores cumulative observability state.
+	obs.EncodeProfiles(w, e.cfg.Metrics.Profiles())
+	// Observer state blobs, in cfg.Observers order.
+	w.Uvarint(uint64(len(blobs)))
+	for _, b := range blobs {
+		w.Bool(b.ok)
+		if b.ok {
+			w.Bytes8(b.blob)
+		}
 	}
 
 	buf := make([]byte, 0, len(w.Bytes())+9)
@@ -291,6 +311,7 @@ func loadCheckpoint(path string) (*checkpointData, error) {
 	cp.stat.PartitionRetries = int64(r.Uvarint())
 	cp.stat.DeadlineHits = int64(r.Uvarint())
 	cp.stat.StragglerFlags = int64(r.Uvarint())
+	cp.stat.MessagesCombinedSender = int64(r.Uvarint())
 	if r.Err() == nil {
 		var perr error
 		if cp.profiles, perr = obs.DecodeProfiles(r); perr != nil {

@@ -112,6 +112,17 @@ type Config struct {
 	// straggler flagging against a multiple-of-median policy. nil keeps
 	// the pre-supervision behavior: any partition failure aborts the run.
 	Supervise *supervise.Config
+	// SequentialBarrier selects the seed single-threaded barrier: one
+	// sequential merge loop over every outbox, fresh inbox maps each
+	// superstep, and a global sort of the observer records. Combining
+	// semantics are identical in both modes — the sender pre-combines per
+	// destination vertex, then the barrier folds the per-partition partial
+	// values in ascending source-partition order — so the two barriers are
+	// bit-identical by construction and differ only in parallelism and
+	// allocation behavior. It is the reference implementation the parallel
+	// barrier is differentially tested against (and the "before" leg of
+	// BenchmarkBarrier); production runs leave it false.
+	SequentialBarrier bool
 }
 
 // Observer consumes per-superstep vertex records. ObserveSuperstep is called
@@ -166,6 +177,12 @@ type RunStats struct {
 	// (MessagesSent = MessagesDelivered + MessagesCombined).
 	MessagesDelivered int64
 	MessagesCombined  int64
+	// MessagesCombinedSender counts the subset of MessagesCombined merged
+	// inside the sending partition (before the barrier ever saw them); the
+	// remainder was combined at the barrier when outboxes from different
+	// partitions met. Identical in both barrier modes, since combining
+	// semantics are shared.
+	MessagesCombinedSender int64
 	// PeakActiveVertices is the maximum per-superstep active-vertex count.
 	PeakActiveVertices int
 	// Partition-supervision totals, zero when supervision is off:
@@ -220,6 +237,25 @@ type Engine struct {
 	// inboxes[p] holds messages for vertices of partition p, keyed by vertex.
 	inboxes []map[VertexID][]IncomingMessage
 
+	// Barrier buffer pools, reused across supersteps so the steady state
+	// allocates no per-superstep maps or slices (ISSUE 4 buffer reuse).
+	// spareInboxes[p] is last superstep's (cleared) inbox map awaiting
+	// reuse; msgFree[p] recycles the per-vertex message slices that map
+	// held; results is the per-partition superstep scratch; recBuf is the
+	// merged observer-record buffer. Each index is owned by exactly one
+	// delivery-shard goroutine during the barrier, so none of this needs
+	// locks.
+	spareInboxes []map[VertexID][]IncomingMessage
+	msgFree      [][][]IncomingMessage
+	results      []partResult
+	recBuf       []VertexRecord
+	mergeHeads   []int
+
+	// sendComb is the combiner applied inside runPartition per destination
+	// vertex as messages are emitted (nil when raw messages are needed or
+	// under SequentialBarrier, which combines only at the barrier).
+	sendComb func(a, b value.Value) value.Value
+
 	agg  *aggregators
 	stat RunStats
 
@@ -262,6 +298,10 @@ func New(g *graph.Graph, prog Program, cfg Config) (*Engine, error) {
 	for p := range e.inboxes {
 		e.inboxes[p] = make(map[VertexID][]IncomingMessage)
 	}
+	e.spareInboxes = make([]map[VertexID][]IncomingMessage, e.nParts)
+	e.msgFree = make([][][]IncomingMessage, e.nParts)
+	e.results = make([]partResult, e.nParts)
+	e.mergeHeads = make([]int, e.nParts)
 	e.agg = newAggregators(e.nParts)
 	e.runCtx = context.Background()
 	e.lastCkptSS = -1
@@ -305,6 +345,18 @@ func (e *Engine) Run() (RunStats, error) {
 	if e.rawMsgs {
 		combiner = nil
 	}
+	// Sender-side combining: runPartition pre-combines per destination
+	// vertex as messages are emitted, so the barrier sees pre-combined
+	// outboxes. The capture path is unaffected — raw send-message tuples
+	// come from VertexRecord.Sent (copied from the per-vertex send list
+	// before combining), and any observer that needs raw *deliveries*
+	// already disabled the combiner entirely via NeedsRawMessages.
+	// Both barrier modes combine at the sender: the association tree
+	// (fold within partition at the sender, fold across partitions in
+	// ascending order at the barrier) is the engine's canonical combining
+	// order, so sequential and sharded delivery are bit-identical even for
+	// non-associative float folds.
+	e.sendComb = combiner
 	halter, _ := e.prog.(Halter)
 	m := e.cfg.Metrics
 	if e.cfg.Context != nil {
@@ -371,7 +423,7 @@ func (e *Engine) Run() (RunStats, error) {
 
 		computeStart := time.Now()
 		e.agg.beginSuperstep()
-		results := make([]partResult, e.nParts)
+		results := e.results
 		var durs []time.Duration
 		if e.sup != nil {
 			durs = make([]time.Duration, e.nParts)
@@ -387,7 +439,7 @@ func (e *Engine) Run() (RunStats, error) {
 				}
 				ids := e.activeIDs(p, ss, fp)
 				if e.sup == nil {
-					results[p] = e.runPartition(e.runCtx, p, ss, observing, ids)
+					e.runPartition(e.runCtx, p, ss, observing, ids, &results[p])
 					return
 				}
 				e.superviseCompute(p, ss, observing, ids, results, durs)
@@ -426,45 +478,34 @@ func (e *Engine) Run() (RunStats, error) {
 		// Barrier: merge aggregators, deliver messages, account stats.
 		barrierStart := time.Now()
 		e.agg.endSuperstep()
-		for p := range e.inboxes {
-			e.inboxes[p] = make(map[VertexID][]IncomingMessage)
+		var sent, delivered, combined, combinedSender, maxShard int64
+		for ri := range results {
+			sent += results[ri].sent
+			combinedSender += results[ri].combinedSender
 		}
-		var sent, delivered, combined int64
-		for _, r := range results {
-			for dp, msgs := range r.outbox {
-				for _, om := range msgs {
-					if combiner != nil {
-						if ex := e.inboxes[dp][om.dst]; len(ex) > 0 {
-							ex[0].Val = combiner(ex[0].Val, om.val)
-							combined++
-							continue
-						}
-					}
-					e.inboxes[dp][om.dst] = append(e.inboxes[dp][om.dst], IncomingMessage{Src: om.src, Val: om.val})
-					delivered++
-				}
-				sent += int64(len(msgs))
-			}
+		if e.cfg.SequentialBarrier {
+			delivered, combined = e.sequentialDeliver(combiner, results)
+		} else {
+			delivered, combined, maxShard = e.shardedDeliver(combiner, results)
 		}
+		combined += combinedSender
 		e.stat.MessagesSent += sent
 		e.stat.MessagesDelivered += delivered
 		e.stat.MessagesCombined += combined
+		e.stat.MessagesCombinedSender += combinedSender
 		e.stat.ActiveVertices = append(e.stat.ActiveVertices, totalActive)
 		e.stat.Supersteps = ss + 1
 		barrierDur := time.Since(barrierStart)
 		e.stat.BarrierWall += barrierDur
 		m.SuperstepMessages(sent, delivered, combined)
+		m.SuperstepDelivery(combinedSender, maxShard, e.nParts)
 
 		// Observers see the completed superstep as one batch (one provenance
 		// layer), in deterministic vertex order.
 		var observeDur time.Duration
 		if observing {
 			observeStart := time.Now()
-			var recs []VertexRecord
-			for _, r := range results {
-				recs = append(recs, r.records...)
-			}
-			sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+			recs := e.mergeRecords(results)
 			view := &SuperstepView{Superstep: ss, Records: recs, Engine: e}
 			for _, o := range e.cfg.Observers {
 				if err := o.ObserveSuperstep(view); err != nil {
@@ -533,7 +574,7 @@ func (e *Engine) superviseCompute(p, ss int, observing bool, ids []VertexID, res
 		snap[i] = e.values[v]
 	}
 	attempt := func(actx context.Context) error {
-		results[p] = e.runPartition(actx, p, ss, observing, ids)
+		e.runPartition(actx, p, ss, observing, ids, &results[p])
 		if c := results[p].crash; c != nil {
 			return c
 		}
@@ -583,10 +624,182 @@ type outMsg struct {
 }
 
 type partResult struct {
-	outbox   map[int][]outMsg // destination partition -> messages
+	outbox   [][]outMsg // destination partition -> messages
 	records  []VertexRecord
 	computed []VertexID
 	crash    *CrashError
+	// combIdx maps a destination vertex to its pre-combined message's
+	// index inside outbox[partition(dst)] (sender-side combining).
+	combIdx map[VertexID]int32
+	// sent counts raw messages emitted by the partition's vertices this
+	// superstep (before any combining); combinedSender counts those the
+	// sender-side combiner merged away.
+	sent           int64
+	combinedSender int64
+}
+
+// reset prepares the scratch for a new superstep (or a supervised retry),
+// keeping every backing array for reuse.
+func (r *partResult) reset(nParts int, combining bool) {
+	if r.outbox == nil {
+		r.outbox = make([][]outMsg, nParts)
+	}
+	for i := range r.outbox {
+		r.outbox[i] = r.outbox[i][:0]
+	}
+	r.records = r.records[:0]
+	r.computed = r.computed[:0]
+	r.crash = nil
+	r.sent, r.combinedSender = 0, 0
+	if combining {
+		if r.combIdx == nil {
+			r.combIdx = make(map[VertexID]int32)
+		} else {
+			clear(r.combIdx)
+		}
+	}
+}
+
+// sequentialDeliver is the seed barrier: one loop over every outbox in
+// ascending source-partition order, building freshly allocated inbox maps.
+// With a combiner set it folds the sender-pre-combined partial values — the
+// same association tree as the sharded barrier, so the two are
+// bit-identical. Kept as the reference leg for differential tests and
+// BenchmarkBarrier.
+func (e *Engine) sequentialDeliver(combiner func(a, b value.Value) value.Value, results []partResult) (delivered, combined int64) {
+	for p := range e.inboxes {
+		e.inboxes[p] = make(map[VertexID][]IncomingMessage)
+	}
+	for ri := range results {
+		r := &results[ri]
+		for dp, msgs := range r.outbox {
+			for _, om := range msgs {
+				if combiner != nil {
+					if ex := e.inboxes[dp][om.dst]; len(ex) > 0 {
+						ex[0].Val = combiner(ex[0].Val, om.val)
+						combined++
+						continue
+					}
+				}
+				e.inboxes[dp][om.dst] = append(e.inboxes[dp][om.dst], IncomingMessage{Src: om.src, Val: om.val})
+				delivered++
+			}
+		}
+	}
+	return delivered, combined
+}
+
+// shardedDeliver is the parallel barrier: destination partition p's inbox is
+// built by exactly one goroutine, which drains outbox[p] of every source
+// partition in ascending source order — so for any destination vertex the
+// merge order (and therefore every combined value, bit for bit) matches the
+// sequential path. Inbox maps and message slices are recycled from the
+// previous superstep instead of reallocated.
+//
+// Combining composes across the two stages: within a partition the sender
+// merged its own messages left-to-right in emission order; here the
+// per-partition partial values meet and merge in ascending partition order.
+// sequentialDeliver folds the same pre-combined outboxes in the same order,
+// so the two barriers share one association tree and stay bit-identical
+// even for non-associative float combiners.
+func (e *Engine) shardedDeliver(combiner func(a, b value.Value) value.Value, results []partResult) (delivered, combined, maxShard int64) {
+	shardDelivered := make([]int64, e.nParts)
+	shardCombined := make([]int64, e.nParts)
+	var wg sync.WaitGroup
+	for dp := 0; dp < e.nParts; dp++ {
+		wg.Add(1)
+		go func(dp int) {
+			defer wg.Done()
+			// Recycle last superstep's inbox: its message slices were fully
+			// consumed by the compute phase (observers copied what they
+			// keep), so both the map and the slices return to the pool.
+			old := e.inboxes[dp]
+			free := e.msgFree[dp]
+			for _, s := range old {
+				if cap(s) > 0 {
+					free = append(free, s[:0])
+				}
+			}
+			clear(old)
+			next := e.spareInboxes[dp]
+			if next == nil {
+				next = make(map[VertexID][]IncomingMessage)
+			}
+			var nDelivered, nCombined int64
+			for sp := range results {
+				for _, om := range results[sp].outbox[dp] {
+					if combiner != nil {
+						if ex := next[om.dst]; len(ex) > 0 {
+							ex[0].Val = combiner(ex[0].Val, om.val)
+							nCombined++
+							continue
+						}
+					}
+					s := next[om.dst]
+					if s == nil && len(free) > 0 {
+						s = free[len(free)-1]
+						free = free[:len(free)-1]
+					}
+					next[om.dst] = append(s, IncomingMessage{Src: om.src, Val: om.val})
+					nDelivered++
+				}
+			}
+			e.inboxes[dp] = next
+			e.spareInboxes[dp] = old
+			e.msgFree[dp] = free
+			shardDelivered[dp] = nDelivered
+			shardCombined[dp] = nCombined
+		}(dp)
+	}
+	wg.Wait()
+	for dp := 0; dp < e.nParts; dp++ {
+		delivered += shardDelivered[dp]
+		combined += shardCombined[dp]
+		if shardDelivered[dp] > maxShard {
+			maxShard = shardDelivered[dp]
+		}
+	}
+	return delivered, combined, maxShard
+}
+
+// mergeRecords builds the superstep's observer view in ascending vertex
+// order. Each partition produced its records in ascending order already
+// (activeIDs sorts), so a k-way merge replaces the seed's global
+// sort.Slice; the merged buffer is reused across supersteps (the Observer
+// contract already says records are only valid during the call). Under
+// SequentialBarrier the seed's copy-and-sort is kept verbatim.
+func (e *Engine) mergeRecords(results []partResult) []VertexRecord {
+	if e.cfg.SequentialBarrier {
+		var recs []VertexRecord
+		for ri := range results {
+			recs = append(recs, results[ri].records...)
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+		return recs
+	}
+	recs := e.recBuf[:0]
+	heads := e.mergeHeads
+	for p := range heads {
+		heads[p] = 0
+	}
+	for {
+		best := -1
+		for p := range results {
+			if heads[p] >= len(results[p].records) {
+				continue
+			}
+			if best < 0 || results[p].records[heads[p]].ID < results[best].records[heads[best]].ID {
+				best = p
+			}
+		}
+		if best < 0 {
+			break
+		}
+		recs = append(recs, results[best].records[heads[best]])
+		heads[best]++
+	}
+	e.recBuf = recs
+	return recs
 }
 
 // activeIDs returns partition p's active vertices for superstep ss in
@@ -620,8 +833,9 @@ func (e *Engine) activeIDs(p, ss int, forced []VertexID) []VertexID {
 // on it, and between vertices an expired per-partition deadline (but not
 // parent cancellation, which the superstep-start check handles so the
 // barrier state stays consistent) aborts the partition early.
-func (e *Engine) runPartition(actx context.Context, p, ss int, observing bool, ids []VertexID) partResult {
-	res := partResult{outbox: make(map[int][]outMsg)}
+func (e *Engine) runPartition(actx context.Context, p, ss int, observing bool, ids []VertexID, res *partResult) {
+	comb := e.sendComb
+	res.reset(e.nParts, comb != nil)
 	ctx := &Context{engine: e, superstep: ss, partition: p}
 
 	compute := func(v VertexID, msgs []IncomingMessage) bool {
@@ -639,8 +853,23 @@ func (e *Engine) runPartition(actx context.Context, p, ss int, observing bool, i
 			return false
 		}
 		// Flush this vertex's outgoing messages into the partition outbox.
+		// ctx.sent always holds the raw sends (capture reads them from the
+		// VertexRecord below); when a sender-side combiner is active the
+		// outbox keeps only one pre-combined message per destination vertex,
+		// merged left-to-right in emission order — the same association
+		// order the sequential barrier would use for this partition.
+		res.sent += int64(len(ctx.sent))
 		for _, m := range ctx.sent {
 			dp := e.partition(m.Dst)
+			if comb != nil {
+				if i, ok := res.combIdx[m.Dst]; ok {
+					om := &res.outbox[dp][i]
+					om.val = comb(om.val, m.Val)
+					res.combinedSender++
+					continue
+				}
+				res.combIdx[m.Dst] = int32(len(res.outbox[dp]))
+			}
 			res.outbox[dp] = append(res.outbox[dp], outMsg{src: v, dst: m.Dst, val: m.Val})
 		}
 		res.computed = append(res.computed, v)
@@ -670,11 +899,10 @@ func (e *Engine) runPartition(actx context.Context, p, ss int, observing bool, i
 		if actx.Err() != nil && e.runCtx.Err() == nil {
 			res.crash = &CrashError{Vertex: v, Superstep: ss,
 				Err: fmt.Errorf("partition %d attempt canceled: %w", p, actx.Err())}
-			return res
+			return
 		}
 		if !compute(v, inbox[v]) {
-			return res
+			return
 		}
 	}
-	return res
 }

@@ -12,9 +12,11 @@
 //
 // Concurrency model: counter/gauge/histogram mutation is atomic (safe from
 // any goroutine, including concurrent /metrics scrapes mid-run). The
-// superstep profile under construction is only mutated by the engine's run
-// goroutine — observers run sequentially at the barrier — and becomes
-// visible to readers when EndSuperstep appends it under the profile lock.
+// superstep profile under construction is mutated under the profile lock
+// (pmu): the engine's run goroutine writes most fields at the barrier, but
+// the async spill writer attributes spill bytes to a profile after the
+// fact, and /supersteps readers snapshot mid-run, so every profile mutator
+// and reader takes pmu.
 package obs
 
 import (

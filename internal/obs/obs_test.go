@@ -73,7 +73,7 @@ func TestNilSafety(t *testing.T) {
 	m.AddCaptureTuples("value", 5)
 	m.AddCaptureBytes(10)
 	m.AddPiggyback("q", 2)
-	m.AddSpill(1, time.Millisecond)
+	m.AddSpill(0, 1, time.Millisecond)
 	m.AddCheckpoint(1, time.Millisecond)
 	m.AddRetry("spill")
 	m.EndSuperstep()
@@ -106,7 +106,7 @@ func TestNilMetricsZeroAlloc(t *testing.T) {
 		m.AddCaptureTuples("value", 7)
 		m.AddCaptureBytes(128)
 		m.AddPiggyback("q4", 3)
-		m.AddSpill(64, time.Millisecond)
+		m.AddSpill(3, 64, time.Millisecond)
 		m.SuperstepTimings(time.Millisecond, time.Microsecond, time.Microsecond)
 		m.EndSuperstep()
 		m.Tracef(Warn, "engine", 3, "no formatting happens when disabled")

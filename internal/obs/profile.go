@@ -34,6 +34,11 @@ const (
 	MetricCaptureShed      = "ariadne_capture_shed_partitions"         // gauge: partitions currently degraded
 	MetricCaptureGaps      = "ariadne_capture_gap_supersteps_total"    // counter: (partition, superstep) capture gaps
 	MetricFaultsInjected   = "ariadne_faults_injected_total"           // counter
+	// Parallel-barrier + async-spill series (PR 4).
+	MetricCombinedSender      = "ariadne_messages_combined_sender_total" // counter: merged inside the sending partition
+	MetricDeliveryMaxShard    = "ariadne_delivery_max_shard_messages"    // gauge: busiest delivery shard this superstep
+	MetricSpillQueueDepth     = "ariadne_spill_queue_depth"              // gauge: async spill writes in flight
+	MetricSpillQueueHighWater = "ariadne_spill_queue_high_water"         // gauge: max in-flight spill writes observed
 )
 
 // SuperstepProfile is the per-superstep metrics record — one entry per
@@ -48,6 +53,13 @@ type SuperstepProfile struct {
 	MessagesDelivered int64 `json:"messages_delivered"`
 	// MessagesCombined counts messages merged away by the combiner.
 	MessagesCombined int64 `json:"messages_combined"`
+	// MessagesCombinedSender is the subset of MessagesCombined merged
+	// inside the sending partition before the barrier (zero when the
+	// sequential reference barrier is selected).
+	MessagesCombinedSender int64 `json:"messages_combined_sender,omitempty"`
+	// DeliveryMaxShard is the message count of the busiest delivery shard
+	// this superstep — maxShard*nParts/delivered gauges shard imbalance.
+	DeliveryMaxShard int64 `json:"delivery_max_shard,omitempty"`
 	ComputeNS        int64 `json:"compute_ns"`
 	BarrierNS        int64 `json:"barrier_ns"`
 	ObserveNS        int64 `json:"observe_ns"`
@@ -77,13 +89,17 @@ type SuperstepProfile struct {
 }
 
 // BeginSuperstep opens the profile for superstep ss. Called by the engine
-// run goroutine only. Nil-safe.
+// run goroutine; the profile under construction is pmu-guarded because the
+// async spill writer attributes its I/O (AddSpill/AddRetry) to whatever
+// superstep is current when the write completes. Nil-safe.
 func (m *Metrics) BeginSuperstep(ss, active int) {
 	if m == nil {
 		return
 	}
+	m.pmu.Lock()
 	m.cur = SuperstepProfile{Superstep: ss, ActiveVertices: active}
 	m.curOpen = true
+	m.pmu.Unlock()
 	m.Gauge(MetricSuperstep).Set(int64(ss))
 	m.Gauge(MetricActiveVertices).Set(int64(active))
 }
@@ -93,12 +109,30 @@ func (m *Metrics) SuperstepMessages(sent, delivered, combined int64) {
 	if m == nil {
 		return
 	}
+	m.pmu.Lock()
 	m.cur.MessagesSent = sent
 	m.cur.MessagesDelivered = delivered
 	m.cur.MessagesCombined = combined
+	m.pmu.Unlock()
 	m.Counter(MetricMessagesSent).Add(sent)
 	m.Counter(MetricMessagesDelivered).Add(delivered)
 	m.Counter(MetricMessagesCombined).Add(combined)
+}
+
+// SuperstepDelivery records the parallel barrier's shape: how many
+// messages the sender-side combiner merged away before the barrier, and
+// the busiest delivery shard's message count (imbalance diagnostics).
+// Nil-safe.
+func (m *Metrics) SuperstepDelivery(senderHits, maxShard int64, nParts int) {
+	if m == nil {
+		return
+	}
+	m.pmu.Lock()
+	m.cur.MessagesCombinedSender = senderHits
+	m.cur.DeliveryMaxShard = maxShard
+	m.pmu.Unlock()
+	m.Counter(MetricCombinedSender).Add(senderHits)
+	m.Gauge(MetricDeliveryMaxShard).Set(maxShard)
 }
 
 // SuperstepTimings records the phase wall times of the current superstep.
@@ -107,9 +141,11 @@ func (m *Metrics) SuperstepTimings(compute, barrier, observe time.Duration) {
 	if m == nil {
 		return
 	}
+	m.pmu.Lock()
 	m.cur.ComputeNS = int64(compute)
 	m.cur.BarrierNS = int64(barrier)
 	m.cur.ObserveNS = int64(observe)
+	m.pmu.Unlock()
 	m.Histogram(MetricComputeSeconds).Observe(compute)
 	m.Histogram(MetricBarrierSeconds).Observe(barrier)
 	m.Histogram(MetricObserveSeconds).Observe(observe)
@@ -121,10 +157,12 @@ func (m *Metrics) AddCaptureTuples(table string, n int64) {
 	if m == nil || n == 0 {
 		return
 	}
+	m.pmu.Lock()
 	if m.cur.CaptureTuples == nil {
 		m.cur.CaptureTuples = map[string]int64{}
 	}
 	m.cur.CaptureTuples[table] += n
+	m.pmu.Unlock()
 	m.Counter(L(MetricCaptureTuples, "table", table)).Add(n)
 }
 
@@ -134,7 +172,9 @@ func (m *Metrics) AddCaptureBytes(n int64) {
 	if m == nil || n == 0 {
 		return
 	}
+	m.pmu.Lock()
 	m.cur.CaptureBytes += n
+	m.pmu.Unlock()
 	m.Counter(MetricCaptureBytes).Add(n)
 }
 
@@ -144,20 +184,39 @@ func (m *Metrics) AddPiggyback(query string, n int64) {
 	if m == nil || n == 0 {
 		return
 	}
+	m.pmu.Lock()
 	if m.cur.PiggybackTuples == nil {
 		m.cur.PiggybackTuples = map[string]int64{}
 	}
 	m.cur.PiggybackTuples[query] += n
+	m.pmu.Unlock()
 	m.Counter(L(MetricPiggybackTuples, "query", query)).Add(n)
 }
 
-// AddSpill records one provenance layer-file write. Nil-safe.
-func (m *Metrics) AddSpill(bytes int64, d time.Duration) {
+// AddSpill records one provenance layer-file write, attributed to the
+// profile of superstep ss — the superstep whose append *triggered* the
+// spill, not the one current when the asynchronous write happens to
+// complete. Deterministic attribution keeps per-superstep profiles
+// comparable across a run and its recovered re-execution. Safe to call
+// from the async spill writer goroutine. Nil-safe.
+func (m *Metrics) AddSpill(ss int, bytes int64, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.cur.SpillBytes += bytes
-	m.cur.SpillNS += int64(d)
+	m.pmu.Lock()
+	if m.curOpen && m.cur.Superstep == ss {
+		m.cur.SpillBytes += bytes
+		m.cur.SpillNS += int64(d)
+	} else {
+		for i := len(m.profiles) - 1; i >= 0; i-- {
+			if m.profiles[i].Superstep == ss {
+				m.profiles[i].SpillBytes += bytes
+				m.profiles[i].SpillNS += int64(d)
+				break
+			}
+		}
+	}
+	m.pmu.Unlock()
 	m.Counter(MetricSpillBytes).Add(bytes)
 	m.Histogram(MetricSpillSeconds).Observe(d)
 }
@@ -170,75 +229,92 @@ func (m *Metrics) AddCheckpoint(bytes int64, d time.Duration) {
 	if m == nil {
 		return
 	}
+	m.pmu.Lock()
 	if m.curOpen {
 		m.cur.CheckpointBytes += bytes
 		m.cur.CheckpointNS += int64(d)
-	} else {
-		m.pmu.Lock()
-		if n := len(m.profiles); n > 0 {
-			m.profiles[n-1].CheckpointBytes += bytes
-			m.profiles[n-1].CheckpointNS += int64(d)
-		}
-		m.pmu.Unlock()
+	} else if n := len(m.profiles); n > 0 {
+		m.profiles[n-1].CheckpointBytes += bytes
+		m.profiles[n-1].CheckpointNS += int64(d)
 	}
+	m.pmu.Unlock()
 	m.Counter(MetricCheckpointBytes).Add(bytes)
 	m.Histogram(MetricCheckpointSeconds).Observe(d)
 }
 
 // AddRetry counts a transient-I/O retry at the named site (spill,
-// checkpoint). Nil-safe.
+// checkpoint). Safe from the async spill writer goroutine. Nil-safe.
 func (m *Metrics) AddRetry(site string) {
 	if m == nil {
 		return
 	}
+	m.pmu.Lock()
 	if m.curOpen {
 		if m.cur.Retries == nil {
 			m.cur.Retries = map[string]int64{}
 		}
 		m.cur.Retries[site]++
-	} else {
-		m.pmu.Lock()
-		if n := len(m.profiles); n > 0 {
-			if m.profiles[n-1].Retries == nil {
-				m.profiles[n-1].Retries = map[string]int64{}
-			}
-			m.profiles[n-1].Retries[site]++
+	} else if n := len(m.profiles); n > 0 {
+		// Copy-on-write: the closed profile's map may already be shared
+		// with Profiles() callers, so never mutate it in place.
+		next := make(map[string]int64, len(m.profiles[n-1].Retries)+1)
+		for k, v := range m.profiles[n-1].Retries {
+			next[k] = v
 		}
-		m.pmu.Unlock()
+		next[site]++
+		m.profiles[n-1].Retries = next
 	}
+	m.pmu.Unlock()
 	m.Counter(L(MetricRetries, "site", site)).Add(1)
 }
 
 // SuperstepSupervision records the superstep's partition-supervision
 // summary: re-executions, deadline-cancelled attempts, and flagged
 // stragglers. Called by the engine run goroutine at the barrier (the
-// supervisor tallies from worker goroutines atomically and flushes here so
-// the profile under construction is never touched concurrently). Nil-safe.
+// supervisor tallies from worker goroutines atomically and flushes here).
+// Nil-safe.
 func (m *Metrics) SuperstepSupervision(retries, deadlineHits int64, stragglers []int) {
 	if m == nil {
 		return
 	}
+	m.pmu.Lock()
 	m.cur.PartitionRetries = retries
 	m.cur.DeadlineHits = deadlineHits
 	if len(stragglers) > 0 {
 		m.cur.Stragglers = append([]int(nil), stragglers...)
 	}
+	m.pmu.Unlock()
 	m.Counter(MetricPartitionRetries).Add(retries)
 	m.Counter(MetricDeadlineHits).Add(deadlineHits)
 	m.Counter(MetricStragglers).Add(int64(len(stragglers)))
 }
 
-// EndSuperstep closes the current profile and publishes it. Nil-safe.
-func (m *Metrics) EndSuperstep() {
-	if m == nil || !m.curOpen {
+// SpillQueue publishes the async spill pipeline's in-flight depth and its
+// observed high-water mark. Called from the store on enqueue/completion.
+// Nil-safe.
+func (m *Metrics) SpillQueue(depth, highWater int64) {
+	if m == nil {
 		return
 	}
-	m.curOpen = false
-	m.Counter(MetricSupersteps).Add(1)
+	m.Gauge(MetricSpillQueueDepth).Set(depth)
+	m.Gauge(MetricSpillQueueHighWater).Set(highWater)
+}
+
+// EndSuperstep closes the current profile and publishes it. Nil-safe.
+func (m *Metrics) EndSuperstep() {
+	if m == nil {
+		return
+	}
 	m.pmu.Lock()
-	m.profiles = append(m.profiles, m.cur)
+	if m.curOpen {
+		m.curOpen = false
+		m.profiles = append(m.profiles, m.cur)
+		m.cur = SuperstepProfile{}
+		m.pmu.Unlock()
+		m.Counter(MetricSupersteps).Add(1)
+		return
+	}
 	m.pmu.Unlock()
-	m.cur = SuperstepProfile{}
 }
 
 // AbortSuperstep discards the profile under construction (the superstep
@@ -248,8 +324,10 @@ func (m *Metrics) AbortSuperstep() {
 	if m == nil {
 		return
 	}
+	m.pmu.Lock()
 	m.curOpen = false
 	m.cur = SuperstepProfile{}
+	m.pmu.Unlock()
 }
 
 // Profiles returns a copy of the completed per-superstep profiles.
@@ -301,6 +379,8 @@ func (m *Metrics) RestoreProfiles(ps []SuperstepProfile) {
 		m.Counter(MetricPartitionRetries).Add(p.PartitionRetries)
 		m.Counter(MetricDeadlineHits).Add(p.DeadlineHits)
 		m.Counter(MetricStragglers).Add(int64(len(p.Stragglers)))
+		m.Counter(MetricCombinedSender).Add(p.MessagesCombinedSender)
+		m.Gauge(MetricDeliveryMaxShard).Set(p.DeliveryMaxShard)
 		m.Histogram(MetricComputeSeconds).Observe(time.Duration(p.ComputeNS))
 		m.Histogram(MetricBarrierSeconds).Observe(time.Duration(p.BarrierNS))
 		m.Histogram(MetricObserveSeconds).Observe(time.Duration(p.ObserveNS))
@@ -344,6 +424,9 @@ func EncodeProfiles(w *value.Blob, ps []SuperstepProfile) {
 		for _, s := range p.Stragglers {
 			w.Uvarint(uint64(s))
 		}
+		// Checkpoint v4: parallel-barrier columns.
+		w.Uvarint(uint64(p.MessagesCombinedSender))
+		w.Uvarint(uint64(p.DeliveryMaxShard))
 	}
 }
 
@@ -375,6 +458,8 @@ func DecodeProfiles(r *value.BlobReader) ([]SuperstepProfile, error) {
 		for j := 0; j < nStrag && r.Err() == nil; j++ {
 			p.Stragglers = append(p.Stragglers, int(r.Uvarint()))
 		}
+		p.MessagesCombinedSender = int64(r.Uvarint())
+		p.DeliveryMaxShard = int64(r.Uvarint())
 		ps = append(ps, p)
 	}
 	if err := r.Err(); err != nil {

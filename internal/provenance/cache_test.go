@@ -1,0 +1,87 @@
+package provenance
+
+import "testing"
+
+func TestReloadCacheHitsAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(StoreConfig{SpillAll: true, SpillDir: dir, ReloadCache: 2})
+	defer s.Close()
+	for ss := 0; ss < 4; ss++ {
+		if err := s.AppendLayer(sampleLayer(ss, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A repeated read of a spilled layer is a cache hit: same object, no
+	// second decode.
+	l0a, err := s.Layer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0b, err := s.Layer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0a != l0b {
+		t.Error("second read of a spilled layer should come from the cache")
+	}
+
+	// Capacity 2: touching layers 1 and 2 evicts layer 0 (LRU).
+	if _, err := s.Layer(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Layer(2); err != nil {
+		t.Fatal(err)
+	}
+	l0c, err := s.Layer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0c == l0a {
+		t.Error("layer 0 should have been evicted by two newer reloads")
+	}
+
+	// Truncation invalidates the cache.
+	l2a, err := s.Layer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TruncateLayers(3); err != nil {
+		t.Fatal(err)
+	}
+	l2b, err := s.Layer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2a == l2b {
+		t.Error("truncate must invalidate the reload cache")
+	}
+}
+
+func TestReloadCacheDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(StoreConfig{SpillAll: true, SpillDir: dir, ReloadCache: -1})
+	defer s.Close()
+	for ss := 0; ss < 2; ss++ {
+		if err := s.AppendLayer(sampleLayer(ss, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Layer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Layer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("ReloadCache < 0 must disable caching")
+	}
+}

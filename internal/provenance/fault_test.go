@@ -49,21 +49,56 @@ func TestSpillWriteRetriesTransientErrors(t *testing.T) {
 }
 
 func TestSpillWriteExhaustedRetriesLeaveNoPartialFile(t *testing.T) {
-	dir := t.TempDir()
-	s := NewStore(StoreConfig{
-		SpillAll: true,
-		SpillDir: dir,
-		Fault:    fault.NewInjector(fault.IOErrors(fault.SiteSpillWrite, 100)),
+	// Async pipeline (the default): the enqueue succeeds, the exhausted
+	// write surfaces at Sync (or the next AppendLayer), and the failed
+	// layer reverts to resident so its provenance is not lost.
+	t.Run("async", func(t *testing.T) {
+		dir := t.TempDir()
+		s := NewStore(StoreConfig{
+			SpillAll: true,
+			SpillDir: dir,
+			Fault:    fault.NewInjector(fault.IOErrors(fault.SiteSpillWrite, 100)),
+		})
+		defer s.Close()
+		if err := s.AppendLayer(sampleLayer(0, 5)); err != nil && !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("append = %v, want nil or deferred ErrInjected", err)
+		}
+		if err := s.Sync(); err != nil && !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("Sync = %v, want ErrInjected (or already surfaced at append)", err)
+		}
+		// The failed layer reverted to resident: still readable, counted as
+		// unspilled.
+		if s.SpilledLayers() != 0 {
+			t.Errorf("failed spill still counted: %d spilled layers", s.SpilledLayers())
+		}
+		l, err := s.Layer(0)
+		if err != nil || len(l.Records) != 5 {
+			t.Errorf("failed-spill layer unreadable: %v", err)
+		}
+		// Neither a partial layer file nor a temp file may exist.
+		if names := listDir(t, dir); len(names) != 0 {
+			t.Errorf("failed spill left files behind: %v", names)
+		}
 	})
-	defer s.Close()
-	err := s.AppendLayer(sampleLayer(0, 5))
-	if !errors.Is(err, fault.ErrInjected) {
-		t.Fatalf("exhausted retries = %v, want ErrInjected", err)
-	}
-	// Neither a partial layer file nor a temp file may exist.
-	if names := listDir(t, dir); len(names) != 0 {
-		t.Errorf("failed spill left files behind: %v", names)
-	}
+	// SyncSpill: the pre-pipeline contract — the error surfaces from
+	// AppendLayer itself.
+	t.Run("sync", func(t *testing.T) {
+		dir := t.TempDir()
+		s := NewStore(StoreConfig{
+			SpillAll:  true,
+			SpillDir:  dir,
+			SyncSpill: true,
+			Fault:     fault.NewInjector(fault.IOErrors(fault.SiteSpillWrite, 100)),
+		})
+		defer s.Close()
+		err := s.AppendLayer(sampleLayer(0, 5))
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("exhausted retries = %v, want ErrInjected", err)
+		}
+		if names := listDir(t, dir); len(names) != 0 {
+			t.Errorf("failed spill left files behind: %v", names)
+		}
+	})
 }
 
 // TestLayerTruncationNeverPanics reads a layer file truncated at every byte
@@ -149,6 +184,11 @@ func TestReattachSpilledLayers(t *testing.T) {
 		}
 	}
 	wantTuples := s.TotalTuples()
+	// The cross-process handoff point (a checkpoint) syncs the pipeline, so
+	// every layer file is on disk before another process adopts them.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
 
 	// A fresh store (a new process) adopts the on-disk layers.
 	s2 := NewStore(StoreConfig{SpillAll: true, SpillDir: dir})
@@ -174,5 +214,10 @@ func TestReattachSpilledLayers(t *testing.T) {
 	}
 	if s2.TotalTuples() != wantTuples {
 		t.Errorf("tuples after re-append = %d, want %d", s2.TotalTuples(), wantTuples)
+	}
+	// Drain the async writer before t.TempDir cleanup, or the re-appended
+	// layer's spill file can appear mid-RemoveAll.
+	if err := s2.Sync(); err != nil {
+		t.Fatal(err)
 	}
 }

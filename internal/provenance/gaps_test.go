@@ -1,0 +1,69 @@
+package provenance
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddGapMergesBothDirections(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	defer s.Close()
+
+	// Backward extension: a note for ss-1 must extend the existing range
+	// downward, not open a duplicate row for the same partition.
+	s.AddGap(5, 1, "deadline")
+	s.AddGap(4, 1, "deadline")
+	want := []CaptureGap{{Partition: 1, From: 4, To: 5, Reason: "deadline"}}
+	if got := s.Gaps(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("backward merge: got %+v, want %+v", got, want)
+	}
+
+	// Forward extension still works, and repeats are idempotent.
+	s.AddGap(6, 1, "deadline")
+	s.AddGap(6, 1, "deadline")
+	s.AddGap(5, 1, "deadline")
+	want[0].To = 6
+	if got := s.Gaps(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("forward merge: got %+v, want %+v", got, want)
+	}
+}
+
+func TestAddGapBridgesOutOfOrderRanges(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	defer s.Close()
+
+	// Two separate ranges for one partition, then the bridging superstep
+	// arrives last: 3-4 and 6-7 must collapse into a single 3-7 row.
+	s.AddGap(3, 2, "retry")
+	s.AddGap(4, 2, "retry")
+	s.AddGap(7, 2, "retry")
+	s.AddGap(6, 2, "retry")
+	if got := len(s.Gaps()); got != 2 {
+		t.Fatalf("before bridge: %d gaps, want 2", got)
+	}
+	s.AddGap(5, 2, "retry")
+	want := []CaptureGap{{Partition: 2, From: 3, To: 7, Reason: "retry"}}
+	if got := s.Gaps(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("bridged: got %+v, want %+v", got, want)
+	}
+}
+
+func TestAddGapKeepsPartitionsSeparate(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	defer s.Close()
+
+	// Adjacent supersteps on different partitions (including the whole-layer
+	// partition -1) never merge with each other.
+	s.AddGap(2, 0, "a")
+	s.AddGap(3, 1, "b")
+	s.AddGap(4, -1, "shed")
+	got := s.Gaps()
+	want := []CaptureGap{
+		{Partition: -1, From: 4, To: 4, Reason: "shed"},
+		{Partition: 0, From: 2, To: 2, Reason: "a"},
+		{Partition: 1, From: 3, To: 3, Reason: "b"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}

@@ -118,7 +118,10 @@ func TestStoreSpillsAndReloads(t *testing.T) {
 		}
 		assertLayersEqual(t, want[ss], got)
 	}
-	// Spill files exist under dir.
+	// Spill files exist under dir once the pipeline drains.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	files, _ := filepath.Glob(filepath.Join(dir, "layer-*.prov"))
 	if len(files) != s.SpilledLayers() {
 		t.Errorf("spill files %d, want %d", len(files), s.SpilledLayers())

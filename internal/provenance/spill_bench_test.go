@@ -1,0 +1,51 @@
+package provenance
+
+import (
+	"testing"
+)
+
+// BenchmarkSpillPipeline compares the synchronous spill path (layer encode +
+// fsync-free write inline in AppendLayer) against the async writer-goroutine
+// pipeline. Every iteration appends layersPerRun layers under SpillAll, so
+// each one spills; the async leg overlaps layer encoding with the next
+// superstep's append and should win on any machine with spare cores. The
+// async/sync time ratio is the regression metric archived by
+// `make bench-micro`.
+func BenchmarkSpillPipeline(b *testing.B) {
+	const (
+		layersPerRun = 16
+		recsPerLayer = 400
+	)
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"sync", true}, {"async", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			dir := b.TempDir()
+			layers := make([]*Layer, layersPerRun)
+			for ss := range layers {
+				layers[ss] = sampleLayer(ss, recsPerLayer)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := NewStore(StoreConfig{
+					SpillAll:  true,
+					SpillDir:  dir,
+					SyncSpill: mode.sync,
+				})
+				for _, l := range layers {
+					if err := s.AppendLayer(l); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -41,7 +41,27 @@ type StoreConfig struct {
 	// back to retry under (injected or real) I/O faults. nil disables
 	// instrumentation.
 	Metrics *obs.Metrics
+	// SyncSpill disables the asynchronous spill pipeline: layer files are
+	// written inline and write errors surface immediately from AppendLayer
+	// (the pre-pipeline behavior; also what the fault-injection tests that
+	// assert on immediate errors select).
+	SyncSpill bool
+	// SpillQueue bounds the async spill pipeline: at most this many layer
+	// writes may be queued or in flight before AppendLayer blocks
+	// (backpressure). 0 means the default of 2 — double-buffering: one
+	// layer being written while the next is queued.
+	SpillQueue int
+	// ReloadCache bounds the LRU cache of spilled layers reloaded by
+	// Layer(): layered backward evaluation revisits the same layer once per
+	// rule body, so rereading the file each visit is pure waste. 0 means
+	// the default of 3 layers; negative disables caching.
+	ReloadCache int
 }
+
+const (
+	defaultSpillQueue  = 2
+	defaultReloadCache = 3
+)
 
 // CaptureGap records a contiguous superstep range whose provenance was
 // shed under degraded-mode capture: the analytic kept running (Theorem 5.4
@@ -58,6 +78,12 @@ type CaptureGap struct {
 
 // Store holds the captured provenance graph as a sequence of layers, with
 // size accounting and optional spill-to-disk.
+//
+// Concurrency: the Store API is single-goroutine (the engine's observe
+// phase). The async spill pipeline adds exactly one background writer
+// goroutine, which only ever touches the layers handed to it via the jobs
+// channel and the (internally synchronized) metrics registry; all Store
+// state, including the pending set, stays owned by the caller goroutine.
 type Store struct {
 	cfg StoreConfig
 
@@ -71,11 +97,162 @@ type Store struct {
 	vertices    map[VertexID]struct{} // distinct captured vertices
 
 	gaps []CaptureGap // shed ranges, ordered by (Partition, From)
+
+	// Async spill pipeline state. pending holds layers whose file write is
+	// queued or in flight — logically spilled (accounting already moved)
+	// but still readable from memory. asyncErr is the sticky first write
+	// failure, surfaced at the next AppendLayer or Sync and cleared once
+	// reported; the failed layer reverts to resident before it surfaces.
+	sp          *spillPipeline
+	pending     map[int]*Layer
+	outstanding int
+	highWater   int64
+	asyncErr    error
+
+	// LRU reload cache for spilled layers (satellite: bounded, default 3).
+	cache    map[int]*Layer
+	cacheLRU []int // least-recently-used first
 }
 
 // NewStore creates an empty store.
 func NewStore(cfg StoreConfig) *Store {
 	return &Store{cfg: cfg, vertices: make(map[VertexID]struct{})}
+}
+
+// spillPipeline is the bounded background writer: jobs carries layers to
+// persist (capacity = SpillQueue, giving double-buffering by default), done
+// carries completions back to the store goroutine.
+type spillPipeline struct {
+	jobs chan spillJob
+	done chan spillDone
+}
+
+type spillJob struct {
+	idx  int
+	path string
+	l    *Layer
+	enc  int64
+	// attrSS is the superstep whose append triggered this spill — the
+	// profile the write's bytes/duration are attributed to, regardless of
+	// when the background write completes.
+	attrSS int
+}
+
+type spillDone struct {
+	idx int
+	err error
+}
+
+// pipeline lazily starts the background writer the first time an async
+// spill is needed, so stores that never spill never spawn a goroutine.
+func (s *Store) pipeline() *spillPipeline {
+	if s.sp == nil {
+		q := s.cfg.SpillQueue
+		if q <= 0 {
+			q = defaultSpillQueue
+		}
+		s.sp = &spillPipeline{
+			jobs: make(chan spillJob, q),
+			done: make(chan spillDone, q+1),
+		}
+		s.pending = make(map[int]*Layer)
+		go func(sp *spillPipeline) {
+			for j := range sp.jobs {
+				err := s.spillLayer(j.path, j.l, j.enc, j.attrSS)
+				sp.done <- spillDone{idx: j.idx, err: err}
+			}
+			close(sp.done)
+		}(s.sp)
+	}
+	return s.sp
+}
+
+// enqueueSpill moves layer i onto the spill pipeline (or writes it inline
+// under SyncSpill). Accounting happens at enqueue — the layer is logically
+// spilled from this point, though Layer(i) still serves it from the pending
+// set until the write completes. A full queue blocks, draining completions
+// while waiting (backpressure instead of unbounded buffering).
+func (s *Store) enqueueSpill(i int, l *Layer) error {
+	path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
+	enc := l.EncodedSize()
+	attrSS := len(s.layers) - 1 // the superstep being appended
+	if s.cfg.SyncSpill {
+		if err := s.spillLayer(path, l, enc, attrSS); err != nil {
+			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
+		}
+		s.resident -= l.MemSize()
+		s.layers[i] = nil
+		s.spilled[i] = true
+		s.files[i] = path
+		return nil
+	}
+	sp := s.pipeline()
+	s.resident -= l.MemSize()
+	s.layers[i] = nil
+	s.spilled[i] = true
+	s.files[i] = path
+	s.pending[i] = l
+	job := spillJob{idx: i, path: path, l: l, enc: enc, attrSS: attrSS}
+	for {
+		select {
+		case sp.jobs <- job:
+			s.outstanding++
+			if int64(s.outstanding) > s.highWater {
+				s.highWater = int64(s.outstanding)
+			}
+			s.cfg.Metrics.SpillQueue(int64(s.outstanding), s.highWater)
+			return nil
+		case d := <-sp.done:
+			s.complete(d)
+		}
+	}
+}
+
+// complete applies one writer completion: a success finalizes the spill; a
+// failure reverts the layer to resident and latches the first error so the
+// next AppendLayer (or Sync) reports it — the async-spill error contract.
+func (s *Store) complete(d spillDone) {
+	s.outstanding--
+	l := s.pending[d.idx]
+	delete(s.pending, d.idx)
+	if d.err != nil && l != nil {
+		s.layers[d.idx] = l
+		s.spilled[d.idx] = false
+		s.files[d.idx] = ""
+		s.resident += l.MemSize()
+		if s.asyncErr == nil {
+			s.asyncErr = fmt.Errorf("provenance: spilling layer %d: %w", d.idx, d.err)
+		}
+	}
+	s.cfg.Metrics.SpillQueue(int64(s.outstanding), s.highWater)
+}
+
+// drainCompletions consumes any writer completions without blocking.
+func (s *Store) drainCompletions() {
+	if s.sp == nil {
+		return
+	}
+	for {
+		select {
+		case d := <-s.sp.done:
+			s.complete(d)
+		default:
+			return
+		}
+	}
+}
+
+// Sync blocks until every queued layer write has completed and returns (and
+// clears) the first write error, if any. Checkpointing calls this before
+// using NumLayers() as a recovery watermark: a layer counted by the
+// watermark must actually be durable on disk.
+func (s *Store) Sync() error {
+	for s.outstanding > 0 {
+		s.complete(<-s.sp.done)
+	}
+	err := s.asyncErr
+	s.asyncErr = nil
+	return err
 }
 
 // AppendLayer adds the provenance layer for the next superstep. Layers must
@@ -86,6 +263,7 @@ func (s *Store) AppendLayer(l *Layer) error {
 	if l.Superstep != len(s.layers) {
 		return fmt.Errorf("provenance: layer %d appended out of order (have %d layers)", l.Superstep, len(s.layers))
 	}
+	s.drainCompletions()
 	sz := l.MemSize()
 	enc := l.EncodedSize()
 	for i := range l.Records {
@@ -103,18 +281,10 @@ func (s *Store) AppendLayer(l *Layer) error {
 		if s.cfg.SpillDir == "" {
 			return fmt.Errorf("provenance: SpillAll requires a SpillDir")
 		}
-		i := len(s.layers) - 1
-		path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
-		if err := s.spillLayer(path, l, enc); err != nil {
-			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
+		if err := s.enqueueSpill(len(s.layers)-1, l); err != nil {
+			return err
 		}
-		s.resident -= sz
-		s.layers[i] = nil
-		s.spilled[i] = true
-		s.files[i] = path
-		return nil
-	}
-	if s.cfg.MemoryBudget > 0 && s.resident > s.cfg.MemoryBudget {
+	} else if s.cfg.MemoryBudget > 0 && s.resident > s.cfg.MemoryBudget {
 		if s.cfg.SpillDir == "" {
 			return fmt.Errorf("%w: resident %d bytes > budget %d", ErrBudgetExceeded, s.resident, s.cfg.MemoryBudget)
 		}
@@ -122,14 +292,23 @@ func (s *Store) AppendLayer(l *Layer) error {
 			return err
 		}
 	}
+	// Surface a deferred async write failure only after the current layer
+	// is appended: the caller's degraded-capture recovery truncates to the
+	// failing superstep and appends a gap layer, which needs NumLayers to
+	// already cover this superstep.
+	s.drainCompletions()
+	if err := s.asyncErr; err != nil {
+		s.asyncErr = nil
+		return err
+	}
 	return nil
 }
 
 // AddGap records that partition p's provenance was shed at superstep ss
 // (p = -1 for the whole layer), merging into the partition's existing gap
-// when the range is contiguous — so one degraded partition yields one
-// CaptureGap row, not one per superstep. Idempotent for repeated
-// (p, ss) notes.
+// when the range is contiguous in either direction — so one degraded
+// partition yields one CaptureGap row, not one per superstep, even when
+// the notes arrive out of order. Idempotent for repeated (p, ss) notes.
 func (s *Store) AddGap(ss, p int, reason string) {
 	for i := range s.gaps {
 		g := &s.gaps[i]
@@ -141,10 +320,48 @@ func (s *Store) AddGap(ss, p int, reason string) {
 		}
 		if ss == g.To+1 {
 			g.To = ss
+			s.coalesceGaps(p)
+			return
+		}
+		if ss == g.From-1 {
+			g.From = ss
+			s.coalesceGaps(p)
 			return
 		}
 	}
 	s.gaps = append(s.gaps, CaptureGap{Partition: p, From: ss, To: ss, Reason: reason})
+}
+
+// coalesceGaps merges partition p's gaps that became adjacent or
+// overlapping after an extension (an out-of-order note can bridge two
+// previously separate ranges).
+func (s *Store) coalesceGaps(p int) {
+	var mine []CaptureGap
+	rest := s.gaps[:0]
+	for _, g := range s.gaps {
+		if g.Partition == p {
+			mine = append(mine, g)
+		} else {
+			rest = append(rest, g)
+		}
+	}
+	if len(mine) < 2 {
+		s.gaps = append(rest, mine...)
+		return
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].From < mine[j].From })
+	merged := mine[:1]
+	for _, g := range mine[1:] {
+		last := &merged[len(merged)-1]
+		if g.From <= last.To+1 {
+			if g.To > last.To {
+				last.To = g.To
+			}
+			continue
+		}
+		merged = append(merged, g)
+	}
+	s.gaps = append(rest, merged...)
 }
 
 // Gaps returns the recorded capture gaps, ordered by (Partition, From).
@@ -198,21 +415,18 @@ func (s *Store) AppendGapLayer(ss int, reason string) error {
 	return nil
 }
 
-// spillOldest writes resident layers to disk, oldest first, until the
-// budget is met again (the newest layer always stays resident).
+// spillOldest moves resident layers onto the spill pipeline, oldest first,
+// until the budget is met again (the newest layer always stays resident).
+// Enqueue-time accounting means the budget check converges immediately even
+// though the writes land asynchronously.
 func (s *Store) spillOldest() error {
 	for i := 0; i < len(s.layers)-1 && s.resident > s.cfg.MemoryBudget; i++ {
 		if s.spilled[i] || s.layers[i] == nil {
 			continue
 		}
-		path := filepath.Join(s.cfg.SpillDir, layerFileName(i))
-		if err := s.spillLayer(path, s.layers[i], s.layers[i].EncodedSize()); err != nil {
-			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
+		if err := s.enqueueSpill(i, s.layers[i]); err != nil {
+			return err
 		}
-		s.resident -= s.layers[i].MemSize()
-		s.layers[i] = nil
-		s.spilled[i] = true
-		s.files[i] = path
 	}
 	if s.resident > s.cfg.MemoryBudget {
 		return fmt.Errorf("%w: a single layer exceeds the budget", ErrBudgetExceeded)
@@ -221,9 +435,12 @@ func (s *Store) spillOldest() error {
 }
 
 // spillLayer writes one layer file, accounting bytes and duration to the
-// metrics registry (enc is the layer's encoded size, which the caller has
-// already computed for its own bookkeeping).
-func (s *Store) spillLayer(path string, l *Layer, enc int64) error {
+// metrics registry under superstep attrSS (enc is the layer's encoded
+// size, which the caller has already computed for its own bookkeeping).
+// Runs on the caller goroutine under SyncSpill and on the pipeline's
+// writer goroutine otherwise — everything it touches is either job-local
+// or internally synchronized.
+func (s *Store) spillLayer(path string, l *Layer, enc int64, attrSS int) error {
 	m := s.cfg.Metrics
 	var start time.Time
 	if m != nil {
@@ -233,7 +450,7 @@ func (s *Store) spillLayer(path string, l *Layer, enc int64) error {
 		return err
 	}
 	if m != nil {
-		m.AddSpill(enc, time.Since(start))
+		m.AddSpill(attrSS, enc, time.Since(start))
 	}
 	return nil
 }
@@ -241,7 +458,11 @@ func (s *Store) spillLayer(path string, l *Layer, enc int64) error {
 // NumLayers returns the number of captured layers (supersteps).
 func (s *Store) NumLayers() int { return len(s.layers) }
 
-// Layer returns layer i, reading it back from disk if it was spilled.
+// Layer returns layer i. Resident layers come from memory; layers whose
+// spill write is still in flight are served from the pending set (the write
+// need not be waited for); already-spilled layers are read back from disk
+// through a small LRU cache, since layered backward evaluation visits the
+// same layer once per rule body.
 func (s *Store) Layer(i int) (*Layer, error) {
 	if i < 0 || i >= len(s.layers) {
 		return nil, fmt.Errorf("provenance: layer %d out of range [0,%d)", i, len(s.layers))
@@ -249,11 +470,63 @@ func (s *Store) Layer(i int) (*Layer, error) {
 	if s.layers[i] != nil {
 		return s.layers[i], nil
 	}
+	s.drainCompletions()
+	if l := s.pending[i]; l != nil {
+		return l, nil
+	}
+	if l := s.cacheGet(i); l != nil {
+		return l, nil
+	}
 	l, err := readLayerFile(s.files[i])
 	if err != nil {
 		return nil, fmt.Errorf("provenance: reloading spilled layer %d: %w", i, err)
 	}
+	s.cachePut(i, l)
 	return l, nil
+}
+
+// cacheGet returns the cached reload of layer i, marking it most recently
+// used.
+func (s *Store) cacheGet(i int) *Layer {
+	l := s.cache[i]
+	if l == nil {
+		return nil
+	}
+	for j, k := range s.cacheLRU {
+		if k == i {
+			s.cacheLRU = append(append(s.cacheLRU[:j], s.cacheLRU[j+1:]...), i)
+			break
+		}
+	}
+	return l
+}
+
+// cachePut inserts a reloaded layer, evicting the least recently used entry
+// beyond the configured capacity.
+func (s *Store) cachePut(i int, l *Layer) {
+	capLayers := s.cfg.ReloadCache
+	if capLayers == 0 {
+		capLayers = defaultReloadCache
+	}
+	if capLayers < 0 {
+		return
+	}
+	if s.cache == nil {
+		s.cache = make(map[int]*Layer, capLayers)
+	}
+	s.cache[i] = l
+	s.cacheLRU = append(s.cacheLRU, i)
+	for len(s.cacheLRU) > capLayers {
+		evict := s.cacheLRU[0]
+		s.cacheLRU = s.cacheLRU[1:]
+		delete(s.cache, evict)
+	}
+}
+
+// invalidateCache drops every cached reload (truncation/close).
+func (s *Store) invalidateCache() {
+	s.cache = nil
+	s.cacheLRU = nil
 }
 
 // TotalBytes returns the *serialized* size of the captured provenance graph
@@ -296,6 +569,11 @@ func (s *Store) TruncateLayers(n int) error {
 	if n < 0 || n > len(s.layers) {
 		return fmt.Errorf("provenance: truncate to %d layers out of range [0,%d]", n, len(s.layers))
 	}
+	// Quiesce the spill pipeline first so no write lands after its file was
+	// removed. A surfaced write error is absorbed here: the failed layer is
+	// resident again, and truncation recomputes all accounting below.
+	s.Sync()
+	s.invalidateCache()
 	for i := n; i < len(s.layers); i++ {
 		if s.files[i] != "" {
 			os.Remove(s.files[i])
@@ -356,9 +634,16 @@ func (s *Store) Reattach(n int) error {
 	return nil
 }
 
-// Close removes any spill files.
+// Close drains the spill pipeline, stops its writer, and removes any spill
+// files.
 func (s *Store) Close() error {
-	var firstErr error
+	firstErr := s.Sync()
+	if s.sp != nil {
+		close(s.sp.jobs)
+		s.sp = nil
+		s.pending = nil
+	}
+	s.invalidateCache()
 	for i, f := range s.files {
 		if f != "" {
 			if err := os.Remove(f); err != nil && firstErr == nil {
