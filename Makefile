@@ -25,16 +25,22 @@ bench: bench-micro
 	$(GO) run ./cmd/ariadne run -analytic sssp -dataset IN-04 -capture full \
 		-stats-json BENCH_sssp.json
 
-# bench-micro runs the barrier and spill-pipeline microbenchmarks and feeds
-# them through cmd/benchjson, which writes BENCH_micro.json and fails on a
-# regression of the hardware-independent ratios (sequential/parallel
-# barrier-phase time, sync/async spill time). The committed BENCH_micro.json
-# is the single-core container baseline; CI archives the fresh one.
+# bench-micro runs the barrier, spill-pipeline, and query-evaluation
+# microbenchmarks and feeds them through cmd/benchjson, which writes
+# BENCH_micro.json and fails on a regression of the hardware-independent
+# ratios (sequential/parallel barrier-phase time, sync/async spill time,
+# sequential/parallel eval-phase time, sequential/pipelined layered run
+# time). The committed BENCH_micro.json is the single-core container
+# baseline; CI archives the fresh one.
 bench-micro:
 	$(GO) test -run '^$$' -bench 'BenchmarkBarrier' -benchmem -count 1 \
 		./internal/engine/ > bench-micro.out
 	$(GO) test -run '^$$' -bench 'BenchmarkSpillPipeline' -benchmem -count 1 \
 		./internal/provenance/ >> bench-micro.out
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelEval' -benchmem -count 1 \
+		./internal/pql/eval/ >> bench-micro.out
+	$(GO) test -run '^$$' -bench 'BenchmarkLayeredEval$$' -benchmem -count 1 \
+		./internal/driver/ >> bench-micro.out
 	$(GO) run ./cmd/benchjson -out BENCH_micro.json < bench-micro.out
 	rm -f bench-micro.out
 

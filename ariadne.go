@@ -82,7 +82,19 @@ type (
 	// in degraded mode (Partition -1 = all partitions). Queryable from PQL
 	// as capture_gap(P, F, T).
 	CaptureGap = provenance.CaptureGap
+	// EvalOption tunes PQL evaluation (QueryOffline and online queries):
+	// shard-parallel worker count, sequential reference leg, layer prefetch.
+	EvalOption = driver.EvalOpt
 )
+
+// EvalWorkers sets the shard-parallel evaluation worker count for a query
+// (n <= 0 picks min(8, GOMAXPROCS); 1 disables parallel delta rounds).
+func EvalWorkers(n int) EvalOption { return driver.EvalWorkers(n) }
+
+// SequentialEval forces the seed sequential evaluation path (one worker, no
+// layer prefetch) — the reference leg for differential runs, mirroring
+// WithSequentialBarrier on the engine side.
+func SequentialEval() EvalOption { return driver.SequentialEval() }
 
 // NewMetrics creates an empty metrics registry for WithMetrics. Create it
 // before Run to serve obs.Handler(m) endpoints while the run is live.
@@ -133,6 +145,7 @@ type runConfig struct {
 	captureDef *queries.Definition
 	storeCfg   provenance.StoreConfig
 	onlineDefs []queries.Definition
+	evalOpts   []driver.EvalOpt
 	observers  []engine.Observer
 	metrics    *obs.Metrics
 	traceCap   int
@@ -214,6 +227,27 @@ func WithCaptureQuery(def QueryDef, cfg StoreConfig) Option {
 func WithOnlineQuery(def QueryDef) Option {
 	return func(c *runConfig) error {
 		c.onlineDefs = append(c.onlineDefs, def)
+		return nil
+	}
+}
+
+// WithEvalWorkers sets the shard-parallel worker count every online query
+// of this run evaluates with (VC-compatible queries shard their delta
+// rounds by the location column; others fall back to one worker).
+func WithEvalWorkers(n int) Option {
+	return func(c *runConfig) error {
+		c.evalOpts = append(c.evalOpts, driver.EvalWorkers(n))
+		return nil
+	}
+}
+
+// WithSequentialEval forces the seed sequential evaluation path for every
+// online query of this run — the reference leg for differential tests,
+// mirroring WithSequentialBarrier. Results are identical either way; only
+// the evaluation machinery differs.
+func WithSequentialEval() Option {
+	return func(c *runConfig) error {
+		c.evalOpts = append(c.evalOpts, driver.SequentialEval())
 		return nil
 	}
 }
@@ -403,7 +437,11 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		o, err := driver.NewOnline(q, g)
+		evalOpts := cfg.evalOpts
+		if cfg.metrics != nil {
+			evalOpts = append(append([]driver.EvalOpt(nil), evalOpts...), driver.WithEvalObs(cfg.metrics))
+		}
+		o, err := driver.NewOnline(q, g, evalOpts...)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("ariadne: query %s: %w", def.Name, err)
 		}
@@ -497,22 +535,23 @@ const (
 )
 
 // QueryOffline evaluates def over captured provenance. naiveBudget bounds
-// the naive mode's database bytes (0 = unlimited).
-func QueryOffline(def QueryDef, store *Store, g *Graph, mode Mode, naiveBudget int64) (*QueryResult, error) {
+// the naive mode's database bytes (0 = unlimited). Options tune the
+// evaluation pipeline (EvalWorkers, SequentialEval).
+func QueryOffline(def QueryDef, store *Store, g *Graph, mode Mode, naiveBudget int64, opts ...EvalOption) (*QueryResult, error) {
 	q, err := def.Build()
 	if err != nil {
 		return nil, err
 	}
 	switch mode {
 	case ModeNaive:
-		return driver.Naive(q, store, g, naiveBudget)
+		return driver.Naive(q, store, g, naiveBudget, opts...)
 	case ModeLayered:
-		return driver.Layered(q, store, g)
+		return driver.Layered(q, store, g, opts...)
 	default:
 		if q.Class.LayeredEvaluable() {
-			return driver.Layered(q, store, g)
+			return driver.Layered(q, store, g, opts...)
 		}
-		return driver.Naive(q, store, g, naiveBudget)
+		return driver.Naive(q, store, g, naiveBudget, opts...)
 	}
 }
 

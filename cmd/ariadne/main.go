@@ -179,6 +179,8 @@ func cmdRun(args []string) error {
 	spillQueue := fs.Int("spill-queue", 0, "async spill queue depth in layers (0 = default double-buffering)")
 	reloadCache := fs.Int("reload-cache", 0, "spilled-layer reload cache capacity in layers (0 = default, negative = disabled)")
 	seqBarrier := fs.Bool("seq-barrier", false, "use the reference sequential superstep barrier instead of the sharded parallel one (bit-identical results, slower)")
+	evalWorkers := fs.Int("eval-workers", 0, "shard-parallel PQL evaluation workers for online queries (0 = auto, 1 = sequential rounds)")
+	seqEval := fs.Bool("seq-eval", false, "use the reference sequential PQL evaluation path for online queries (identical results, slower)")
 	online := fs.String("online", "", "comma-separated online queries (apt[:eps], q4, q5, q6)")
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "compute:mode=panic:ss=3:vertex=7" or "spill.write:times=2" (clauses joined with ;)`)
 	ckDir := fs.String("checkpoint", "", "checkpoint directory (enables superstep checkpointing)")
@@ -248,6 +250,11 @@ func cmdRun(args []string) error {
 
 	if *seqBarrier {
 		opts = append(opts, ariadne.WithSequentialBarrier())
+	}
+	if *seqEval {
+		opts = append(opts, ariadne.WithSequentialEval())
+	} else if *evalWorkers != 0 {
+		opts = append(opts, ariadne.WithEvalWorkers(*evalWorkers))
 	}
 	if *faults != "" {
 		opts = append(opts, ariadne.WithFaultSpec(*faults))
@@ -389,6 +396,8 @@ func cmdQuery(args []string) error {
 	size := fs.Int("size", 0, "dataset size factor")
 	supersteps := fs.Int("supersteps", 20, "PageRank iterations")
 	mode := fs.String("mode", "auto", "auto, online, layered, or naive")
+	evalWorkers := fs.Int("eval-workers", 0, "shard-parallel PQL evaluation workers (0 = auto, 1 = sequential rounds)")
+	seqEval := fs.Bool("seq-eval", false, "use the reference sequential PQL evaluation path (identical results, slower)")
 	var params cliutil.Params
 	fs.Var(&params, "param", "query parameter name=value (repeatable)")
 	edbs := fs.String("edbs", "", "extra EDB declarations, e.g. prov_error:4")
@@ -425,9 +434,22 @@ func cmdQuery(args []string) error {
 		return err
 	}
 
+	var evalOpts []ariadne.EvalOption
+	if *seqEval {
+		evalOpts = append(evalOpts, ariadne.SequentialEval())
+	} else if *evalWorkers != 0 {
+		evalOpts = append(evalOpts, ariadne.EvalWorkers(*evalWorkers))
+	}
+
 	var qr *ariadne.QueryResult
 	if *mode == "online" || (*mode == "auto" && (cls == "local" || cls == "forward")) {
-		res, err := ariadne.Run(g, prog, append(opts, ariadne.WithOnlineQuery(def))...)
+		runOpts := append(opts, ariadne.WithOnlineQuery(def))
+		if *seqEval {
+			runOpts = append(runOpts, ariadne.WithSequentialEval())
+		} else if *evalWorkers != 0 {
+			runOpts = append(runOpts, ariadne.WithEvalWorkers(*evalWorkers))
+		}
+		res, err := ariadne.Run(g, prog, runOpts...)
 		if err != nil {
 			return err
 		}
@@ -444,7 +466,7 @@ func cmdQuery(args []string) error {
 		if *mode == "naive" {
 			offMode = ariadne.ModeNaive
 		}
-		qr, err = ariadne.QueryOffline(def, res.Provenance, g, offMode, 0)
+		qr, err = ariadne.QueryOffline(def, res.Provenance, g, offMode, 0, evalOpts...)
 		if err != nil {
 			return err
 		}

@@ -1,8 +1,8 @@
 // benchjson converts `go test -bench` output on stdin into a machine-readable
 // JSON report and enforces the hardware-independent regression ratios for the
-// barrier and spill microbenchmarks:
+// barrier, spill, and query-evaluation microbenchmarks:
 //
-//	go test -run '^$' -bench 'Barrier|SpillPipeline' ./internal/... | \
+//	go test -run '^$' -bench 'Barrier|SpillPipeline|ParallelEval|LayeredEval' ./internal/... | \
 //	    go run ./cmd/benchjson -out BENCH_micro.json -min-barrier-speedup 1.2
 //
 // Absolute ns/op is meaningless across CI runners, so the regression checks
@@ -92,6 +92,11 @@ func main() {
 		"minimum sync/async spill pipeline time ratio (on a single core the "+
 			"pipeline cannot overlap, so the guard only rejects async being "+
 			"materially slower than sync)")
+	minEval := flag.Float64("min-eval-speedup", 1.5,
+		"minimum sequential/parallel8 eval-phase time ratio (the parallel leg "+
+			"wins even on one core via the slot-compiled join path)")
+	minLayered := flag.Float64("min-layered-speedup", 0.9,
+		"minimum sequential/pipelined layered full-run time ratio")
 	flag.Parse()
 
 	var lines []string
@@ -121,6 +126,24 @@ func main() {
 		"BenchmarkSpillPipeline/async", "ns/op"); v > 0 && v < *minSpill {
 		rep.Failures = append(rep.Failures,
 			fmt.Sprintf("spill_async_speedup %.2f < %.2f", v, *minSpill))
+	}
+	if v := ratio(rep, benches, "eval_phase_speedup",
+		"BenchmarkParallelEval/sequential",
+		"BenchmarkParallelEval/parallel8", "ns/op"); v > 0 && v < *minEval {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("eval_phase_speedup %.2f < %.2f", v, *minEval))
+	}
+	// Informational: throughput ratio of the same legs.
+	if seq, ok := metric(benches, "BenchmarkParallelEval/sequential", "tuples/s"); ok {
+		if par, ok := metric(benches, "BenchmarkParallelEval/parallel8", "tuples/s"); ok && seq > 0 {
+			rep.Ratios["eval_tuples_speedup"] = par / seq
+		}
+	}
+	if v := ratio(rep, benches, "layered_run_speedup",
+		"BenchmarkLayeredEval/sequential",
+		"BenchmarkLayeredEval/pipelined", "ns/op"); v > 0 && v < *minLayered {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("layered_run_speedup %.2f < %.2f", v, *minLayered))
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

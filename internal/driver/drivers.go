@@ -93,7 +93,8 @@ func (n *unfoldedNode) memSize() int64 {
 // bytes (unfolded graph plus evaluation database); exceeding it returns
 // ErrNaiveBudget — the paper's "Naive was not able to scale beyond the two
 // smallest datasets".
-func Naive(q *analysis.Query, store *provenance.Store, g *graph.Graph, memoryBudget int64) (*Result, error) {
+func Naive(q *analysis.Query, store *provenance.Store, g *graph.Graph, memoryBudget int64, opts ...EvalOpt) (*Result, error) {
+	cfg := resolveEvalConfig(opts)
 	// Phase 1: full materialization of the unfolded provenance graph.
 	nodes := make(map[uint64]*unfoldedNode)
 	key := func(v graph.VertexID, ss int) uint64 { return uint64(v)<<32 | uint64(uint32(ss)) }
@@ -126,6 +127,7 @@ func Naive(q *analysis.Query, store *provenance.Store, g *graph.Graph, memoryBud
 	if err != nil {
 		return nil, err
 	}
+	ev.SetWorkers(cfg.workers)
 	f := newFeeder(ev, g, q, false)
 	f.prov = store
 	f.feedStatic()
@@ -172,6 +174,7 @@ func Naive(q *analysis.Query, store *provenance.Store, g *graph.Graph, memoryBud
 	// The unfolded graph must stay resident throughout evaluation; keep it
 	// alive until here.
 	_ = nodes
+	mirrorEvalStats(cfg.metrics, "naive", ev.Stats())
 	return &Result{q: q, db: db, ev: ev, Facts: f.FactCount}, nil
 }
 
@@ -215,14 +218,17 @@ type Online struct {
 }
 
 // NewOnline prepares online evaluation of q over graph g. Only forward and
-// local queries qualify (Theorem 5.4 covers exactly these).
-func NewOnline(q *analysis.Query, g *graph.Graph) (*Online, error) {
+// local queries qualify (Theorem 5.4 covers exactly these). Options tune
+// the interpretive path: EvalWorkers enables shard-parallel delta rounds on
+// each superstep's fixpoint, Interpretive forces the Datalog evaluator.
+func NewOnline(q *analysis.Query, g *graph.Graph, opts ...EvalOpt) (*Online, error) {
 	if !q.Class.OnlineEvaluable() {
 		return nil, fmt.Errorf("driver: %v queries cannot run online; capture provenance and query offline", q.Class)
 	}
+	cfg := resolveEvalConfig(opts)
 	db := eval.NewDatabase()
 	o := &Online{q: q, db: db}
-	if c, ok := tryCompile(q, db, g); ok {
+	if c, ok := tryCompileOpt(q, db, g, cfg); ok {
 		o.compiled = c
 		o.vb = newViewBuilder()
 		return o, nil
@@ -231,6 +237,7 @@ func NewOnline(q *analysis.Query, g *graph.Graph) (*Online, error) {
 	if err != nil {
 		return nil, err
 	}
+	ev.SetWorkers(cfg.workers)
 	o.ev = ev
 	o.f = newFeeder(ev, g, q, true)
 	o.f.feedStatic()
@@ -318,11 +325,13 @@ func (o *Online) ObserveSuperstep(v *engine.SuperstepView) error {
 }
 
 // Finish implements engine.Observer: the compiled path completes its
-// global rules over the final relations.
+// global rules over the final relations; the interpretive path publishes
+// its parallel-round counters.
 func (o *Online) Finish(int) error {
 	if o.compiled != nil {
 		return o.compiled.FinishRun()
 	}
+	mirrorEvalStats(o.metrics, o.name, o.ev.Stats())
 	return nil
 }
 

@@ -98,6 +98,12 @@ type feeder struct {
 	edgeValueFed map[graph.VertexID]bool
 	// Facts and bytes fed, for the piggyback/size metrics.
 	FactCount int64
+
+	// sink, when set, diverts facts away from the evaluator (the layered
+	// prefetcher uses it to stage a layer's facts off the engine thread,
+	// ingesting them later). Retention state still advances, so the sink
+	// must be driven in replay-step order by a single goroutine.
+	sink func(pred string, t eval.Tuple)
 }
 
 func newFeeder(ev *eval.Evaluator, g *graph.Graph, q *analysis.Query, forward bool) *feeder {
@@ -112,8 +118,12 @@ func newFeeder(ev *eval.Evaluator, g *graph.Graph, q *analysis.Query, forward bo
 }
 
 func (f *feeder) add(pred string, t eval.Tuple) {
-	f.ev.AddFact(pred, t)
 	f.FactCount++
+	if f.sink != nil {
+		f.sink(pred, t)
+		return
+	}
+	f.ev.AddFact(pred, t)
 }
 
 // feedStatic loads static facts once: input-graph edges and, when feeding

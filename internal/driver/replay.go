@@ -6,6 +6,7 @@ import (
 
 	"ariadne/internal/engine"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/pql/eval"
 	"ariadne/internal/provenance"
@@ -22,85 +23,280 @@ import (
 // superstep barrier. This is what makes offline layered evaluation cost a
 // full engine pass over the provenance graph on top of reading it back
 // from storage, the overhead the paper's Online mode short-circuits.
+//
+// The layered driver is pipelined: a prefetcher goroutine decodes the
+// *next* layer from the store and pre-builds its record views (compiled
+// path) or EDB fact batch (interpretive path) while the engine replays and
+// evaluates the current one. Decode and view/fact construction overlap
+// evaluation; only the evaluator's fixpoint stays on the barrier.
 
-// layerCursor shares the currently materialized layer between the replay
-// program (which runs inside parallel workers) and the evaluation observer.
-type layerCursor struct {
-	store *provenance.Store
-	n     int
-	// order maps the replay superstep to a store layer index: identity for
-	// forward/local queries, reversed for backward queries (descending
-	// layer order, §5.1).
-	order func(step int) int
+// factBatch is one staged EDB fact (interpretive path).
+type factBatch struct {
+	pred string
+	t    eval.Tuple
+}
 
-	mu    sync.Mutex
+// layerStage is one fully prepared provenance layer: decoded, indexed by
+// vertex for the replay program, and pre-converted into whatever the
+// evaluation path consumes (record views or EDB facts).
+type layerStage struct {
 	step  int
 	layer *provenance.Layer
 	index map[graph.VertexID]*provenance.Record
-	err   error
+
+	views     []eval.RecordView // compiled path
+	facts     []factBatch       // interpretive path
+	factCount int64             // cumulative feeder count after this layer
+
+	err error
 }
 
-func newLayerCursor(store *provenance.Store, ascending bool) *layerCursor {
-	n := store.NumLayers()
-	order := func(step int) int { return step }
-	if !ascending {
-		order = func(step int) int { return n - 1 - step }
+// stageBuilder converts a decoded layer into its evaluation-ready form.
+// Both the view builder (value retention) and the feeder (retention +
+// dedup state) are stateful, so build must be called in replay-step order
+// by a single goroutine — the prefetch producer, or the engine thread
+// under the cursor lock on the unpipelined path.
+type stageBuilder struct {
+	vb *viewBuilder
+	f  *feeder
+}
+
+func (b *stageBuilder) build(st *layerStage) {
+	if b.vb != nil {
+		st.views = b.vb.fromProv(st.layer)
+		return
 	}
-	return &layerCursor{store: store, n: n, order: order, step: -1}
+	if b.f == nil {
+		return
+	}
+	b.f.sink = func(pred string, t eval.Tuple) {
+		st.facts = append(st.facts, factBatch{pred: pred, t: t})
+	}
+	for ri := range st.layer.Records {
+		b.f.feedProvRecord(&st.layer.Records[ri], st.layer.Superstep)
+	}
+	b.f.sink = nil
+	st.factCount = b.f.FactCount
 }
 
-// at returns the layer materialized for the given replay step, loading (and
-// indexing) it on first use. Past layers are dropped — the working memory
-// holds one layer, the point of layered evaluation.
-func (c *layerCursor) at(step int) (*provenance.Layer, map[graph.VertexID]*provenance.Record, error) {
+// layerSource yields prepared layer stages to the replay program and the
+// evaluation observer. Implementations: layerCursor (synchronous, stage
+// built on first access) and prefetchCursor (pipelined).
+type layerSource interface {
+	numLayers() int
+	stageAt(step int) (*layerStage, error)
+	active(step int) []graph.VertexID
+	close()
+}
+
+// loadStage decodes and indexes one layer (no evaluation-side prep).
+func loadStage(store *provenance.Store, step, layerIdx int) *layerStage {
+	l, err := store.Layer(layerIdx)
+	if err != nil {
+		return &layerStage{step: step, err: err}
+	}
+	st := &layerStage{step: step, layer: l}
+	st.index = make(map[graph.VertexID]*provenance.Record, len(l.Records))
+	for i := range l.Records {
+		st.index[l.Records[i].Vertex] = &l.Records[i]
+	}
+	return st
+}
+
+// stageActive returns the vertices of the stage's layer. Empty layers
+// (possible under selective capture policies) still force a single no-op
+// keepalive so the replay proceeds to later layers.
+func stageActive(st *layerStage) []graph.VertexID {
+	if len(st.layer.Records) == 0 {
+		return []graph.VertexID{0}
+	}
+	out := make([]graph.VertexID, len(st.layer.Records))
+	for i := range st.layer.Records {
+		out[i] = st.layer.Records[i].Vertex
+	}
+	return out
+}
+
+// replayOrder maps the replay superstep to a store layer index: identity
+// for forward/local queries, reversed for backward queries (descending
+// layer order, §5.1).
+func replayOrder(n int, ascending bool) func(int) int {
+	if ascending {
+		return func(step int) int { return step }
+	}
+	return func(step int) int { return n - 1 - step }
+}
+
+// layerCursor is the unpipelined layer source: the stage for a step is
+// built on first access, under the lock, on the calling goroutine. Past
+// layers are dropped — the working memory holds one layer, the point of
+// layered evaluation.
+type layerCursor struct {
+	store   *provenance.Store
+	n       int
+	order   func(step int) int
+	builder *stageBuilder
+
+	mu  sync.Mutex
+	cur *layerStage
+	err error
+}
+
+func newLayerCursor(store *provenance.Store, ascending bool, b *stageBuilder) *layerCursor {
+	n := store.NumLayers()
+	return &layerCursor{store: store, n: n, order: replayOrder(n, ascending), builder: b}
+}
+
+func (c *layerCursor) numLayers() int { return c.n }
+
+func (c *layerCursor) stageAt(step int) (*layerStage, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
-		return nil, nil, c.err
+		return nil, c.err
 	}
-	if step != c.step {
-		idx := c.order(step)
-		l, err := c.store.Layer(idx)
-		if err != nil {
-			c.err = err
-			return nil, nil, err
+	if c.cur == nil || c.cur.step != step {
+		st := loadStage(c.store, step, c.order(step))
+		if st.err == nil {
+			c.builder.build(st)
 		}
-		c.step = step
-		c.layer = l
-		c.index = make(map[graph.VertexID]*provenance.Record, len(l.Records))
-		for i := range l.Records {
-			c.index[l.Records[i].Vertex] = &l.Records[i]
+		if st.err != nil {
+			c.err = st.err
+			return nil, c.err
 		}
+		c.cur = st
 	}
-	return c.layer, c.index, nil
+	return c.cur, nil
 }
 
-// active returns the vertices of the layer replayed at the given step.
-// Empty layers (possible under selective capture policies) still force a
-// single no-op keepalive so the replay proceeds to later layers.
 func (c *layerCursor) active(step int) []graph.VertexID {
 	if step >= c.n {
 		return nil
 	}
-	l, _, err := c.at(step)
+	st, err := c.stageAt(step)
 	if err != nil {
 		return nil
 	}
-	if len(l.Records) == 0 {
-		return []graph.VertexID{0}
+	return stageActive(st)
+}
+
+func (c *layerCursor) close() {}
+
+// prefetchCursor pipelines layer preparation: a single producer goroutine
+// — the only caller of store.Layer and the sole owner of the stage
+// builder's retention state — decodes layers in replay order and sends
+// prepared stages down a buffered channel. With capacity 1 the producer
+// keeps roughly two layers in flight (one buffered, one being built)
+// while the engine consumes the current one: bounded lookahead, bounded
+// memory.
+type prefetchCursor struct {
+	n       int
+	stages  chan *layerStage
+	done    chan struct{}
+	stop    sync.Once
+	metrics *obs.Metrics
+
+	mu  sync.Mutex
+	cur *layerStage
+	err error
+}
+
+func newPrefetchCursor(store *provenance.Store, ascending bool, b *stageBuilder, m *obs.Metrics) *prefetchCursor {
+	n := store.NumLayers()
+	pc := &prefetchCursor{
+		n:       n,
+		stages:  make(chan *layerStage, 1),
+		done:    make(chan struct{}),
+		metrics: m,
 	}
-	out := make([]graph.VertexID, len(l.Records))
-	for i := range l.Records {
-		out[i] = l.Records[i].Vertex
+	order := replayOrder(n, ascending)
+	go func() {
+		defer close(pc.stages)
+		for step := 0; step < n; step++ {
+			st := loadStage(store, step, order(step))
+			if st.err == nil {
+				b.build(st)
+			}
+			select {
+			case pc.stages <- st:
+			case <-pc.done:
+				return
+			}
+			if st.err != nil {
+				return
+			}
+		}
+	}()
+	return pc
+}
+
+func (c *prefetchCursor) numLayers() int { return c.n }
+
+func (c *prefetchCursor) stageAt(step int) (*layerStage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
 	}
-	return out
+	if c.cur != nil && c.cur.step == step {
+		return c.cur, nil
+	}
+	for {
+		var st *layerStage
+		var ok bool
+		select {
+		case st, ok = <-c.stages:
+			if ok {
+				c.metrics.Counter("eval_prefetch_hits_total").Add(1)
+			}
+		default:
+			c.metrics.Counter("eval_prefetch_misses_total").Add(1)
+			st, ok = <-c.stages
+		}
+		if !ok {
+			c.err = fmt.Errorf("driver: layer prefetcher exhausted before step %d", step)
+			return nil, c.err
+		}
+		if st.err != nil {
+			c.err = st.err
+			return nil, c.err
+		}
+		if st.step == step {
+			c.cur = st
+			return st, nil
+		}
+		if st.step > step {
+			c.err = fmt.Errorf("driver: layer prefetch out of order: got step %d, want %d", st.step, step)
+			return nil, c.err
+		}
+		// st.step < step: the consumer skipped a stage (cannot happen with
+		// the engine driving steps monotonically, but draining is safe).
+	}
+}
+
+func (c *prefetchCursor) active(step int) []graph.VertexID {
+	if step >= c.n {
+		return nil
+	}
+	st, err := c.stageAt(step)
+	if err != nil {
+		return nil
+	}
+	return stageActive(st)
+}
+
+func (c *prefetchCursor) close() {
+	c.stop.Do(func() { close(c.done) })
+	// Drain so the producer's pending send never leaks the goroutine.
+	for range c.stages {
+	}
 }
 
 // replayProg is the "query vertex program": at each superstep, a vertex
 // that appears in the current provenance layer regenerates its captured
 // message structure (token payloads — the values live in the evaluator).
 type replayProg struct {
-	cursor *layerCursor
+	src layerSource
 }
 
 func (p *replayProg) InitialValue(*graph.Graph, engine.VertexID) value.Value {
@@ -108,14 +304,14 @@ func (p *replayProg) InitialValue(*graph.Graph, engine.VertexID) value.Value {
 }
 
 func (p *replayProg) Compute(ctx *engine.Context, _ []engine.IncomingMessage) error {
-	if ctx.Superstep() >= p.cursor.n {
+	if ctx.Superstep() >= p.src.numLayers() {
 		return nil
 	}
-	_, index, err := p.cursor.at(ctx.Superstep())
+	st, err := p.src.stageAt(ctx.Superstep())
 	if err != nil {
 		return err
 	}
-	rec := index[ctx.ID()]
+	rec := st.index[ctx.ID()]
 	if rec == nil {
 		return nil
 	}
@@ -133,17 +329,13 @@ func (p *replayProg) Compute(ctx *engine.Context, _ []engine.IncomingMessage) er
 }
 
 // replayEvalObserver evaluates each replayed layer at the superstep
-// barrier: on the compiled path rules run directly over the layer's
-// records; on the interpretive path the layer's facts feed the evaluator
-// followed by a per-layer fixpoint.
+// barrier. The stage arrives pre-built (views or fact batch); the barrier
+// only ingests and runs the fixpoint.
 type replayEvalObserver struct {
-	cursor *layerCursor
+	src layerSource
 
 	compiled *eval.Compiled
-	vb       *viewBuilder
-
-	f  *feeder
-	ev *eval.Evaluator
+	ev       *eval.Evaluator
 
 	facts int64
 }
@@ -151,22 +343,21 @@ type replayEvalObserver struct {
 func (o *replayEvalObserver) NeedsRawMessages() bool { return false }
 
 func (o *replayEvalObserver) ObserveSuperstep(v *engine.SuperstepView) error {
-	if v.Superstep >= o.cursor.n {
+	if v.Superstep >= o.src.numLayers() {
 		return nil
 	}
-	l, _, err := o.cursor.at(v.Superstep)
+	st, err := o.src.stageAt(v.Superstep)
 	if err != nil {
 		return err
 	}
 	if o.compiled != nil {
-		views := o.vb.fromProv(l)
-		o.facts += int64(len(views))
-		return o.compiled.Layer(views)
+		o.facts += int64(len(st.views))
+		return o.compiled.Layer(st.views)
 	}
-	for ri := range l.Records {
-		o.f.feedProvRecord(&l.Records[ri], l.Superstep)
+	for i := range st.facts {
+		o.ev.AddFact(st.facts[i].pred, st.facts[i].t)
 	}
-	o.facts = o.f.FactCount
+	o.facts = st.factCount
 	return o.ev.Fixpoint()
 }
 
@@ -175,36 +366,50 @@ func (o *replayEvalObserver) Finish(int) error { return nil }
 // Layered evaluates q one provenance layer at a time (paper §5.1), in
 // ascending superstep order for forward/local queries and descending order
 // for backward queries, as a VC computation over the provenance graph.
-// Mixed queries are rejected (Def. 5.2).
-func Layered(q *analysis.Query, store *provenance.Store, g *graph.Graph) (*Result, error) {
+// Mixed queries are rejected (Def. 5.2). Options tune the evaluation
+// pipeline: EvalWorkers enables shard-parallel delta rounds on the
+// interpretive path, NoPrefetch disables the layer prefetcher, and
+// SequentialEval selects the unpipelined single-worker reference leg.
+func Layered(q *analysis.Query, store *provenance.Store, g *graph.Graph, opts ...EvalOpt) (*Result, error) {
 	if !q.Class.LayeredEvaluable() {
 		return nil, fmt.Errorf("driver: %v queries cannot be evaluated layered; use naive mode", q.Class)
 	}
+	cfg := resolveEvalConfig(opts)
 	db := eval.NewDatabase()
 	ascending := q.Class != analysis.Backward
-	cursor := newLayerCursor(store, ascending)
-	obs := &replayEvalObserver{cursor: cursor}
+	obs := &replayEvalObserver{}
 	res := &Result{q: q, db: db}
-	if c, ok := tryCompile(q, db, g); ok {
+	builder := &stageBuilder{}
+	if c, ok := tryCompileOpt(q, db, g, cfg); ok {
 		obs.compiled = c
-		obs.vb = newViewBuilder()
+		builder.vb = newViewBuilder()
 	} else {
 		ev, err := eval.NewEvaluator(q, db)
 		if err != nil {
 			return nil, err
 		}
+		ev.SetWorkers(cfg.workers)
 		obs.ev = ev
-		obs.f = newFeeder(ev, g, q, ascending)
-		obs.f.prov = store
-		obs.f.feedStatic()
+		f := newFeeder(ev, g, q, ascending)
+		f.prov = store
+		f.feedStatic() // sink unset: static facts go straight to the evaluator
+		builder.f = f
 		res.ev = ev
 	}
-	if cursor.n == 0 {
+	if store.NumLayers() == 0 {
 		return res, nil
 	}
-	e, err := engine.New(g, &replayProg{cursor: cursor}, engine.Config{
-		MaxSupersteps: cursor.n,
-		ActiveAt:      cursor.active,
+	var src layerSource
+	if cfg.noPrefetch {
+		src = newLayerCursor(store, ascending, builder)
+	} else {
+		src = newPrefetchCursor(store, ascending, builder, cfg.metrics)
+	}
+	defer src.close()
+	obs.src = src
+	e, err := engine.New(g, &replayProg{src: src}, engine.Config{
+		MaxSupersteps: src.numLayers(),
+		ActiveAt:      src.active,
 		Observers:     []engine.Observer{obs},
 	})
 	if err != nil {
@@ -219,5 +424,14 @@ func Layered(q *analysis.Query, store *provenance.Store, g *graph.Graph) (*Resul
 		}
 	}
 	res.Facts = obs.facts
+	mirrorEvalStats(cfg.metrics, "layered", res.EvalStats())
 	return res, nil
+}
+
+// tryCompileOpt is tryCompile gated by the Interpretive option.
+func tryCompileOpt(q *analysis.Query, db *eval.Database, g *graph.Graph, cfg evalConfig) (*eval.Compiled, bool) {
+	if cfg.interpretive {
+		return nil, false
+	}
+	return tryCompile(q, db, g)
 }

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"ariadne/internal/pql"
+)
+
+// Location-column inference for partition-parallel evaluation.
+//
+// Every PQL predicate's first argument is its location specifier (paper
+// §4.2): the vertex — and therefore the partition — holding the tuple. The
+// sharded evaluator exploits this to split delta batches across worker
+// shards with the engine's partition hash. A predicate is *shardable* when
+// its location column can be pinned statically: all EDBs qualify by
+// construction, and an IDB qualifies when every defining rule places a
+// constant or a location-positioned body variable in the head's first
+// argument, so a derived tuple's home partition is computable from the
+// tuple alone (the precondition for the per-round exchange being legal
+// under VC-compatibility, Def. 4.1).
+
+// LocationCols returns, for every predicate of the query, the column index
+// of its location specifier: 0 for every shardable predicate, -1 for
+// predicates whose location cannot be inferred statically (aggregate-headed
+// rules, zero-arity heads, heads whose first argument is an expression or a
+// variable that never appears in a body literal's location position).
+// Tuples of -1 predicates are sharded by whole-tuple hash instead, which
+// stays deterministic but loses locality.
+func (q *Query) LocationCols() map[string]int {
+	loc := make(map[string]int, len(q.EDBs)+len(q.IDBs))
+	for name := range q.EDBs {
+		loc[name] = 0
+	}
+	for name := range q.IDBs {
+		loc[name] = 0
+	}
+	// Optimistic fixpoint: start with every predicate located at column 0
+	// and demote heads whose rules cannot justify it. Demotions propagate —
+	// a head variable inherited from a demoted body predicate's first
+	// column no longer counts as located.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range q.Rules {
+			name := r.Head.Pred
+			if loc[name] < 0 {
+				continue
+			}
+			if !headLocatable(r, loc) {
+				loc[name] = -1
+				changed = true
+			}
+		}
+	}
+	return loc
+}
+
+// headLocatable reports whether rule r pins its head tuple's location:
+// the first head argument is a constant, or a variable occurring at the
+// location column of a positive body literal that is itself located.
+func headLocatable(r *pql.Rule, loc map[string]int) bool {
+	if len(r.Head.Args) == 0 {
+		return false
+	}
+	if _, ok := r.Head.Args[0].(*pql.Const); ok {
+		return true
+	}
+	v, ok := asVarName(r.Head.Args[0])
+	if !ok {
+		return false
+	}
+	for _, lit := range r.Body {
+		pl, ok := lit.(*pql.PredLit)
+		if !ok || pl.Negated || len(pl.Atom.Args) == 0 {
+			continue
+		}
+		if lc, known := loc[pl.Atom.Pred]; !known || lc != 0 {
+			continue
+		}
+		if n, ok := asVarName(pl.Atom.Args[0]); ok && n == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ParallelSafeStrata classifies each stratum for shard-parallel delta
+// rounds. A stratum is parallel-safe when none of its rules aggregate:
+// aggregate folds keep global per-group state whose update order is part of
+// the result's bit-identity (SUM/AVG over floats), so aggregate strata stay
+// on the sequential path. Negation is always safe — stratification
+// guarantees negated predicates are fully computed in lower strata and
+// therefore frozen during this stratum's rounds.
+func (q *Query) ParallelSafeStrata() []bool {
+	out := make([]bool, len(q.Strata))
+	for i, stratum := range q.Strata {
+		safe := true
+		for _, r := range stratum {
+			if headHasAggregate(r.Head) {
+				safe = false
+				break
+			}
+		}
+		out[i] = safe
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"testing"
+
+	"ariadne/internal/pql"
+)
+
+func analyzeLoc(t *testing.T, src string, env *Env) *Query {
+	t.Helper()
+	prog, err := pql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Analyze(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestLocationColsBasic(t *testing.T) {
+	src := `
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+`
+	q := analyzeLoc(t, src, NewEnv())
+	loc := q.LocationCols()
+	if loc["edge"] != 0 {
+		t.Errorf("edge location = %d, want 0", loc["edge"])
+	}
+	if loc["reach"] != 0 {
+		t.Errorf("reach location = %d, want 0 (head var X sits at edge's location column)", loc["reach"])
+	}
+	// Every built-in EDB the query mentions is located at 0.
+	for name := range q.EDBs {
+		if loc[name] != 0 {
+			t.Errorf("EDB %s location = %d, want 0", name, loc[name])
+		}
+	}
+}
+
+func TestLocationColsDemotion(t *testing.T) {
+	env := NewEnv()
+	env.DeclareEDB("obs", 2)
+	// swap's head location Y comes from obs's *second* column — not a
+	// location position — so swap demotes to -1; chain inherits its first
+	// argument from swap's location column, but swap is demoted, so chain
+	// demotes too (propagation).
+	src := `
+swap(Y, X) :- obs(X, Y).
+chain(Y) :- swap(Y, X).
+good(X) :- obs(X, _).
+`
+	q := analyzeLoc(t, src, env)
+	loc := q.LocationCols()
+	if loc["swap"] != -1 {
+		t.Errorf("swap location = %d, want -1", loc["swap"])
+	}
+	if loc["chain"] != -1 {
+		t.Errorf("chain location = %d, want -1 (inherited from demoted swap)", loc["chain"])
+	}
+	if loc["good"] != 0 {
+		t.Errorf("good location = %d, want 0", loc["good"])
+	}
+}
+
+func TestLocationColsExpressionHead(t *testing.T) {
+	env := NewEnv()
+	env.DeclareEDB("obs", 2)
+	src := `shift(S, D) :- obs(X, D), S = X + 1.`
+	q := analyzeLoc(t, src, env)
+	if loc := q.LocationCols(); loc["shift"] != -1 {
+		t.Errorf("shift location = %d, want -1 (head var bound by expression, not a location column)", loc["shift"])
+	}
+}
+
+func TestLocationColsConstHead(t *testing.T) {
+	env := NewEnv()
+	env.DeclareEDB("obs", 2)
+	src := `pinned(0, D) :- obs(X, D).`
+	q := analyzeLoc(t, src, env)
+	if loc := q.LocationCols(); loc["pinned"] != 0 {
+		t.Errorf("pinned location = %d, want 0 (constant head location)", loc["pinned"])
+	}
+}
+
+func TestLocationColsAggregateHead(t *testing.T) {
+	src := `deg(X, COUNT(Y)) :- receive_message(X, Y, M, I).`
+	q := analyzeLoc(t, src, NewEnv())
+	// Aggregate heads still have a plain location variable at arg 0.
+	if loc := q.LocationCols(); loc["deg"] != 0 {
+		t.Errorf("deg location = %d, want 0", loc["deg"])
+	}
+}
+
+func TestParallelSafeStrata(t *testing.T) {
+	src := `
+deg(X, COUNT(Y)) :- receive_message(X, Y, M, I).
+busy(X) :- deg(X, D), D > 3.
+quiet(X) :- value(X, _, _), !busy(X).
+`
+	q := analyzeLoc(t, src, NewEnv())
+	safe := q.ParallelSafeStrata()
+	if len(safe) != len(q.Strata) {
+		t.Fatalf("safety vector length %d != strata %d", len(safe), len(q.Strata))
+	}
+	aggStratum := q.StratumOf["deg"]
+	if safe[aggStratum] {
+		t.Error("aggregate stratum marked parallel-safe")
+	}
+	if !safe[q.StratumOf["busy"]] {
+		t.Error("plain stratum (busy) not parallel-safe")
+	}
+	if !safe[q.StratumOf["quiet"]] {
+		t.Error("negation stratum (quiet) must be parallel-safe — negated preds are frozen lower strata")
+	}
+}

@@ -172,7 +172,7 @@ func (e *Evaluator) evalAggRule(r *pql.Rule, plan *rulePlan, delta map[string][]
 		t := append(Tuple(nil), st.current...)
 		if head.Insert(t) {
 			derived[r.Head.Pred] = append(derived[r.Head.Pred], t)
-			e.stats.Derivations++
+			e.stats.derivations.Add(1)
 		}
 	}
 	return nil

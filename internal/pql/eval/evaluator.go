@@ -3,6 +3,8 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ariadne/internal/pql"
 	"ariadne/internal/pql/analysis"
@@ -13,6 +15,14 @@ import (
 // a Database. It is incremental: facts added between Fixpoint calls are
 // treated as deltas, which is what makes layered (§5.1) and online (§5.2)
 // evaluation possible — each provenance layer is one delta batch.
+//
+// With SetWorkers(n > 1) and a VC-compatible query, parallel-safe strata run
+// their delta rounds shard-parallel: the round's delta is split across n
+// shards by each predicate's location column (the engine's partition hash),
+// one worker goroutine evaluates each shard against the frozen relations,
+// and derived tuples are merged back in a canonical order (rule, then shard,
+// then emission order) so the final relations — and their insertion order —
+// are independent of scheduling.
 type Evaluator struct {
 	q   *analysis.Query
 	db  *Database
@@ -22,14 +32,45 @@ type Evaluator struct {
 	aggs    map[string]*aggTable // aggregate head pred -> state
 	pending map[string][]Tuple
 
-	stats Stats
+	workers   int            // shard count; <= 1 keeps the sequential path
+	parSafe   []bool         // per-stratum shard-parallel safety
+	locCols   map[string]int // per-predicate location column (-1: whole-tuple hash)
+	slots     map[*pql.Rule][]*slotVariant
+	slotFacts map[*pql.Rule]*slotVariant
+
+	stats statCounters
 }
 
-// Stats counts evaluation work.
+// statCounters are the evaluator's internal work counters. They are atomics
+// because shard workers increment derivation counts concurrently; Stats()
+// snapshots them into the plain Stats struct.
+type statCounters struct {
+	rounds         atomic.Int64
+	parallelRounds atomic.Int64
+	derivations    atomic.Int64
+	factsAdded     atomic.Int64
+	exchanged      atomic.Int64
+	maxShardDelta  atomic.Int64
+	perStratum     []atomic.Int64
+}
+
+// Stats is a snapshot of evaluation work counters.
 type Stats struct {
 	Rounds      int
 	Derivations int64
 	FactsAdded  int64
+
+	// ParallelRounds counts the delta rounds that ran shard-parallel
+	// (always <= Rounds; zero on the sequential path).
+	ParallelRounds int
+	// ExchangeTuples counts derived tuples whose home shard differed from
+	// the worker that derived them — the per-round exchange volume.
+	ExchangeTuples int64
+	// MaxShardDelta is the largest per-shard delta batch seen in any
+	// parallel round, a skew indicator.
+	MaxShardDelta int
+	// RoundsPerStratum breaks Rounds down by stratum index.
+	RoundsPerStratum []int
 }
 
 // NewEvaluator prepares evaluation of q over db.
@@ -39,7 +80,9 @@ func NewEvaluator(q *analysis.Query, db *Database) (*Evaluator, error) {
 		plans:   map[*pql.Rule]*rulePlan{},
 		aggs:    map[string]*aggTable{},
 		pending: map[string][]Tuple{},
+		workers: 1,
 	}
+	e.stats.perStratum = make([]atomic.Int64, len(q.Strata))
 	aggDef := map[string]bool{}
 	for _, r := range q.Rules {
 		plan, err := planRule(r)
@@ -55,15 +98,83 @@ func NewEvaluator(q *analysis.Query, db *Database) (*Evaluator, error) {
 			e.aggs[r.Head.Pred] = newAggTable(plan)
 		}
 	}
-	// Pre-create IDB relations so negation over empty IDBs works.
+	// Pre-create IDB relations so negation over empty IDBs works — and so
+	// shard workers never race on Database.Relation's map mutation.
 	for name, arity := range q.IDBs {
 		db.Relation(name, arity)
 	}
 	return e, nil
 }
 
-// Stats returns evaluation counters.
-func (e *Evaluator) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the evaluation counters.
+func (e *Evaluator) Stats() Stats {
+	s := Stats{
+		Rounds:           int(e.stats.rounds.Load()),
+		Derivations:      e.stats.derivations.Load(),
+		FactsAdded:       e.stats.factsAdded.Load(),
+		ParallelRounds:   int(e.stats.parallelRounds.Load()),
+		ExchangeTuples:   e.stats.exchanged.Load(),
+		MaxShardDelta:    int(e.stats.maxShardDelta.Load()),
+		RoundsPerStratum: make([]int, len(e.stats.perStratum)),
+	}
+	for i := range e.stats.perStratum {
+		s.RoundsPerStratum[i] = int(e.stats.perStratum[i].Load())
+	}
+	return s
+}
+
+// SetWorkers sets the shard-parallel worker count for subsequent Fixpoint
+// calls. n <= 1 (the default) keeps the seed sequential path bit-for-bit.
+// Parallel rounds require a VC-compatible query (Def. 4.1): remote access
+// only follows message edges whose destination is computable from the tuple,
+// which is what makes the per-round exchange legal. For incompatible queries
+// the setting is ignored and evaluation stays sequential.
+func (e *Evaluator) SetWorkers(n int) {
+	if n < 1 || !e.q.VCCompatible {
+		n = 1
+	}
+	e.workers = n
+	if n > 1 && e.slots == nil {
+		e.locCols = e.q.LocationCols()
+		e.parSafe = e.q.ParallelSafeStrata()
+		e.compileSlots()
+	}
+}
+
+// Workers returns the configured shard-parallel worker count.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// compileSlots builds slot programs for every rule variant that supports
+// them; variants that don't (ground complex matches, unusual binder shapes)
+// keep a nil entry and fall back to the interpretive joinFrom inside
+// workers, which is equally thread-safe against frozen relations.
+func (e *Evaluator) compileSlots() {
+	e.slots = map[*pql.Rule][]*slotVariant{}
+	e.slotFacts = map[*pql.Rule]*slotVariant{}
+	for _, r := range e.q.Rules {
+		plan := e.plans[r]
+		if plan.aggregates {
+			continue
+		}
+		if plan.factPlan != nil {
+			if sv, ok := compileVariant(r, plan.factPlan, e.env); ok {
+				e.slotFacts[r] = sv
+			}
+			continue
+		}
+		svs := make([]*slotVariant, len(plan.variants))
+		any := false
+		for i, v := range plan.variants {
+			if sv, ok := compileVariant(r, v, e.env); ok {
+				svs[i] = sv
+				any = true
+			}
+		}
+		if any {
+			e.slots[r] = svs
+		}
+	}
+}
 
 // AddFact queues an EDB (or externally derived) fact for the next Fixpoint.
 func (e *Evaluator) AddFact(pred string, t Tuple) {
@@ -73,47 +184,32 @@ func (e *Evaluator) AddFact(pred string, t Tuple) {
 // Result returns the relation for pred (IDB or EDB), or nil.
 func (e *Evaluator) Result(pred string) *Relation { return e.db.Get(pred) }
 
+// parallelCutoff is the minimum round-delta size before a round fans out to
+// shard workers; smaller deltas aren't worth the goroutine handoff.
+const parallelCutoff = 64
+
 // Fixpoint runs all strata to fixpoint over the pending deltas.
 func (e *Evaluator) Fixpoint() error {
-	// Insert pending facts; the ones actually new seed the delta sets.
-	newSince := map[string][]Tuple{}
-	pendNames := make([]string, 0, len(e.pending))
-	for name := range e.pending {
-		pendNames = append(pendNames, name)
-	}
-	sort.Strings(pendNames)
-	for _, name := range pendNames {
-		ts := e.pending[name]
-		arity := len(ts[0])
-		rel := e.db.Relation(name, arity)
-		for _, t := range ts {
-			if rel.Insert(t) {
-				newSince[name] = append(newSince[name], t)
-				e.stats.FactsAdded++
-			}
-		}
-	}
-	e.pending = map[string][]Tuple{}
+	newSince := e.drainPending()
 
-	for _, stratum := range e.q.Strata {
+	for si, stratum := range e.q.Strata {
 		// Round 0 consumes everything new since Fixpoint started (facts and
 		// lower-strata derivations); later rounds consume this stratum's
 		// own derivations (recursion).
 		delta := newSince
 		for {
-			e.stats.Rounds++
-			derived := map[string][]Tuple{}
-			for _, r := range stratum {
-				plan := e.plans[r]
-				if plan.aggregates {
-					if err := e.evalAggRule(r, plan, delta, derived); err != nil {
-						return err
-					}
-					continue
-				}
-				if err := e.evalRule(r, plan, delta, derived); err != nil {
-					return err
-				}
+			e.stats.rounds.Add(1)
+			e.stats.perStratum[si].Add(1)
+			var derived map[string][]Tuple
+			var err error
+			if e.parallelOK(si, delta) {
+				e.stats.parallelRounds.Add(1)
+				derived, err = e.parallelRound(stratum, delta)
+			} else {
+				derived, err = e.sequentialRound(stratum, delta)
+			}
+			if err != nil {
+				return err
 			}
 			if len(derived) == 0 {
 				break
@@ -129,12 +225,102 @@ func (e *Evaluator) Fixpoint() error {
 	return nil
 }
 
-// evalRule fires one plain rule semi-naively: once per positive literal
-// whose predicate has a delta, with that literal restricted to the delta.
-// Rules with no positive body literals (facts) fire unconditionally.
-func (e *Evaluator) evalRule(r *pql.Rule, plan *rulePlan, delta map[string][]Tuple, derived map[string][]Tuple) error {
-	head := e.db.Relation(r.Head.Pred, len(r.Head.Args))
-	emit := func(b binding) error {
+// drainPending inserts the queued facts; the ones actually new seed the
+// delta sets. Predicates are drained in sorted name order so the seed delta
+// — and everything derived from it — is deterministic. With workers
+// configured, per-predicate ingest fans out (relations are disjoint, so the
+// only shared state is the atomic counter); the per-predicate insertion
+// order is preserved either way.
+func (e *Evaluator) drainPending() map[string][]Tuple {
+	newSince := map[string][]Tuple{}
+	pendNames := make([]string, 0, len(e.pending))
+	total := 0
+	for name, ts := range e.pending {
+		pendNames = append(pendNames, name)
+		total += len(ts)
+	}
+	sort.Strings(pendNames)
+	if e.workers > 1 && len(pendNames) > 1 && total >= parallelCutoff {
+		rels := make([]*Relation, len(pendNames))
+		for i, name := range pendNames {
+			rels[i] = e.db.Relation(name, len(e.pending[name][0]))
+		}
+		news := make([][]Tuple, len(pendNames))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.workers)
+		for i := range pendNames {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rel := rels[i]
+				for _, t := range e.pending[pendNames[i]] {
+					if rel.Insert(t) {
+						news[i] = append(news[i], t)
+						e.stats.factsAdded.Add(1)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, name := range pendNames {
+			if len(news[i]) > 0 {
+				newSince[name] = news[i]
+			}
+		}
+	} else {
+		for _, name := range pendNames {
+			ts := e.pending[name]
+			rel := e.db.Relation(name, len(ts[0]))
+			for _, t := range ts {
+				if rel.Insert(t) {
+					newSince[name] = append(newSince[name], t)
+					e.stats.factsAdded.Add(1)
+				}
+			}
+		}
+	}
+	e.pending = map[string][]Tuple{}
+	return newSince
+}
+
+// parallelOK reports whether this round should fan out to shard workers.
+func (e *Evaluator) parallelOK(stratum int, delta map[string][]Tuple) bool {
+	if e.workers <= 1 || !e.parSafe[stratum] {
+		return false
+	}
+	n := 0
+	for _, ts := range delta {
+		n += len(ts)
+	}
+	return n >= parallelCutoff
+}
+
+// sequentialRound fires every rule of the stratum against the round delta on
+// the calling goroutine — the seed evaluation path.
+func (e *Evaluator) sequentialRound(stratum []*pql.Rule, delta map[string][]Tuple) (map[string][]Tuple, error) {
+	derived := map[string][]Tuple{}
+	for _, r := range stratum {
+		plan := e.plans[r]
+		if plan.aggregates {
+			if err := e.evalAggRule(r, plan, delta, derived); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.evalRule(r, plan, delta, derived); err != nil {
+			return nil, err
+		}
+	}
+	return derived, nil
+}
+
+// headEmit adapts a tuple-level emit to the binding-level emit joinFrom
+// produces: it builds the head tuple from the rule's head terms under the
+// final binding.
+func (e *Evaluator) headEmit(r *pql.Rule, emit func(Tuple) error) func(binding) error {
+	return func(b binding) error {
 		t := make(Tuple, len(r.Head.Args))
 		for i, a := range r.Head.Args {
 			v, err := evalTerm(a, b, e.env)
@@ -143,12 +329,22 @@ func (e *Evaluator) evalRule(r *pql.Rule, plan *rulePlan, delta map[string][]Tup
 			}
 			t[i] = v
 		}
+		return emit(t)
+	}
+}
+
+// evalRule fires one plain rule semi-naively: once per positive literal
+// whose predicate has a delta, with that literal restricted to the delta.
+// Rules with no positive body literals (facts) fire unconditionally.
+func (e *Evaluator) evalRule(r *pql.Rule, plan *rulePlan, delta map[string][]Tuple, derived map[string][]Tuple) error {
+	head := e.db.Relation(r.Head.Pred, len(r.Head.Args))
+	emit := e.headEmit(r, func(t Tuple) error {
 		if head.Insert(t) {
 			derived[r.Head.Pred] = append(derived[r.Head.Pred], t)
-			e.stats.Derivations++
+			e.stats.derivations.Add(1)
 		}
 		return nil
-	}
+	})
 
 	if plan.factPlan != nil {
 		// Fact rule: fires once per Fixpoint (idempotent via dedup).

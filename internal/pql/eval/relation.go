@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ariadne/internal/value"
 )
@@ -47,10 +48,19 @@ func (t Tuple) Clone() Tuple {
 
 // Relation is a set of same-arity tuples with lazily built, incrementally
 // maintained hash indexes on column subsets.
+//
+// Concurrency contract: concurrent readers (Lookup/LookupKey/Contains/All)
+// are safe with each other — lazy index construction is serialized behind
+// mu, and everything else they touch is read-only. Mutations (Insert,
+// Delete, Clear) must not overlap with readers or each other; the parallel
+// evaluator guarantees this by alternating read-only worker phases with a
+// single-goroutine merge phase.
 type Relation struct {
-	arity   int
-	rows    map[string]Tuple
-	order   []Tuple // insertion order, for deterministic iteration
+	arity int
+	rows  map[string]Tuple
+	order []Tuple // insertion order, for deterministic iteration
+
+	mu      sync.Mutex // guards indexes map + lazy index construction
 	indexes map[string]*index
 }
 
@@ -73,19 +83,26 @@ func (r *Relation) Len() int { return len(r.rows) }
 
 // Insert adds t, reporting whether it was new. The tuple is retained.
 func (r *Relation) Insert(t Tuple) bool {
+	return r.InsertKeyed(t.Key(), t)
+}
+
+// InsertKeyed is Insert with the tuple's canonical key already computed
+// (the parallel merge phase reuses the key computed by shard workers).
+func (r *Relation) InsertKeyed(k string, t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("eval: inserting arity-%d tuple into arity-%d relation", len(t), r.arity))
 	}
-	k := t.Key()
 	if _, ok := r.rows[k]; ok {
 		return false
 	}
 	r.rows[k] = t
 	r.order = append(r.order, t)
+	r.mu.Lock()
 	for _, idx := range r.indexes {
 		pk := projKey(t, idx.cols)
 		idx.m[pk] = append(idx.m[pk], t)
 	}
+	r.mu.Unlock()
 	return true
 }
 
@@ -104,6 +121,7 @@ func (r *Relation) Delete(t Tuple) bool {
 			break
 		}
 	}
+	r.mu.Lock()
 	for _, idx := range r.indexes {
 		pk := projKey(old, idx.cols)
 		lst := idx.m[pk]
@@ -114,6 +132,7 @@ func (r *Relation) Delete(t Tuple) bool {
 			}
 		}
 	}
+	r.mu.Unlock()
 	return true
 }
 
@@ -123,16 +142,51 @@ func (r *Relation) Contains(t Tuple) bool {
 	return ok
 }
 
+// ContainsKey reports membership by canonical tuple key (see Tuple.Key).
+func (r *Relation) ContainsKey(k string) bool {
+	_, ok := r.rows[k]
+	return ok
+}
+
+// containsKeyBytes is ContainsKey without the string allocation: the
+// conversion sits inside the map index expression, which the compiler
+// optimizes to a zero-copy lookup.
+func (r *Relation) containsKeyBytes(k []byte) bool {
+	_, ok := r.rows[string(k)]
+	return ok
+}
+
 // All returns the tuples in insertion order. The slice must not be modified.
 func (r *Relation) All() []Tuple { return r.order }
 
 // Lookup returns the tuples whose values at cols equal key, building (and
-// thereafter maintaining) a hash index on cols.
+// thereafter maintaining) a hash index on cols. Safe for concurrent use by
+// multiple readers.
 func (r *Relation) Lookup(cols []int, key []value.Value) []Tuple {
 	if len(cols) == 0 {
 		return r.order
 	}
-	ck := encodeCols(cols)
+	idx := r.index(encodeCols(cols), cols)
+	return idx.m[keyOf(key)]
+}
+
+// LookupKey is Lookup with the column subset and projection key already
+// encoded (colsKey via encodeCols, key via the projKey encoding) — the
+// allocation-free fast path used by slot-compiled rule programs. Safe for
+// concurrent use by multiple readers.
+func (r *Relation) LookupKey(cols []int, colsKey string, key []byte) []Tuple {
+	if len(cols) == 0 {
+		return r.order
+	}
+	idx := r.index(colsKey, cols)
+	return idx.m[string(key)]
+}
+
+// index returns the hash index on cols, building it under the lock on first
+// use so concurrent lookups from shard workers race safely.
+func (r *Relation) index(ck string, cols []int) *index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	idx, ok := r.indexes[ck]
 	if !ok {
 		idx = &index{cols: append([]int(nil), cols...), m: make(map[string][]Tuple, len(r.rows))}
@@ -145,7 +199,7 @@ func (r *Relation) Lookup(cols []int, key []value.Value) []Tuple {
 		}
 		r.indexes[ck] = idx
 	}
-	return idx.m[keyOf(key)]
+	return idx
 }
 
 func projKey(t Tuple, cols []int) string {
@@ -184,16 +238,37 @@ func encodeCols(cols []int) string {
 	return string(b)
 }
 
-// MemSize estimates the relation's footprint in bytes (tuples only; indexes
-// excluded since they share tuple storage).
+// Per-entry overhead constants for MemSize: a tuple costs its values plus a
+// slice header; a hash-index bucket costs its key string (header + bytes),
+// the bucket slice header, map bucket bookkeeping, and one pointer-sized
+// slot per indexed tuple (the tuples themselves are shared with rows).
+const (
+	memTupleOverhead  = 24
+	memBucketOverhead = 16 + 24 + 8 // string header + slice header + map slot
+	memIndexOverhead  = 48          // index struct + cols slice
+	memEntryPointer   = 8
+)
+
+// MemSize estimates the relation's footprint in bytes: tuple storage plus
+// the overhead of every hash index built so far. Indexes share tuple
+// storage with rows, but their buckets, key strings, and per-entry pointers
+// are real memory the naive-mode budget must account for.
 func (r *Relation) MemSize() int64 {
 	var s int64
 	for _, t := range r.order {
-		s += 24
+		s += memTupleOverhead
 		for _, v := range t {
 			s += int64(v.MemSize())
 		}
 	}
+	r.mu.Lock()
+	for _, idx := range r.indexes {
+		s += memIndexOverhead
+		for k, lst := range idx.m {
+			s += memBucketOverhead + int64(len(k)) + memEntryPointer*int64(len(lst))
+		}
+	}
+	r.mu.Unlock()
 	return s
 }
 

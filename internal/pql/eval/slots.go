@@ -1,0 +1,532 @@
+package eval
+
+import (
+	"fmt"
+
+	"ariadne/internal/pql"
+	"ariadne/internal/pql/analysis"
+	"ariadne/internal/value"
+)
+
+// Slot-compiled rule programs: the shard workers' fast path.
+//
+// orderBody produces a static join order, which means the set of bound
+// variables at each step is known at plan time. That lets us replace the
+// interpreter's binding map (string-keyed, with backtracking deletes) with a
+// flat slot array indexed by precomputed positions, and its per-step
+// cols/key rebuilds with precompiled lookup encoders writing into a reused
+// byte buffer. The compiled program matches every argument exactly the way
+// unify does (first variable occurrence binds, later occurrences compare,
+// constants and ground expressions compare by Equal), so a slot program and
+// joinFrom produce identical tuples in identical order. Any rule shape the
+// compiler doesn't cover — non-ground complex terms, unusual binder forms —
+// makes compileVariant return ok=false and the variant runs interpretively
+// inside the worker instead.
+
+// slotFn evaluates a term against the slot array.
+type slotFn func(slots []value.Value) (value.Value, error)
+
+// slot sources: how a ground term is produced at runtime.
+type srcKind uint8
+
+const (
+	srcConst srcKind = iota
+	srcSlot
+	srcFn
+)
+
+type slotSrc struct {
+	kind srcKind
+	slot int
+	cval value.Value
+	fn   slotFn
+}
+
+func (s *slotSrc) eval(slots []value.Value) (value.Value, error) {
+	switch s.kind {
+	case srcConst:
+		return s.cval, nil
+	case srcSlot:
+		return slots[s.slot], nil
+	default:
+		return s.fn(slots)
+	}
+}
+
+// match actions: how each argument of a positive atom is checked against a
+// candidate tuple, mirroring unify argument by argument.
+type matchKind uint8
+
+const (
+	matchSkip  matchKind = iota // wildcard
+	matchBind                   // first occurrence: bind the slot
+	matchSlot                   // bound variable: Equal against the slot
+	matchConst                  // constant: Equal
+	matchFn                     // ground complex term: evaluate, Equal
+)
+
+type slotMatch struct {
+	kind matchKind
+	slot int
+	cval value.Value
+	fn   slotFn
+}
+
+type slotStep struct {
+	kind stepKind
+	pred string
+	pos  pql.Pos
+
+	// stepPositive
+	isDelta    bool
+	lookupCols []int
+	colsKey    string
+	lookupSrc  []slotSrc
+	match      []slotMatch
+
+	// stepNegated
+	negSrc []slotSrc
+
+	// stepCompare: bindSlot >= 0 is the binder form (evaluate bindFn into
+	// the slot), otherwise cmpFn filters.
+	bindSlot int
+	bindFn   slotFn
+	cmpFn    func(slots []value.Value) (bool, error)
+}
+
+// slotVariant is one compiled plan variant: the step program, the head
+// constructors, and the slot count.
+type slotVariant struct {
+	steps  []slotStep
+	head   []slotSrc
+	nSlots int
+}
+
+// slotRun is per-(worker, firing) scratch state: the slot array, a reused
+// key buffer, the delta batch, and the emit sink.
+type slotRun struct {
+	db     *Database
+	slots  []value.Value
+	keyBuf []byte
+	deltas []Tuple
+	emit   func(Tuple) error
+}
+
+// prep sizes the scratch for sv and installs the delta batch and sink.
+// Stale slot values from a previous firing are harmless: the static binding
+// discipline guarantees every slot is written before it is read.
+func (rn *slotRun) prep(sv *slotVariant, deltas []Tuple, emit func(Tuple) error) {
+	if cap(rn.slots) < sv.nSlots {
+		rn.slots = make([]value.Value, sv.nSlots)
+	} else {
+		rn.slots = rn.slots[:sv.nSlots]
+	}
+	rn.deltas = deltas
+	rn.emit = emit
+}
+
+// appendNorm appends v's canonical binary encoding (Ints normalized to
+// Floats, exactly as Tuple.Key and projKey do).
+func appendNorm(b []byte, v value.Value) []byte {
+	if v.Kind() == value.Int {
+		v = value.NewFloat(v.Float())
+	}
+	return v.AppendBinary(b)
+}
+
+// run executes the program from step si.
+func (sv *slotVariant) run(rn *slotRun, si int) error {
+	if si == len(sv.steps) {
+		t := make(Tuple, len(sv.head))
+		for i := range sv.head {
+			v, err := sv.head[i].eval(rn.slots)
+			if err != nil {
+				return err
+			}
+			t[i] = v
+		}
+		return rn.emit(t)
+	}
+	st := &sv.steps[si]
+	switch st.kind {
+	case stepCompare:
+		if st.bindSlot >= 0 {
+			v, err := st.bindFn(rn.slots)
+			if err != nil {
+				return err
+			}
+			rn.slots[st.bindSlot] = v
+			return sv.run(rn, si+1)
+		}
+		ok, err := st.cmpFn(rn.slots)
+		if err != nil || !ok {
+			return err
+		}
+		return sv.run(rn, si+1)
+
+	case stepNegated:
+		// Evaluate the arguments before the nil-relation check so UDF and
+		// arithmetic errors surface exactly as in the interpreter.
+		kb := rn.keyBuf[:0]
+		for i := range st.negSrc {
+			v, err := st.negSrc[i].eval(rn.slots)
+			if err != nil {
+				return err
+			}
+			kb = appendNorm(kb, v)
+		}
+		rn.keyBuf = kb
+		if rel := rn.db.Get(st.pred); rel != nil && rel.containsKeyBytes(kb) {
+			return nil
+		}
+		return sv.run(rn, si+1)
+
+	default: // stepPositive
+		var cands []Tuple
+		if st.isDelta {
+			cands = rn.deltas
+		} else {
+			rel := rn.db.Get(st.pred)
+			if rel == nil {
+				return nil
+			}
+			if len(st.lookupCols) == 0 {
+				cands = rel.All()
+			} else {
+				kb := rn.keyBuf[:0]
+				for i := range st.lookupSrc {
+					v, err := st.lookupSrc[i].eval(rn.slots)
+					if err != nil {
+						return err
+					}
+					kb = appendNorm(kb, v)
+				}
+				rn.keyBuf = kb
+				cands = rel.LookupKey(st.lookupCols, st.colsKey, kb)
+			}
+		}
+		nm := len(st.match)
+	outer:
+		for _, t := range cands {
+			if len(t) != nm {
+				return fmt.Errorf("pql: %s: arity mismatch binding %s", st.pos, st.pred)
+			}
+			for i := 0; i < nm; i++ {
+				m := &st.match[i]
+				switch m.kind {
+				case matchSkip:
+				case matchBind:
+					rn.slots[m.slot] = t[i]
+				case matchSlot:
+					if !rn.slots[m.slot].Equal(t[i]) {
+						continue outer
+					}
+				case matchConst:
+					if !m.cval.Equal(t[i]) {
+						continue outer
+					}
+				default: // matchFn
+					v, err := m.fn(rn.slots)
+					if err != nil {
+						return err
+					}
+					if !v.Equal(t[i]) {
+						continue outer
+					}
+				}
+			}
+			if err := sv.run(rn, si+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// slotCompiler tracks the static binding state during compilation: which
+// variables are bound, and at which slot.
+type slotCompiler struct {
+	env    *analysis.Env
+	slotOf map[string]int
+	n      int
+}
+
+func (sc *slotCompiler) bind(name string) int {
+	if s, ok := sc.slotOf[name]; ok {
+		return s
+	}
+	s := sc.n
+	sc.n++
+	sc.slotOf[name] = s
+	return s
+}
+
+// slotFn compiles a term that must be ground at this point of the program.
+// Returns ok=false for wildcards, unbound variables, and term shapes the
+// compiler doesn't handle — the caller falls back to the interpreter, whose
+// runtime groundness checks route those cases identically.
+func (sc *slotCompiler) slotFn(t pql.Term) (slotFn, bool) {
+	switch t := t.(type) {
+	case *pql.Const:
+		v := t.Val
+		return func([]value.Value) (value.Value, error) { return v, nil }, true
+	case *pql.Var:
+		if t.Wildcard() {
+			return nil, false
+		}
+		slot, ok := sc.slotOf[t.Name]
+		if !ok {
+			return nil, false
+		}
+		return func(s []value.Value) (value.Value, error) { return s[slot], nil }, true
+	case *pql.BinExpr:
+		lf, ok := sc.slotFn(t.L)
+		if !ok {
+			return nil, false
+		}
+		if t.Op == pql.OpNeg {
+			return func(s []value.Value) (value.Value, error) {
+				l, err := lf(s)
+				if err != nil {
+					return value.NullValue, err
+				}
+				return value.Neg(l)
+			}, true
+		}
+		rf, ok := sc.slotFn(t.R)
+		if !ok {
+			return nil, false
+		}
+		var op func(a, b value.Value) (value.Value, error)
+		switch t.Op {
+		case pql.OpAdd:
+			op = value.Add
+		case pql.OpSub:
+			op = value.Sub
+		case pql.OpMul:
+			op = value.Mul
+		case pql.OpDiv:
+			op = value.Div
+		case pql.OpMod:
+			op = value.Mod
+		default:
+			return nil, false
+		}
+		return func(s []value.Value) (value.Value, error) {
+			l, err := lf(s)
+			if err != nil {
+				return value.NullValue, err
+			}
+			r, err := rf(s)
+			if err != nil {
+				return value.NullValue, err
+			}
+			return op(l, r)
+		}, true
+	case *pql.Call:
+		fn, ok := sc.env.Funcs[t.Name]
+		if !ok {
+			return nil, false
+		}
+		argFns := make([]slotFn, len(t.Args))
+		for i, a := range t.Args {
+			af, ok := sc.slotFn(a)
+			if !ok {
+				return nil, false
+			}
+			argFns[i] = af
+		}
+		name, pos := t.Name, t.Pos
+		return func(s []value.Value) (value.Value, error) {
+			args := make([]value.Value, len(argFns))
+			for i := range argFns {
+				v, err := argFns[i](s)
+				if err != nil {
+					return value.NullValue, err
+				}
+				args[i] = v
+			}
+			out, err := fn.Fn(args)
+			if err != nil {
+				return value.NullValue, fmt.Errorf("pql: %s: %s: %w", pos, name, err)
+			}
+			return out, nil
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// src compiles a term into a slot source; the srcConst/srcSlot forms avoid
+// a closure call for the common cases.
+func (sc *slotCompiler) src(t pql.Term) (slotSrc, bool) {
+	switch t := t.(type) {
+	case *pql.Const:
+		return slotSrc{kind: srcConst, cval: t.Val}, true
+	case *pql.Var:
+		if t.Wildcard() {
+			return slotSrc{}, false
+		}
+		if slot, ok := sc.slotOf[t.Name]; ok {
+			return slotSrc{kind: srcSlot, slot: slot}, true
+		}
+		return slotSrc{}, false
+	default:
+		fn, ok := sc.slotFn(t)
+		if !ok {
+			return slotSrc{}, false
+		}
+		return slotSrc{kind: srcFn, fn: fn}, true
+	}
+}
+
+// cmpFn compiles a comparison filter (both sides ground).
+func (sc *slotCompiler) cmpFn(c *pql.CmpLit) (func([]value.Value) (bool, error), bool) {
+	lf, ok := sc.slotFn(c.L)
+	if !ok {
+		return nil, false
+	}
+	rf, ok := sc.slotFn(c.R)
+	if !ok {
+		return nil, false
+	}
+	op, pos := c.Op, c.Pos
+	return func(s []value.Value) (bool, error) {
+		l, err := lf(s)
+		if err != nil {
+			return false, err
+		}
+		r, err := rf(s)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case pql.CmpEq:
+			return l.Equal(r), nil
+		case pql.CmpNeq:
+			return !l.Equal(r), nil
+		}
+		cmp := l.Compare(r)
+		switch op {
+		case pql.CmpLt:
+			return cmp < 0, nil
+		case pql.CmpLe:
+			return cmp <= 0, nil
+		case pql.CmpGt:
+			return cmp > 0, nil
+		case pql.CmpGe:
+			return cmp >= 0, nil
+		default:
+			return false, fmt.Errorf("pql: %s: unknown comparison", pos)
+		}
+	}, true
+}
+
+// compileVariant compiles one plan variant into a slot program. ok=false
+// means the variant has a shape the compiler doesn't support and must run
+// interpretively.
+func compileVariant(r *pql.Rule, v *planVariant, env *analysis.Env) (*slotVariant, bool) {
+	sc := &slotCompiler{env: env, slotOf: map[string]int{}}
+	sv := &slotVariant{}
+	for si, st := range v.steps {
+		switch st.kind {
+		case stepPositive:
+			s := slotStep{kind: stepPositive, pred: st.atom.Pred, pos: st.atom.Pos, isDelta: si == v.deltaStep}
+			// Pass 1: build the lookup key from arguments ground *before*
+			// this step (sc.slotOf is still the pre-step binding state).
+			// The delta step scans its batch and never looks up.
+			if !s.isDelta {
+				for i, a := range st.atom.Args {
+					if src, ok := sc.src(a); ok {
+						s.lookupCols = append(s.lookupCols, i)
+						s.lookupSrc = append(s.lookupSrc, src)
+					}
+				}
+				s.colsKey = encodeCols(s.lookupCols)
+			}
+			// Pass 2: match actions in argument order, exactly as unify
+			// walks them — a variable's first occurrence binds, a repeat
+			// occurrence (even within this atom) compares.
+			s.match = make([]slotMatch, len(st.atom.Args))
+			for i, a := range st.atom.Args {
+				switch a := a.(type) {
+				case *pql.Var:
+					if a.Wildcard() {
+						s.match[i] = slotMatch{kind: matchSkip}
+					} else if slot, ok := sc.slotOf[a.Name]; ok {
+						s.match[i] = slotMatch{kind: matchSlot, slot: slot}
+					} else {
+						s.match[i] = slotMatch{kind: matchBind, slot: sc.bind(a.Name)}
+					}
+				case *pql.Const:
+					s.match[i] = slotMatch{kind: matchConst, cval: a.Val}
+				default:
+					fn, ok := sc.slotFn(a)
+					if !ok {
+						return nil, false
+					}
+					s.match[i] = slotMatch{kind: matchFn, fn: fn}
+				}
+			}
+			sv.steps = append(sv.steps, s)
+
+		case stepNegated:
+			s := slotStep{kind: stepNegated, pred: st.atom.Pred, pos: st.atom.Pos}
+			for _, a := range st.atom.Args {
+				src, ok := sc.src(a)
+				if !ok {
+					return nil, false
+				}
+				s.negSrc = append(s.negSrc, src)
+			}
+			sv.steps = append(sv.steps, s)
+
+		case stepCompare:
+			c := st.cmp
+			// Static binder detection, mirroring joinFrom's dynamic checks
+			// in the same order: boundness is static, so "unbound at this
+			// step" is decidable at compile time.
+			if c.Op == pql.CmpEq {
+				if bs, ok := compileBinder(sc, c.L, c.R); ok {
+					sv.steps = append(sv.steps, bs)
+					continue
+				}
+				if bs, ok := compileBinder(sc, c.R, c.L); ok {
+					sv.steps = append(sv.steps, bs)
+					continue
+				}
+			}
+			cf, ok := sc.cmpFn(c)
+			if !ok {
+				return nil, false
+			}
+			sv.steps = append(sv.steps, slotStep{kind: stepCompare, bindSlot: -1, cmpFn: cf})
+		}
+	}
+	for _, a := range r.Head.Args {
+		src, ok := sc.src(a)
+		if !ok {
+			return nil, false
+		}
+		sv.head = append(sv.head, src)
+	}
+	sv.nSlots = sc.n
+	return sv, true
+}
+
+// compileBinder compiles `v = expr` when v is an unbound non-wildcard
+// variable and expr is ground — the binder form of a comparison step.
+func compileBinder(sc *slotCompiler, lhs, rhs pql.Term) (slotStep, bool) {
+	v, ok := lhs.(*pql.Var)
+	if !ok || v.Wildcard() {
+		return slotStep{}, false
+	}
+	if _, bound := sc.slotOf[v.Name]; bound {
+		return slotStep{}, false
+	}
+	fn, ok := sc.slotFn(rhs)
+	if !ok {
+		return slotStep{}, false
+	}
+	return slotStep{kind: stepCompare, bindSlot: sc.bind(v.Name), bindFn: fn}, true
+}

@@ -463,6 +463,11 @@ func (s *Store) NumLayers() int { return len(s.layers) }
 // need not be waited for); already-spilled layers are read back from disk
 // through a small LRU cache, since layered backward evaluation visits the
 // same layer once per rule body.
+//
+// Layer is not safe for concurrent use: the cache's LRU bookkeeping and the
+// spill-completion drain mutate store state. The layered driver's prefetch
+// pipeline respects this by making its producer goroutine the sole Layer
+// caller for the duration of a replay.
 func (s *Store) Layer(i int) (*Layer, error) {
 	if i < 0 || i >= len(s.layers) {
 		return nil, fmt.Errorf("provenance: layer %d out of range [0,%d)", i, len(s.layers))
@@ -475,8 +480,10 @@ func (s *Store) Layer(i int) (*Layer, error) {
 		return l, nil
 	}
 	if l := s.cacheGet(i); l != nil {
+		s.cfg.Metrics.Counter("store_layer_cache_hits_total").Add(1)
 		return l, nil
 	}
+	s.cfg.Metrics.Counter("store_layer_reload_total").Add(1)
 	l, err := readLayerFile(s.files[i])
 	if err != nil {
 		return nil, fmt.Errorf("provenance: reloading spilled layer %d: %w", i, err)
