@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix clean
+.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix fault-matrix-net clean
 
 all: build test
 
@@ -41,6 +41,8 @@ bench-micro:
 		./internal/pql/eval/ >> bench-micro.out
 	$(GO) test -run '^$$' -bench 'BenchmarkLayeredEval$$' -benchmem -count 1 \
 		./internal/driver/ >> bench-micro.out
+	$(GO) test -run '^$$' -bench 'BenchmarkTransportRun' -benchmem -count 1 \
+		./internal/transport/ >> bench-micro.out
 	$(GO) run ./cmd/benchjson -out BENCH_micro.json < bench-micro.out
 	rm -f bench-micro.out
 
@@ -65,6 +67,30 @@ fault-matrix:
 	$(GO) run -race ./cmd/ariadne run -analytic sssp -dataset IN-04 -capture full \
 		-supervise -degrade-capture 2 -faults "capture:part=0:times=3" \
 		-trace-buf 1024 -stats-json FAULT_degrade.json
+
+# fault-matrix-net exercises the network fault sites end to end under the
+# race detector: the transport test suite (wire codec, TCP differential,
+# deterministic net fault matrix, worker-kill recovery, heartbeats), then
+# three distributed CLI runs over spawned TCP-loopback workers — a dropped
+# exchange recovered by retransmit, a connection reset recovered by
+# reconnect, and an unreachable partition recovered by local fallback with
+# its capture shed into a queryable gap. Each CLI run writes its trace and
+# capture gaps to FAULT_net_*.json; CI archives the JSON.
+fault-matrix-net:
+	$(GO) test -race -run 'Transport|Net|Wire|WorkerKilled|Heartbeat|Handshake' \
+		./internal/transport/ ./internal/fault/ .
+	$(GO) run -race ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms \
+		-faults "net.send:mode=drop:part=1:ss=2" \
+		-trace-buf 1024 -stats-json FAULT_net_drop.json
+	$(GO) run -race ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms \
+		-faults "net.send:mode=reset:part=1:ss=3" \
+		-trace-buf 1024 -stats-json FAULT_net_reset.json
+	$(GO) run -race ./cmd/ariadne run -analytic sssp -dataset IN-04 -capture full \
+		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms -max-retries 1 \
+		-faults "net.send:mode=drop:part=1:times=1048576" \
+		-trace-buf 1024 -stats-json FAULT_net_fallback.json
 
 # ci is what .github/workflows/ci.yml runs.
 ci: vet race

@@ -85,6 +85,9 @@ type (
 	// EvalOption tunes PQL evaluation (QueryOffline and online queries):
 	// shard-parallel worker count, sequential reference leg, layer prefetch.
 	EvalOption = driver.EvalOpt
+	// Transport executes partition supersteps, in-process or on remote
+	// worker processes (see WithTransport and internal/transport).
+	Transport = engine.Transport
 )
 
 // EvalWorkers sets the shard-parallel evaluation worker count for a query
@@ -343,6 +346,26 @@ func WithCheckpointRetention(keep int) Option {
 	}
 }
 
+// WithTransport routes each partition's superstep compute through t — an
+// in-process executor leg or a TCP client to worker processes (package
+// internal/transport, `ariadne worker` / `run -transport tcp`). The barrier,
+// capture, checkpointing, and query evaluation still run in this process,
+// so results are bit-identical to a local run. Pair with WithSupervision:
+// transport failures then retry under the supervision policy, and a
+// partition unreachable past MaxRetries falls back to local execution with
+// its provenance capture shed (surfaced in Result.CaptureGaps) when
+// DegradeCaptureAfter enables degraded mode. The engine does not close t;
+// the caller owns its lifecycle.
+func WithTransport(t Transport) Option {
+	return func(c *runConfig) error {
+		if t == nil {
+			return errors.New("ariadne: WithTransport requires a non-nil transport")
+		}
+		c.engineCfg.Transport = t
+		return nil
+	}
+}
+
 // WithFault installs a deterministic fault injector, consulted by the
 // engine's compute path and the checkpoint/spill writers — the test harness
 // for crash recovery.
@@ -408,6 +431,9 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 		cfg.engineCfg.Supervise = cfg.supervise
 		deg = supervise.NewDegradeState(cfg.supervise.DegradeCaptureAfter)
 	}
+	// The transport's local-fallback path sheds an unreachable partition's
+	// capture through the same degradation state.
+	cfg.engineCfg.Degrade = deg
 
 	// Capture observer.
 	var store *provenance.Store

@@ -32,26 +32,33 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"ariadne"
 	"ariadne/internal/analytics"
 	"ariadne/internal/cliutil"
+	"ariadne/internal/engine"
+	"ariadne/internal/fault"
 	"ariadne/internal/gen"
 	"ariadne/internal/graph"
 	"ariadne/internal/obs"
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/provenance"
 	"ariadne/internal/queries"
+	"ariadne/internal/transport"
 )
 
 func main() {
@@ -64,6 +71,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "query":
@@ -83,6 +92,7 @@ func usage() {
 commands:
   stats   print dataset characteristics
   run     run an analytic with optional capture and online queries
+  worker  serve partition computations to a distributed run (-transport tcp)
   trace   run an analytic with capture, then trace a vertex's lineage
   query   run an analytic, then evaluate a PQL file over its provenance
           (or online when the query's class allows it)
@@ -179,6 +189,11 @@ func cmdRun(args []string) error {
 	spillQueue := fs.Int("spill-queue", 0, "async spill queue depth in layers (0 = default double-buffering)")
 	reloadCache := fs.Int("reload-cache", 0, "spilled-layer reload cache capacity in layers (0 = default, negative = disabled)")
 	seqBarrier := fs.Bool("seq-barrier", false, "use the reference sequential superstep barrier instead of the sharded parallel one (bit-identical results, slower)")
+	transportName := fs.String("transport", "inproc", "partition transport: inproc, or tcp to run partitions on worker processes")
+	workers := fs.Int("workers", 0, "worker processes to spawn with -transport tcp (0 = 1)")
+	workerAddrs := fs.String("worker-addrs", "", `comma-separated addresses of already-running "ariadne worker" processes (instead of -workers)`)
+	partitions := fs.Int("partitions", 0, "partition count (0 = GOMAXPROCS; must match the workers' -partitions)")
+	netDeadline := fs.Duration("net-deadline", 0, "per-message send/receive deadline with -transport tcp (0 = 5s default)")
 	evalWorkers := fs.Int("eval-workers", 0, "shard-parallel PQL evaluation workers for online queries (0 = auto, 1 = sequential rounds)")
 	seqEval := fs.Bool("seq-eval", false, "use the reference sequential PQL evaluation path for online queries (identical results, slower)")
 	online := fs.String("online", "", "comma-separated online queries (apt[:eps], q4, q5, q6)")
@@ -197,6 +212,18 @@ func cmdRun(args []string) error {
 	traceBuf := fs.Int("trace-buf", 0, "structured trace ring capacity in events (0 = tracing off)")
 	fs.Parse(args)
 
+	if err := cliutil.ValidateRunFlags(cliutil.RunFlags{
+		Transport:   *transportName,
+		Workers:     *workers,
+		WorkerAddrs: *workerAddrs,
+		SeqBarrier:  *seqBarrier,
+		Resume:      *resume,
+		Checkpoint:  *ckDir,
+	}); err != nil {
+		return err
+	}
+	distributed := *transportName == "tcp"
+
 	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
 	if err != nil {
 		return err
@@ -204,6 +231,13 @@ func cmdRun(args []string) error {
 	prog, g, opts, err := buildAnalytic(*analytic, g, *supersteps)
 	if err != nil {
 		return err
+	}
+	nParts := *partitions
+	if nParts <= 0 {
+		nParts = runtime.GOMAXPROCS(0)
+	}
+	if *partitions > 0 || distributed {
+		opts = append(opts, ariadne.WithPartitions(nParts))
 	}
 
 	var onlineNames []string
@@ -256,8 +290,17 @@ func cmdRun(args []string) error {
 	} else if *evalWorkers != 0 {
 		opts = append(opts, ariadne.WithEvalWorkers(*evalWorkers))
 	}
+	// The injector is shared between the engine (compute/capture sites) and
+	// the TCP transport (net.send/net.recv sites), so one -faults spec can
+	// target either side of the wire.
+	var inj *ariadne.FaultInjector
 	if *faults != "" {
-		opts = append(opts, ariadne.WithFaultSpec(*faults))
+		rules, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		inj = fault.NewInjector(rules...)
+		opts = append(opts, ariadne.WithFault(inj))
 	}
 	if *ckDir != "" {
 		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
@@ -267,16 +310,23 @@ func cmdRun(args []string) error {
 		if *ckKeep > 0 {
 			opts = append(opts, ariadne.WithCheckpointRetention(*ckKeep))
 		}
-	} else if *resume {
-		return fmt.Errorf("-resume needs -checkpoint to locate checkpoints")
 	}
-	if *supervised || *partDeadline > 0 || *degradeAfter > 0 {
+	// Distributed runs are always supervised: the supervision retry path is
+	// what re-executes a partition when its worker dies, and the degradation
+	// state is what sheds an unreachable partition's capture — so degraded
+	// mode is armed by default over TCP (capture failures shed instead of
+	// aborting; pass -degrade-capture to raise the threshold).
+	if *supervised || distributed || *partDeadline > 0 || *degradeAfter > 0 {
+		da := *degradeAfter
+		if distributed && da == 0 {
+			da = 1
+		}
 		opts = append(opts, ariadne.WithSupervision(ariadne.SuperviseConfig{
 			Deadline:            *partDeadline,
 			AdaptiveDeadline:    *partDeadline == 0 && *supervised,
 			StragglerMultiple:   *stragglerMult,
 			MaxRetries:          *maxRetries,
-			DegradeCaptureAfter: *degradeAfter,
+			DegradeCaptureAfter: da,
 		}))
 	}
 
@@ -304,6 +354,34 @@ func cmdRun(args []string) error {
 		}
 		defer srv.Close()
 		fmt.Printf("metrics: http://%s/metrics (also /debug/vars /debug/pprof /trace /supersteps)\n", laddr)
+	}
+
+	if distributed {
+		addrs, stopWorkers, err := resolveWorkers(ctx, *workerAddrs, *workers, nParts,
+			*analytic, *dataset, *graphFile, *size, *supersteps)
+		if err != nil {
+			return err
+		}
+		defer stopWorkers()
+		tr, err := transport.DialTCP(transport.TCPConfig{
+			Addrs: addrs,
+			Fingerprint: transport.Fingerprint{
+				Partitions:  nParts,
+				NumVertices: g.NumVertices(),
+				NumEdges:    g.NumEdges(),
+			},
+			MessageDeadline:   *netDeadline,
+			MaxRetries:        *maxRetries,
+			HeartbeatInterval: time.Second,
+			Fault:             inj,
+			Metrics:           metrics,
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		opts = append(opts, ariadne.WithTransport(tr))
+		fmt.Printf("transport: tcp, %d worker(s), %d partitions\n", len(addrs), nParts)
 	}
 
 	var res *ariadne.Result
@@ -354,6 +432,122 @@ func cmdRun(args []string) error {
 		fmt.Printf("per-superstep stats written to %s\n", *statsJSON)
 	}
 	return nil
+}
+
+// cmdWorker serves partition computations to a distributed run. The worker
+// loads the same graph and analytic as its master — state stays local; only
+// frontier values and messages cross the wire — and verifies the agreement
+// through the handshake fingerprint.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "address to listen on")
+	analytic := fs.String("analytic", "pagerank", "pagerank, sssp, or wcc (must match the master)")
+	dataset := fs.String("dataset", "IN-04", "built-in dataset name (must match the master)")
+	graphFile := fs.String("graph", "", "edge-list file (overrides -dataset)")
+	size := fs.Int("size", 0, "dataset size factor")
+	supersteps := fs.Int("supersteps", 20, "PageRank iterations (must match the master)")
+	partitions := fs.Int("partitions", 0, "partition count (0 = GOMAXPROCS; must match the master)")
+	fs.Parse(args)
+
+	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
+	if err != nil {
+		return err
+	}
+	prog, g, _, err := buildAnalytic(*analytic, g, *supersteps)
+	if err != nil {
+		return err
+	}
+	nParts := *partitions
+	if nParts <= 0 {
+		nParts = runtime.GOMAXPROCS(0)
+	}
+	x, err := engine.NewExecutor(g, prog, engine.Config{Partitions: nParts})
+	if err != nil {
+		return err
+	}
+	w, err := transport.NewWorker(x, *listen, nil)
+	if err != nil {
+		return err
+	}
+	// The master scrapes this exact line off our stdout to learn the port.
+	fmt.Printf("worker: listening %s\n", w.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		w.Close()
+	}()
+	return w.Serve()
+}
+
+// resolveWorkers either splits -worker-addrs or spawns -workers worker
+// processes of this same binary, forwarding the graph and analytic flags so
+// every process deterministically builds the identical graph. The returned
+// cleanup kills spawned workers (a no-op in attach mode).
+func resolveWorkers(ctx context.Context, addrSpec string, n, nParts int,
+	analytic, dataset, graphFile string, size, supersteps int) ([]string, func(), error) {
+	if addrSpec != "" {
+		return strings.Split(addrSpec, ","), func() {}, nil
+	}
+	if n <= 0 {
+		n = 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	wargs := []string{"worker", "-listen", "127.0.0.1:0",
+		"-analytic", analytic,
+		"-supersteps", strconv.Itoa(supersteps),
+		"-partitions", strconv.Itoa(nParts)}
+	if graphFile != "" {
+		wargs = append(wargs, "-graph", graphFile)
+	} else {
+		wargs = append(wargs, "-dataset", dataset, "-size", strconv.Itoa(size))
+	}
+	var cmds []*exec.Cmd
+	stop := func() {
+		for _, c := range cmds {
+			if c.Process != nil {
+				c.Process.Kill()
+			}
+			c.Wait()
+		}
+	}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.CommandContext(ctx, exe, wargs...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		cmds = append(cmds, cmd)
+		sc := bufio.NewScanner(out)
+		addr := ""
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "worker: listening "); ok {
+				addr = a
+				break
+			}
+			fmt.Println(sc.Text())
+		}
+		if addr == "" {
+			stop()
+			return nil, nil, fmt.Errorf("worker %d exited before reporting its address", i)
+		}
+		addrs = append(addrs, addr)
+		go func() { // keep draining so the worker never blocks on a full pipe
+			for sc.Scan() {
+			}
+		}()
+	}
+	return addrs, stop, nil
 }
 
 // writeStatsJSON dumps the run summary and per-superstep profiles.

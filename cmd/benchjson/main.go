@@ -97,6 +97,9 @@ func main() {
 			"wins even on one core via the slot-compiled join path)")
 	minLayered := flag.Float64("min-layered-speedup", 0.9,
 		"minimum sequential/pipelined layered full-run time ratio")
+	maxTransport := flag.Float64("max-transport-overhead", 10,
+		"maximum tcp-loopback/in-process full-run time ratio (the transport "+
+			"seam's serialization + framing cost; ~3x on a loopback container)")
 	flag.Parse()
 
 	var lines []string
@@ -138,6 +141,14 @@ func main() {
 		if par, ok := metric(benches, "BenchmarkParallelEval/parallel8", "tuples/s"); ok && seq > 0 {
 			rep.Ratios["eval_tuples_speedup"] = par / seq
 		}
+	}
+	// transport_overhead is a ceiling, not a floor: the TCP leg is allowed
+	// to cost more than in-process, but not unboundedly more.
+	if v := ratio(rep, benches, "transport_overhead",
+		"BenchmarkTransportRun/tcp",
+		"BenchmarkTransportRun/inproc", "ns/op"); v > *maxTransport {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("transport_overhead %.2f > %.2f", v, *maxTransport))
 	}
 	if v := ratio(rep, benches, "layered_run_speedup",
 		"BenchmarkLayeredEval/sequential",

@@ -1,0 +1,49 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RunFlags captures the cmd/ariadne run flags whose combinations can
+// contradict each other. Validation lives here, not in main, so the rules
+// are unit-testable without spawning the binary.
+type RunFlags struct {
+	Transport   string // "", "inproc", or "tcp"
+	Workers     int    // worker processes to spawn (tcp only)
+	WorkerAddrs string // comma-separated addresses of already-running workers (tcp only)
+	SeqBarrier  bool
+	Resume      bool
+	Checkpoint  string
+}
+
+// ValidateRunFlags rejects contradictory flag combinations with an error
+// naming both flags, instead of letting the run fail later with a message
+// about internals the user never asked for.
+func ValidateRunFlags(f RunFlags) error {
+	switch f.Transport {
+	case "", "inproc", "tcp":
+	default:
+		return fmt.Errorf("-transport %q: want inproc or tcp", f.Transport)
+	}
+	tcp := f.Transport == "tcp"
+	if f.SeqBarrier && tcp {
+		return errors.New("-seq-barrier is the reference in-process barrier; it cannot drive remote workers (-transport tcp)")
+	}
+	if f.Resume && f.Checkpoint == "" {
+		return errors.New("-resume needs -checkpoint to locate checkpoints")
+	}
+	if !tcp && f.Workers > 0 {
+		return errors.New("-workers only applies with -transport tcp")
+	}
+	if !tcp && f.WorkerAddrs != "" {
+		return errors.New("-worker-addrs only applies with -transport tcp")
+	}
+	if f.Workers > 0 && f.WorkerAddrs != "" {
+		return errors.New("-workers spawns workers and -worker-addrs connects to running ones; pass one or the other")
+	}
+	if f.Workers < 0 {
+		return fmt.Errorf("-workers %d: want a positive count", f.Workers)
+	}
+	return nil
+}

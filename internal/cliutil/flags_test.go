@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateRunFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       RunFlags
+		wantErr string // substring, "" = valid
+	}{
+		{"default", RunFlags{}, ""},
+		{"inproc", RunFlags{Transport: "inproc"}, ""},
+		{"tcp spawn", RunFlags{Transport: "tcp", Workers: 2}, ""},
+		{"tcp attach", RunFlags{Transport: "tcp", WorkerAddrs: "127.0.0.1:7100"}, ""},
+		{"resume with checkpoint", RunFlags{Resume: true, Checkpoint: "ck"}, ""},
+		{"seq barrier local", RunFlags{SeqBarrier: true}, ""},
+
+		{"unknown transport", RunFlags{Transport: "udp"}, `-transport "udp"`},
+		{"seq barrier over tcp", RunFlags{Transport: "tcp", SeqBarrier: true}, "-seq-barrier"},
+		{"resume without checkpoint", RunFlags{Resume: true}, "-resume needs -checkpoint"},
+		{"workers without tcp", RunFlags{Workers: 2}, "-workers only applies"},
+		{"addrs without tcp", RunFlags{WorkerAddrs: "127.0.0.1:7100"}, "-worker-addrs only applies"},
+		{"workers and addrs", RunFlags{Transport: "tcp", Workers: 2, WorkerAddrs: "127.0.0.1:7100"}, "one or the other"},
+		{"negative workers", RunFlags{Transport: "tcp", Workers: -1}, "positive count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateRunFlags(tc.f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

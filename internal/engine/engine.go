@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ariadne/internal/fault"
@@ -112,6 +113,19 @@ type Config struct {
 	// straggler flagging against a multiple-of-median policy. nil keeps
 	// the pre-supervision behavior: any partition failure aborts the run.
 	Supervise *supervise.Config
+	// Transport, when set, executes each partition's superstep compute
+	// through it (in-process executor or remote worker processes) instead of
+	// calling the vertex programs directly. The barrier — delivery,
+	// combining, observation, checkpointing — still runs on this engine, so
+	// results are bit-identical to a local run. Transport failures retry
+	// through Supervise; a partition unreachable past MaxRetries is pinned
+	// local for the rest of the run and its capture shed via Degrade.
+	Transport Transport
+	// Degrade, when set alongside Transport, receives ShedNow for a
+	// partition that fell back to local execution after transport failure,
+	// so the capture observer sheds its provenance from that superstep on
+	// (the same degraded-mode contract repeated capture failures trigger).
+	Degrade *supervise.DegradeState
 	// SequentialBarrier selects the seed single-threaded barrier: one
 	// sequential merge loop over every outbox, fresh inbox maps each
 	// superstep, and a global sort of the observer records. Combining
@@ -271,6 +285,12 @@ type Engine struct {
 	// lastCkptSS is the resume superstep of the newest checkpoint written
 	// (or restored), so the cancellation path never writes a duplicate.
 	lastCkptSS int
+
+	// localPinned[p] marks a partition whose transport leg was declared
+	// unreachable: the engine executes it in-process from then on. Atomic
+	// because the pinning partition goroutine writes while later supersteps'
+	// goroutines read.
+	localPinned []atomic.Bool
 }
 
 // New creates an engine for prog over g.
@@ -280,6 +300,9 @@ func New(g *graph.Graph, prog Program, cfg Config) (*Engine, error) {
 	}
 	if cfg.Partitions <= 0 {
 		cfg.Partitions = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Transport != nil && cfg.SequentialBarrier {
+		return nil, errors.New("engine: Transport requires the sharded barrier (SequentialBarrier must be off)")
 	}
 	e := &Engine{g: g, prog: prog, cfg: cfg, nParts: cfg.Partitions}
 	for _, o := range cfg.Observers {
@@ -303,6 +326,7 @@ func New(g *graph.Graph, prog Program, cfg Config) (*Engine, error) {
 	e.results = make([]partResult, e.nParts)
 	e.mergeHeads = make([]int, e.nParts)
 	e.agg = newAggregators(e.nParts)
+	e.localPinned = make([]atomic.Bool, e.nParts)
 	e.runCtx = context.Background()
 	e.lastCkptSS = -1
 	if cfg.Supervise != nil {
@@ -438,6 +462,10 @@ func (e *Engine) Run() (RunStats, error) {
 					fp = forced[p]
 				}
 				ids := e.activeIDs(p, ss, fp)
+				if e.cfg.Transport != nil && !e.localPinned[p].Load() {
+					e.transportCompute(p, ss, observing, ids, results, durs)
+					return
+				}
 				if e.sup == nil {
 					e.runPartition(e.runCtx, p, ss, observing, ids, &results[p])
 					return

@@ -1,0 +1,453 @@
+// Transport boundary: the superstep compute/exchange seam the distributed
+// runtime plugs into. The engine remains the single coordinator ("master" in
+// BLADYG terms): it owns the authoritative vertex values, inboxes,
+// aggregators, observers, and checkpoints, and each superstep it hands every
+// partition's work — active vertices, their current values, their inbox —
+// to a Transport, which executes the vertex programs either on an in-process
+// executor or on a remote worker process and returns the partition's
+// outboxes, records, and aggregator contributions. Because the barrier-side
+// delivery, combining, observation, and checkpointing code is exactly the
+// code the in-process path runs, a transport-backed run is bit-identical to
+// a local one by construction; only *where* Compute executes changes.
+//
+// Robustness contract: a Transport failure (connection loss, exceeded
+// message deadlines, an unreachable peer) is reported as an error wrapping
+// ErrTransport — distinct from a remote *compute* crash, which travels back
+// as ExecResult.Crash and is reconstructed into the same CrashError a local
+// run would produce. Transport failures are retried through the existing
+// partition supervision path, and when a partition stays unreachable past
+// MaxRetries the engine re-executes it locally from the superstep barrier
+// (the master holds the program and graph, so the analytic completes
+// bit-identically) while shedding that partition's provenance capture via
+// the degraded-mode machinery, exactly as repeated capture failures do.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ariadne/internal/fault"
+	"ariadne/internal/graph"
+	"ariadne/internal/obs"
+	"ariadne/internal/value"
+)
+
+// ErrTransport is the base error of transport-layer failures (dial errors,
+// send/recv deadline expiries, heartbeat-declared dead peers). It classifies
+// a failed partition attempt as "the network, not the program": supervision
+// retries it, and past MaxRetries the engine falls back to local execution
+// instead of aborting the run.
+var ErrTransport = errors.New("transport failure")
+
+// Transport executes one partition's superstep compute, either in-process
+// or on a remote worker. Exec must be safe for concurrent calls (the engine
+// issues one call per partition per superstep, from the per-partition worker
+// goroutines) and must be synchronous: when ctx is cancelled or its deadline
+// expires the call returns promptly so a supervised retry never races an
+// abandoned attempt.
+//
+// Exec errors wrapping ErrTransport mean the request may not have reached
+// the worker (or the reply was lost); the engine treats the request as
+// idempotent — ExecRequest is a pure function of its payload — and re-sends
+// it on retry. A remote vertex-program failure is NOT an Exec error: it
+// comes back inside ExecResult.Crash so the master reproduces the exact
+// CrashError (culprit vertex, superstep, panic/fault cause) a local run
+// would have raised.
+type Transport interface {
+	Exec(ctx context.Context, req *ExecRequest) (*ExecResult, error)
+	Close() error
+}
+
+// ExecRequest carries everything one partition needs to compute one
+// superstep: the active vertices in ascending order with their current
+// values and previous-active supersteps, the per-vertex inbox, and the
+// merged aggregator values of the previous superstep. It is a pure value —
+// executing it twice yields the same ExecResult — which is what licenses
+// at-least-once delivery with receiver-side reply dedup in the TCP leg.
+type ExecRequest struct {
+	Superstep int
+	Partition int
+	// Observing asks for VertexRecords in the result (provenance capture or
+	// online queries are attached master-side).
+	Observing bool
+	// Combine enables sender-side combining on the worker, using the
+	// program's combiner (both sides are constructed from the same analytic,
+	// so the association order matches the local path exactly).
+	Combine bool
+	// Active lists the vertices to compute, ascending. Values and PrevActive
+	// align with it; Inbox[i] holds the messages for Active[i] (may be nil).
+	Active     []VertexID
+	Values     []value.Value
+	PrevActive []int32
+	Inbox      [][]IncomingMessage
+	// Agg holds the merged aggregator values of the previous superstep
+	// (Pregel read-your-previous-superstep semantics).
+	Agg map[string]float64
+}
+
+// OutMessage is one outbox entry on the wire: source and destination vertex
+// plus the (possibly sender-combined) value, in emission order.
+type OutMessage struct {
+	Src, Dst VertexID
+	Val      value.Value
+}
+
+// AggUpdate is one partition's partial aggregator contribution for the
+// superstep, merged at the master barrier in the same per-partition order as
+// local execution.
+type AggUpdate struct {
+	Name string
+	Op   AggOp
+	Val  float64
+	N    int64
+}
+
+// RemoteCrash is a vertex-program failure serialized across the transport.
+// The cause classification travels as flags so the master can rebuild an
+// error chain that errors.Is-matches the local sentinels (ErrComputePanic,
+// fault.ErrInjected, context deadline/cancel) and supervision classifies the
+// retry exactly as it would a local crash.
+type RemoteCrash struct {
+	Vertex    VertexID
+	Superstep int
+	Message   string
+	Panic     bool
+	Injected  bool
+	Deadline  bool
+	Canceled  bool
+}
+
+// Err rebuilds the crash cause with the sentinel chain restored.
+func (rc *RemoteCrash) Err() error {
+	base := errors.New(rc.Message)
+	var err error = base
+	if rc.Canceled {
+		err = fmt.Errorf("%w: %w", base, context.Canceled)
+	} else if rc.Deadline {
+		err = fmt.Errorf("%w: %w", base, context.DeadlineExceeded)
+	}
+	if rc.Injected {
+		err = fmt.Errorf("%w: %w", fault.ErrInjected, err)
+	}
+	if rc.Panic {
+		err = fmt.Errorf("%w: %w", ErrComputePanic, err)
+	}
+	return err
+}
+
+// ExecResult is one partition's completed superstep: new values for the
+// computed vertices, the per-destination-partition outboxes in canonical
+// emission order, the observer records (when requested), message accounting,
+// and the partition's aggregator partials. Crash is set instead when a
+// vertex failed; the other fields are then meaningless.
+type ExecResult struct {
+	Partition int
+	Crash     *RemoteCrash
+
+	Computed  []VertexID
+	NewValues []value.Value // aligned with Computed
+	Outbox    [][]OutMessage
+	Records   []VertexRecord
+
+	Sent           int64
+	CombinedSender int64
+	Agg            []AggUpdate
+}
+
+// Executor runs partition supersteps against request-supplied state — the
+// worker-process side of the transport. It wraps a private Engine over the
+// same graph and program the master holds; each Exec installs the request's
+// values, inbox, and aggregator snapshot, runs the partition exactly as the
+// master's in-process path would, and extracts the result. Exec is
+// serialized by an internal mutex (a worker serves one master connection,
+// but its partitions' requests may arrive back to back).
+type Executor struct {
+	mu sync.Mutex
+	e  *Engine
+}
+
+// NewExecutor creates a worker-side executor for prog over g. cfg supplies
+// Partitions (which must match the master's) and the program's Combiner;
+// other fields are ignored — observers, checkpointing, supervision, and
+// metrics live on the master.
+func NewExecutor(g *graph.Graph, prog Program, cfg Config) (*Executor, error) {
+	e, err := New(g, prog, Config{
+		Partitions: cfg.Partitions,
+		Combiner:   cfg.Combiner,
+		Fault:      cfg.Fault,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{e: e}, nil
+}
+
+// Partitions returns the executor's partition count (handshake check).
+func (x *Executor) Partitions() int { return x.e.nParts }
+
+// Graph returns the executor's graph (handshake fingerprint).
+func (x *Executor) Graph() *graph.Graph { return x.e.g }
+
+// Exec computes one partition superstep from the request's state. The
+// context bounds the attempt like a supervision deadline does locally:
+// cancellation aborts between vertices and surfaces as a RemoteCrash with
+// the deadline/cancel cause preserved.
+func (x *Executor) Exec(ctx context.Context, req *ExecRequest) *ExecResult {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e := x.e
+	p := req.Partition
+	inbox := make(map[VertexID][]IncomingMessage, len(req.Active))
+	for i, v := range req.Active {
+		e.values[v] = req.Values[i]
+		e.lastActive[v] = req.PrevActive[i]
+		if len(req.Inbox[i]) > 0 {
+			inbox[v] = req.Inbox[i]
+		}
+	}
+	e.inboxes[p] = inbox
+	e.agg.setCurrent(req.Agg)
+	e.agg.resetPartition(p)
+	if req.Combine {
+		e.sendComb = e.cfg.Combiner
+	} else {
+		e.sendComb = nil
+	}
+	e.runCtx = context.Background() // any ctx expiry is attempt-scoped here
+
+	var pr partResult
+	e.runPartition(ctx, p, req.Superstep, req.Observing, req.Active, &pr)
+
+	res := &ExecResult{Partition: p, Sent: pr.sent, CombinedSender: pr.combinedSender}
+	if c := pr.crash; c != nil {
+		res.Crash = &RemoteCrash{
+			Vertex:    c.Vertex,
+			Superstep: c.Superstep,
+			Message:   c.Err.Error(),
+			Panic:     errors.Is(c.Err, ErrComputePanic),
+			Injected:  errors.Is(c.Err, fault.ErrInjected),
+			Deadline:  errors.Is(c.Err, context.DeadlineExceeded),
+			Canceled:  errors.Is(c.Err, context.Canceled),
+		}
+		return res
+	}
+	res.Computed = append([]VertexID(nil), pr.computed...)
+	res.NewValues = make([]value.Value, len(pr.computed))
+	for i, v := range pr.computed {
+		res.NewValues[i] = e.values[v]
+	}
+	res.Outbox = make([][]OutMessage, e.nParts)
+	for dp, msgs := range pr.outbox {
+		if len(msgs) == 0 {
+			continue
+		}
+		out := make([]OutMessage, len(msgs))
+		for i, om := range msgs {
+			out[i] = OutMessage{Src: om.src, Dst: om.dst, Val: om.val}
+		}
+		res.Outbox[dp] = out
+	}
+	if req.Observing {
+		res.Records = append([]VertexRecord(nil), pr.records...)
+	}
+	res.Agg = e.agg.partial(p)
+	return res
+}
+
+// buildExecRequest snapshots partition p's superstep input for the
+// transport. Everything referenced is either copied or immutable for the
+// duration of the call (inbox slices are only recycled at the next barrier,
+// after every Exec of this superstep returned).
+func (e *Engine) buildExecRequest(p, ss int, observing bool, ids []VertexID) *ExecRequest {
+	req := &ExecRequest{
+		Superstep:  ss,
+		Partition:  p,
+		Observing:  observing,
+		Combine:    e.sendComb != nil,
+		Active:     ids,
+		Values:     make([]value.Value, len(ids)),
+		PrevActive: make([]int32, len(ids)),
+		Inbox:      make([][]IncomingMessage, len(ids)),
+		Agg:        e.agg.currentSnapshot(),
+	}
+	inbox := e.inboxes[p]
+	for i, v := range ids {
+		req.Values[i] = e.values[v]
+		req.PrevActive[i] = e.lastActive[v]
+		req.Inbox[i] = inbox[v]
+	}
+	return req
+}
+
+// applyExecResult installs a transport result into the master's state: new
+// values for the computed vertices, the partition's barrier scratch
+// (outboxes, records, accounting), and its aggregator partials. Mirrors
+// what runPartition would have left behind, so the barrier code downstream
+// is unchanged. Partition-local, so safe from p's worker goroutine.
+func (e *Engine) applyExecResult(p int, res *ExecResult, out *partResult) {
+	out.reset(e.nParts, false)
+	if res.Crash != nil {
+		out.crash = &CrashError{Vertex: res.Crash.Vertex, Superstep: res.Crash.Superstep, Err: res.Crash.Err()}
+		return
+	}
+	for i, v := range res.Computed {
+		e.values[v] = res.NewValues[i]
+	}
+	out.computed = append(out.computed, res.Computed...)
+	out.records = append(out.records, res.Records...)
+	for dp := range res.Outbox {
+		for _, m := range res.Outbox[dp] {
+			out.outbox[dp] = append(out.outbox[dp], outMsg{src: m.Src, dst: m.Dst, val: m.Val})
+		}
+	}
+	out.sent = res.Sent
+	out.combinedSender = res.CombinedSender
+	e.agg.applyPartial(p, res.Agg)
+}
+
+// transportRetryable classifies failed transport attempts for supervised
+// retry: transport-layer failures and everything retryableCrash accepts
+// (remote panics and injected faults arrive reconstructed with their
+// sentinels intact) are worth re-executing; parent cancellation is not.
+func transportRetryable(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return errors.Is(err, ErrTransport) || retryableCrash(err)
+}
+
+// transportCompute runs partition p's superstep through the configured
+// transport, with the same supervision wrapper the local path uses: the
+// attempt snapshot/reset is identical, so a retry (or the local fallback
+// below) re-executes from the superstep barrier exactly like a supervised
+// local re-execution. When every attempt fails on a *transport* error — the
+// worker is unreachable — the partition is pinned local for the rest of the
+// run: the master executes it in-process (bit-identical result, same code)
+// and sheds its provenance capture through the degraded-mode machinery, the
+// same contract PR 3 applies to a partition whose capture keeps failing.
+func (e *Engine) transportCompute(p, ss int, observing bool, ids []VertexID, results []partResult, durs []time.Duration) {
+	start := time.Now()
+	snap := make([]value.Value, len(ids))
+	for i, v := range ids {
+		snap[i] = e.values[v]
+	}
+	req := e.buildExecRequest(p, ss, observing, ids)
+	attempt := func(actx context.Context) error {
+		res, err := e.cfg.Transport.Exec(actx, req)
+		if err != nil {
+			return err
+		}
+		e.applyExecResult(p, res, &results[p])
+		if c := results[p].crash; c != nil {
+			return c
+		}
+		return nil
+	}
+	reset := func() {
+		for i, v := range ids {
+			e.values[v] = snap[i]
+		}
+		e.agg.resetPartition(p)
+		results[p].reset(e.nParts, false)
+	}
+	var err error
+	if e.sup != nil {
+		err = e.sup.Run(e.runCtx, p, ss, attempt, reset, transportRetryable)
+	} else if err = attempt(e.runCtx); err != nil && errors.Is(err, ErrTransport) && e.runCtx.Err() == nil {
+		// Without supervision the transport's own per-message retries are
+		// the only retry budget; give the attempt one clean re-execution
+		// before declaring the partition unreachable.
+		reset()
+		err = attempt(e.runCtx)
+	}
+	if err != nil {
+		if errors.Is(err, ErrTransport) && e.runCtx.Err() == nil {
+			m := e.cfg.Metrics
+			m.Tracef(obs.Warn, "transport", ss,
+				"partition %d unreachable (%v); pinning local and shedding its capture", p, err)
+			m.Counter(obs.MetricNetLocalFallbacks).Add(1)
+			e.localPinned[p].Store(true)
+			e.cfg.Degrade.ShedNow(p, ss)
+			reset()
+			if e.sup != nil {
+				e.superviseCompute(p, ss, observing, ids, results, durs)
+				return
+			}
+			e.runPartition(e.runCtx, p, ss, observing, ids, &results[p])
+		} else if results[p].crash == nil {
+			// Not a remote compute crash (those left their CrashError in the
+			// scratch) and not eligible for local fallback — e.g. a transport
+			// failure racing run cancellation. Clear any stale scratch and
+			// surface the failure so the barrier aborts consistently instead
+			// of delivering a partition that computed nothing.
+			v := VertexID(0)
+			if len(ids) > 0 {
+				v = ids[0]
+			}
+			reset()
+			results[p].crash = &CrashError{Vertex: v, Superstep: ss, Err: err}
+		}
+	}
+	if durs != nil {
+		durs[p] = time.Since(start)
+	}
+}
+
+// aggregator helpers for the transport boundary ---------------------------
+
+// currentSnapshot copies the merged previous-superstep aggregator values for
+// an ExecRequest.
+func (a *aggregators) currentSnapshot() map[string]float64 {
+	if len(a.current) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(a.current))
+	for k, v := range a.current {
+		m[k] = v
+	}
+	return m
+}
+
+// setCurrent installs the master-supplied merged aggregator values on a
+// worker-side engine.
+func (a *aggregators) setCurrent(m map[string]float64) {
+	cur := make(map[string]float64, len(m))
+	for k, v := range m {
+		cur[k] = v
+	}
+	a.current = cur
+}
+
+// partial extracts partition p's aggregator contributions in deterministic
+// (name-sorted) order for the wire.
+func (a *aggregators) partial(p int) []AggUpdate {
+	m := a.parts[p]
+	if len(m) == 0 {
+		return nil
+	}
+	ups := make([]AggUpdate, 0, len(m))
+	for name, c := range m {
+		ups = append(ups, AggUpdate{Name: name, Op: c.op, Val: c.val, N: c.n})
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i].Name < ups[j].Name })
+	return ups
+}
+
+// applyPartial installs a remote partition's aggregator contributions on the
+// master, bit-for-bit the cells local execution would have produced (the
+// worker folded them with the same reduce order).
+func (a *aggregators) applyPartial(p int, ups []AggUpdate) {
+	if len(ups) == 0 {
+		a.parts[p] = nil
+		return
+	}
+	m := make(map[string]aggCell, len(ups))
+	for _, u := range ups {
+		m[u.Name] = aggCell{op: u.Op, val: u.Val, n: u.N}
+	}
+	a.parts[p] = m
+}

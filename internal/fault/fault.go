@@ -32,6 +32,16 @@ const (
 	// barrier. Error rules here simulate a failing capture side-channel
 	// (the degraded-mode trigger); the analytic itself is unaffected.
 	SiteCapture = "capture"
+	// SiteNetSend guards each transport frame send on the master side; the
+	// vertex coordinate carries the message sequence number. Drop/Dup/Reset
+	// rules here simulate lossy, duplicating, or resetting links on the
+	// request direction; Delay simulates a slow link.
+	SiteNetSend = "net.send"
+	// SiteNetRecv guards each transport reply receive on the master side
+	// (same coordinates as SiteNetSend). A Drop rule here models the
+	// one-way-partition scenario: requests arrive at the worker but replies
+	// never make it back.
+	SiteNetRecv = "net.recv"
 )
 
 // ErrInjected is the base error of injected (transient) I/O failures.
@@ -64,6 +74,13 @@ type Rule struct {
 	// by the context passed to HitWait, in which case the rule reports an
 	// injected error wrapping the context error.
 	Delay time.Duration
+	// Network actions, consulted only by NetHit at the net.* sites. Drop
+	// discards the frame silently (lost packet), Dup delivers it twice
+	// (retransmit-induced duplicate the receiver must dedup), Reset tears
+	// the connection down (peer reset). At most one should be set.
+	Drop  bool
+	Dup   bool
+	Reset bool
 }
 
 func (r Rule) times() int {
@@ -122,6 +139,105 @@ func Matrix(partition, ss int, delay time.Duration, captureFails int) map[string
 	}
 }
 
+// NetAction is the outcome NetHit prescribes for one transport frame.
+type NetAction int
+
+// Network frame outcomes.
+const (
+	// NetPass delivers the frame normally (possibly after an injected delay).
+	NetPass NetAction = iota
+	// NetDrop discards the frame silently; the sender's deadline fires.
+	NetDrop
+	// NetDup delivers the frame twice; the receiver's dedup must absorb it.
+	NetDup
+	// NetReset tears down the connection as if the peer reset it.
+	NetReset
+)
+
+// NetHit consults the injector at a network site (SiteNetSend or
+// SiteNetRecv). The coordinates are (superstep, partition, seq) — seq rides
+// in the vertex selector slot, so rules can target one specific frame. A
+// matching rule yields its action (after any injected delay, interruptible
+// by ctx); a rule with no Drop/Dup/Reset flag is an error rule and returns
+// a wrapped ErrInjected like HitWait does. nil injector always passes.
+func (in *Injector) NetHit(ctx context.Context, site string, superstep, partition int, seq int64) (NetAction, error) {
+	if in == nil {
+		return NetPass, nil
+	}
+	fire := in.match(site, superstep, partition, seq)
+	if fire == nil {
+		return NetPass, nil
+	}
+	if fire.Delay > 0 {
+		t := time.NewTimer(fire.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return NetPass, fmt.Errorf("%w: delay interrupted at %s (superstep %d, partition %d, seq %d): %w",
+				ErrInjected, site, superstep, partition, seq, ctx.Err())
+		}
+	}
+	switch {
+	case fire.Drop:
+		return NetDrop, nil
+	case fire.Dup:
+		return NetDup, nil
+	case fire.Reset:
+		return NetReset, nil
+	case fire.Delay > 0:
+		return NetPass, nil // pure slow link
+	}
+	return NetPass, fmt.Errorf("%w: %s (superstep %d, partition %d, seq %d)",
+		ErrInjected, site, superstep, partition, seq)
+}
+
+// match finds and consumes the first armed rule matching the coordinates.
+func (in *Injector) match(site string, superstep, partition int, vertex int64) *armedRule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Site != site || r.fired >= r.times() {
+			continue
+		}
+		if r.Superstep >= 0 && r.Superstep != superstep {
+			continue
+		}
+		if r.Partition >= 0 && r.Partition != partition {
+			continue
+		}
+		if r.Vertex >= 0 && r.Vertex != vertex {
+			continue
+		}
+		r.fired++
+		in.total++
+		return r
+	}
+	return nil
+}
+
+// NetMatrix returns the canonical network fault scenarios against one
+// partition's transport leg, keyed by name: a dropped request (retransmit
+// recovers), a slow link (delay, no loss), a duplicated frame (receiver
+// dedup absorbs it), a connection reset (reconnect recovers), a one-way
+// partition (requests arrive, replies drop — deadline plus retransmit
+// recover), and an unreachable peer (everything drops past any retry
+// budget — the engine falls back to local execution and sheds capture).
+// The transport fault matrix test and the CI fault-matrix-net job iterate
+// over these.
+func NetMatrix(partition, ss int, delay time.Duration) map[string][]Rule {
+	return map[string][]Rule{
+		"drop":  {{Site: SiteNetSend, Superstep: ss, Partition: partition, Vertex: -1, Drop: true}},
+		"delay": {{Site: SiteNetSend, Superstep: -1, Partition: partition, Vertex: -1, Delay: delay, Times: 1 << 20}},
+		"dup":   {{Site: SiteNetSend, Superstep: ss, Partition: partition, Vertex: -1, Dup: true}},
+		"reset": {{Site: SiteNetSend, Superstep: ss, Partition: partition, Vertex: -1, Reset: true}},
+		"oneway": {{Site: SiteNetRecv, Superstep: ss, Partition: partition, Vertex: -1, Drop: true,
+			Times: 2}},
+		"unreachable": {{Site: SiteNetSend, Superstep: -1, Partition: partition, Vertex: -1, Drop: true,
+			Times: 1 << 20}},
+	}
+}
+
 // Hit consults the injector at a site. It panics if a matching Panic rule
 // fires, returns a wrapped ErrInjected if a matching error rule fires, and
 // returns nil otherwise. Pass -1 for coordinates a site does not have.
@@ -140,27 +256,7 @@ func (in *Injector) HitWait(ctx context.Context, site string, superstep, partiti
 	if in == nil {
 		return nil
 	}
-	in.mu.Lock()
-	var fire *armedRule
-	for _, r := range in.rules {
-		if r.Site != site || r.fired >= r.times() {
-			continue
-		}
-		if r.Superstep >= 0 && r.Superstep != superstep {
-			continue
-		}
-		if r.Partition >= 0 && r.Partition != partition {
-			continue
-		}
-		if r.Vertex >= 0 && r.Vertex != vertex {
-			continue
-		}
-		r.fired++
-		in.total++
-		fire = r
-		break
-	}
-	in.mu.Unlock()
+	fire := in.match(site, superstep, partition, vertex)
 	if fire == nil {
 		return nil
 	}
@@ -220,10 +316,10 @@ func ParseSpec(spec string) ([]Rule, error) {
 		parts := strings.Split(clause, ":")
 		r := Rule{Site: parts[0], Superstep: -1, Partition: -1, Vertex: -1}
 		switch r.Site {
-		case SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture:
+		case SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture, SiteNetSend, SiteNetRecv:
 		default:
-			return nil, fmt.Errorf("fault: unknown site %q (want %s, %s, %s, or %s)",
-				r.Site, SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture)
+			return nil, fmt.Errorf("fault: unknown site %q (want %s, %s, %s, %s, %s, or %s)",
+				r.Site, SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture, SiteNetSend, SiteNetRecv)
 		}
 		for _, kv := range parts[1:] {
 			key, val, ok := strings.Cut(kv, "=")
@@ -239,8 +335,14 @@ func ParseSpec(spec string) ([]Rule, error) {
 					r.Panic = false
 				case "hang":
 					r.Hang = true
+				case "drop":
+					r.Drop = true
+				case "dup":
+					r.Dup = true
+				case "reset":
+					r.Reset = true
 				default:
-					return nil, fmt.Errorf("fault: unknown mode %q (want panic, error, or hang)", val)
+					return nil, fmt.Errorf("fault: unknown mode %q (want panic, error, hang, drop, dup, or reset)", val)
 				}
 			case "delay":
 				d, err := time.ParseDuration(val)

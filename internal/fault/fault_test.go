@@ -193,3 +193,96 @@ func TestRetry(t *testing.T) {
 		t.Errorf("attempts = %d, want 4", in2.Fired())
 	}
 }
+
+func TestNetHitActions(t *testing.T) {
+	in := NewInjector(
+		Rule{Site: SiteNetSend, Superstep: 1, Partition: 0, Vertex: -1, Drop: true, Times: 1},
+		Rule{Site: SiteNetSend, Superstep: 2, Partition: 0, Vertex: -1, Dup: true, Times: 1},
+		Rule{Site: SiteNetRecv, Superstep: 3, Partition: 0, Vertex: -1, Reset: true, Times: 1},
+	)
+	ctx := context.Background()
+	cases := []struct {
+		site string
+		ss   int
+		want NetAction
+	}{
+		{SiteNetSend, 0, NetPass}, // no rule matches
+		{SiteNetSend, 1, NetDrop},
+		{SiteNetSend, 1, NetPass}, // times budget spent
+		{SiteNetSend, 2, NetDup},
+		{SiteNetRecv, 3, NetReset},
+		{SiteNetRecv, 4, NetPass},
+	}
+	for i, tc := range cases {
+		act, err := in.NetHit(ctx, tc.site, tc.ss, 0, int64(i))
+		if err != nil {
+			t.Errorf("case %d: action rules never error, got %v", i, err)
+		}
+		if act != tc.want {
+			t.Errorf("case %d: action = %v, want %v", i, act, tc.want)
+		}
+	}
+	if in.Fired() != 3 {
+		t.Errorf("fired = %d, want 3", in.Fired())
+	}
+}
+
+func TestNetHitDelay(t *testing.T) {
+	in := NewInjector(Rule{Site: SiteNetSend, Superstep: -1, Partition: -1, Vertex: -1,
+		Delay: 5 * time.Millisecond, Times: 1})
+	start := time.Now()
+	act, err := in.NetHit(context.Background(), SiteNetSend, 0, 0, 1)
+	if err != nil || act != NetPass {
+		t.Fatalf("pure delay should pass: act=%v err=%v", act, err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("delay not applied: %v", d)
+	}
+	// A canceled context interrupts the delay instead of sleeping it out.
+	in2 := NewInjector(Rule{Site: SiteNetSend, Superstep: -1, Partition: -1, Vertex: -1,
+		Delay: time.Minute, Times: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	if _, err := in2.NetHit(ctx, SiteNetSend, 0, 0, 1); err == nil {
+		t.Error("canceled delay should report the context error")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("canceled delay still slept %v", d)
+	}
+}
+
+func TestParseSpecNetModes(t *testing.T) {
+	rules, err := ParseSpec("net.send:mode=drop:part=1:ss=2; net.recv:mode=reset:times=3; net.send:mode=dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rules[0].Drop || rules[0].Site != SiteNetSend || rules[0].Partition != 1 || rules[0].Superstep != 2 {
+		t.Errorf("rule 0 = %+v", rules[0])
+	}
+	if !rules[1].Reset || rules[1].Site != SiteNetRecv || rules[1].Times != 3 {
+		t.Errorf("rule 1 = %+v", rules[1])
+	}
+	if !rules[2].Dup || rules[2].Site != SiteNetSend {
+		t.Errorf("rule 2 = %+v", rules[2])
+	}
+}
+
+func TestNetMatrixScenarios(t *testing.T) {
+	m := NetMatrix(1, 2, time.Millisecond)
+	for _, key := range []string{"drop", "delay", "dup", "reset", "oneway", "unreachable"} {
+		rules, ok := m[key]
+		if !ok || len(rules) == 0 {
+			t.Errorf("matrix missing scenario %q", key)
+		}
+		for _, r := range rules {
+			if r.Site != SiteNetSend && r.Site != SiteNetRecv {
+				t.Errorf("%s: rule on non-net site %s", key, r.Site)
+			}
+		}
+	}
+	// unreachable must outlast any realistic retry budget.
+	if m["unreachable"][0].Times < 1000 {
+		t.Errorf("unreachable budget %d too small", m["unreachable"][0].Times)
+	}
+}

@@ -39,6 +39,15 @@ const (
 	MetricDeliveryMaxShard    = "ariadne_delivery_max_shard_messages"    // gauge: busiest delivery shard this superstep
 	MetricSpillQueueDepth     = "ariadne_spill_queue_depth"              // gauge: async spill writes in flight
 	MetricSpillQueueHighWater = "ariadne_spill_queue_high_water"         // gauge: max in-flight spill writes observed
+	// Transport series (PR 6): the master's view of the wire to its workers.
+	MetricNetMessagesSent   = "ariadne_net_messages_sent_total"    // counter: frames sent (label peer)
+	MetricNetBytesSent      = "ariadne_net_bytes_sent_total"       // counter: frame payload bytes sent
+	MetricNetMessagesRecv   = "ariadne_net_messages_recv_total"    // counter: frames received
+	MetricNetBytesRecv      = "ariadne_net_bytes_recv_total"       // counter: frame payload bytes received
+	MetricNetRetransmits    = "ariadne_net_retransmits_total"      // counter: requests re-sent after deadline/error
+	MetricNetHeartbeatMiss  = "ariadne_net_heartbeat_misses_total" // counter: pings that got no pong in time
+	MetricNetReconnects     = "ariadne_net_reconnects_total"       // counter: connections re-established
+	MetricNetLocalFallbacks = "ariadne_net_local_fallbacks_total"  // counter: partitions pinned local after unreachable
 )
 
 // SuperstepProfile is the per-superstep metrics record — one entry per

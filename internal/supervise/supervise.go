@@ -208,6 +208,13 @@ func (s *Supervisor) Run(parent context.Context, p, ss int, attempt func(ctx con
 			"partition %d attempt %d failed, retrying after backoff: %v", p, try+1, err)
 		reset()
 		sleepCtx(parent, s.backoff(p, ss, try))
+		// A cancelled backoff sleep means the run is shutting down (SIGINT,
+		// SIGTERM, parent timeout): return the attempt's error promptly
+		// instead of burning another full re-execution the caller no longer
+		// wants.
+		if parent.Err() != nil {
+			return err
+		}
 	}
 }
 
@@ -216,13 +223,30 @@ func (s *Supervisor) Run(parent context.Context, p, ss int, attempt func(ctx con
 // attempt) — so supervised recovery replays exactly, matching the fault
 // injector's determinism contract.
 func (s *Supervisor) backoff(p, ss, try int) time.Duration {
-	d := s.cfg.Backoff << uint(try)
-	if d > maxBackoff || d <= 0 {
-		d = maxBackoff
+	return BackoffDuration(s.cfg.Backoff, maxBackoff, p, ss, try)
+}
+
+// BackoffDuration is the supervision backoff policy as a pure function:
+// base<<try capped at cap, plus deterministic jitter in [0, d) hashed from
+// (p, ss, try). Exported so the transport layer's retransmit/reconnect
+// backoff follows the exact same deterministic policy as partition retry.
+func BackoffDuration(base, cap time.Duration, p, ss, try int) time.Duration {
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	if cap <= 0 {
+		cap = maxBackoff
+	}
+	d := base << uint(try)
+	if d > cap || d <= 0 {
+		d = cap
 	}
 	// Jitter in [0, d): full backoff lands in [d, 2d).
 	return d + time.Duration(float64(d)*jitterFrac(p, ss, try))
 }
+
+// SleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func SleepCtx(ctx context.Context, d time.Duration) { sleepCtx(ctx, d) }
 
 func jitterFrac(p, ss, try int) float64 {
 	h := fnv.New64a()
@@ -344,6 +368,23 @@ func (d *DegradeState) NoteFailure(p, ss int) (shedNow bool) {
 		return true
 	}
 	return false
+}
+
+// ShedNow sheds partition p's capture immediately from superstep ss,
+// bypassing the consecutive-failure threshold. Used when the failure is
+// already conclusive — a transport-unreachable partition that fell back to
+// local execution — so its provenance gap starts at the superstep the
+// partition was lost, not MaxRetries supersteps later. Idempotent: an
+// already-shed partition keeps its original gap start.
+func (d *DegradeState) ShedNow(p, ss int) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, already := d.shed[p]; !already {
+		d.shed[p] = ss
+	}
 }
 
 // NoteSuccess resets partition p's consecutive-failure count (a shed

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"testing"
+
+	"ariadne/internal/analytics"
+	"ariadne/internal/engine"
+	"ariadne/internal/gen"
+)
+
+// BenchmarkTransportRun compares a full PageRank run with partitions
+// executing over TCP-loopback workers against the plain in-process run.
+// The absolute numbers are loopback numbers, not cluster numbers; the
+// benchjson transport_overhead ratio (tcp/inproc) is the gated,
+// hardware-independent quantity — it bounds the serialization plus framing
+// cost the transport seam adds per run.
+func BenchmarkTransportRun(b *testing.B) {
+	g, err := gen.RMAT(gen.DefaultRMAT(7, 6, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const parts = 4
+	prog := func() engine.Program { return &analytics.PageRank{Iterations: 10} }
+	run := func(b *testing.B, tr engine.Transport) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := engine.New(g, prog(), engine.Config{
+				MaxSupersteps: 11,
+				Partitions:    parts,
+				Combiner:      analytics.SumCombiner,
+				Transport:     tr,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("inproc", func(b *testing.B) { run(b, nil) })
+
+	b.Run("tcp", func(b *testing.B) {
+		x, err := engine.NewExecutor(g, prog(), engine.Config{Partitions: parts, Combiner: analytics.SumCombiner})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := NewWorker(x, "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go w.Serve()
+		defer w.Close()
+		tr, err := DialTCP(TCPConfig{
+			Addrs: []string{w.Addr()},
+			Fingerprint: Fingerprint{
+				Partitions:  parts,
+				NumVertices: g.NumVertices(),
+				NumEdges:    g.NumEdges(),
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tr.Close()
+		run(b, tr)
+	})
+}

@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"context"
+
+	"ariadne/internal/engine"
+)
+
+// Local is the in-process transport leg: partition supersteps execute on an
+// Executor in the master's own process, the topology every run before the
+// transport seam used. With codec roundtripping enabled it additionally
+// pushes every request and result through the wire encoding, so the codec
+// is exercised (and differentially testable) without a socket in the path.
+type Local struct {
+	x     *engine.Executor
+	codec bool
+}
+
+// NewLocal creates the direct in-process leg over x.
+func NewLocal(x *engine.Executor) *Local { return &Local{x: x} }
+
+// NewLocalCodec creates an in-process leg that roundtrips every request and
+// result through the wire codec — the TCP leg's serialization with none of
+// its sockets, for bit-identity tests of the encoding alone.
+func NewLocalCodec(x *engine.Executor) *Local { return &Local{x: x, codec: true} }
+
+// Exec implements engine.Transport.
+func (l *Local) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecResult, error) {
+	if !l.codec {
+		return l.x.Exec(ctx, req), nil
+	}
+	rt, err := decodeExecRequest(encodeExecRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	return decodeExecResult(encodeExecResult(l.x.Exec(ctx, rt)))
+}
+
+// Close implements engine.Transport; the executor has nothing to release.
+func (l *Local) Close() error { return nil }

@@ -1,0 +1,479 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/fault"
+	"ariadne/internal/obs"
+	"ariadne/internal/supervise"
+)
+
+// Default TCP timings, chosen so a dead worker is detected and retried
+// within a couple of supersteps' wall time on a LAN without making tests
+// slow. All are overridable per run.
+const (
+	defaultDialTimeout     = 5 * time.Second
+	defaultMessageDeadline = 5 * time.Second
+	defaultNetMaxRetries   = 3
+	defaultNetBackoff      = time.Millisecond
+	maxNetBackoff          = 100 * time.Millisecond
+	defaultHBMisses        = 3
+	handshakeDeadline      = 10 * time.Second
+)
+
+// TCPConfig configures the master-side TCP leg.
+type TCPConfig struct {
+	// Addrs lists worker addresses. Partition p is served by
+	// Addrs[p % len(Addrs)], the same modulo rule the engine uses to assign
+	// vertices to partitions.
+	Addrs []string
+	// Fingerprint must match every worker's loaded graph and partition
+	// count; the handshake rejects a peer that disagrees.
+	Fingerprint Fingerprint
+	// DialTimeout bounds connection establishment plus handshake.
+	DialTimeout time.Duration
+	// MessageDeadline bounds one request/reply exchange (send through
+	// receive). An expired exchange is retransmitted.
+	MessageDeadline time.Duration
+	// MaxRetries bounds retransmissions of one Exec beyond the first
+	// attempt; negative disables retransmit entirely.
+	MaxRetries int
+	// Backoff is the base retransmit backoff, growing and jittering by the
+	// supervision policy (supervise.BackoffDuration).
+	Backoff time.Duration
+	// HeartbeatInterval enables per-peer ping/pong liveness probing; 0
+	// disables it. A peer missing HeartbeatMisses consecutive pongs is
+	// declared dead and its connection torn down, so in-flight exchanges
+	// fail within one deadline instead of waiting out TCP timeouts.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// Fault injects deterministic network faults at the net.send/net.recv
+	// sites (drop, delay, duplicate, reset).
+	Fault *fault.Injector
+	// Metrics receives transport counters; nil disables them.
+	Metrics *obs.Metrics
+}
+
+func (c TCPConfig) normalize() TCPConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = defaultDialTimeout
+	}
+	if c.MessageDeadline <= 0 {
+		c.MessageDeadline = defaultMessageDeadline
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = defaultNetMaxRetries
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = defaultNetBackoff
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = defaultHBMisses
+	}
+	return c
+}
+
+// TCP is the master-side client of the TCP leg: one connection per worker,
+// request/reply exchanges matched by sequence number, at-least-once
+// delivery (deadline + retransmit with deterministic jittered backoff,
+// same-seq so the worker's dedup absorbs re-execution), and heartbeat-based
+// liveness. Exec is safe for concurrent use by the engine's per-partition
+// goroutines. All failures it returns wrap engine.ErrTransport, which is
+// what routes them into supervised retry and, past the budget, the
+// engine's local fallback.
+type TCP struct {
+	cfg    TCPConfig
+	seq    atomic.Uint64
+	peers  []*peer
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// DialTCP connects to every worker, performs the versioned handshake, and
+// starts heartbeating. A handshake failure (version or graph fingerprint
+// mismatch) fails fast here rather than mid-run.
+func DialTCP(cfg TCPConfig) (*TCP, error) {
+	cfg = cfg.normalize()
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("%w: no worker addresses", engine.ErrTransport)
+	}
+	t := &TCP{cfg: cfg, stop: make(chan struct{})}
+	for _, addr := range cfg.Addrs {
+		t.peers = append(t.peers, &peer{t: t, addr: addr, pending: map[uint64]chan []byte{}})
+	}
+	for _, p := range t.peers {
+		if err := p.ensure(); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	if cfg.HeartbeatInterval > 0 {
+		for _, p := range t.peers {
+			t.wg.Add(1)
+			go p.heartbeatLoop()
+		}
+	}
+	return t, nil
+}
+
+// Exec implements engine.Transport: encode once, then attempt the exchange
+// up to 1+MaxRetries times under per-message deadlines. Retransmits reuse
+// the sequence number, so a worker that already executed the request
+// replays its cached reply instead of recomputing (recomputing would be
+// harmless — the request is a pure function — but the cache keeps retry
+// storms cheap).
+func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecResult, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("%w: client closed", engine.ErrTransport)
+	}
+	p := t.peers[req.Partition%len(t.peers)]
+	payload := encodeExecRequest(req)
+	seq := t.seq.Add(1)
+	var lastErr error
+	for try := 0; try <= t.cfg.MaxRetries; try++ {
+		if try > 0 {
+			t.cfg.Metrics.Counter(obs.MetricNetRetransmits).Add(1)
+			supervise.SleepCtx(ctx, supervise.BackoffDuration(t.cfg.Backoff, maxNetBackoff,
+				req.Partition, req.Superstep, try-1))
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: partition %d superstep %d: %w",
+				engine.ErrTransport, req.Partition, req.Superstep, err)
+		}
+		res, err := p.roundTrip(ctx, req, seq, payload)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		t.cfg.Metrics.Tracef(obs.Warn, "transport", req.Superstep,
+			"partition %d exchange attempt %d with %s failed: %v", req.Partition, try+1, p.addr, err)
+	}
+	return nil, lastErr
+}
+
+// Close tears down every connection and stops the heartbeats. In-flight
+// exchanges fail with ErrTransport.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.stop)
+	for _, p := range t.peers {
+		p.teardownAny()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// peer is one worker connection with its demux state.
+type peer struct {
+	t    *TCP
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *bufio.Writer
+	gen     int // bumped per established connection; reader goroutines check it
+	pending map[uint64]chan []byte
+	hbMiss  int
+}
+
+func (p *peer) wrapErr(format string, args ...any) error {
+	return fmt.Errorf("%w: peer %s: %s", engine.ErrTransport, p.addr, fmt.Sprintf(format, args...))
+}
+
+// ensure dials and handshakes if the peer is not connected. The reader
+// goroutine it starts owns the receive side of the connection until it
+// dies, at which point every pending exchange fails over to retransmit.
+func (p *peer) ensure() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		return nil
+	}
+	if p.t.closed.Load() {
+		return p.wrapErr("client closed")
+	}
+	conn, err := net.DialTimeout("tcp", p.addr, p.t.cfg.DialTimeout)
+	if err != nil {
+		return p.wrapErr("dial: %v", err)
+	}
+	if err := p.handshake(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	p.gen++
+	if p.gen > 1 {
+		p.t.cfg.Metrics.Counter(obs.MetricNetReconnects).Add(1)
+	}
+	p.conn = conn
+	p.w = bufio.NewWriter(conn)
+	p.hbMiss = 0
+	go p.readLoop(conn, p.gen)
+	return nil
+}
+
+// handshake runs the versioned hello/welcome exchange on a fresh conn.
+func (p *peer) handshake(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(p.t.cfg.DialTimeout))
+	defer conn.SetDeadline(time.Time{})
+	if _, err := writeFrame(conn, frameHello, 0, p.t.cfg.Fingerprint.encode()); err != nil {
+		return p.wrapErr("handshake send: %v", err)
+	}
+	typ, _, payload, _, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return p.wrapErr("handshake recv: %v", err)
+	}
+	switch typ {
+	case frameWelcome:
+	case frameError:
+		return p.wrapErr("handshake rejected: %s", payload)
+	default:
+		return p.wrapErr("handshake: unexpected frame type %d", typ)
+	}
+	fp, err := decodeFingerprint(payload)
+	if err != nil {
+		return p.wrapErr("%v", err)
+	}
+	if fp != p.t.cfg.Fingerprint {
+		return p.wrapErr("graph fingerprint mismatch: worker %+v, master %+v", fp, p.t.cfg.Fingerprint)
+	}
+	return nil
+}
+
+// readLoop owns conn's receive side: it dispatches result and pong frames
+// to the exchange that registered their sequence number. On any read error
+// it tears the connection down, failing every pending exchange promptly.
+func (p *peer) readLoop(conn net.Conn, gen int) {
+	r := bufio.NewReader(conn)
+	for {
+		typ, seq, payload, n, err := readFrame(r)
+		if err != nil {
+			p.teardown(conn, gen)
+			return
+		}
+		m := p.t.cfg.Metrics
+		m.Counter(obs.MetricNetMessagesRecv).Add(1)
+		m.Counter(obs.MetricNetBytesRecv).Add(int64(n))
+		switch typ {
+		case frameResult, framePong:
+			p.mu.Lock()
+			ch := p.pending[seq]
+			p.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- payload:
+				default: // duplicate reply beyond the buffer: drop
+				}
+			}
+		case frameError:
+			m.Tracef(obs.Error, "transport", -1, "peer %s reported: %s", p.addr, payload)
+		}
+	}
+}
+
+// teardown closes conn and fails pending exchanges, but only if conn is
+// still the peer's current connection of generation gen (a stale reader
+// must not tear down its successor).
+func (p *peer) teardown(conn net.Conn, gen int) {
+	p.mu.Lock()
+	if p.gen != gen || p.conn != conn {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.conn = nil
+	p.w = nil
+	for seq, ch := range p.pending {
+		close(ch)
+		delete(p.pending, seq)
+	}
+	p.mu.Unlock()
+	conn.Close()
+}
+
+// teardownAny tears down whatever connection is current.
+func (p *peer) teardownAny() {
+	p.mu.Lock()
+	conn, gen := p.conn, p.gen
+	p.mu.Unlock()
+	if conn != nil {
+		p.teardown(conn, gen)
+	}
+}
+
+// register creates the reply slot for seq. The channel is buffered so the
+// read loop never blocks on a slow exchange (extra duplicates are dropped).
+func (p *peer) register(seq uint64) chan []byte {
+	ch := make(chan []byte, 2)
+	p.mu.Lock()
+	p.pending[seq] = ch
+	p.mu.Unlock()
+	return ch
+}
+
+func (p *peer) unregister(seq uint64) {
+	p.mu.Lock()
+	delete(p.pending, seq)
+	p.mu.Unlock()
+}
+
+// send writes one frame on the current connection (establishing it first if
+// needed) under the write lock.
+func (p *peer) send(typ byte, seq uint64, payload []byte) error {
+	if err := p.ensure(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	conn, gen, w := p.conn, p.gen, p.w
+	if conn == nil {
+		p.mu.Unlock()
+		return p.wrapErr("connection lost")
+	}
+	n, err := writeFrame(w, typ, seq, payload)
+	if err == nil {
+		err = w.Flush()
+	}
+	p.mu.Unlock()
+	if err != nil {
+		p.teardown(conn, gen)
+		return p.wrapErr("send: %v", err)
+	}
+	m := p.t.cfg.Metrics
+	m.Counter(obs.MetricNetMessagesSent).Add(1)
+	m.Counter(obs.MetricNetBytesSent).Add(int64(n))
+	return nil
+}
+
+// roundTrip performs one request/reply exchange attempt under the message
+// deadline, consulting the fault injector on both directions.
+func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint64, payload []byte) (*engine.ExecResult, error) {
+	ch := p.register(seq)
+	defer p.unregister(seq)
+
+	inj := p.t.cfg.Fault
+	act, ferr := inj.NetHit(ctx, fault.SiteNetSend, req.Superstep, req.Partition, int64(seq))
+	if ferr != nil {
+		return nil, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
+	}
+	switch act {
+	case fault.NetDrop:
+		// Frame lost on the wire: send nothing, let the deadline fire.
+	case fault.NetReset:
+		p.teardownAny()
+		return nil, p.wrapErr("connection reset by injected fault")
+	case fault.NetDup:
+		if err := p.send(frameExec, seq, payload); err != nil {
+			return nil, err
+		}
+		fallthrough
+	default:
+		if err := p.send(frameExec, seq, payload); err != nil {
+			return nil, err
+		}
+	}
+
+	timer := time.NewTimer(p.t.cfg.MessageDeadline)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, p.wrapErr("exchange canceled: %v", ctx.Err())
+		case <-timer.C:
+			return nil, p.wrapErr("no reply for seq %d within %v", seq, p.t.cfg.MessageDeadline)
+		case reply, ok := <-ch:
+			if !ok {
+				return nil, p.wrapErr("connection lost awaiting seq %d", seq)
+			}
+			act, ferr := inj.NetHit(ctx, fault.SiteNetRecv, req.Superstep, req.Partition, int64(seq))
+			if ferr != nil {
+				return nil, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
+			}
+			switch act {
+			case fault.NetDrop:
+				// Reply lost on the wire: keep waiting for the deadline (a
+				// duplicate may still land, exactly like a real lossy link).
+				ch = p.register(seq)
+				continue
+			case fault.NetReset:
+				p.teardownAny()
+				return nil, p.wrapErr("connection reset by injected fault")
+			}
+			res, err := decodeExecResult(reply)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %w", engine.ErrTransport, err)
+			}
+			return res, nil
+		}
+	}
+}
+
+// heartbeatLoop probes the peer at the configured interval. A pong must
+// arrive within one interval; HeartbeatMisses consecutive misses declare
+// the peer dead and tear down the connection so waiting exchanges fail into
+// their retransmit path immediately.
+func (p *peer) heartbeatLoop() {
+	defer p.t.wg.Done()
+	interval := p.t.cfg.HeartbeatInterval
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.t.stop:
+			return
+		case <-tick.C:
+		}
+		// send redials a torn-down peer, so a dead peer shows up here as a
+		// failed dial and counts as a miss like an unanswered ping does.
+		seq := p.t.seq.Add(1)
+		ch := p.register(seq)
+		missed := false
+		if err := p.send(framePing, seq, nil); err != nil {
+			missed = true
+		} else {
+			wait := time.NewTimer(interval)
+			select {
+			case _, ok := <-ch:
+				missed = !ok
+			case <-wait.C:
+				missed = true
+			case <-p.t.stop:
+				wait.Stop()
+				p.unregister(seq)
+				return
+			}
+			wait.Stop()
+		}
+		p.unregister(seq)
+		p.mu.Lock()
+		if missed {
+			p.hbMiss++
+		} else {
+			p.hbMiss = 0
+		}
+		dead := p.hbMiss >= p.t.cfg.HeartbeatMisses
+		if dead {
+			p.hbMiss = 0
+		}
+		p.mu.Unlock()
+		if missed {
+			p.t.cfg.Metrics.Counter(obs.MetricNetHeartbeatMiss).Add(1)
+		}
+		if dead {
+			p.t.cfg.Metrics.Tracef(obs.Warn, "transport", -1,
+				"peer %s missed %d heartbeats, declaring dead", p.addr, p.t.cfg.HeartbeatMisses)
+			p.teardownAny()
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"ariadne/internal/analytics"
+	"ariadne/internal/engine"
+	"ariadne/internal/fault"
+	"ariadne/internal/gen"
+	"ariadne/internal/graph"
+	"ariadne/internal/obs"
+	"ariadne/internal/supervise"
+	"ariadne/internal/value"
+)
+
+const (
+	testParts = 4
+	testSteps = 11
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(7, 6, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testProg() engine.Program { return &analytics.PageRank{Iterations: testSteps - 1} }
+
+// recObserver fingerprints every observed record so legs can be compared
+// for identical provenance streams without a capture store in the loop.
+type recObserver struct{ sigs []string }
+
+func (o *recObserver) NeedsRawMessages() bool { return true }
+func (o *recObserver) Finish(int) error       { return nil }
+func (o *recObserver) ObserveSuperstep(v *engine.SuperstepView) error {
+	for i := range v.Records {
+		r := &v.Records[i]
+		sig := fmt.Sprintf("%d/%d/%d:%x:%x:", r.ID, r.Superstep, r.PrevActive,
+			r.OldValue.AppendBinary(nil), r.NewValue.AppendBinary(nil))
+		for _, m := range r.Received {
+			sig += fmt.Sprintf("r%d:%x,", m.Src, m.Val.AppendBinary(nil))
+		}
+		for _, m := range r.Sent {
+			sig += fmt.Sprintf("s%d:%x,", m.Dst, m.Val.AppendBinary(nil))
+		}
+		o.sigs = append(o.sigs, sig)
+	}
+	return nil
+}
+
+// startWorkers launches n in-process TCP workers over their own executors
+// (same graph, same program — separate state, as separate processes would
+// have) and returns their addresses.
+func startWorkers(t *testing.T, g *graph.Graph, n int, wcfg func(i int) engine.Config) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		cfg := engine.Config{Partitions: testParts, Combiner: analytics.SumCombiner}
+		if wcfg != nil {
+			cfg = wcfg(i)
+		}
+		x, err := engine.NewExecutor(g, testProg(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorker(x, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+func runLeg(t *testing.T, g *graph.Graph, cfg engine.Config) (*engine.Engine, engine.RunStats, *recObserver, error) {
+	t.Helper()
+	o := &recObserver{}
+	cfg.MaxSupersteps = testSteps
+	cfg.Partitions = testParts
+	cfg.Combiner = analytics.SumCombiner
+	cfg.Observers = append(cfg.Observers, o)
+	e, err := engine.New(g, testProg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run()
+	return e, stats, o, err
+}
+
+func assertIdentical(t *testing.T, leg string, ref, got *engine.Engine, refStats, gotStats engine.RunStats, refObs, gotObs *recObserver) {
+	t.Helper()
+	if refStats.Supersteps != gotStats.Supersteps {
+		t.Errorf("%s: supersteps %d != %d", leg, gotStats.Supersteps, refStats.Supersteps)
+	}
+	if refStats.MessagesSent != gotStats.MessagesSent ||
+		refStats.MessagesDelivered != gotStats.MessagesDelivered ||
+		refStats.MessagesCombinedSender != gotStats.MessagesCombinedSender {
+		t.Errorf("%s: message accounting (%d/%d/%d) != (%d/%d/%d)", leg,
+			gotStats.MessagesSent, gotStats.MessagesDelivered, gotStats.MessagesCombinedSender,
+			refStats.MessagesSent, refStats.MessagesDelivered, refStats.MessagesCombinedSender)
+	}
+	rv, gv := ref.Values(), got.Values()
+	for v := range rv {
+		if !reflect.DeepEqual(rv[v].AppendBinary(nil), gv[v].AppendBinary(nil)) {
+			t.Fatalf("%s: vertex %d value %v != %v (must be bit-identical)", leg, v, gv[v], rv[v])
+		}
+	}
+	if !reflect.DeepEqual(refObs.sigs, gotObs.sigs) {
+		t.Errorf("%s: observer record streams differ (%d vs %d records)", leg, len(gotObs.sigs), len(refObs.sigs))
+	}
+}
+
+func TestWireExecRequestRoundTrip(t *testing.T) {
+	req := &engine.ExecRequest{
+		Superstep: 3, Partition: 1, Observing: true, Combine: true,
+		Active:     []engine.VertexID{1, 5, 9},
+		Values:     []value.Value{value.NewFloat(0.25), value.NewVector([]float64{1, -2.5}), value.NewString("x")},
+		PrevActive: []int32{-1, 0, 2},
+		Inbox: [][]engine.IncomingMessage{
+			nil,
+			{{Src: 2, Val: value.NewFloat(0.125)}, {Src: 3, Val: value.NewInt(-7)}},
+			{{Src: 1, Val: value.NewBool(true)}},
+		},
+		Agg: map[string]float64{"err": 0.5, "mass": 1.0},
+	}
+	rt, err := decodeExecRequest(encodeExecRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, rt) {
+		t.Fatalf("roundtrip mismatch:\n  in  %+v\n  out %+v", req, rt)
+	}
+}
+
+func TestWireExecResultRoundTrip(t *testing.T) {
+	res := &engine.ExecResult{
+		Partition: 2,
+		Computed:  []engine.VertexID{4, 8},
+		NewValues: []value.Value{value.NewFloat(0.5), value.NullValue},
+		Outbox: [][]engine.OutMessage{
+			{{Src: 4, Dst: 0, Val: value.NewFloat(1.5)}},
+			nil,
+			{{Src: 8, Dst: 6, Val: value.NewInt(3)}, {Src: 4, Dst: 2, Val: value.NewString("m")}},
+		},
+		Records: []engine.VertexRecord{{
+			ID: 4, Superstep: 3, PrevActive: -1,
+			OldValue: value.NewFloat(1), NewValue: value.NewFloat(0.5),
+			Received: []engine.IncomingMessage{{Src: 0, Val: value.NewFloat(2)}},
+			Sent:     []engine.SentMessage{{Dst: 0, Val: value.NewFloat(1.5)}},
+			Emitted:  []engine.ProvFact{{Table: "tp", Args: []value.Value{value.NewInt(4)}}},
+		}},
+		Sent: 3, CombinedSender: 1,
+		Agg: []engine.AggUpdate{{Name: "mass", Op: engine.AggSum, Val: 2, N: 5}},
+	}
+	rt, err := decodeExecResult(encodeExecResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, rt) {
+		t.Fatalf("roundtrip mismatch:\n  in  %+v\n  out %+v", res, rt)
+	}
+
+	crash := &engine.ExecResult{Partition: 1, Crash: &engine.RemoteCrash{
+		Vertex: 9, Superstep: 2, Message: "boom", Panic: true, Injected: true,
+	}}
+	rt, err = decodeExecResult(encodeExecResult(crash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(crash, rt) {
+		t.Fatalf("crash roundtrip mismatch: %+v vs %+v", rt, crash)
+	}
+}
+
+// TestTransportDifferential pins every transport leg against the in-process
+// reference: same values bit for bit, same message accounting, same
+// observer record stream — for the local executor leg, the codec-roundtrip
+// leg, and TCP-loopback with 1 and 2 workers.
+func TestTransportDifferential(t *testing.T) {
+	g := testGraph(t)
+	refE, refStats, refObs, err := runLeg(t, g, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newExec := func() *engine.Executor {
+		x, err := engine.NewExecutor(g, testProg(), engine.Config{Partitions: testParts, Combiner: analytics.SumCombiner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	legs := map[string]func() engine.Transport{
+		"local":       func() engine.Transport { return NewLocal(newExec()) },
+		"local-codec": func() engine.Transport { return NewLocalCodec(newExec()) },
+		"tcp-1": func() engine.Transport {
+			return dialWorkers(t, g, startWorkers(t, g, 1, nil))
+		},
+		"tcp-2": func() engine.Transport {
+			return dialWorkers(t, g, startWorkers(t, g, 2, nil))
+		},
+	}
+	for name, mk := range legs {
+		t.Run(name, func(t *testing.T) {
+			tr := mk()
+			defer tr.Close()
+			e, stats, o, err := runLeg(t, g, engine.Config{Transport: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, name, refE, e, refStats, stats, refObs, o)
+		})
+	}
+}
+
+func dialWorkers(t *testing.T, g *graph.Graph, addrs []string, opts ...func(*TCPConfig)) *TCP {
+	t.Helper()
+	cfg := TCPConfig{
+		Addrs:       addrs,
+		Fingerprint: Fingerprint{Partitions: testParts, NumVertices: g.NumVertices(), NumEdges: g.NumEdges()},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tr, err := DialTCP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestRemoteCrashCulprit checks that a vertex-program failure on a worker
+// comes back as the same CrashError a local run raises: culprit vertex,
+// superstep, and an errors.Is-reachable ErrComputePanic cause.
+func TestRemoteCrashCulprit(t *testing.T) {
+	g := testGraph(t)
+	addrs := startWorkers(t, g, 1, func(int) engine.Config {
+		return engine.Config{
+			Partitions: testParts,
+			Combiner:   analytics.SumCombiner,
+			Fault:      fault.NewInjector(fault.PanicAt(2, 6)),
+		}
+	})
+	tr := dialWorkers(t, g, addrs)
+	defer tr.Close()
+	_, _, _, err := runLeg(t, g, engine.Config{Transport: tr})
+	if err == nil {
+		t.Fatal("want remote crash, got success")
+	}
+	var ce *engine.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CrashError, got %v", err)
+	}
+	if ce.Vertex != 6 || ce.Superstep != 2 {
+		t.Errorf("culprit = vertex %d superstep %d, want 6/2", ce.Vertex, ce.Superstep)
+	}
+	if !errors.Is(err, engine.ErrComputePanic) {
+		t.Errorf("cause chain lost ErrComputePanic: %v", err)
+	}
+}
+
+// TestNetFaultMatrix drives every canonical network fault scenario through
+// a real TCP exchange: recoverable faults (drop, slow link, duplicate,
+// reset, one-way partition) must finish bit-identically via retransmit or
+// reconnect; the unreachable scenario must finish bit-identically via the
+// engine's local fallback, with the partition's capture shed.
+func TestNetFaultMatrix(t *testing.T) {
+	g := testGraph(t)
+	refE, refStats, refObs, err := runLeg(t, g, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const faultPart = 1
+	for name, rules := range fault.NetMatrix(faultPart, 1, 2*time.Millisecond) {
+		t.Run(name, func(t *testing.T) {
+			m := obs.New()
+			inj := fault.NewInjector(rules...)
+			addrs := startWorkers(t, g, 2, nil)
+			tr := dialWorkers(t, g, addrs, func(c *TCPConfig) {
+				c.MessageDeadline = 100 * time.Millisecond
+				c.MaxRetries = 2
+				c.Backoff = time.Millisecond
+				c.Fault = inj
+				c.Metrics = m
+			})
+			defer tr.Close()
+			deg := supervise.NewDegradeState(1)
+			e, stats, o, err := runLeg(t, g, engine.Config{
+				Transport: tr,
+				Supervise: &supervise.Config{MaxRetries: 2, Backoff: time.Millisecond},
+				Degrade:   deg,
+				Metrics:   m,
+			})
+			if err != nil {
+				t.Fatalf("%s: run failed: %v", name, err)
+			}
+			assertIdentical(t, name, refE, e, refStats, stats, refObs, o)
+			if inj.Fired() == 0 {
+				t.Errorf("%s: no fault fired", name)
+			}
+			fellBack := m.Counter(obs.MetricNetLocalFallbacks).Value() > 0
+			if name == "unreachable" {
+				if !fellBack {
+					t.Error("unreachable peer should pin the partition local")
+				}
+				if !deg.Shed(faultPart) {
+					t.Error("unreachable partition's capture should be shed")
+				}
+			} else {
+				if !deg.AnyShed() == fellBack {
+					t.Errorf("%s: fallback %v inconsistent with shed state", name, fellBack)
+				}
+				switch name {
+				case "drop", "oneway":
+					if m.Counter(obs.MetricNetRetransmits).Value() == 0 {
+						t.Errorf("%s: expected retransmits", name)
+					}
+				case "reset":
+					if m.Counter(obs.MetricNetReconnects).Value() == 0 {
+						t.Errorf("%s: expected a reconnect", name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerKilledMidRun kills one of two workers abruptly mid-run (no
+// reply, connections severed). The run must complete with bit-identical
+// values: the dead worker's partitions fail over to local execution, and
+// their capture is shed from the superstep of the loss.
+func TestWorkerKilledMidRun(t *testing.T) {
+	g := testGraph(t)
+	refE, refStats, refObs, err := runLeg(t, g, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	cfg := engine.Config{Partitions: testParts, Combiner: analytics.SumCombiner}
+	x0, err := engine.NewExecutor(g, testProg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := NewWorker(x0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w0.Serve()
+	t.Cleanup(func() { w0.Close() })
+	x1, err := engine.NewExecutor(g, testProg(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := NewWorker(x1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.KillAfter(5) // dies during the third superstep of its partitions
+	go w1.Serve()
+	t.Cleanup(func() { w1.Close() })
+
+	tr := dialWorkers(t, g, []string{w0.Addr(), w1.Addr()}, func(c *TCPConfig) {
+		c.MessageDeadline = 100 * time.Millisecond
+		c.MaxRetries = 1
+		c.Backoff = time.Millisecond
+		c.Metrics = m
+	})
+	defer tr.Close()
+	deg := supervise.NewDegradeState(1)
+	e, stats, o, err := runLeg(t, g, engine.Config{
+		Transport: tr,
+		Supervise: &supervise.Config{MaxRetries: 1, Backoff: time.Millisecond},
+		Degrade:   deg,
+		Metrics:   m,
+	})
+	if err != nil {
+		t.Fatalf("run with killed worker failed: %v", err)
+	}
+	assertIdentical(t, "killed-worker", refE, e, refStats, stats, refObs, o)
+	if m.Counter(obs.MetricNetLocalFallbacks).Value() == 0 {
+		t.Error("expected local fallback after worker death")
+	}
+	if !deg.AnyShed() {
+		t.Error("dead worker's partitions should have capture shed")
+	}
+}
+
+// TestHeartbeatDeclaresDead closes a worker under an armed heartbeat and
+// checks the client notices within the miss budget.
+func TestHeartbeatDeclaresDead(t *testing.T) {
+	g := testGraph(t)
+	m := obs.New()
+	x, err := engine.NewExecutor(g, testProg(), engine.Config{Partitions: testParts, Combiner: analytics.SumCombiner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(x, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve()
+	tr := dialWorkers(t, g, []string{w.Addr()}, func(c *TCPConfig) {
+		c.HeartbeatInterval = 10 * time.Millisecond
+		c.HeartbeatMisses = 2
+		c.Metrics = m
+	})
+	defer tr.Close()
+	w.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Counter(obs.MetricNetHeartbeatMiss).Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.Counter(obs.MetricNetHeartbeatMiss).Value() == 0 {
+		t.Error("heartbeat never noticed the dead peer")
+	}
+}
+
+// TestHandshakeRejectsMismatch checks version-fingerprint agreement is
+// enforced at dial time, not discovered mid-run.
+func TestHandshakeRejectsMismatch(t *testing.T) {
+	g := testGraph(t)
+	addrs := startWorkers(t, g, 1, nil)
+	cfg := TCPConfig{
+		Addrs:       addrs,
+		Fingerprint: Fingerprint{Partitions: testParts + 1, NumVertices: g.NumVertices(), NumEdges: g.NumEdges()},
+	}
+	tr, err := DialTCP(cfg)
+	if err == nil {
+		tr.Close()
+		t.Fatal("want fingerprint mismatch error, got success")
+	}
+	if !errors.Is(err, engine.ErrTransport) {
+		t.Errorf("mismatch error should wrap ErrTransport: %v", err)
+	}
+}
+
+// TestExecCanceled checks a canceled context fails the exchange promptly
+// with an error that supervision will not retry forever.
+func TestExecCanceled(t *testing.T) {
+	g := testGraph(t)
+	addrs := startWorkers(t, g, 1, nil)
+	tr := dialWorkers(t, g, addrs)
+	defer tr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := tr.Exec(ctx, &engine.ExecRequest{Superstep: 0, Partition: 0})
+	if err == nil {
+		t.Fatal("want error on canceled context")
+	}
+	if !errors.Is(err, engine.ErrTransport) || !errors.Is(err, context.Canceled) {
+		t.Errorf("error should wrap ErrTransport and context.Canceled: %v", err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package transport moves partition superstep execution across a wire. It
+// ships the two legs behind the engine's Transport seam: Local, which calls
+// an in-process Executor directly (the seed topology), and TCP, a
+// master-side client that sends each partition's ExecRequest to a worker
+// process over a length-prefixed, CRC-framed, versioned protocol and
+// survives a faulty network — per-message deadlines, bounded retransmit
+// with the supervision backoff policy, heartbeat liveness, reconnects, and
+// receiver-side dedup of at-least-once deliveries.
+//
+// The wire format reuses the repo's binary conventions: frames are
+//
+//	u32 length | u32 CRC-32 (IEEE) | body
+//
+// like the checkpoint format's record framing, and bodies are value.Blob
+// encodings, so every Value crosses the wire through the same bit-exact
+// codec the spill and checkpoint files use — which is what keeps a TCP run
+// bit-identical to an in-process one.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/value"
+)
+
+// Version is the protocol version exchanged in the handshake. A master and
+// worker must agree exactly; there is no cross-version negotiation.
+const Version = 1
+
+// maxFrame bounds a frame body so a corrupt length prefix fails fast
+// instead of provoking a giant allocation.
+const maxFrame = 1 << 30
+
+// Frame types.
+const (
+	frameHello   byte = 1 // master -> worker: version + graph fingerprint
+	frameWelcome byte = 2 // worker -> master: handshake accepted (echoes fingerprint)
+	frameExec    byte = 3 // master -> worker: ExecRequest
+	frameResult  byte = 4 // worker -> master: ExecResult
+	framePing    byte = 5 // master -> worker: liveness probe
+	framePong    byte = 6 // worker -> master: liveness ack
+	frameError   byte = 7 // worker -> master: protocol-level failure (text)
+)
+
+var errBadFrame = errors.New("transport: corrupt frame")
+
+// writeFrame writes one frame: header (length + CRC over the body), then
+// body = type byte, uvarint seq, payload.
+func writeFrame(w io.Writer, typ byte, seq uint64, payload []byte) (int, error) {
+	head := make([]byte, 1, 11)
+	head[0] = typ
+	head = binary.AppendUvarint(head, seq)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(head)+len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(head)
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+	n := 0
+	for _, b := range [][]byte{hdr[:], head, payload} {
+		k, err := w.Write(b)
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// readFrame reads and verifies one frame, returning its type, sequence
+// number, and payload.
+func readFrame(r io.Reader) (typ byte, seq uint64, payload []byte, n int, err error) {
+	var hdr [8]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxFrame {
+		return 0, 0, nil, 0, fmt.Errorf("%w: body length %d", errBadFrame, length)
+	}
+	body := make([]byte, length)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, 0, nil, 0, fmt.Errorf("%w: CRC mismatch (got %08x want %08x)", errBadFrame, got, want)
+	}
+	typ = body[0]
+	seq, k := binary.Uvarint(body[1:])
+	if k <= 0 {
+		return 0, 0, nil, 0, fmt.Errorf("%w: truncated seq", errBadFrame)
+	}
+	return typ, seq, body[1+k:], 8 + int(length), nil
+}
+
+// Fingerprint identifies the run a connection belongs to: protocol version,
+// partition count, and graph shape. Master and worker must have loaded the
+// same graph with the same partitioning or results would silently diverge —
+// the handshake turns that into an immediate, explicit error.
+type Fingerprint struct {
+	Partitions  int
+	NumVertices int
+	NumEdges    int
+}
+
+func (f Fingerprint) encode() []byte {
+	b := value.NewBlob()
+	b.Uvarint(Version)
+	b.Uvarint(uint64(f.Partitions))
+	b.Uvarint(uint64(f.NumVertices))
+	b.Uvarint(uint64(f.NumEdges))
+	return b.Bytes()
+}
+
+func decodeFingerprint(p []byte) (Fingerprint, error) {
+	r := value.NewBlobReader(p)
+	v := r.Uvarint()
+	f := Fingerprint{
+		Partitions:  int(r.Uvarint()),
+		NumVertices: int(r.Uvarint()),
+		NumEdges:    int(r.Uvarint()),
+	}
+	if r.Err() != nil {
+		return f, fmt.Errorf("transport: corrupt handshake: %w", r.Err())
+	}
+	if v != Version {
+		return f, fmt.Errorf("transport: protocol version mismatch: peer %d, ours %d", v, Version)
+	}
+	return f, nil
+}
+
+// encodeExecRequest serializes a partition superstep request.
+func encodeExecRequest(req *engine.ExecRequest) []byte {
+	b := value.NewBlob()
+	b.Uvarint(uint64(req.Superstep))
+	b.Uvarint(uint64(req.Partition))
+	b.Bool(req.Observing)
+	b.Bool(req.Combine)
+	b.Uvarint(uint64(len(req.Active)))
+	for i, v := range req.Active {
+		b.Uvarint(uint64(v))
+		b.Value(req.Values[i])
+		b.Int(int64(req.PrevActive[i]))
+	}
+	for _, msgs := range req.Inbox {
+		b.Uvarint(uint64(len(msgs)))
+		for _, m := range msgs {
+			b.Uvarint(uint64(m.Src))
+			b.Value(m.Val)
+		}
+	}
+	// Aggregators in sorted-name order for a canonical encoding.
+	names := make([]string, 0, len(req.Agg))
+	for name := range req.Agg {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	b.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		b.String(name)
+		b.Float(req.Agg[name])
+	}
+	return b.Bytes()
+}
+
+func decodeExecRequest(p []byte) (*engine.ExecRequest, error) {
+	r := value.NewBlobReader(p)
+	req := &engine.ExecRequest{
+		Superstep: int(r.Uvarint()),
+		Partition: int(r.Uvarint()),
+		Observing: r.Bool(),
+		Combine:   r.Bool(),
+	}
+	n := r.Count()
+	req.Active = make([]engine.VertexID, n)
+	req.Values = make([]value.Value, n)
+	req.PrevActive = make([]int32, n)
+	for i := 0; i < n; i++ {
+		req.Active[i] = engine.VertexID(r.Uvarint())
+		req.Values[i] = r.Value()
+		req.PrevActive[i] = int32(r.Int())
+	}
+	req.Inbox = make([][]engine.IncomingMessage, n)
+	for i := 0; i < n; i++ {
+		k := r.Count()
+		if k == 0 {
+			continue
+		}
+		msgs := make([]engine.IncomingMessage, k)
+		for j := 0; j < k; j++ {
+			msgs[j] = engine.IncomingMessage{Src: engine.VertexID(r.Uvarint()), Val: r.Value()}
+		}
+		req.Inbox[i] = msgs
+	}
+	if k := r.Count(); k > 0 {
+		req.Agg = make(map[string]float64, k)
+		for j := 0; j < k; j++ {
+			name := r.String()
+			req.Agg[name] = r.Float()
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("transport: corrupt exec request: %w", r.Err())
+	}
+	return req, nil
+}
+
+// encodeExecResult serializes a completed partition superstep.
+func encodeExecResult(res *engine.ExecResult) []byte {
+	b := value.NewBlob()
+	b.Uvarint(uint64(res.Partition))
+	b.Bool(res.Crash != nil)
+	if c := res.Crash; c != nil {
+		b.Uvarint(uint64(c.Vertex))
+		b.Uvarint(uint64(c.Superstep))
+		b.String(c.Message)
+		b.Bool(c.Panic)
+		b.Bool(c.Injected)
+		b.Bool(c.Deadline)
+		b.Bool(c.Canceled)
+		return b.Bytes()
+	}
+	b.Uvarint(uint64(len(res.Computed)))
+	for i, v := range res.Computed {
+		b.Uvarint(uint64(v))
+		b.Value(res.NewValues[i])
+	}
+	b.Uvarint(uint64(len(res.Outbox)))
+	for _, msgs := range res.Outbox {
+		b.Uvarint(uint64(len(msgs)))
+		for _, m := range msgs {
+			b.Uvarint(uint64(m.Src))
+			b.Uvarint(uint64(m.Dst))
+			b.Value(m.Val)
+		}
+	}
+	b.Uvarint(uint64(len(res.Records)))
+	for i := range res.Records {
+		rec := &res.Records[i]
+		b.Uvarint(uint64(rec.ID))
+		b.Uvarint(uint64(rec.Superstep))
+		b.Int(int64(rec.PrevActive))
+		b.Value(rec.OldValue)
+		b.Value(rec.NewValue)
+		b.Uvarint(uint64(len(rec.Received)))
+		for _, m := range rec.Received {
+			b.Uvarint(uint64(m.Src))
+			b.Value(m.Val)
+		}
+		b.Uvarint(uint64(len(rec.Sent)))
+		for _, m := range rec.Sent {
+			b.Uvarint(uint64(m.Dst))
+			b.Value(m.Val)
+		}
+		b.Uvarint(uint64(len(rec.Emitted)))
+		for _, f := range rec.Emitted {
+			b.String(f.Table)
+			b.Uvarint(uint64(len(f.Args)))
+			for _, a := range f.Args {
+				b.Value(a)
+			}
+		}
+	}
+	b.Int(res.Sent)
+	b.Int(res.CombinedSender)
+	b.Uvarint(uint64(len(res.Agg)))
+	for _, u := range res.Agg {
+		b.String(u.Name)
+		b.Uvarint(uint64(u.Op))
+		b.Float(u.Val)
+		b.Int(u.N)
+	}
+	return b.Bytes()
+}
+
+func decodeExecResult(p []byte) (*engine.ExecResult, error) {
+	r := value.NewBlobReader(p)
+	res := &engine.ExecResult{Partition: int(r.Uvarint())}
+	if r.Bool() {
+		res.Crash = &engine.RemoteCrash{
+			Vertex:    engine.VertexID(r.Uvarint()),
+			Superstep: int(r.Uvarint()),
+			Message:   r.String(),
+			Panic:     r.Bool(),
+			Injected:  r.Bool(),
+			Deadline:  r.Bool(),
+			Canceled:  r.Bool(),
+		}
+		if r.Err() != nil {
+			return nil, fmt.Errorf("transport: corrupt exec result: %w", r.Err())
+		}
+		return res, nil
+	}
+	n := r.Count()
+	res.Computed = make([]engine.VertexID, n)
+	res.NewValues = make([]value.Value, n)
+	for i := 0; i < n; i++ {
+		res.Computed[i] = engine.VertexID(r.Uvarint())
+		res.NewValues[i] = r.Value()
+	}
+	nParts := r.Count()
+	res.Outbox = make([][]engine.OutMessage, nParts)
+	for dp := 0; dp < nParts; dp++ {
+		k := r.Count()
+		if k == 0 {
+			continue
+		}
+		msgs := make([]engine.OutMessage, k)
+		for j := 0; j < k; j++ {
+			msgs[j] = engine.OutMessage{
+				Src: engine.VertexID(r.Uvarint()),
+				Dst: engine.VertexID(r.Uvarint()),
+				Val: r.Value(),
+			}
+		}
+		res.Outbox[dp] = msgs
+	}
+	if nRecs := r.Count(); nRecs > 0 {
+		res.Records = make([]engine.VertexRecord, nRecs)
+		for i := 0; i < nRecs; i++ {
+			rec := &res.Records[i]
+			rec.ID = engine.VertexID(r.Uvarint())
+			rec.Superstep = int(r.Uvarint())
+			rec.PrevActive = int(r.Int())
+			rec.OldValue = r.Value()
+			rec.NewValue = r.Value()
+			if k := r.Count(); k > 0 {
+				rec.Received = make([]engine.IncomingMessage, k)
+				for j := 0; j < k; j++ {
+					rec.Received[j] = engine.IncomingMessage{Src: engine.VertexID(r.Uvarint()), Val: r.Value()}
+				}
+			}
+			if k := r.Count(); k > 0 {
+				rec.Sent = make([]engine.SentMessage, k)
+				for j := 0; j < k; j++ {
+					rec.Sent[j] = engine.SentMessage{Dst: engine.VertexID(r.Uvarint()), Val: r.Value()}
+				}
+			}
+			if k := r.Count(); k > 0 {
+				rec.Emitted = make([]engine.ProvFact, k)
+				for j := 0; j < k; j++ {
+					rec.Emitted[j].Table = r.String()
+					if na := r.Count(); na > 0 {
+						rec.Emitted[j].Args = make([]value.Value, na)
+						for a := 0; a < na; a++ {
+							rec.Emitted[j].Args[a] = r.Value()
+						}
+					}
+				}
+			}
+		}
+	}
+	res.Sent = r.Int()
+	res.CombinedSender = r.Int()
+	if k := r.Count(); k > 0 {
+		res.Agg = make([]engine.AggUpdate, k)
+		for j := 0; j < k; j++ {
+			res.Agg[j] = engine.AggUpdate{
+				Name: r.String(),
+				Op:   engine.AggOp(r.Uvarint()),
+				Val:  r.Float(),
+				N:    r.Int(),
+			}
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("transport: corrupt exec result: %w", r.Err())
+	}
+	return res, nil
+}
+
+// sortStrings is an insertion sort — aggregator maps hold a handful of
+// names, not worth pulling in sort for an interface allocation per call.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ariadne/internal/engine"
+	"ariadne/internal/obs"
+)
+
+// replyCacheSize bounds the per-connection dedup cache. The master has at
+// most a few exchanges in flight per superstep per worker, so a retransmit
+// always finds its cached reply long before eviction.
+const replyCacheSize = 128
+
+// Worker is the worker-process side of the TCP leg: it serves partition
+// ExecRequests from a master over framed connections. Each connection is
+// handled by one goroutine, serially — ordering within a connection is the
+// arrival order — and requests are deduplicated by sequence number: a
+// retransmitted exec replays the cached reply instead of recomputing (the
+// request is a pure function, so recomputing would also be correct; the
+// cache just makes at-least-once delivery cheap).
+type Worker struct {
+	x  *engine.Executor
+	ln net.Listener
+	m  *obs.Metrics
+
+	// killAfter, when positive, makes the worker die abruptly — listener
+	// and connections closed, no reply sent — after that many exec requests
+	// have been received. Deterministic stand-in for kill -9 in the fault
+	// matrix tests.
+	killAfter int64
+	execs     atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewWorker listens on addr (e.g. "127.0.0.1:0") and serves x. Call Serve
+// to start accepting.
+func NewWorker(x *engine.Executor, addr string, m *obs.Metrics) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Worker{x: x, ln: ln, m: m, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Addr returns the bound listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// KillAfter arms the abrupt-death knob: the worker closes everything,
+// mid-exchange, after n exec requests. For fault testing only.
+func (w *Worker) KillAfter(n int) { w.killAfter = int64(n) }
+
+// Serve accepts and serves connections until Close. It returns nil on a
+// clean Close, the accept error otherwise.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		go w.serveConn(conn)
+	}
+}
+
+// Close shuts the worker down: stops accepting and severs every
+// connection.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	err := w.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (w *Worker) drop(conn net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, conn)
+	w.mu.Unlock()
+	conn.Close()
+}
+
+// serveConn handshakes, then serves exec and ping frames until the
+// connection dies.
+func (w *Worker) serveConn(conn net.Conn) {
+	defer w.drop(conn)
+	fp := Fingerprint{
+		Partitions:  w.x.Partitions(),
+		NumVertices: w.x.Graph().NumVertices(),
+		NumEdges:    w.x.Graph().NumEdges(),
+	}
+	typ, _, payload, _, err := readFrame(conn)
+	if err != nil || typ != frameHello {
+		writeFrame(conn, frameError, 0, []byte("expected hello frame"))
+		return
+	}
+	peerFP, err := decodeFingerprint(payload)
+	if err != nil {
+		writeFrame(conn, frameError, 0, []byte(err.Error()))
+		return
+	}
+	if peerFP != fp {
+		writeFrame(conn, frameError, 0,
+			[]byte(fmt.Sprintf("graph fingerprint mismatch: master %+v, worker %+v", peerFP, fp)))
+		return
+	}
+	if _, err := writeFrame(conn, frameWelcome, 0, fp.encode()); err != nil {
+		return
+	}
+
+	cache := newReplyCache(replyCacheSize)
+	for {
+		typ, seq, payload, n, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				w.m.Tracef(obs.Info, "transport", -1, "worker connection ended: %v", err)
+			}
+			return
+		}
+		w.m.Counter(obs.MetricNetMessagesRecv).Add(1)
+		w.m.Counter(obs.MetricNetBytesRecv).Add(int64(n))
+		switch typ {
+		case framePing:
+			if err := w.reply(conn, framePong, seq, nil); err != nil {
+				return
+			}
+		case frameExec:
+			if w.killAfter > 0 && w.execs.Add(1) >= w.killAfter {
+				w.Close()
+				return
+			}
+			if cached, ok := cache.get(seq); ok {
+				if err := w.reply(conn, frameResult, seq, cached); err != nil {
+					return
+				}
+				continue
+			}
+			req, err := decodeExecRequest(payload)
+			if err != nil {
+				writeFrame(conn, frameError, seq, []byte(err.Error()))
+				return
+			}
+			out := encodeExecResult(w.x.Exec(context.Background(), req))
+			cache.put(seq, out)
+			if err := w.reply(conn, frameResult, seq, out); err != nil {
+				return
+			}
+		default:
+			writeFrame(conn, frameError, seq, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
+			return
+		}
+	}
+}
+
+func (w *Worker) reply(conn net.Conn, typ byte, seq uint64, payload []byte) error {
+	n, err := writeFrame(conn, typ, seq, payload)
+	if err != nil {
+		return err
+	}
+	w.m.Counter(obs.MetricNetMessagesSent).Add(1)
+	w.m.Counter(obs.MetricNetBytesSent).Add(int64(n))
+	return nil
+}
+
+// replyCache is a bounded FIFO map of encoded replies keyed by sequence
+// number, the dedup half of the at-least-once contract.
+type replyCache struct {
+	cap     int
+	order   []uint64
+	replies map[uint64][]byte
+}
+
+func newReplyCache(cap int) *replyCache {
+	return &replyCache{cap: cap, replies: make(map[uint64][]byte, cap)}
+}
+
+func (c *replyCache) get(seq uint64) ([]byte, bool) {
+	r, ok := c.replies[seq]
+	return r, ok
+}
+
+func (c *replyCache) put(seq uint64, reply []byte) {
+	if _, ok := c.replies[seq]; ok {
+		return
+	}
+	if len(c.order) >= c.cap {
+		delete(c.replies, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.order = append(c.order, seq)
+	c.replies[seq] = reply
+}

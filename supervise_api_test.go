@@ -154,6 +154,100 @@ func TestDegradedCaptureDifferentialAPI(t *testing.T) {
 	}
 }
 
+// TestConcurrentMultiPartitionDegradeAPI trips degraded mode on two
+// partitions in the same superstep. The shed bookkeeping is written from
+// concurrent partition goroutines, so this pins down that the gap report
+// stays complete (both partitions present, every shed superstep covered,
+// permanent through the last superstep) and non-overlapping (no superstep
+// claimed twice for one partition), both on Result.CaptureGaps and through
+// the capture_gap EDB.
+func TestConcurrentMultiPartitionDegradeAPI(t *testing.T) {
+	g := rmatGraph(t)
+	prog := &analytics.PageRank{Iterations: 10}
+	common := []ariadne.Option{
+		ariadne.WithMaxSupersteps(11),
+		ariadne.WithPartitions(4),
+	}
+	baseline, err := ariadne.Run(g, prog, append([]ariadne.Option{
+		ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{}),
+	}, common...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture failures on partitions 1 and 2 every superstep from the
+	// start: both cross the shed threshold in the same superstep.
+	rules := append(fault.Matrix(1, -1, 0, 3)["capture-fail"],
+		fault.Matrix(2, -1, 0, 3)["capture-fail"]...)
+	inj := fault.NewInjector(rules...)
+	res, err := ariadne.Run(g, prog, append([]ariadne.Option{
+		ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{}),
+		ariadne.WithFault(inj),
+		ariadne.WithSupervision(ariadne.SuperviseConfig{
+			MaxRetries:          2,
+			Backoff:             time.Microsecond,
+			DegradeCaptureAfter: 2,
+		})}, common...)...)
+	if err != nil {
+		t.Fatalf("multi-partition degraded run should complete: %v", err)
+	}
+	sameFinalValues(t, res.Values, baseline.Values)
+
+	// Completeness: both partitions report a gap, and each partition's shed
+	// range reaches the final superstep (shedding is permanent).
+	covered := map[int]map[int]int{} // partition -> superstep -> claim count
+	for _, gap := range res.CaptureGaps {
+		if gap.Partition != 1 && gap.Partition != 2 {
+			t.Errorf("gap on partition %d, want only 1 and 2: %+v", gap.Partition, gap)
+		}
+		if gap.From > gap.To {
+			t.Errorf("inverted gap range: %+v", gap)
+		}
+		if covered[gap.Partition] == nil {
+			covered[gap.Partition] = map[int]int{}
+		}
+		for ss := gap.From; ss <= gap.To; ss++ {
+			covered[gap.Partition][ss]++
+		}
+	}
+	for _, p := range []int{1, 2} {
+		if covered[p] == nil {
+			t.Fatalf("partition %d degraded but reported no gap: %v", p, res.CaptureGaps)
+		}
+		if covered[p][res.Stats.Supersteps-1] == 0 {
+			t.Errorf("partition %d gap does not reach the last superstep: %v", p, res.CaptureGaps)
+		}
+		// Non-overlapping: no superstep is claimed by two gap rows.
+		for ss, n := range covered[p] {
+			if n > 1 {
+				t.Errorf("partition %d superstep %d covered by %d gap rows", p, ss, n)
+			}
+		}
+	}
+
+	// The capture_gap EDB must agree with the report row for row.
+	qr, err := ariadne.QueryOffline(gapQuery(), res.Provenance, g, ariadne.ModeLayered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ariadne.Tuples(qr, "gap")
+	if len(rows) != len(res.CaptureGaps) {
+		t.Fatalf("PQL gap rows = %d, want %d (%v)", len(rows), len(res.CaptureGaps), rows)
+	}
+	for i, gap := range res.CaptureGaps {
+		want := []ariadne.Value{
+			value.NewInt(int64(gap.Partition)),
+			value.NewInt(int64(gap.From)),
+			value.NewInt(int64(gap.To)),
+		}
+		for c := range want {
+			if !rows[i][c].Equal(want[c]) {
+				t.Errorf("gap row %d col %d = %v, want %v", i, c, rows[i][c], want[c])
+			}
+		}
+	}
+}
+
 // Without supervision the same capture fault is fatal — degradation is an
 // opt-in contract, not a silent default.
 func TestCaptureFaultFatalWithoutSupervision(t *testing.T) {
