@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix fault-matrix-net clean
+.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix fault-matrix-net trace-demo clean
 
 all: build test
 
@@ -18,12 +18,19 @@ race:
 
 # bench runs the driver benchmarks and emits per-superstep BENCH_*.json
 # profiles via the instrumented CLI (-stats-json); CI archives the JSON.
+# The traced run is a distributed TCP-loopback paper query with a dropped
+# exchange injected so every transport bucket (serialize/wire/worker-compute/
+# retry) is nonzero in the archived TRACE_pagerank.json timeline.
 bench: bench-micro
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/driver/
 	$(GO) run ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
 		-online q4 -stats-json BENCH_pagerank.json
 	$(GO) run ./cmd/ariadne run -analytic sssp -dataset IN-04 -capture full \
 		-stats-json BENCH_sssp.json
+	$(GO) run ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms \
+		-online q4 -faults "net.send:mode=drop:part=1:ss=2:times=1" \
+		-trace-out TRACE_pagerank.json -stats-json BENCH_trace_pagerank.json
 
 # bench-micro runs the barrier, spill-pipeline, and query-evaluation
 # microbenchmarks and feeds them through cmd/benchjson, which writes
@@ -41,8 +48,10 @@ bench-micro:
 		./internal/pql/eval/ >> bench-micro.out
 	$(GO) test -run '^$$' -bench 'BenchmarkLayeredEval$$' -benchmem -count 1 \
 		./internal/driver/ >> bench-micro.out
-	$(GO) test -run '^$$' -bench 'BenchmarkTransportRun' -benchmem -count 1 \
+	$(GO) test -run '^$$' -bench 'BenchmarkTransportRun|BenchmarkTraceRun' -benchmem -count 1 \
 		./internal/transport/ >> bench-micro.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSpanDisabled' -benchmem -count 1 \
+		./internal/obs/ >> bench-micro.out
 	$(GO) run ./cmd/benchjson -out BENCH_micro.json < bench-micro.out
 	rm -f bench-micro.out
 
@@ -91,6 +100,18 @@ fault-matrix-net:
 		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms -max-retries 1 \
 		-faults "net.send:mode=drop:part=1:times=1048576" \
 		-trace-buf 1024 -stats-json FAULT_net_fallback.json
+
+# trace-demo produces a span timeline you can open in Perfetto
+# (https://ui.perfetto.dev) or chrome://tracing: a distributed PageRank run
+# over two spawned TCP-loopback workers with one exchange dropped at
+# superstep 2, so the retry/backoff bucket shows up in the timeline. See
+# README "Tracing a distributed run".
+trace-demo:
+	$(GO) run ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms \
+		-capture full -faults "net.send:mode=drop:part=1:ss=2:times=1" \
+		-trace-out TRACE_demo.json -stats-json TRACE_demo_stats.json
+	@echo "open TRACE_demo.json in https://ui.perfetto.dev or chrome://tracing"
 
 # ci is what .github/workflows/ci.yml runs.
 ci: vet race

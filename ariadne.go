@@ -134,6 +134,10 @@ type Result struct {
 	// analytic values above are exact regardless — degradation drops only
 	// provenance, never analytic state (Theorem 5.4 non-interference).
 	CaptureGaps []CaptureGap
+	// NetStats snapshots the run's ariadne_net_* counters (bytes/messages/
+	// retransmits over the transport) plus the trace-ring drop counter — nil
+	// for local runs without network traffic and runs without metrics.
+	NetStats map[string]int64
 
 	queryResults map[string]*driver.Result
 }
@@ -152,6 +156,7 @@ type runConfig struct {
 	observers  []engine.Observer
 	metrics    *obs.Metrics
 	traceCap   int
+	spanTrace  bool
 	supervise  *supervise.Config
 	ckptKeep   int
 }
@@ -284,6 +289,21 @@ func WithTrace(capacity int) Option {
 	}
 }
 
+// WithSpanTrace enables the distributed span timeline (PR 7): hierarchical
+// spans for every superstep phase, per-partition compute, and — under a TCP
+// transport — every exchange RPC, including decode/compute/encode child
+// spans measured inside the worker processes and shipped back piggybacked
+// on the results. Creates a registry implicitly if WithMetrics was not
+// given. Export the merged timeline with Metrics.ChromeTrace (Perfetto/
+// chrome://tracing) or query it as the superstep_profile / net_rpc EDBs.
+// Without this option span recording stays disabled at zero allocation cost.
+func WithSpanTrace() Option {
+	return func(c *runConfig) error {
+		c.spanTrace = true
+		return nil
+	}
+}
+
 // WithObserver attaches a custom engine observer.
 func WithObserver(o engine.Observer) Option {
 	return func(c *runConfig) error {
@@ -406,12 +426,15 @@ func prepare(g *Graph, opts []Option) (*runConfig, *provenance.Store, []*driver.
 
 	// Observability: WithTrace implies a registry; every instrumented
 	// component shares the one registry (nil keeps them all no-ops).
-	if cfg.traceCap > 0 && cfg.metrics == nil {
+	if (cfg.traceCap > 0 || cfg.spanTrace) && cfg.metrics == nil {
 		cfg.metrics = obs.New()
 	}
 	if cfg.metrics != nil {
 		if cfg.traceCap > 0 {
 			cfg.metrics.EnableTrace(cfg.traceCap)
+		}
+		if cfg.spanTrace {
+			cfg.metrics.EnableSpans()
 		}
 		cfg.engineCfg.Metrics = cfg.metrics
 		cfg.storeCfg.Metrics = cfg.metrics
@@ -495,6 +518,16 @@ func finish(e *engine.Engine, cfg *runConfig, store *provenance.Store, onlines [
 	if cfg.metrics != nil {
 		res.Metrics = cfg.metrics
 		res.Profile = cfg.metrics.Profiles()
+		res.NetStats = cfg.metrics.NetStats()
+		// Attach the run's telemetry to the store so offline PQL can feed
+		// the superstep_profile / net_rpc EDBs.
+		if store != nil {
+			store.SetTelemetry(provenance.Telemetry{
+				Profiles: res.Profile,
+				RPCs:     cfg.metrics.RPCStats(),
+				Spans:    cfg.metrics.Spans(),
+			})
+		}
 	}
 	for i, def := range cfg.onlineDefs {
 		res.queryResults[def.Name] = onlines[i].Result()

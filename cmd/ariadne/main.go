@@ -25,10 +25,14 @@
 //	    -faults "capture:part=0:times=3"
 //
 // Observability: -metrics-addr serves Prometheus text, expvar, pprof, the
-// trace ring, and per-superstep profiles over HTTP while the run is live;
-// -stats-json writes the profiles to a file; -trace-buf sizes the ring:
+// trace ring, per-superstep profiles, and the span timeline
+// (/debug/ariadne/trace.json) over HTTP while the run is live; -stats-json
+// writes the profiles to a file; -trace-buf sizes the ring; -trace-out
+// enables distributed span tracing and writes a Chrome trace_event JSON
+// (open in Perfetto or chrome://tracing) merging master and worker spans:
 //
 //	ariadne run -analytic pagerank -metrics-addr localhost:9090 -stats-json stats.json -trace-buf 4096
+//	ariadne run -analytic pagerank -transport tcp -workers 2 -trace-out trace.json
 package main
 
 import (
@@ -210,6 +214,7 @@ func cmdRun(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", `serve /metrics (Prometheus), /debug/vars, /debug/pprof, /trace, and /supersteps on this address while the run is live (e.g. "localhost:9090")`)
 	statsJSON := fs.String("stats-json", "", "write per-superstep profile JSON to this file after the run")
 	traceBuf := fs.Int("trace-buf", 0, "structured trace ring capacity in events (0 = tracing off)")
+	traceOut := fs.String("trace-out", "", "enable distributed span tracing and write a Chrome trace_event JSON (Perfetto / chrome://tracing) to this file after the run")
 	fs.Parse(args)
 
 	if err := cliutil.ValidateRunFlags(cliutil.RunFlags{
@@ -340,11 +345,14 @@ func cmdRun(args []string) error {
 	// Observability: one registry shared by the run and the HTTP endpoints,
 	// created up front so the endpoints are live while the run progresses.
 	var metrics *ariadne.Metrics
-	if *metricsAddr != "" || *statsJSON != "" || *traceBuf > 0 {
+	if *metricsAddr != "" || *statsJSON != "" || *traceBuf > 0 || *traceOut != "" {
 		metrics = ariadne.NewMetrics()
 		opts = append(opts, ariadne.WithMetrics(metrics))
 		if *traceBuf > 0 {
 			opts = append(opts, ariadne.WithTrace(*traceBuf))
+		}
+		if *traceOut != "" {
+			opts = append(opts, ariadne.WithSpanTrace())
 		}
 	}
 	if *metricsAddr != "" {
@@ -430,6 +438,17 @@ func cmdRun(args []string) error {
 			return fmt.Errorf("-stats-json: %w", err)
 		}
 		fmt.Printf("per-superstep stats written to %s\n", *statsJSON)
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, metrics.ChromeTrace(), 0o644); err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		fmt.Printf("span timeline written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
+		if buckets := metrics.TransportBuckets(); buckets != nil {
+			fmt.Printf("transport buckets: serialize=%v wire=%v worker-compute=%v retry=%v\n",
+				time.Duration(buckets["serialize"]), time.Duration(buckets["wire"]),
+				time.Duration(buckets["worker_compute"]), time.Duration(buckets["retry"]))
+		}
 	}
 	return nil
 }
@@ -562,6 +581,14 @@ func writeStatsJSON(path, analytic string, res *ariadne.Result) error {
 		DeadlineHits     int64                      `json:"deadline_hits,omitempty"`
 		StragglerFlags   int64                      `json:"straggler_flags,omitempty"`
 		CaptureGaps      []ariadne.CaptureGap       `json:"capture_gaps,omitempty"`
+		// Net holds the run's ariadne_net_* transport counters plus the
+		// trace-ring drop counter (ariadne_trace_dropped_total); empty for
+		// purely local runs.
+		Net map[string]int64 `json:"net,omitempty"`
+		// TransportBuckets decomposes transport overhead by cause
+		// (serialize, wire, worker_compute, retry), in nanoseconds; present
+		// only when span tracing was on.
+		TransportBuckets map[string]int64           `json:"transport_buckets,omitempty"`
 		Profile          []ariadne.SuperstepProfile `json:"profile"`
 	}{
 		Analytic:         analytic,
@@ -573,7 +600,11 @@ func writeStatsJSON(path, analytic string, res *ariadne.Result) error {
 		DeadlineHits:     res.Stats.DeadlineHits,
 		StragglerFlags:   res.Stats.StragglerFlags,
 		CaptureGaps:      res.CaptureGaps,
+		Net:              res.NetStats,
 		Profile:          res.Profile,
+	}
+	if res.Metrics != nil {
+		out.TransportBuckets = res.Metrics.TransportBuckets()
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -100,6 +100,9 @@ func main() {
 	maxTransport := flag.Float64("max-transport-overhead", 10,
 		"maximum tcp-loopback/in-process full-run time ratio (the transport "+
 			"seam's serialization + framing cost; ~3x on a loopback container)")
+	maxTrace := flag.Float64("max-trace-overhead", 1.05,
+		"maximum traced/untraced full-run time ratio over TCP loopback "+
+			"(span tracing must cost at most 5% on an instrumented run)")
 	flag.Parse()
 
 	var lines []string
@@ -149,6 +152,25 @@ func main() {
 		"BenchmarkTransportRun/inproc", "ns/op"); v > *maxTransport {
 		rep.Failures = append(rep.Failures,
 			fmt.Sprintf("transport_overhead %.2f > %.2f", v, *maxTransport))
+	}
+	// trace_overhead compares two TCP-loopback legs of the same run, one
+	// with spans enabled. Like transport_overhead it is a ceiling.
+	if v := ratio(rep, benches, "trace_overhead",
+		"BenchmarkTraceRun/traced",
+		"BenchmarkTraceRun/untraced", "ns/op"); v > *maxTrace {
+		rep.Failures = append(rep.Failures,
+			fmt.Sprintf("trace_overhead %.2f > %.2f", v, *maxTrace))
+	}
+	// The disabled span path must be literally free: zero allocations per
+	// RecordSpan call when no sink is installed (the PR 2 invariant).
+	if v, ok := metric(benches, "BenchmarkSpanDisabled", "allocs/op"); !ok {
+		rep.Failures = append(rep.Failures, "span_disabled_allocs: missing BenchmarkSpanDisabled")
+	} else {
+		rep.Ratios["span_disabled_allocs"] = v
+		if v != 0 {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("span_disabled_allocs %.1f != 0 (disabled span path allocates)", v))
+		}
 	}
 	if v := ratio(rep, benches, "layered_run_speedup",
 		"BenchmarkLayeredEval/sequential",

@@ -14,6 +14,7 @@ package driver
 import (
 	"ariadne/internal/engine"
 	"ariadne/internal/graph"
+	"ariadne/internal/obs"
 	"ariadne/internal/pql/analysis"
 	"ariadne/internal/pql/eval"
 	"ariadne/internal/provenance"
@@ -33,7 +34,11 @@ type needs struct {
 	edgeValue  bool
 	edge       bool
 	captureGap bool
-	emitted    map[string]bool
+	// Telemetry-as-EDB tables (PR 7), fed from the store's attached run
+	// telemetry rather than from provenance layers.
+	superstepProfile bool
+	netRPC           bool
+	emitted          map[string]bool
 }
 
 func needsOf(q *analysis.Query) needs {
@@ -58,6 +63,10 @@ func needsOf(q *analysis.Query) needs {
 			n.edge = true
 		case "capture_gap":
 			n.captureGap = true
+		case "superstep_profile":
+			n.superstepProfile = true
+		case "net_rpc":
+			n.netRPC = true
 		default:
 			n.emitted[name] = true
 		}
@@ -89,8 +98,9 @@ type feeder struct {
 	ret  *retention
 	prov *provenance.Store // set when feeding from a store (layered/naive)
 
-	edgesFed bool
-	gapsFed  bool
+	edgesFed     bool
+	gapsFed      bool
+	telemetryFed bool
 	// edgeValueFed tracks vertices whose (static) edge values were already
 	// emitted: edge weights never change in this engine, so one
 	// edge_value(x, y, w, 0) tuple per edge suffices (queries match the
@@ -147,6 +157,66 @@ func (f *feeder) feedStatic() {
 				value.NewInt(int64(g.From)),
 				value.NewInt(int64(g.To)),
 			})
+		}
+	}
+	if (f.n.superstepProfile || f.n.netRPC) && !f.telemetryFed && f.prov != nil {
+		f.telemetryFed = true
+		f.feedTelemetry(f.prov.Telemetry())
+	}
+}
+
+// feedTelemetry emits the telemetry EDBs from the run profile attached to
+// the store (PR 7).
+//
+//	superstep_profile(S, Phase, Partition, Nanos, Tuples)
+//	net_rpc(S, Partition, Bytes, Retries, Nanos)
+//
+// Whole-superstep phase rows carry Partition = -1; per-partition compute
+// rows (from the span timeline, when tracing was on) carry the partition
+// index. The Tuples column is phase-appropriate work volume: active
+// vertices for compute, delivered messages for barrier, captured +
+// piggybacked tuples for observe, bytes for spill/checkpoint.
+func (f *feeder) feedTelemetry(t provenance.Telemetry) {
+	all := value.NewInt(-1)
+	if f.n.superstepProfile {
+		for _, p := range t.Profiles {
+			s := value.NewInt(int64(p.Superstep))
+			var observed int64
+			for _, c := range p.CaptureTuples {
+				observed += c
+			}
+			for _, c := range p.PiggybackTuples {
+				observed += c
+			}
+			f.add("superstep_profile", eval.Tuple{s, value.NewString("compute"), all,
+				value.NewInt(p.ComputeNS), value.NewInt(int64(p.ActiveVertices))})
+			f.add("superstep_profile", eval.Tuple{s, value.NewString("barrier"), all,
+				value.NewInt(p.BarrierNS), value.NewInt(p.MessagesDelivered)})
+			f.add("superstep_profile", eval.Tuple{s, value.NewString("observe"), all,
+				value.NewInt(p.ObserveNS), value.NewInt(observed)})
+			if p.SpillNS > 0 || p.SpillBytes > 0 {
+				f.add("superstep_profile", eval.Tuple{s, value.NewString("spill"), all,
+					value.NewInt(p.SpillNS), value.NewInt(p.SpillBytes)})
+			}
+			if p.CheckpointNS > 0 || p.CheckpointBytes > 0 {
+				f.add("superstep_profile", eval.Tuple{s, value.NewString("checkpoint"), all,
+					value.NewInt(p.CheckpointNS), value.NewInt(p.CheckpointBytes)})
+			}
+		}
+		for _, sp := range t.Spans {
+			if sp.Name != obs.SpanCompute || sp.Partition < 0 || sp.Proc != obs.ProcMaster {
+				continue
+			}
+			f.add("superstep_profile", eval.Tuple{value.NewInt(int64(sp.Superstep)),
+				value.NewString("compute"), value.NewInt(int64(sp.Partition)),
+				value.NewInt(sp.Dur), value.NewInt(sp.Tuples)})
+		}
+	}
+	if f.n.netRPC {
+		for _, r := range t.RPCs {
+			f.add("net_rpc", eval.Tuple{value.NewInt(int64(r.Superstep)),
+				value.NewInt(int64(r.Partition)), value.NewInt(r.Bytes),
+				value.NewInt(r.Retries), value.NewInt(r.Nanos)})
 		}
 	}
 }

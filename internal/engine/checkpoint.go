@@ -47,9 +47,12 @@ const (
 	// inside the capture observer's blob, the capture-gap records and
 	// degradation state of a degraded run. Version 4 adds the parallel
 	// barrier columns (RunStats.MessagesCombinedSender and the profiles'
-	// MessagesCombinedSender/DeliveryMaxShard). Older versions are not
-	// readable.
-	checkpointVersion  = 4
+	// MessagesCombinedSender/DeliveryMaxShard). Version 5 adds the
+	// distributed-tracing telemetry: the span timeline, the per-exchange
+	// RPC aggregates behind the net_rpc EDB, and the profiles'
+	// per-superstep transport deltas, so a resumed run's trace covers the
+	// pre-crash supersteps. Older versions are not readable.
+	checkpointVersion  = 5
 	manifestName       = "MANIFEST"
 	checkpointAttempts = 4
 	checkpointBackoff  = time.Millisecond
@@ -97,6 +100,8 @@ type checkpointData struct {
 	aggCurrent map[string]float64
 	stat       RunStats
 	profiles   []obs.SuperstepProfile
+	spans      []obs.Span
+	rpcs       []obs.RPCStat
 	obsPresent []bool
 	obsBlobs   [][]byte
 }
@@ -226,6 +231,10 @@ func (e *Engine) encodeCheckpoint(resumeSS int) ([]byte, error) {
 	// ...the per-superstep metrics profiles (empty when the run is
 	// uninstrumented), so Resume restores cumulative observability state.
 	obs.EncodeProfiles(w, e.cfg.Metrics.Profiles())
+	// v5: the distributed span timeline and per-exchange RPC aggregates
+	// (both empty when span tracing is off / the run is in-process).
+	obs.EncodeSpans(w, e.cfg.Metrics.Spans())
+	obs.EncodeRPCStats(w, e.cfg.Metrics.RPCStats())
 	// Observer state blobs, in cfg.Observers order.
 	w.Uvarint(uint64(len(blobs)))
 	for _, b := range blobs {
@@ -318,6 +327,18 @@ func loadCheckpoint(path string) (*checkpointData, error) {
 			return nil, fmt.Errorf("engine: checkpoint %s corrupt: %w", filepath.Base(path), perr)
 		}
 	}
+	if r.Err() == nil {
+		var perr error
+		if cp.spans, perr = obs.DecodeSpans(r); perr != nil {
+			return nil, fmt.Errorf("engine: checkpoint %s corrupt: %w", filepath.Base(path), perr)
+		}
+	}
+	if r.Err() == nil {
+		var perr error
+		if cp.rpcs, perr = obs.DecodeRPCStats(r); perr != nil {
+			return nil, fmt.Errorf("engine: checkpoint %s corrupt: %w", filepath.Base(path), perr)
+		}
+	}
 	nObs := r.Count()
 	for i := 0; i < nObs && r.Err() == nil; i++ {
 		present := r.Bool()
@@ -359,6 +380,8 @@ func (e *Engine) restore(cp *checkpointData) error {
 	// Restore the metrics history so a recovered run reports cumulative
 	// per-superstep profiles and counters, not just post-resume ones.
 	e.cfg.Metrics.RestoreProfiles(cp.profiles)
+	e.cfg.Metrics.RestoreSpans(cp.spans)
+	e.cfg.Metrics.RestoreRPCStats(cp.rpcs)
 	for i, o := range e.cfg.Observers {
 		c, ok := o.(Checkpointable)
 		if cp.obsPresent[i] != ok {

@@ -462,15 +462,27 @@ func (e *Engine) Run() (RunStats, error) {
 					fp = forced[p]
 				}
 				ids := e.activeIDs(p, ss, fp)
-				if e.cfg.Transport != nil && !e.localPinned[p].Load() {
+				spanned := m.SpansEnabled()
+				var t0 time.Time
+				if spanned {
+					t0 = time.Now()
+				}
+				switch {
+				case e.cfg.Transport != nil && !e.localPinned[p].Load():
 					e.transportCompute(p, ss, observing, ids, results, durs)
-					return
-				}
-				if e.sup == nil {
+				case e.sup == nil:
 					e.runPartition(e.runCtx, p, ss, observing, ids, &results[p])
-					return
+				default:
+					e.superviseCompute(p, ss, observing, ids, results, durs)
 				}
-				e.superviseCompute(p, ss, observing, ids, results, durs)
+				if spanned {
+					m.RecordSpan(obs.Span{
+						Proc: obs.ProcMaster, Name: obs.SpanCompute,
+						Superstep: ss, Partition: p,
+						Start: t0.UnixNano(), Dur: int64(time.Since(t0)),
+						Tuples: int64(len(ids)),
+					})
+				}
 			}(p)
 		}
 		wg.Wait()

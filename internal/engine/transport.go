@@ -87,6 +87,13 @@ type ExecRequest struct {
 	// Agg holds the merged aggregator values of the previous superstep
 	// (Pregel read-your-previous-superstep semantics).
 	Agg map[string]float64
+	// Trace context (PR 7): when the master runs with span tracing enabled,
+	// TraceID carries the run's trace ID and ParentSpan the span ID of this
+	// partition's exchange, so the worker's decode/compute/encode child
+	// spans land under the right parent in the merged timeline. Both zero
+	// when tracing is off — the worker then records nothing.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // OutMessage is one outbox entry on the wire: source and destination vertex
@@ -156,6 +163,11 @@ type ExecResult struct {
 	Sent           int64
 	CombinedSender int64
 	Agg            []AggUpdate
+
+	// Spans carries the worker's completed child spans back to the master,
+	// piggybacked on the result frame (empty unless the request carried
+	// trace context). The master merges them via Metrics.AddRemoteSpans.
+	Spans []obs.Span
 }
 
 // Executor runs partition supersteps against request-supplied state — the
@@ -280,6 +292,10 @@ func (e *Engine) buildExecRequest(p, ss int, observing bool, ids []VertexID) *Ex
 		req.PrevActive[i] = e.lastActive[v]
 		req.Inbox[i] = inbox[v]
 	}
+	if m := e.cfg.Metrics; m.SpansEnabled() {
+		req.TraceID = m.SpanTraceID()
+		req.ParentSpan = m.NewSpanID()
+	}
 	return req
 }
 
@@ -290,6 +306,9 @@ func (e *Engine) buildExecRequest(p, ss int, observing bool, ids []VertexID) *Ex
 // is unchanged. Partition-local, so safe from p's worker goroutine.
 func (e *Engine) applyExecResult(p int, res *ExecResult, out *partResult) {
 	out.reset(e.nParts, false)
+	if len(res.Spans) > 0 {
+		e.cfg.Metrics.AddRemoteSpans(res.Spans)
+	}
 	if res.Crash != nil {
 		out.crash = &CrashError{Vertex: res.Crash.Vertex, Superstep: res.Crash.Superstep, Err: res.Crash.Err()}
 		return
@@ -391,6 +410,18 @@ func (e *Engine) transportCompute(p, ss int, observing bool, ids []VertexID, res
 			reset()
 			results[p].crash = &CrashError{Vertex: v, Superstep: ss, Err: err}
 		}
+	}
+	if req.TraceID != 0 {
+		// The exchange umbrella span: this partition's whole transport
+		// round for the superstep, including supervised retries and any
+		// local fallback. Its SpanID is the ParentSpan the worker's child
+		// spans and the TCP leg's rpc/backoff spans attached to.
+		e.cfg.Metrics.RecordSpan(obs.Span{
+			SpanID: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanExchange,
+			Superstep: ss, Partition: p,
+			Start: start.UnixNano(), Dur: int64(time.Since(start)),
+			Tuples: int64(len(ids)),
+		})
 	}
 	if durs != nil {
 		durs[p] = time.Since(start)

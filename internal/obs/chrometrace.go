@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one Chrome trace_event entry ("X" complete events plus
+// "M" metadata naming the processes), the format chrome://tracing and
+// Perfetto load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the merged span timeline as Chrome trace_event JSON.
+// Each process (master, worker:<addr>) becomes a pid; within a process,
+// tid 0 carries the superstep/phase lanes and tid p+1 carries partition p.
+// Timestamps are normalized to the earliest span so the numbers stay
+// microsecond-exact in float64. Nil-safe (returns an empty trace).
+func (m *Metrics) ChromeTrace() []byte {
+	spans := m.Spans()
+	// Stable process ordering: master first, then workers sorted by name.
+	procs := map[string]int{}
+	var names []string
+	for i := range spans {
+		if _, ok := procs[spans[i].Proc]; !ok {
+			procs[spans[i].Proc] = 0
+			names = append(names, spans[i].Proc)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if (names[i] == ProcMaster) != (names[j] == ProcMaster) {
+			return names[i] == ProcMaster
+		}
+		return names[i] < names[j]
+	})
+	for i, n := range names {
+		procs[n] = i
+	}
+	var t0 int64
+	for i := range spans {
+		if t0 == 0 || (spans[i].Start > 0 && spans[i].Start < t0) {
+			t0 = spans[i].Start
+		}
+	}
+	evs := make([]chromeEvent, 0, len(spans)+len(names))
+	for i, n := range names {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", PID: i,
+			Args: map[string]any{"name": n},
+		})
+	}
+	for i := range spans {
+		sp := &spans[i]
+		args := map[string]any{
+			"superstep": sp.Superstep,
+			"trace_id":  strconv.FormatUint(sp.TraceID, 16),
+			"span_id":   strconv.FormatUint(sp.SpanID, 16),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = strconv.FormatUint(sp.Parent, 16)
+		}
+		if sp.Partition >= 0 {
+			args["partition"] = sp.Partition
+		}
+		if sp.Bytes > 0 {
+			args["bytes"] = sp.Bytes
+		}
+		if sp.Retries > 0 {
+			args["retries"] = sp.Retries
+		}
+		if sp.Tuples > 0 {
+			args["tuples"] = sp.Tuples
+		}
+		evs = append(evs, chromeEvent{
+			Name: sp.Name,
+			Cat:  "ariadne",
+			Ph:   "X",
+			TS:   float64(sp.Start-t0) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			PID:  procs[sp.Proc],
+			TID:  sp.Partition + 1,
+			Args: args,
+		})
+	}
+	out, err := json.Marshal(chromeTraceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+	if err != nil {
+		// Everything marshaled is plain scalars; this cannot fail.
+		return []byte(`{"traceEvents":[]}`)
+	}
+	return out
+}

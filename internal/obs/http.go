@@ -14,11 +14,14 @@ import (
 
 // Live introspection endpoint: a long analytic can be inspected mid-run.
 //
-//	/metrics        Prometheus text exposition (counters, gauges, histograms)
-//	/debug/vars     expvar JSON (process vars plus the "ariadne" snapshot)
-//	/debug/pprof/   the standard net/http/pprof profiles
-//	/trace          the structured trace ring buffer as JSON
-//	/supersteps     the completed per-superstep profiles as JSON
+//	/metrics                  Prometheus text exposition (counters, gauges, histograms)
+//	/debug/vars               expvar JSON (process vars plus the "ariadne" snapshot)
+//	/debug/pprof/             the standard net/http/pprof profiles
+//	/trace                    the structured trace ring buffer as JSON
+//	/supersteps               the completed per-superstep profiles as JSON
+//	/debug/ariadne/trace.json the merged distributed span timeline as Chrome
+//	                          trace_event JSON (load in chrome://tracing or
+//	                          ui.perfetto.dev)
 //
 // Everything reads through the registry's race-safe paths, so scraping
 // during an active run is supported (and exercised under -race).
@@ -74,12 +77,16 @@ func Handler(m *Metrics) http.Handler {
 		}
 		writeJSON(w, profiles)
 	})
+	mux.HandleFunc("/debug/ariadne/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(m.ChromeTrace())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "ariadne introspection: /metrics /debug/vars /debug/pprof/ /trace /supersteps")
+		fmt.Fprintln(w, "ariadne introspection: /metrics /debug/vars /debug/pprof/ /trace /supersteps /debug/ariadne/trace.json")
 	})
 	return mux
 }

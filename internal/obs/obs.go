@@ -129,8 +129,17 @@ type Metrics struct {
 	profiles []SuperstepProfile
 	cur      SuperstepProfile
 	curOpen  bool
+	// Last-seen ariadne_net_* counter values, for per-superstep deltas
+	// attributed to the closing profile. Guarded by pmu.
+	netPrevSent    int64
+	netPrevRecv    int64
+	netPrevRetrans int64
 
 	trace atomic.Pointer[Trace]
+	spans atomic.Pointer[spanSink]
+
+	rmu  sync.Mutex
+	rpcs []RPCStat
 
 	start time.Time
 }

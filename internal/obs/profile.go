@@ -48,6 +48,8 @@ const (
 	MetricNetHeartbeatMiss  = "ariadne_net_heartbeat_misses_total" // counter: pings that got no pong in time
 	MetricNetReconnects     = "ariadne_net_reconnects_total"       // counter: connections re-established
 	MetricNetLocalFallbacks = "ariadne_net_local_fallbacks_total"  // counter: partitions pinned local after unreachable
+	// Tracing series (PR 7).
+	MetricTraceDropped = "ariadne_trace_dropped_total" // counter: ring-evicted trace events
 )
 
 // SuperstepProfile is the per-superstep metrics record — one entry per
@@ -95,6 +97,13 @@ type SuperstepProfile struct {
 	PartitionRetries int64 `json:"partition_retries,omitempty"`
 	DeadlineHits     int64 `json:"deadline_hits,omitempty"`
 	Stragglers       []int `json:"stragglers,omitempty"`
+	// Per-superstep transport deltas (PR 7): bytes this superstep put on
+	// and took off the wire, and requests retransmitted — the
+	// ariadne_net_* counters sliced per superstep so headless runs see
+	// them in Result.Profile / -stats-json. All zero in-process.
+	NetBytesSent   int64 `json:"net_bytes_sent,omitempty"`
+	NetBytesRecv   int64 `json:"net_bytes_recv,omitempty"`
+	NetRetransmits int64 `json:"net_retransmits,omitempty"`
 }
 
 // BeginSuperstep opens the profile for superstep ss. Called by the engine
@@ -109,6 +118,7 @@ func (m *Metrics) BeginSuperstep(ss, active int) {
 	m.cur = SuperstepProfile{Superstep: ss, ActiveVertices: active}
 	m.curOpen = true
 	m.pmu.Unlock()
+	m.beginSpanSuperstep()
 	m.Gauge(MetricSuperstep).Set(int64(ss))
 	m.Gauge(MetricActiveVertices).Set(int64(active))
 }
@@ -154,7 +164,20 @@ func (m *Metrics) SuperstepTimings(compute, barrier, observe time.Duration) {
 	m.cur.ComputeNS = int64(compute)
 	m.cur.BarrierNS = int64(barrier)
 	m.cur.ObserveNS = int64(observe)
+	ss := m.cur.Superstep
 	m.pmu.Unlock()
+	if m.SpansEnabled() {
+		// Synthesize the master phase spans from the measured wall times:
+		// observe just ended, barrier ran immediately before it, and
+		// compute started when the superstep opened.
+		now := time.Now().UnixNano()
+		m.RecordSpan(Span{Proc: ProcMaster, Name: SpanCompute, Superstep: ss, Partition: -1,
+			Start: m.spanSuperstepStart(), Dur: int64(compute)})
+		m.RecordSpan(Span{Proc: ProcMaster, Name: SpanBarrier, Superstep: ss, Partition: -1,
+			Start: now - int64(observe) - int64(barrier), Dur: int64(barrier)})
+		m.RecordSpan(Span{Proc: ProcMaster, Name: SpanObserve, Superstep: ss, Partition: -1,
+			Start: now - int64(observe), Dur: int64(observe)})
+	}
 	m.Histogram(MetricComputeSeconds).Observe(compute)
 	m.Histogram(MetricBarrierSeconds).Observe(barrier)
 	m.Histogram(MetricObserveSeconds).Observe(observe)
@@ -226,6 +249,10 @@ func (m *Metrics) AddSpill(ss int, bytes int64, d time.Duration) {
 		}
 	}
 	m.pmu.Unlock()
+	if m.SpansEnabled() {
+		m.RecordSpan(Span{Proc: ProcMaster, Name: SpanSpill, Superstep: ss, Partition: -1,
+			Start: time.Now().UnixNano() - int64(d), Dur: int64(d), Bytes: bytes})
+	}
 	m.Counter(MetricSpillBytes).Add(bytes)
 	m.Histogram(MetricSpillSeconds).Observe(d)
 }
@@ -239,14 +266,20 @@ func (m *Metrics) AddCheckpoint(bytes int64, d time.Duration) {
 		return
 	}
 	m.pmu.Lock()
+	ss := m.cur.Superstep
 	if m.curOpen {
 		m.cur.CheckpointBytes += bytes
 		m.cur.CheckpointNS += int64(d)
 	} else if n := len(m.profiles); n > 0 {
 		m.profiles[n-1].CheckpointBytes += bytes
 		m.profiles[n-1].CheckpointNS += int64(d)
+		ss = m.profiles[n-1].Superstep
 	}
 	m.pmu.Unlock()
+	if m.SpansEnabled() {
+		m.RecordSpan(Span{Proc: ProcMaster, Name: SpanCheckpoint, Superstep: ss, Partition: -1,
+			Start: time.Now().UnixNano() - int64(d), Dur: int64(d), Bytes: bytes})
+	}
 	m.Counter(MetricCheckpointBytes).Add(bytes)
 	m.Histogram(MetricCheckpointSeconds).Observe(d)
 }
@@ -309,21 +342,36 @@ func (m *Metrics) SpillQueue(depth, highWater int64) {
 	m.Gauge(MetricSpillQueueHighWater).Set(highWater)
 }
 
-// EndSuperstep closes the current profile and publishes it. Nil-safe.
+// EndSuperstep closes the current profile and publishes it, slicing the
+// cumulative ariadne_net_* counters into per-superstep deltas on the way
+// out. Nil-safe.
 func (m *Metrics) EndSuperstep() {
 	if m == nil {
 		return
 	}
+	sent := m.counterValue(MetricNetBytesSent)
+	recv := m.counterValue(MetricNetBytesRecv)
+	rtx := m.counterValue(MetricNetRetransmits)
 	m.pmu.Lock()
-	if m.curOpen {
-		m.curOpen = false
-		m.profiles = append(m.profiles, m.cur)
-		m.cur = SuperstepProfile{}
+	if !m.curOpen {
 		m.pmu.Unlock()
-		m.Counter(MetricSupersteps).Add(1)
 		return
 	}
+	m.curOpen = false
+	m.cur.NetBytesSent = sent - m.netPrevSent
+	m.cur.NetBytesRecv = recv - m.netPrevRecv
+	m.cur.NetRetransmits = rtx - m.netPrevRetrans
+	m.netPrevSent, m.netPrevRecv, m.netPrevRetrans = sent, recv, rtx
+	ss := m.cur.Superstep
+	m.profiles = append(m.profiles, m.cur)
+	m.cur = SuperstepProfile{}
 	m.pmu.Unlock()
+	if m.SpansEnabled() {
+		start := m.spanSuperstepStart()
+		m.RecordSpan(Span{Proc: ProcMaster, Name: SpanSuperstep, Superstep: ss, Partition: -1,
+			Start: start, Dur: time.Now().UnixNano() - start})
+	}
+	m.Counter(MetricSupersteps).Add(1)
 }
 
 // AbortSuperstep discards the profile under construction (the superstep
@@ -389,6 +437,11 @@ func (m *Metrics) RestoreProfiles(ps []SuperstepProfile) {
 		m.Counter(MetricDeadlineHits).Add(p.DeadlineHits)
 		m.Counter(MetricStragglers).Add(int64(len(p.Stragglers)))
 		m.Counter(MetricCombinedSender).Add(p.MessagesCombinedSender)
+		if p.NetBytesSent > 0 || p.NetBytesRecv > 0 || p.NetRetransmits > 0 {
+			m.Counter(MetricNetBytesSent).Add(p.NetBytesSent)
+			m.Counter(MetricNetBytesRecv).Add(p.NetBytesRecv)
+			m.Counter(MetricNetRetransmits).Add(p.NetRetransmits)
+		}
 		m.Gauge(MetricDeliveryMaxShard).Set(p.DeliveryMaxShard)
 		m.Histogram(MetricComputeSeconds).Observe(time.Duration(p.ComputeNS))
 		m.Histogram(MetricBarrierSeconds).Observe(time.Duration(p.BarrierNS))
@@ -402,6 +455,11 @@ func (m *Metrics) RestoreProfiles(ps []SuperstepProfile) {
 		m.Gauge(MetricSuperstep).Set(int64(p.Superstep))
 		m.Gauge(MetricActiveVertices).Set(int64(p.ActiveVertices))
 	}
+	m.pmu.Lock()
+	m.netPrevSent = m.counterValue(MetricNetBytesSent)
+	m.netPrevRecv = m.counterValue(MetricNetBytesRecv)
+	m.netPrevRetrans = m.counterValue(MetricNetRetransmits)
+	m.pmu.Unlock()
 }
 
 // EncodeProfiles appends the profiles to a checkpoint blob — the format
@@ -436,6 +494,10 @@ func EncodeProfiles(w *value.Blob, ps []SuperstepProfile) {
 		// Checkpoint v4: parallel-barrier columns.
 		w.Uvarint(uint64(p.MessagesCombinedSender))
 		w.Uvarint(uint64(p.DeliveryMaxShard))
+		// Checkpoint v5: per-superstep transport deltas.
+		w.Uvarint(uint64(p.NetBytesSent))
+		w.Uvarint(uint64(p.NetBytesRecv))
+		w.Uvarint(uint64(p.NetRetransmits))
 	}
 }
 
@@ -469,6 +531,9 @@ func DecodeProfiles(r *value.BlobReader) ([]SuperstepProfile, error) {
 		}
 		p.MessagesCombinedSender = int64(r.Uvarint())
 		p.DeliveryMaxShard = int64(r.Uvarint())
+		p.NetBytesSent = int64(r.Uvarint())
+		p.NetBytesRecv = int64(r.Uvarint())
+		p.NetRetransmits = int64(r.Uvarint())
 		ps = append(ps, p)
 	}
 	if err := r.Err(); err != nil {

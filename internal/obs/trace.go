@@ -75,12 +75,14 @@ func newTrace(capacity int) *Trace {
 	return &Trace{buf: make([]Event, capacity)}
 }
 
-func (t *Trace) add(e Event) {
+// add appends one event and reports whether it evicted the oldest entry.
+func (t *Trace) add(e Event) (evicted bool) {
 	t.mu.Lock()
 	t.seq++
 	e.Seq = t.seq
 	if t.full {
 		t.dropped++
+		evicted = true
 	}
 	t.buf[t.next] = e
 	t.next++
@@ -89,6 +91,7 @@ func (t *Trace) add(e Event) {
 		t.full = true
 	}
 	t.mu.Unlock()
+	return evicted
 }
 
 // events returns the buffered events oldest-first plus the eviction count.
@@ -122,13 +125,17 @@ func (m *Metrics) Tracef(level Level, site string, superstep int, format string,
 	if t == nil {
 		return
 	}
-	t.add(Event{
+	if t.add(Event{
 		Time:      time.Now(),
 		Level:     level,
 		Site:      site,
 		Superstep: superstep,
 		Msg:       fmt.Sprintf(format, args...),
-	})
+	}) {
+		// The ring silently overwrote its oldest event; make the loss
+		// visible as a counter (-stats-json and /metrics surface it).
+		m.Counter(MetricTraceDropped).Add(1)
+	}
 }
 
 // TraceEvents returns the buffered trace oldest-first and how many older

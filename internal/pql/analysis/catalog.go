@@ -16,16 +16,32 @@ package analysis
 //	capture_gap(P, F, T)        provenance capture for partition P was shed
 //	                            for supersteps F..T (degraded-mode record;
 //	                            P = -1 means all partitions)
+//
+// Telemetry-as-EDB (PR 7): the run's own execution profile is queryable
+// alongside provenance, so "why was superstep 3 slow" joins with "what did
+// vertex X do at superstep 3".
+//
+//	superstep_profile(S, Phase, Partition, Nanos, Tuples)
+//	                            phase Phase ("compute", "barrier", "observe",
+//	                            "spill", "checkpoint") of superstep S took
+//	                            Nanos; Partition = -1 for whole-superstep
+//	                            rows, >= 0 for per-partition compute rows
+//	net_rpc(S, Partition, Bytes, Retries, Nanos)
+//	                            the exchange RPC for Partition at superstep S
+//	                            moved Bytes over the wire, needed Retries
+//	                            retransmits, and took Nanos end to end
 var builtinEDBs = map[string]int{
-	"superstep":       2,
-	"value":           3,
-	"evolution":       3,
-	"send_message":    4,
-	"receive_message": 4,
-	"edge_value":      4,
-	"edge":            2,
-	"prov_send":       2,
-	"capture_gap":     3,
+	"superstep":         2,
+	"value":             3,
+	"evolution":         3,
+	"send_message":      4,
+	"receive_message":   4,
+	"edge_value":        4,
+	"edge":              2,
+	"prov_send":         2,
+	"capture_gap":       3,
+	"superstep_profile": 5,
+	"net_rpc":           5,
 }
 
 // staticEDBs hold input-graph structure rather than per-vertex provenance.
@@ -38,6 +54,11 @@ var staticEDBs = map[string]bool{
 	// capture_gap records degraded-mode shed ranges; they are run-global
 	// metadata (a handful of tuples), replicated everywhere for free.
 	"capture_gap": true,
+	// Telemetry tables are run-global: O(supersteps × phases) and
+	// O(supersteps × partitions) tuples owned by the master, not located at
+	// any vertex.
+	"superstep_profile": true,
+	"net_rpc":           true,
 }
 
 // EDBArity returns the arity of an EDB predicate and whether it exists,

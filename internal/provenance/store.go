@@ -98,6 +98,11 @@ type Store struct {
 
 	gaps []CaptureGap // shed ranges, ordered by (Partition, From)
 
+	// telemetry is the run's execution profile, attached after the run so
+	// offline PQL evaluation can feed the telemetry EDBs (superstep_profile,
+	// net_rpc) alongside the provenance itself.
+	telemetry Telemetry
+
 	// Async spill pipeline state. pending holds layers whose file write is
 	// queued or in flight — logically spilled (accounting already moved)
 	// but still readable from memory. asyncErr is the sticky first write
@@ -375,6 +380,23 @@ func (s *Store) Gaps() []CaptureGap {
 	})
 	return out
 }
+
+// Telemetry bundles the run's own execution profile for telemetry-as-EDB
+// querying: per-superstep phase timings, per-RPC network accounting, and
+// (when span tracing was on) the raw span timeline.
+type Telemetry struct {
+	Profiles []obs.SuperstepProfile
+	RPCs     []obs.RPCStat
+	Spans    []obs.Span
+}
+
+// SetTelemetry attaches the run's telemetry to the store (called once by the
+// API layer when the run finishes).
+func (s *Store) SetTelemetry(t Telemetry) { s.telemetry = t }
+
+// Telemetry returns the attached run telemetry (zero value when the run was
+// not instrumented).
+func (s *Store) Telemetry() Telemetry { return s.telemetry }
 
 // RestoreGaps replaces the gap list (checkpoint recovery).
 func (s *Store) RestoreGaps(gaps []CaptureGap) {

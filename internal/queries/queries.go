@@ -260,6 +260,27 @@ prov_send_flag(X, I) :- send_message(X, Y, M, I).
 	}
 }
 
+// NetGap is the telemetry self-query (PR 7): the run explains itself by
+// joining its own network profile with its capture metadata. A partition
+// whose exchange RPCs needed retries (net_rpc, R > 0) that also had its
+// provenance capture shed (capture_gap) is flagged in net_gap — "this
+// partition's provenance is missing *because* the network to it was bad",
+// answered in PQL over the same store as any provenance query. The profiled
+// guard keeps only supersteps the run actually profiled (superstep_profile).
+func NetGap() Definition {
+	return Definition{
+		Name:  "net-gap",
+		Paper: "telemetry-as-EDB",
+		Source: `
+exchange_retry(P, S) :- net_rpc(S, P, _, R, _), R > 0.
+profiled(S) :- superstep_profile(S, _, _, _, _).
+net_gap(P, S) :- exchange_retry(P, S), capture_gap(P, F, T), profiled(S).
+`,
+		Env:         analysis.NewEnv(),
+		ResultPreds: []string{"net_gap", "exchange_retry"},
+	}
+}
+
 // BackwardTraceCustom is the backward lineage query over the custom
 // provenance of Query 11 (paper Query 12): trace along static edges plus
 // send flags instead of send-message edges.

@@ -6,6 +6,7 @@ import (
 	"ariadne/internal/analytics"
 	"ariadne/internal/engine"
 	"ariadne/internal/gen"
+	"ariadne/internal/obs"
 )
 
 // BenchmarkTransportRun compares a full PageRank run with partitions
@@ -68,4 +69,76 @@ func BenchmarkTransportRun(b *testing.B) {
 		defer tr.Close()
 		run(b, tr)
 	})
+}
+
+// BenchmarkTraceRun measures what distributed span tracing costs on top of
+// an instrumented TCP-loopback run. Both legs carry a metrics registry (the
+// honest baseline: anyone who would enable tracing already has metrics on);
+// only the traced leg enables spans. The benchjson trace_overhead ratio
+// (traced/untraced) is the gated quantity — tracing must stay within 5% of
+// the untraced run. The graph is larger than BenchmarkTransportRun's
+// because span cost is O(supersteps × partitions), independent of graph
+// size — the gate bounds overhead at a realistic compute-to-exchange
+// ratio, not on a toy graph where fixed costs dominate.
+func BenchmarkTraceRun(b *testing.B) {
+	g, err := gen.RMAT(gen.DefaultRMAT(11, 8, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const parts = 4
+	prog := func() engine.Program { return &analytics.PageRank{Iterations: 10} }
+	run := func(b *testing.B, spans bool) {
+		b.Helper()
+		m := obs.New()
+		x, err := engine.NewExecutor(g, prog(), engine.Config{Partitions: parts, Combiner: analytics.SumCombiner})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := NewWorker(x, "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go w.Serve()
+		defer w.Close()
+		tr, err := DialTCP(TCPConfig{
+			Addrs: []string{w.Addr()},
+			Fingerprint: Fingerprint{
+				Partitions:  parts,
+				NumVertices: g.NumVertices(),
+				NumEdges:    g.NumEdges(),
+			},
+			Metrics: m,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tr.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh registry per iteration keeps the span collector from
+			// accumulating across runs; the transport keeps the shared one
+			// for its counters only.
+			rm := obs.New()
+			if spans {
+				rm.EnableSpans()
+			}
+			e, err := engine.New(g, prog(), engine.Config{
+				MaxSupersteps: 11,
+				Partitions:    parts,
+				Combiner:      analytics.SumCombiner,
+				Transport:     tr,
+				Metrics:       rm,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
 }

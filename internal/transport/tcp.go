@@ -137,28 +137,69 @@ func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecRe
 	if t.closed.Load() {
 		return nil, fmt.Errorf("%w: client closed", engine.ErrTransport)
 	}
+	m := t.cfg.Metrics
+	traced := req.TraceID != 0 && m.SpansEnabled()
 	p := t.peers[req.Partition%len(t.peers)]
+	var encStart time.Time
+	if traced {
+		encStart = time.Now()
+	}
 	payload := encodeExecRequest(req)
+	if traced {
+		m.RecordSpan(obs.Span{
+			Parent: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanSerialize,
+			Superstep: req.Superstep, Partition: req.Partition,
+			Start: encStart.UnixNano(), Dur: int64(time.Since(encStart)),
+			Bytes: int64(len(payload)),
+		})
+	}
+	execStart := time.Now()
 	seq := t.seq.Add(1)
 	var lastErr error
 	for try := 0; try <= t.cfg.MaxRetries; try++ {
 		if try > 0 {
-			t.cfg.Metrics.Counter(obs.MetricNetRetransmits).Add(1)
+			m.Counter(obs.MetricNetRetransmits).Add(1)
+			backStart := time.Now()
 			supervise.SleepCtx(ctx, supervise.BackoffDuration(t.cfg.Backoff, maxNetBackoff,
 				req.Partition, req.Superstep, try-1))
+			if traced {
+				m.RecordSpan(obs.Span{
+					Parent: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanBackoff,
+					Superstep: req.Superstep, Partition: req.Partition,
+					Start: backStart.UnixNano(), Dur: int64(time.Since(backStart)),
+					Retries: int64(try),
+				})
+			}
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("%w: partition %d superstep %d: %w",
 				engine.ErrTransport, req.Partition, req.Superstep, err)
 		}
-		res, err := p.roundTrip(ctx, req, seq, payload)
+		tryStart := time.Now()
+		res, replyLen, err := p.roundTrip(ctx, req, seq, payload)
+		tryDur := time.Since(tryStart)
+		if traced {
+			m.RecordSpan(obs.Span{
+				Parent: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanRPC,
+				Superstep: req.Superstep, Partition: req.Partition,
+				Start: tryStart.UnixNano(), Dur: int64(tryDur),
+				Bytes: int64(len(payload) + replyLen), Retries: int64(try),
+			})
+		}
 		if err == nil {
+			// Per-(superstep, partition) exchange accounting behind the
+			// net_rpc EDB — recorded whenever a registry is attached,
+			// independent of span tracing.
+			m.AddRPC(req.Superstep, req.Partition,
+				int64(len(payload)+replyLen), int64(try), time.Since(execStart))
 			return res, nil
 		}
 		lastErr = err
-		t.cfg.Metrics.Tracef(obs.Warn, "transport", req.Superstep,
+		m.Tracef(obs.Warn, "transport", req.Superstep,
 			"partition %d exchange attempt %d with %s failed: %v", req.Partition, try+1, p.addr, err)
 	}
+	m.AddRPC(req.Superstep, req.Partition,
+		int64(len(payload)), int64(t.cfg.MaxRetries), time.Since(execStart))
 	return nil, lastErr
 }
 
@@ -357,30 +398,32 @@ func (p *peer) send(typ byte, seq uint64, payload []byte) error {
 }
 
 // roundTrip performs one request/reply exchange attempt under the message
-// deadline, consulting the fault injector on both directions.
-func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint64, payload []byte) (*engine.ExecResult, error) {
+// deadline, consulting the fault injector on both directions. Returns the
+// reply payload length alongside the result for per-exchange wire-byte
+// accounting.
+func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint64, payload []byte) (*engine.ExecResult, int, error) {
 	ch := p.register(seq)
 	defer p.unregister(seq)
 
 	inj := p.t.cfg.Fault
 	act, ferr := inj.NetHit(ctx, fault.SiteNetSend, req.Superstep, req.Partition, int64(seq))
 	if ferr != nil {
-		return nil, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
+		return nil, 0, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
 	}
 	switch act {
 	case fault.NetDrop:
 		// Frame lost on the wire: send nothing, let the deadline fire.
 	case fault.NetReset:
 		p.teardownAny()
-		return nil, p.wrapErr("connection reset by injected fault")
+		return nil, 0, p.wrapErr("connection reset by injected fault")
 	case fault.NetDup:
 		if err := p.send(frameExec, seq, payload); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		fallthrough
 	default:
 		if err := p.send(frameExec, seq, payload); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 
@@ -389,16 +432,16 @@ func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint6
 	for {
 		select {
 		case <-ctx.Done():
-			return nil, p.wrapErr("exchange canceled: %v", ctx.Err())
+			return nil, 0, p.wrapErr("exchange canceled: %v", ctx.Err())
 		case <-timer.C:
-			return nil, p.wrapErr("no reply for seq %d within %v", seq, p.t.cfg.MessageDeadline)
+			return nil, 0, p.wrapErr("no reply for seq %d within %v", seq, p.t.cfg.MessageDeadline)
 		case reply, ok := <-ch:
 			if !ok {
-				return nil, p.wrapErr("connection lost awaiting seq %d", seq)
+				return nil, 0, p.wrapErr("connection lost awaiting seq %d", seq)
 			}
 			act, ferr := inj.NetHit(ctx, fault.SiteNetRecv, req.Superstep, req.Partition, int64(seq))
 			if ferr != nil {
-				return nil, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
+				return nil, 0, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
 			}
 			switch act {
 			case fault.NetDrop:
@@ -408,13 +451,13 @@ func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint6
 				continue
 			case fault.NetReset:
 				p.teardownAny()
-				return nil, p.wrapErr("connection reset by injected fault")
+				return nil, 0, p.wrapErr("connection reset by injected fault")
 			}
 			res, err := decodeExecResult(reply)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %w", engine.ErrTransport, err)
+				return nil, 0, fmt.Errorf("%w: %w", engine.ErrTransport, err)
 			}
-			return res, nil
+			return res, len(reply), nil
 		}
 	}
 }

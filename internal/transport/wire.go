@@ -25,12 +25,16 @@ import (
 	"io"
 
 	"ariadne/internal/engine"
+	"ariadne/internal/obs"
 	"ariadne/internal/value"
 )
 
 // Version is the protocol version exchanged in the handshake. A master and
 // worker must agree exactly; there is no cross-version negotiation.
-const Version = 1
+// Version 2 adds the trace context (trace ID + parent span ID) trailing
+// every ExecRequest and a span section trailing every ExecResult, so
+// distributed tracing needs no side channel.
+const Version = 2
 
 // maxFrame bounds a frame body so a corrupt length prefix fails fast
 // instead of provoking a giant allocation.
@@ -166,6 +170,9 @@ func encodeExecRequest(req *engine.ExecRequest) []byte {
 		b.String(name)
 		b.Float(req.Agg[name])
 	}
+	// v2: trace context (both zero when span tracing is off).
+	b.Uvarint(req.TraceID)
+	b.Uvarint(req.ParentSpan)
 	return b.Bytes()
 }
 
@@ -205,14 +212,33 @@ func decodeExecRequest(p []byte) (*engine.ExecRequest, error) {
 			req.Agg[name] = r.Float()
 		}
 	}
+	req.TraceID = r.Uvarint()
+	req.ParentSpan = r.Uvarint()
 	if r.Err() != nil {
 		return nil, fmt.Errorf("transport: corrupt exec request: %w", r.Err())
 	}
 	return req, nil
 }
 
-// encodeExecResult serializes a completed partition superstep.
+// encodeExecResult serializes a completed partition superstep: the result
+// body followed by the v2 span section (always present, count 0 when the
+// run is untraced).
 func encodeExecResult(res *engine.ExecResult) []byte {
+	return appendSpanSection(encodeExecResultBody(res), res.Spans)
+}
+
+// appendSpanSection appends the piggybacked worker spans after an encoded
+// result body. Split from the body encoder so the worker can time the body
+// encode and then attach the span that measured it.
+func appendSpanSection(body []byte, spans []obs.Span) []byte {
+	b := value.NewBlob()
+	obs.EncodeSpans(b, spans)
+	return append(body, b.Bytes()...)
+}
+
+// encodeExecResultBody serializes a completed partition superstep without
+// the trailing span section.
+func encodeExecResultBody(res *engine.ExecResult) []byte {
 	b := value.NewBlob()
 	b.Uvarint(uint64(res.Partition))
 	b.Bool(res.Crash != nil)
@@ -292,6 +318,7 @@ func decodeExecResult(p []byte) (*engine.ExecResult, error) {
 			Deadline:  r.Bool(),
 			Canceled:  r.Bool(),
 		}
+		res.Spans, _ = obs.DecodeSpans(r)
 		if r.Err() != nil {
 			return nil, fmt.Errorf("transport: corrupt exec result: %w", r.Err())
 		}
@@ -369,6 +396,7 @@ func decodeExecResult(p []byte) (*engine.ExecResult, error) {
 			}
 		}
 	}
+	res.Spans, _ = obs.DecodeSpans(r)
 	if r.Err() != nil {
 		return nil, fmt.Errorf("transport: corrupt exec result: %w", r.Err())
 	}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ariadne/internal/engine"
 	"ariadne/internal/obs"
@@ -167,12 +168,37 @@ func (w *Worker) serveConn(conn net.Conn) {
 				}
 				continue
 			}
+			t0 := time.Now()
 			req, err := decodeExecRequest(payload)
 			if err != nil {
 				writeFrame(conn, frameError, seq, []byte(err.Error()))
 				return
 			}
-			out := encodeExecResult(w.x.Exec(context.Background(), req))
+			t1 := time.Now()
+			res := w.x.Exec(context.Background(), req)
+			t2 := time.Now()
+			out := encodeExecResultBody(res)
+			// When the master sent trace context, time decode/compute/encode
+			// as child spans of its exchange span and piggyback them on the
+			// result — measured first, appended after, so the encode span
+			// covers exactly the body it rode behind.
+			var spans []obs.Span
+			if req.TraceID != 0 && res.Crash == nil {
+				t3 := time.Now()
+				proc := "worker:" + w.Addr()
+				spans = []obs.Span{
+					{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanDecode,
+						Superstep: req.Superstep, Partition: req.Partition,
+						Start: t0.UnixNano(), Dur: int64(t1.Sub(t0)), Bytes: int64(len(payload))},
+					{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanWorkerCompute,
+						Superstep: req.Superstep, Partition: req.Partition,
+						Start: t1.UnixNano(), Dur: int64(t2.Sub(t1)), Tuples: int64(len(req.Active))},
+					{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanEncode,
+						Superstep: req.Superstep, Partition: req.Partition,
+						Start: t2.UnixNano(), Dur: int64(t3.Sub(t2)), Bytes: int64(len(out))},
+				}
+			}
+			out = appendSpanSection(out, spans)
 			cache.put(seq, out)
 			if err := w.reply(conn, frameResult, seq, out); err != nil {
 				return
