@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix fault-matrix-net trace-demo clean
+.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix fault-matrix-net chaos trace-demo clean
 
 all: build test
 
@@ -100,6 +100,20 @@ fault-matrix-net:
 		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms -max-retries 1 \
 		-faults "net.send:mode=drop:part=1:times=1048576" \
 		-trace-buf 1024 -stats-json FAULT_net_fallback.json
+
+# chaos runs the failover test suites under the race detector, then the
+# seeded chaos-soak harness: two seeds, three workers each, a deterministic
+# schedule of worker kills/restarts plus link delays/resets played out at
+# superstep barriers. Each soak asserts the disturbed run is bit-identical
+# to an undisturbed reference — values, provenance layers, zero capture
+# gaps — and that the failover counters account for the schedule, writing
+# the verdict to CHAOS_<seed>.json; CI archives the JSON. A failing seed
+# replays exactly: the schedule is a pure function of the seed.
+chaos:
+	$(GO) test -race -run 'Failover|WorkerKilled|AllWorkers|Drain|Chaos|ReplyCache|ReplyDedup|PoolState' \
+		./internal/transport/ ./internal/fault/ .
+	$(GO) run -race ./cmd/chaos -seed 1 -workers 3 -out CHAOS_1.json
+	$(GO) run -race ./cmd/chaos -seed 2 -workers 3 -out CHAOS_2.json
 
 # trace-demo produces a span timeline you can open in Perfetto
 # (https://ui.perfetto.dev) or chrome://tracing: a distributed PageRank run

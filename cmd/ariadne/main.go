@@ -198,6 +198,9 @@ func cmdRun(args []string) error {
 	workerAddrs := fs.String("worker-addrs", "", `comma-separated addresses of already-running "ariadne worker" processes (instead of -workers)`)
 	partitions := fs.Int("partitions", 0, "partition count (0 = GOMAXPROCS; must match the workers' -partitions)")
 	netDeadline := fs.Duration("net-deadline", 0, "per-message send/receive deadline with -transport tcp (0 = 5s default)")
+	netHeartbeat := fs.Duration("net-heartbeat", time.Second, "worker liveness probe interval with -transport tcp (0 disables probing)")
+	netHeartbeatMisses := fs.Int("net-heartbeat-misses", 0, "consecutive heartbeat misses before a worker is declared dead (0 = default of 3)")
+	failover := fs.Bool("failover", true, "reassign a dead worker's partitions to surviving workers before falling back to master-local execution")
 	evalWorkers := fs.Int("eval-workers", 0, "shard-parallel PQL evaluation workers for online queries (0 = auto, 1 = sequential rounds)")
 	seqEval := fs.Bool("seq-eval", false, "use the reference sequential PQL evaluation path for online queries (identical results, slower)")
 	online := fs.String("online", "", "comma-separated online queries (apt[:eps], q4, q5, q6)")
@@ -218,12 +221,14 @@ func cmdRun(args []string) error {
 	fs.Parse(args)
 
 	if err := cliutil.ValidateRunFlags(cliutil.RunFlags{
-		Transport:   *transportName,
-		Workers:     *workers,
-		WorkerAddrs: *workerAddrs,
-		SeqBarrier:  *seqBarrier,
-		Resume:      *resume,
-		Checkpoint:  *ckDir,
+		Transport:       *transportName,
+		Workers:         *workers,
+		WorkerAddrs:     *workerAddrs,
+		Heartbeat:       *netHeartbeat,
+		HeartbeatMisses: *netHeartbeatMisses,
+		SeqBarrier:      *seqBarrier,
+		Resume:          *resume,
+		Checkpoint:      *ckDir,
 	}); err != nil {
 		return err
 	}
@@ -380,7 +385,9 @@ func cmdRun(args []string) error {
 			},
 			MessageDeadline:   *netDeadline,
 			MaxRetries:        *maxRetries,
-			HeartbeatInterval: time.Second,
+			HeartbeatInterval: *netHeartbeat,
+			HeartbeatMisses:   *netHeartbeatMisses,
+			NoFailover:        !*failover,
 			Fault:             inj,
 			Metrics:           metrics,
 		})
@@ -492,11 +499,22 @@ func cmdWorker(args []string) error {
 	fmt.Printf("worker: listening %s\n", w.Addr())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		w.Close()
+		// Graceful drain: finish the in-flight request, tell the master to
+		// reroute our partitions, then exit 0. A master mid-run carries on
+		// with the surviving workers; a second signal still kills us hard.
+		w.Drain()
 	}()
-	return w.Serve()
+	err = w.Serve()
+	if ctx.Err() != nil {
+		<-drained
+		fmt.Println("worker: drained, exiting")
+		return nil
+	}
+	return err
 }
 
 // resolveWorkers either splits -worker-addrs or spawns -workers worker

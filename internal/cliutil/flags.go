@@ -3,18 +3,22 @@ package cliutil
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 )
 
 // RunFlags captures the cmd/ariadne run flags whose combinations can
 // contradict each other. Validation lives here, not in main, so the rules
 // are unit-testable without spawning the binary.
 type RunFlags struct {
-	Transport   string // "", "inproc", or "tcp"
-	Workers     int    // worker processes to spawn (tcp only)
-	WorkerAddrs string // comma-separated addresses of already-running workers (tcp only)
-	SeqBarrier  bool
-	Resume      bool
-	Checkpoint  string
+	Transport       string // "", "inproc", or "tcp"
+	Workers         int    // worker processes to spawn (tcp only)
+	WorkerAddrs     string // comma-separated addresses of already-running workers (tcp only)
+	Heartbeat       time.Duration
+	HeartbeatMisses int
+	SeqBarrier      bool
+	Resume          bool
+	Checkpoint      string
 }
 
 // ValidateRunFlags rejects contradictory flag combinations with an error
@@ -44,6 +48,32 @@ func ValidateRunFlags(f RunFlags) error {
 	}
 	if f.Workers < 0 {
 		return fmt.Errorf("-workers %d: want a positive count", f.Workers)
+	}
+	if f.WorkerAddrs != "" {
+		// A duplicated address would make two pool slots share one worker:
+		// its death would be counted twice, failover would "reroute" onto
+		// the same dead process, and the capacity the user thinks they have
+		// is a lie. Reject it up front.
+		seen := map[string]bool{}
+		for _, addr := range strings.Split(f.WorkerAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				return errors.New("-worker-addrs: empty address in list")
+			}
+			if seen[addr] {
+				return fmt.Errorf("-worker-addrs: duplicate address %s", addr)
+			}
+			seen[addr] = true
+		}
+	}
+	if f.Heartbeat < 0 {
+		return fmt.Errorf("-net-heartbeat %v: want a non-negative interval (0 disables probing)", f.Heartbeat)
+	}
+	if f.HeartbeatMisses < 0 {
+		return fmt.Errorf("-net-heartbeat-misses %d: want a positive miss budget", f.HeartbeatMisses)
+	}
+	if f.Heartbeat == 0 && f.HeartbeatMisses > 0 && tcp {
+		return errors.New("-net-heartbeat-misses needs -net-heartbeat to enable probing")
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateRunFlags(t *testing.T) {
@@ -17,6 +18,9 @@ func TestValidateRunFlags(t *testing.T) {
 		{"tcp attach", RunFlags{Transport: "tcp", WorkerAddrs: "127.0.0.1:7100"}, ""},
 		{"resume with checkpoint", RunFlags{Resume: true, Checkpoint: "ck"}, ""},
 		{"seq barrier local", RunFlags{SeqBarrier: true}, ""},
+		{"tcp attach multi", RunFlags{Transport: "tcp", WorkerAddrs: "127.0.0.1:7100,127.0.0.1:7101"}, ""},
+		{"heartbeat configured", RunFlags{Transport: "tcp", Workers: 2, Heartbeat: 250 * time.Millisecond, HeartbeatMisses: 2}, ""},
+		{"heartbeat disabled", RunFlags{Transport: "tcp", Workers: 2}, ""},
 
 		{"unknown transport", RunFlags{Transport: "udp"}, `-transport "udp"`},
 		{"seq barrier over tcp", RunFlags{Transport: "tcp", SeqBarrier: true}, "-seq-barrier"},
@@ -25,6 +29,17 @@ func TestValidateRunFlags(t *testing.T) {
 		{"addrs without tcp", RunFlags{WorkerAddrs: "127.0.0.1:7100"}, "-worker-addrs only applies"},
 		{"workers and addrs", RunFlags{Transport: "tcp", Workers: 2, WorkerAddrs: "127.0.0.1:7100"}, "one or the other"},
 		{"negative workers", RunFlags{Transport: "tcp", Workers: -1}, "positive count"},
+		{"duplicate addrs", RunFlags{Transport: "tcp", WorkerAddrs: "127.0.0.1:7100,127.0.0.1:7100"},
+			"duplicate address 127.0.0.1:7100"},
+		{"duplicate addrs spaced", RunFlags{Transport: "tcp", WorkerAddrs: "127.0.0.1:7100, 127.0.0.1:7100"},
+			"duplicate address"},
+		{"empty addr entry", RunFlags{Transport: "tcp", WorkerAddrs: "127.0.0.1:7100,,127.0.0.1:7101"},
+			"empty address"},
+		{"negative heartbeat", RunFlags{Transport: "tcp", Workers: 1, Heartbeat: -time.Second}, "-net-heartbeat"},
+		{"negative misses", RunFlags{Transport: "tcp", Workers: 1, Heartbeat: time.Second, HeartbeatMisses: -1},
+			"-net-heartbeat-misses"},
+		{"misses without probing", RunFlags{Transport: "tcp", Workers: 1, HeartbeatMisses: 3},
+			"needs -net-heartbeat"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

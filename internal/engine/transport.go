@@ -14,12 +14,17 @@
 // message deadlines, an unreachable peer) is reported as an error wrapping
 // ErrTransport — distinct from a remote *compute* crash, which travels back
 // as ExecResult.Crash and is reconstructed into the same CrashError a local
-// run would produce. Transport failures are retried through the existing
-// partition supervision path, and when a partition stays unreachable past
-// MaxRetries the engine re-executes it locally from the superstep barrier
-// (the master holds the program and graph, so the analytic completes
-// bit-identically) while shedding that partition's provenance capture via
-// the degraded-mode machinery, exactly as repeated capture failures do.
+// run would produce. The recovery ladder, in order: the transport's own
+// per-message retransmit budget; partition failover inside the transport's
+// worker pool (the TCP leg reroutes the same ExecRequest to a surviving
+// worker — any worker computes it bit-identically and capture is fully
+// preserved, so a worker death costs nothing but latency while survivors
+// remain); the engine's supervised partition retry; and finally, when the
+// transport reports that no workers remain, local re-execution — the engine
+// pins the partition local from the superstep barrier (the master holds the
+// program and graph, so the analytic completes bit-identically) while
+// shedding that partition's provenance capture via the degraded-mode
+// machinery, exactly as repeated capture failures do.
 package engine
 
 import (
@@ -343,11 +348,16 @@ func transportRetryable(err error) bool {
 // transport, with the same supervision wrapper the local path uses: the
 // attempt snapshot/reset is identical, so a retry (or the local fallback
 // below) re-executes from the superstep barrier exactly like a supervised
-// local re-execution. When every attempt fails on a *transport* error — the
-// worker is unreachable — the partition is pinned local for the rest of the
-// run: the master executes it in-process (bit-identical result, same code)
-// and sheds its provenance capture through the degraded-mode machinery, the
-// same contract PR 3 applies to a partition whose capture keeps failing.
+// local re-execution. A transport with a worker pool (the TCP leg) fails a
+// partition over to surviving workers internally, so an ErrTransport
+// reaching this ladder means the pool is exhausted: when every supervised
+// attempt still fails on a *transport* error — no worker can take the
+// partition — it is pinned local for the rest of the run: the master
+// executes it in-process (bit-identical result, same code) and sheds its
+// provenance capture through the degraded-mode machinery, the same contract
+// PR 3 applies to a partition whose capture keeps failing. A worker that
+// later rejoins the pool serves other partitions; pinning is sticky by
+// design (cheap, deterministic, and the gap accounting stays contiguous).
 func (e *Engine) transportCompute(p, ss int, observing bool, ids []VertexID, results []partResult, durs []time.Duration) {
 	start := time.Now()
 	snap := make([]value.Value, len(ids))

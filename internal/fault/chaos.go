@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ChaosAction is one kind of disturbance in a chaos-soak schedule.
+type ChaosAction int
+
+// Chaos actions. Kill and Restart address a worker process (the chaos
+// driver closes and relaunches it at a superstep barrier); Delay and Reset
+// address one partition's transport leg and are applied through NetRules.
+const (
+	ChaosKill ChaosAction = iota
+	ChaosRestart
+	ChaosDelay
+	ChaosReset
+)
+
+func (a ChaosAction) String() string {
+	switch a {
+	case ChaosKill:
+		return "kill"
+	case ChaosRestart:
+		return "restart"
+	case ChaosDelay:
+		return "delay"
+	case ChaosReset:
+		return "reset"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// ChaosEvent is one scheduled disturbance. Kill/Restart events carry a
+// Worker index; Delay/Reset events carry a Partition (network faults are
+// keyed by partition, not peer, so they follow the work wherever failover
+// routes it).
+type ChaosEvent struct {
+	Superstep int           `json:"superstep"`
+	Action    ChaosAction   `json:"action"`
+	Worker    int           `json:"worker,omitempty"`
+	Partition int           `json:"partition,omitempty"`
+	Delay     time.Duration `json:"delay,omitempty"`
+}
+
+// ChaosSchedule is a deterministic, seed-reproducible disturbance plan for
+// one soak run: which workers die and come back at which superstep
+// barriers, plus network-level delays and resets along the way. Events are
+// ordered by superstep, then by generation order within a superstep.
+type ChaosSchedule struct {
+	Seed       int64        `json:"seed"`
+	Workers    int          `json:"workers"`
+	Supersteps int          `json:"supersteps"`
+	Events     []ChaosEvent `json:"events"`
+}
+
+// ChaosPlan derives a schedule from the seed. The plan is pure: the same
+// (seed, workers, supersteps, partitions) always yields the same events,
+// so a failing soak replays exactly from its seed. Invariants, by
+// construction:
+//
+//   - with two or more workers, at least one kill happens;
+//   - every kill is followed by a restart of the same worker at a later
+//     superstep, so the run always ends with the full pool alive;
+//   - a kill never takes down the last live worker — the soak exercises
+//     failover, not the all-dead pin-local path (that path has its own
+//     directed test);
+//   - all events land in supersteps [1, supersteps-2], leaving the first
+//     and last barriers undisturbed.
+func ChaosPlan(seed int64, workers, supersteps, partitions int) ChaosSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	sched := ChaosSchedule{Seed: seed, Workers: workers, Supersteps: supersteps}
+	if supersteps < 4 || partitions < 1 {
+		return sched
+	}
+
+	alive := make([]bool, workers)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := workers
+	restartAt := make(map[int][]int) // superstep -> workers to revive
+
+	killed := 0
+	for ss := 1; ss <= supersteps-2; ss++ {
+		for _, w := range restartAt[ss] {
+			sched.Events = append(sched.Events, ChaosEvent{Superstep: ss, Action: ChaosRestart, Worker: w})
+			alive[w] = true
+			aliveCount++
+		}
+		delete(restartAt, ss)
+
+		// Roughly one kill every four supersteps, never the last live worker.
+		if aliveCount > 1 && rng.Intn(4) == 0 {
+			w := pickAlive(rng, alive, aliveCount)
+			sched.Events = append(sched.Events, ChaosEvent{Superstep: ss, Action: ChaosKill, Worker: w})
+			alive[w] = false
+			aliveCount--
+			killed++
+			// Revive after 1..3 barriers, clamped so the restart still lands
+			// inside the run.
+			back := ss + 1 + rng.Intn(3)
+			if back > supersteps-2 {
+				back = supersteps - 2
+			}
+			restartAt[back] = append(restartAt[back], w)
+		}
+
+		// Occasional slow or resetting link on a random partition.
+		if rng.Intn(5) == 0 {
+			ev := ChaosEvent{Superstep: ss, Partition: rng.Intn(partitions)}
+			if rng.Intn(2) == 0 {
+				ev.Action = ChaosDelay
+				ev.Delay = time.Duration(1+rng.Intn(5)) * time.Millisecond
+			} else {
+				ev.Action = ChaosReset
+			}
+			sched.Events = append(sched.Events, ev)
+		}
+	}
+
+	// A soak with no kill soaks nothing: force one mid-run. The restart slot
+	// at supersteps-2 is guaranteed free of a conflicting kill because this
+	// branch only runs when the random walk produced none.
+	if killed == 0 && workers > 1 {
+		w := rng.Intn(workers)
+		mid := supersteps / 2
+		sched.Events = append(sched.Events,
+			ChaosEvent{Superstep: mid, Action: ChaosKill, Worker: w},
+			ChaosEvent{Superstep: supersteps - 2, Action: ChaosRestart, Worker: w})
+	}
+
+	// A kill at the last disturbable barrier schedules its revival at that
+	// same (already iterated) barrier; flush such leftovers so the run still
+	// ends with the full pool alive.
+	for _, ws := range restartAt {
+		for _, w := range ws {
+			sched.Events = append(sched.Events,
+				ChaosEvent{Superstep: supersteps - 2, Action: ChaosRestart, Worker: w})
+		}
+	}
+
+	sortEvents(sched.Events)
+	return sched
+}
+
+// pickAlive returns the k-th live worker for a deterministic k.
+func pickAlive(rng *rand.Rand, alive []bool, aliveCount int) int {
+	k := rng.Intn(aliveCount)
+	for i, a := range alive {
+		if !a {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	return -1 // unreachable: aliveCount counts the true entries
+}
+
+// sortEvents orders events by superstep, keeping generation order within a
+// superstep (restarts were generated before kills, so a worker revived and
+// re-killed at the same barrier stays consistent). Insertion sort: the
+// slice is tiny and nearly sorted.
+func sortEvents(evs []ChaosEvent) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j-1].Superstep > evs[j].Superstep; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+}
+
+// NetRules converts the schedule's network-level events (Delay, Reset)
+// into injector rules on the master's send path. Kill and Restart events
+// are not representable as rules — the chaos driver applies those to the
+// worker processes directly at superstep barriers.
+func (s ChaosSchedule) NetRules() []Rule {
+	var rules []Rule
+	for _, ev := range s.Events {
+		switch ev.Action {
+		case ChaosDelay:
+			rules = append(rules, Rule{Site: SiteNetSend, Superstep: ev.Superstep,
+				Partition: ev.Partition, Vertex: -1, Delay: ev.Delay, Times: 1})
+		case ChaosReset:
+			rules = append(rules, Rule{Site: SiteNetSend, Superstep: ev.Superstep,
+				Partition: ev.Partition, Vertex: -1, Reset: true, Times: 1})
+		}
+	}
+	return rules
+}
+
+// Kills returns how many kill events the schedule holds.
+func (s ChaosSchedule) Kills() int {
+	n := 0
+	for _, ev := range s.Events {
+		if ev.Action == ChaosKill {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestChaosPlanDeterministic: same seed, same plan — the whole point of a
+// seeded soak is that a failure replays exactly.
+func TestChaosPlanDeterministic(t *testing.T) {
+	a := ChaosPlan(42, 3, 20, 8)
+	b := ChaosPlan(42, 3, 20, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%+v\n%+v", a, b)
+	}
+	c := ChaosPlan(43, 3, 20, 8)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("seeds 42 and 43 produced identical events — rng not wired to seed")
+	}
+}
+
+// TestChaosPlanInvariants replays each plan against a liveness simulation:
+// at least one kill, no kill of the last live worker, every kill restarted
+// before the run ends, all events inside the disturbable window, ordered
+// by superstep.
+func TestChaosPlanInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		s := ChaosPlan(seed, 3, 20, 8)
+		if s.Kills() == 0 {
+			t.Fatalf("seed %d: no kill event in plan %+v", seed, s.Events)
+		}
+		alive := map[int]bool{0: true, 1: true, 2: true}
+		prevSS := 0
+		for _, ev := range s.Events {
+			if ev.Superstep < 1 || ev.Superstep > s.Supersteps-2 {
+				t.Fatalf("seed %d: event %+v outside [1, %d]", seed, ev, s.Supersteps-2)
+			}
+			if ev.Superstep < prevSS {
+				t.Fatalf("seed %d: events not ordered by superstep: %+v", seed, s.Events)
+			}
+			prevSS = ev.Superstep
+			switch ev.Action {
+			case ChaosKill:
+				if !alive[ev.Worker] {
+					t.Fatalf("seed %d: kill of already-dead worker %d", seed, ev.Worker)
+				}
+				alive[ev.Worker] = false
+				if countTrue(alive) == 0 {
+					t.Fatalf("seed %d: kill at ss %d left no live workers", seed, ev.Superstep)
+				}
+			case ChaosRestart:
+				if alive[ev.Worker] {
+					t.Fatalf("seed %d: restart of live worker %d", seed, ev.Worker)
+				}
+				alive[ev.Worker] = true
+			case ChaosDelay:
+				if ev.Delay <= 0 {
+					t.Fatalf("seed %d: delay event with no delay: %+v", seed, ev)
+				}
+				if ev.Partition < 0 || ev.Partition >= 8 {
+					t.Fatalf("seed %d: delay partition out of range: %+v", seed, ev)
+				}
+			case ChaosReset:
+				if ev.Partition < 0 || ev.Partition >= 8 {
+					t.Fatalf("seed %d: reset partition out of range: %+v", seed, ev)
+				}
+			}
+		}
+		if n := countTrue(alive); n != 3 {
+			t.Fatalf("seed %d: run ends with %d/3 workers alive", seed, n)
+		}
+	}
+}
+
+func countTrue(m map[int]bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// TestChaosPlanSingleWorker: with one worker there is nothing to kill
+// without violating the last-live-worker rule; the plan degrades to
+// network noise only.
+func TestChaosPlanSingleWorker(t *testing.T) {
+	s := ChaosPlan(7, 1, 20, 4)
+	for _, ev := range s.Events {
+		if ev.Action == ChaosKill || ev.Action == ChaosRestart {
+			t.Fatalf("single-worker plan contains %v: %+v", ev.Action, ev)
+		}
+	}
+}
+
+// TestChaosNetRules: delay/reset events translate one-to-one into armed
+// injector rules on the send path; kills and restarts do not.
+func TestChaosNetRules(t *testing.T) {
+	s := ChaosSchedule{Seed: 1, Workers: 2, Supersteps: 10, Events: []ChaosEvent{
+		{Superstep: 2, Action: ChaosKill, Worker: 0},
+		{Superstep: 3, Action: ChaosDelay, Partition: 1, Delay: 2e6},
+		{Superstep: 4, Action: ChaosRestart, Worker: 0},
+		{Superstep: 5, Action: ChaosReset, Partition: 3},
+	}}
+	rules := s.NetRules()
+	if len(rules) != 2 {
+		t.Fatalf("want 2 net rules, got %d: %+v", len(rules), rules)
+	}
+	if rules[0].Site != SiteNetSend || rules[0].Delay != 2e6 || rules[0].Partition != 1 || rules[0].Superstep != 3 {
+		t.Fatalf("bad delay rule: %+v", rules[0])
+	}
+	if rules[1].Site != SiteNetSend || !rules[1].Reset || rules[1].Partition != 3 || rules[1].Superstep != 5 {
+		t.Fatalf("bad reset rule: %+v", rules[1])
+	}
+}

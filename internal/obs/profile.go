@@ -50,6 +50,15 @@ const (
 	MetricNetLocalFallbacks = "ariadne_net_local_fallbacks_total"  // counter: partitions pinned local after unreachable
 	// Tracing series (PR 7).
 	MetricTraceDropped = "ariadne_trace_dropped_total" // counter: ring-evicted trace events
+	// Failover series (PR 8): the worker pool's health machine. Deaths count
+	// transitions into the dead state (budget-exhausted exchanges or missed
+	// heartbeats), reassignments count partition->worker table rewrites,
+	// rejoins count dead or draining workers re-admitted by a fresh
+	// handshake, and drains count workers that deregistered gracefully.
+	MetricFailoverDeaths        = "ariadne_failover_worker_deaths_total"  // counter: workers declared dead
+	MetricFailoverReassignments = "ariadne_failover_reassignments_total" // counter: partitions rerouted to a survivor
+	MetricFailoverRejoins       = "ariadne_failover_rejoins_total"       // counter: workers re-admitted mid-run
+	MetricFailoverDrains        = "ariadne_failover_drains_total"        // counter: workers drained gracefully
 )
 
 // SuperstepProfile is the per-superstep metrics record — one entry per

@@ -40,6 +40,7 @@ const (
 	SpanDecode        = "decode"         // ExecRequest decoding (worker)
 	SpanWorkerCompute = "worker_compute" // partition compute on the worker
 	SpanEncode        = "encode"         // ExecResult body encoding (worker)
+	SpanFailover      = "failover"       // partition reassigned to a surviving worker (master)
 )
 
 // Span is one timed operation in the distributed trace. Start is absolute
@@ -293,10 +294,10 @@ func (m *Metrics) TransportBuckets() map[string]int64 {
 	}
 }
 
-// NetStats snapshots every ariadne_net_* counter plus the trace-drop
-// total as a plain name→value map, so headless bench runs (-stats-json)
-// see the same transport accounting Prometheus scrapes do. Nil-safe;
-// returns nil when no such counters exist.
+// NetStats snapshots every ariadne_net_* and ariadne_failover_* counter
+// plus the trace-drop total as a plain name→value map, so headless bench
+// runs (-stats-json) see the same transport accounting Prometheus scrapes
+// do. Nil-safe; returns nil when no such counters exist.
 func (m *Metrics) NetStats() map[string]int64 {
 	if m == nil {
 		return nil
@@ -304,7 +305,8 @@ func (m *Metrics) NetStats() map[string]int64 {
 	var out map[string]int64
 	m.mu.RLock()
 	for name, c := range m.counters {
-		if strings.HasPrefix(name, "ariadne_net_") || name == MetricTraceDropped {
+		if strings.HasPrefix(name, "ariadne_net_") || strings.HasPrefix(name, "ariadne_failover_") ||
+			name == MetricTraceDropped {
 			if out == nil {
 				out = map[string]int64{}
 			}

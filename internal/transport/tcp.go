@@ -54,6 +54,12 @@ type TCPConfig struct {
 	// fail within one deadline instead of waiting out TCP timeouts.
 	HeartbeatInterval time.Duration
 	HeartbeatMisses   int
+	// NoFailover disables the worker pool's partition failover: a failed
+	// partition is never rerouted to a surviving worker, so exhausting the
+	// retransmit budget on the assigned peer surfaces ErrTransport
+	// immediately (the PR 6 behavior — the engine then pins the partition
+	// local and sheds its capture). Default off: failover on.
+	NoFailover bool
 	// Fault injects deterministic network faults at the net.send/net.recv
 	// sites (drop, delay, duplicate, reset).
 	Fault *fault.Injector
@@ -86,11 +92,11 @@ func (c TCPConfig) normalize() TCPConfig {
 // TCP is the master-side client of the TCP leg: one connection per worker,
 // request/reply exchanges matched by sequence number, at-least-once
 // delivery (deadline + retransmit with deterministic jittered backoff,
-// same-seq so the worker's dedup absorbs re-execution), and heartbeat-based
-// liveness. Exec is safe for concurrent use by the engine's per-partition
-// goroutines. All failures it returns wrap engine.ErrTransport, which is
-// what routes them into supervised retry and, past the budget, the
-// engine's local fallback.
+// same-seq so the worker's dedup absorbs re-execution), heartbeat-based
+// liveness, and partition failover over the worker pool (pool.go). Exec is
+// safe for concurrent use by the engine's per-partition goroutines. All
+// failures it returns wrap engine.ErrTransport, which is what routes them
+// into supervised retry and, past the budget, the engine's local fallback.
 type TCP struct {
 	cfg    TCPConfig
 	seq    atomic.Uint64
@@ -98,6 +104,11 @@ type TCP struct {
 	closed atomic.Bool
 	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	// assign is the partition -> peer-index table (pool.go); absent entries
+	// mean the static partition % len(peers) rule still holds.
+	amu    sync.Mutex
+	assign map[int]int
 }
 
 // DialTCP connects to every worker, performs the versioned handshake, and
@@ -108,9 +119,16 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("%w: no worker addresses", engine.ErrTransport)
 	}
-	t := &TCP{cfg: cfg, stop: make(chan struct{})}
+	seen := make(map[string]bool, len(cfg.Addrs))
 	for _, addr := range cfg.Addrs {
-		t.peers = append(t.peers, &peer{t: t, addr: addr, pending: map[uint64]chan []byte{}})
+		if seen[addr] {
+			return nil, fmt.Errorf("%w: duplicate worker address %s", engine.ErrTransport, addr)
+		}
+		seen[addr] = true
+	}
+	t := &TCP{cfg: cfg, stop: make(chan struct{}), assign: map[int]int{}}
+	for _, addr := range cfg.Addrs {
+		t.peers = append(t.peers, &peer{t: t, addr: addr, pending: map[uint64]chan []byte{}, probedSS: -1})
 	}
 	for _, p := range t.peers {
 		if err := p.ensure(); err != nil {
@@ -127,19 +145,23 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	return t, nil
 }
 
-// Exec implements engine.Transport: encode once, then attempt the exchange
-// up to 1+MaxRetries times under per-message deadlines. Retransmits reuse
-// the sequence number, so a worker that already executed the request
-// replays its cached reply instead of recomputing (recomputing would be
-// harmless — the request is a pure function — but the cache keeps retry
-// storms cheap).
+// Exec implements engine.Transport: encode once, route to the partition's
+// assigned worker, and attempt the exchange up to 1+MaxRetries times under
+// per-message deadlines. Retransmits reuse the sequence number, so a worker
+// that already executed the request replays its cached reply instead of
+// recomputing (recomputing would be harmless — the request is a pure
+// function — but the cache keeps retry storms cheap). When a peer exhausts
+// its budget it is declared dead and the partition fails over: the same
+// encoded request (same seq) is re-sent to the next surviving worker, each
+// peer tried at most once per call. Only when no worker can take the
+// request does Exec fail with ErrTransport — the engine's cue to pin the
+// partition local.
 func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecResult, error) {
 	if t.closed.Load() {
 		return nil, fmt.Errorf("%w: client closed", engine.ErrTransport)
 	}
 	m := t.cfg.Metrics
 	traced := req.TraceID != 0 && m.SpansEnabled()
-	p := t.peers[req.Partition%len(t.peers)]
 	var encStart time.Time
 	if traced {
 		encStart = time.Now()
@@ -155,10 +177,56 @@ func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecRe
 	}
 	execStart := time.Now()
 	seq := t.seq.Add(1)
+	tried := make([]bool, len(t.peers))
+	retries := 0
+	var lastErr error
+	for {
+		pi := t.route(req, tried)
+		if pi < 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: partition %d superstep %d: no live workers",
+					engine.ErrTransport, req.Partition, req.Superstep)
+			}
+			m.AddRPC(req.Superstep, req.Partition,
+				int64(len(payload)), int64(retries), time.Since(execStart))
+			return nil, lastErr
+		}
+		tried[pi] = true
+		p := t.peers[pi]
+		res, replyLen, attempts, err := t.exchange(ctx, p, req, seq, payload, traced, retries)
+		retries += attempts
+		if err == nil {
+			p.noteSuccess()
+			// Per-(superstep, partition) exchange accounting behind the
+			// net_rpc EDB — recorded whenever a registry is attached,
+			// independent of span tracing.
+			m.AddRPC(req.Superstep, req.Partition,
+				int64(len(payload)+replyLen), int64(retries), time.Since(execStart))
+			return res, nil
+		}
+		lastErr = err
+		if t.cfg.NoFailover || ctx.Err() != nil || t.closed.Load() {
+			m.AddRPC(req.Superstep, req.Partition,
+				int64(len(payload)), int64(retries), time.Since(execStart))
+			return nil, lastErr
+		}
+		p.markDead("exchange budget exhausted")
+	}
+}
+
+// exchange drives the retransmit loop of one request against one peer:
+// 1+MaxRetries attempts under per-message deadlines with deterministic
+// jittered backoff between them. It returns how many attempts beyond the
+// first were burned, for cumulative retry accounting across failovers.
+func (t *TCP) exchange(ctx context.Context, p *peer, req *engine.ExecRequest, seq uint64,
+	payload []byte, traced bool, prior int) (*engine.ExecResult, int, int, error) {
+	m := t.cfg.Metrics
+	attempts := 0
 	var lastErr error
 	for try := 0; try <= t.cfg.MaxRetries; try++ {
 		if try > 0 {
 			m.Counter(obs.MetricNetRetransmits).Add(1)
+			attempts++
 			backStart := time.Now()
 			supervise.SleepCtx(ctx, supervise.BackoffDuration(t.cfg.Backoff, maxNetBackoff,
 				req.Partition, req.Superstep, try-1))
@@ -167,12 +235,18 @@ func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecRe
 					Parent: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanBackoff,
 					Superstep: req.Superstep, Partition: req.Partition,
 					Start: backStart.UnixNano(), Dur: int64(time.Since(backStart)),
-					Retries: int64(try),
+					Retries: int64(prior + attempts),
 				})
+			}
+			// A peer declared dead or draining mid-exchange (heartbeat miss
+			// budget, drain frame) will not answer; stop burning the budget
+			// here and let the caller fail over.
+			if !t.cfg.NoFailover && !p.routable() {
+				break
 			}
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("%w: partition %d superstep %d: %w",
+			return nil, 0, attempts, fmt.Errorf("%w: partition %d superstep %d: %w",
 				engine.ErrTransport, req.Partition, req.Superstep, err)
 		}
 		tryStart := time.Now()
@@ -183,24 +257,18 @@ func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecRe
 				Parent: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanRPC,
 				Superstep: req.Superstep, Partition: req.Partition,
 				Start: tryStart.UnixNano(), Dur: int64(tryDur),
-				Bytes: int64(len(payload) + replyLen), Retries: int64(try),
+				Bytes: int64(len(payload) + replyLen), Retries: int64(prior + attempts),
 			})
 		}
 		if err == nil {
-			// Per-(superstep, partition) exchange accounting behind the
-			// net_rpc EDB — recorded whenever a registry is attached,
-			// independent of span tracing.
-			m.AddRPC(req.Superstep, req.Partition,
-				int64(len(payload)+replyLen), int64(try), time.Since(execStart))
-			return res, nil
+			return res, replyLen, attempts, nil
 		}
+		p.noteFailure()
 		lastErr = err
 		m.Tracef(obs.Warn, "transport", req.Superstep,
 			"partition %d exchange attempt %d with %s failed: %v", req.Partition, try+1, p.addr, err)
 	}
-	m.AddRPC(req.Superstep, req.Partition,
-		int64(len(payload)), int64(t.cfg.MaxRetries), time.Since(execStart))
-	return nil, lastErr
+	return nil, 0, attempts, lastErr
 }
 
 // Close tears down every connection and stops the heartbeats. In-flight
@@ -217,7 +285,7 @@ func (t *TCP) Close() error {
 	return nil
 }
 
-// peer is one worker connection with its demux state.
+// peer is one worker connection with its demux and pool-health state.
 type peer struct {
 	t    *TCP
 	addr string
@@ -228,6 +296,12 @@ type peer struct {
 	gen     int // bumped per established connection; reader goroutines check it
 	pending map[uint64]chan []byte
 	hbMiss  int
+	// Failover state machine (pool.go): healthy/suspect/dead/draining,
+	// consecutive-failure count, and the superstep of the last revival
+	// probe (dead peers are probed at most once per superstep).
+	state    workerState
+	fails    int
+	probedSS int
 }
 
 func (p *peer) wrapErr(format string, args ...any) error {
@@ -255,9 +329,20 @@ func (p *peer) ensure() error {
 		return err
 	}
 	p.gen++
+	m := p.t.cfg.Metrics
 	if p.gen > 1 {
-		p.t.cfg.Metrics.Counter(obs.MetricNetReconnects).Add(1)
+		m.Counter(obs.MetricNetReconnects).Add(1)
 	}
+	if p.state == stateDead || p.state == stateDraining {
+		// A previously written-off worker passed a fresh fingerprint
+		// handshake: re-admit it. Its reply-dedup cache is empty, which the
+		// seq protocol tolerates — a retransmitted request recomputes and
+		// returns the same bits.
+		m.Counter(obs.MetricFailoverRejoins).Add(1)
+		m.Tracef(obs.Info, "transport", -1, "peer %s rejoined the pool", p.addr)
+	}
+	p.state = stateHealthy
+	p.fails = 0
 	p.conn = conn
 	p.w = bufio.NewWriter(conn)
 	p.hbMiss = 0
@@ -318,6 +403,11 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 				default: // duplicate reply beyond the buffer: drop
 				}
 			}
+		case frameDrain:
+			// Graceful worker shutdown: it finished its in-flight request
+			// and is deregistering. Stop routing to it; anything still
+			// pending on this connection fails over when the close lands.
+			p.markDraining()
 		case frameError:
 			m.Tracef(obs.Error, "transport", -1, "peer %s reported: %s", p.addr, payload)
 		}
@@ -500,6 +590,15 @@ func (p *peer) heartbeatLoop() {
 		}
 		p.unregister(seq)
 		p.mu.Lock()
+		if missed && len(p.pending) > 0 {
+			// Exchanges are in flight on this connection: the worker may just
+			// be busy computing (requests are served serially, so the pong is
+			// queued behind them). Liveness of a loaded worker is arbitrated
+			// by the message deadline, not the ping; heartbeats only declare
+			// idle peers dead.
+			p.mu.Unlock()
+			continue
+		}
 		if missed {
 			p.hbMiss++
 		} else {
@@ -514,9 +613,9 @@ func (p *peer) heartbeatLoop() {
 			p.t.cfg.Metrics.Counter(obs.MetricNetHeartbeatMiss).Add(1)
 		}
 		if dead {
-			p.t.cfg.Metrics.Tracef(obs.Warn, "transport", -1,
-				"peer %s missed %d heartbeats, declaring dead", p.addr, p.t.cfg.HeartbeatMisses)
-			p.teardownAny()
+			// markDead tears the connection down, so waiting exchanges fail
+			// into failover immediately instead of waiting out the deadline.
+			p.markDead(fmt.Sprintf("missed %d heartbeats", p.t.cfg.HeartbeatMisses))
 		}
 	}
 }

@@ -335,10 +335,28 @@ func TestNetFaultMatrix(t *testing.T) {
 	}
 }
 
+// newTestWorker starts one in-process worker over its own executor and
+// returns it for direct lifecycle control (kill, drain, restart).
+func newTestWorker(t *testing.T, g *graph.Graph, addr string) *Worker {
+	t.Helper()
+	x, err := engine.NewExecutor(g, testProg(), engine.Config{Partitions: testParts, Combiner: analytics.SumCombiner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(x, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve()
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
 // TestWorkerKilledMidRun kills one of two workers abruptly mid-run (no
-// reply, connections severed). The run must complete with bit-identical
-// values: the dead worker's partitions fail over to local execution, and
-// their capture is shed from the superstep of the loss.
+// reply, connections severed). With failover on, the dead worker's
+// partitions reassign to the survivor — same request, same seq, executed
+// bit-identically — so the run completes with NO local fallback and NO
+// capture shed: provenance is fully preserved.
 func TestWorkerKilledMidRun(t *testing.T) {
 	g := testGraph(t)
 	refE, refStats, refObs, err := runLeg(t, g, engine.Config{})
@@ -346,28 +364,9 @@ func TestWorkerKilledMidRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := obs.New()
-	cfg := engine.Config{Partitions: testParts, Combiner: analytics.SumCombiner}
-	x0, err := engine.NewExecutor(g, testProg(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w0, err := NewWorker(x0, "127.0.0.1:0", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	go w0.Serve()
-	t.Cleanup(func() { w0.Close() })
-	x1, err := engine.NewExecutor(g, testProg(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w1, err := NewWorker(x1, "127.0.0.1:0", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	w0 := newTestWorker(t, g, "127.0.0.1:0")
+	w1 := newTestWorker(t, g, "127.0.0.1:0")
 	w1.KillAfter(5) // dies during the third superstep of its partitions
-	go w1.Serve()
-	t.Cleanup(func() { w1.Close() })
 
 	tr := dialWorkers(t, g, []string{w0.Addr(), w1.Addr()}, func(c *TCPConfig) {
 		c.MessageDeadline = 100 * time.Millisecond
@@ -387,11 +386,272 @@ func TestWorkerKilledMidRun(t *testing.T) {
 		t.Fatalf("run with killed worker failed: %v", err)
 	}
 	assertIdentical(t, "killed-worker", refE, e, refStats, stats, refObs, o)
+	if m.Counter(obs.MetricFailoverDeaths).Value() == 0 {
+		t.Error("expected the killed worker to be declared dead")
+	}
+	if m.Counter(obs.MetricFailoverReassignments).Value() == 0 {
+		t.Error("expected the dead worker's partitions to be reassigned")
+	}
+	if n := m.Counter(obs.MetricNetLocalFallbacks).Value(); n != 0 {
+		t.Errorf("failover should preempt local fallback, got %d fallbacks", n)
+	}
+	if deg.AnyShed() {
+		t.Error("failover preserves capture; nothing should be shed")
+	}
+}
+
+// TestWorkerKilledNoFailover pins the pre-failover contract behind the
+// NoFailover switch: the dead worker's partitions pin local and shed
+// capture instead of rerouting.
+func TestWorkerKilledNoFailover(t *testing.T) {
+	g := testGraph(t)
+	refE, refStats, refObs, err := runLeg(t, g, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	w0 := newTestWorker(t, g, "127.0.0.1:0")
+	w1 := newTestWorker(t, g, "127.0.0.1:0")
+	w1.KillAfter(5)
+
+	tr := dialWorkers(t, g, []string{w0.Addr(), w1.Addr()}, func(c *TCPConfig) {
+		c.MessageDeadline = 100 * time.Millisecond
+		c.MaxRetries = 1
+		c.Backoff = time.Millisecond
+		c.NoFailover = true
+		c.Metrics = m
+	})
+	defer tr.Close()
+	deg := supervise.NewDegradeState(1)
+	e, stats, o, err := runLeg(t, g, engine.Config{
+		Transport: tr,
+		Supervise: &supervise.Config{MaxRetries: 1, Backoff: time.Millisecond},
+		Degrade:   deg,
+		Metrics:   m,
+	})
+	if err != nil {
+		t.Fatalf("run with killed worker failed: %v", err)
+	}
+	assertIdentical(t, "killed-no-failover", refE, e, refStats, stats, refObs, o)
 	if m.Counter(obs.MetricNetLocalFallbacks).Value() == 0 {
-		t.Error("expected local fallback after worker death")
+		t.Error("expected local fallback after worker death with failover off")
 	}
 	if !deg.AnyShed() {
-		t.Error("dead worker's partitions should have capture shed")
+		t.Error("dead worker's partitions should have capture shed with failover off")
+	}
+}
+
+// TestAllWorkersKilled kills the whole pool mid-run: with nowhere to fail
+// over, the engine's pin-local fallback is the last rung — the run still
+// finishes bit-identically, with the lost partitions' capture shed and
+// accounted.
+func TestAllWorkersKilled(t *testing.T) {
+	g := testGraph(t)
+	refE, refStats, refObs, err := runLeg(t, g, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	w0 := newTestWorker(t, g, "127.0.0.1:0")
+	w1 := newTestWorker(t, g, "127.0.0.1:0")
+	w0.KillAfter(5)
+	w1.KillAfter(5)
+
+	tr := dialWorkers(t, g, []string{w0.Addr(), w1.Addr()}, func(c *TCPConfig) {
+		c.MessageDeadline = 100 * time.Millisecond
+		c.MaxRetries = 1
+		c.Backoff = time.Millisecond
+		c.Metrics = m
+	})
+	defer tr.Close()
+	deg := supervise.NewDegradeState(1)
+	e, stats, o, err := runLeg(t, g, engine.Config{
+		Transport: tr,
+		Supervise: &supervise.Config{MaxRetries: 1, Backoff: time.Millisecond},
+		Degrade:   deg,
+		Metrics:   m,
+	})
+	if err != nil {
+		t.Fatalf("run with all workers killed failed: %v", err)
+	}
+	assertIdentical(t, "all-killed", refE, e, refStats, stats, refObs, o)
+	if m.Counter(obs.MetricNetLocalFallbacks).Value() == 0 {
+		t.Error("expected local fallback once the whole pool is dead")
+	}
+	if !deg.AnyShed() {
+		t.Error("pin-local partitions should have capture shed")
+	}
+}
+
+// waitCounter polls a metric until it is at least want or the deadline
+// passes.
+func waitCounter(t *testing.T, m *obs.Metrics, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Counter(name).Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %d (at %d)", name, want, m.Counter(name).Value())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWorkerDrainRejoin walks the graceful path end to end at the protocol
+// level: a worker drains (finishing in-flight work, sending frameDrain),
+// its partitions reroute without a death being charged, then a restarted
+// worker on the same address passes a fresh handshake and rejoins the pool.
+func TestWorkerDrainRejoin(t *testing.T) {
+	g := testGraph(t)
+	m := obs.New()
+	w0 := newTestWorker(t, g, "127.0.0.1:0")
+	w1 := newTestWorker(t, g, "127.0.0.1:0")
+	addr1 := w1.Addr()
+	tr := dialWorkers(t, g, []string{w0.Addr(), addr1}, func(c *TCPConfig) {
+		c.MessageDeadline = 200 * time.Millisecond
+		c.MaxRetries = 1
+		c.Backoff = time.Millisecond
+		c.Metrics = m
+	})
+	defer tr.Close()
+
+	// Partition 1 is statically assigned to worker 1; prove the route works.
+	if _, err := tr.Exec(context.Background(), &engine.ExecRequest{Superstep: 0, Partition: 1}); err != nil {
+		t.Fatalf("warm-up exec: %v", err)
+	}
+	if err := w1.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitCounter(t, m, obs.MetricFailoverDrains, 1)
+
+	// The drained worker's partition reroutes to the survivor, gracefully:
+	// a reassignment, not a death.
+	if _, err := tr.Exec(context.Background(), &engine.ExecRequest{Superstep: 1, Partition: 1}); err != nil {
+		t.Fatalf("exec after drain: %v", err)
+	}
+	if m.Counter(obs.MetricFailoverReassignments).Value() == 0 {
+		t.Error("expected a reassignment off the drained worker")
+	}
+	if n := m.Counter(obs.MetricFailoverDeaths).Value(); n != 0 {
+		t.Errorf("a graceful drain must not be charged as a death, got %d", n)
+	}
+
+	// Restart on the same address: the revival probe re-runs the fingerprint
+	// handshake and re-admits the worker mid-run (its empty dedup cache is
+	// fine — the seq protocol just recomputes).
+	newTestWorker(t, g, addr1)
+	// Partition 3 still points at the restarted worker's slot, so routing it
+	// probes and rejoins.
+	if _, err := tr.Exec(context.Background(), &engine.ExecRequest{Superstep: 2, Partition: 3}); err != nil {
+		t.Fatalf("exec after rejoin: %v", err)
+	}
+	waitCounter(t, m, obs.MetricFailoverRejoins, 1)
+	if !tr.peers[1].routable() {
+		t.Error("rejoined worker should be routable again")
+	}
+}
+
+// TestPoolStateMachine drives the circuit breaker's transitions directly:
+// failures suspect, success clears, budget kills exactly once, drains are
+// sticky against deaths, and only live-ish states route.
+func TestPoolStateMachine(t *testing.T) {
+	m := obs.New()
+	tr := &TCP{cfg: TCPConfig{Metrics: m}.normalize(), assign: map[int]int{}}
+	p := &peer{t: tr, addr: "test:0", probedSS: -1}
+	tr.peers = []*peer{p}
+
+	if !p.routable() || p.state.String() != "healthy" {
+		t.Fatalf("fresh peer should be routable and healthy, got %v", p.state)
+	}
+	p.noteFailure()
+	if !p.routable() || p.state != stateSuspect {
+		t.Fatalf("one failure should suspect, not unroute: %v", p.state)
+	}
+	p.noteSuccess()
+	if p.state != stateHealthy || p.fails != 0 {
+		t.Fatalf("success should clear the breaker: %v fails=%d", p.state, p.fails)
+	}
+	p.markDead("test")
+	p.markDead("test again")
+	if p.routable() {
+		t.Error("dead peer must not route")
+	}
+	if n := m.Counter(obs.MetricFailoverDeaths).Value(); n != 1 {
+		t.Errorf("death counted %d times, want once", n)
+	}
+	p.noteSuccess() // stale verdict raced a recovery
+	if !p.routable() {
+		t.Error("a successful exchange should restore a written-off peer")
+	}
+	p.markDraining()
+	p.markDead("should not stick")
+	if p.state != stateDraining {
+		t.Errorf("a draining peer must not be re-declared dead: %v", p.state)
+	}
+	if n := m.Counter(obs.MetricFailoverDeaths).Value(); n != 1 {
+		t.Errorf("drain-then-dead counted a death: %d", n)
+	}
+}
+
+// TestReplyCacheFIFO pins the dedup cache contract: strict FIFO eviction,
+// no double-insert, and a retransmit arriving after eviction simply misses
+// (the worker recomputes — same bits, just slower).
+func TestReplyCacheFIFO(t *testing.T) {
+	c := newReplyCache(3)
+	c.put(1, []byte("a"))
+	c.put(2, []byte("b"))
+	c.put(3, []byte("c"))
+	// Duplicate put must not reorder or duplicate the eviction queue.
+	c.put(1, []byte("a2"))
+	if r, ok := c.get(1); !ok || string(r) != "a" {
+		t.Fatalf("dup put overwrote: %q %v", r, ok)
+	}
+	c.put(4, []byte("d")) // evicts 1, the oldest
+	if _, ok := c.get(1); ok {
+		t.Error("seq 1 should have been evicted first (FIFO)")
+	}
+	for seq, want := range map[uint64]string{2: "b", 3: "c", 4: "d"} {
+		if r, ok := c.get(seq); !ok || string(r) != want {
+			t.Errorf("seq %d: got %q %v, want %q", seq, r, ok, want)
+		}
+	}
+	c.put(5, []byte("e")) // evicts 2
+	if _, ok := c.get(2); ok {
+		t.Error("seq 2 should have been evicted second (FIFO)")
+	}
+	if len(c.replies) != 3 || len(c.order) != 3 {
+		t.Errorf("cache exceeded its bound: %d replies, %d order", len(c.replies), len(c.order))
+	}
+}
+
+// TestReplyDedupAfterEviction exercises the worker path: a retransmit whose
+// cached reply was evicted is recomputed, and — the request being a pure
+// function — the recomputed reply is byte-identical to the original.
+func TestReplyDedupAfterEviction(t *testing.T) {
+	g := testGraph(t)
+	w := newTestWorker(t, g, "127.0.0.1:0")
+	tr := dialWorkers(t, g, []string{w.Addr()})
+	defer tr.Close()
+	p := tr.peers[0]
+	req := &engine.ExecRequest{Superstep: 0, Partition: 0}
+	payload := encodeExecRequest(req)
+
+	first, _, err := p.roundTrip(context.Background(), req, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push the seq-1 reply out of the worker's FIFO cache.
+	for seq := uint64(2); seq < 2+replyCacheSize; seq++ {
+		if _, _, err := p.roundTrip(context.Background(), req, seq, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retransmit seq 1: a cache miss now, so the worker recomputes.
+	again, _, err := p.roundTrip(context.Background(), req, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("post-eviction recompute diverged:\n  first %+v\n  again %+v", first, again)
 	}
 }
 

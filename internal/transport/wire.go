@@ -49,6 +49,7 @@ const (
 	framePing    byte = 5 // master -> worker: liveness probe
 	framePong    byte = 6 // worker -> master: liveness ack
 	frameError   byte = 7 // worker -> master: protocol-level failure (text)
+	frameDrain   byte = 8 // worker -> master: draining; route new work elsewhere
 )
 
 var errBadFrame = errors.New("transport: corrupt frame")

@@ -37,9 +37,14 @@ type Worker struct {
 	killAfter int64
 	execs     atomic.Int64
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	// connWG tracks live serveConn goroutines so Drain can wait for
+	// in-flight requests to finish.
+	connWG sync.WaitGroup
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
 }
 
 // NewWorker listens on addr (e.g. "127.0.0.1:0") and serves x. Call Serve
@@ -59,27 +64,28 @@ func (w *Worker) Addr() string { return w.ln.Addr().String() }
 // mid-exchange, after n exec requests. For fault testing only.
 func (w *Worker) KillAfter(n int) { w.killAfter = int64(n) }
 
-// Serve accepts and serves connections until Close. It returns nil on a
-// clean Close, the accept error otherwise.
+// Serve accepts and serves connections until Close or Drain. It returns nil
+// on a clean shutdown, the accept error otherwise.
 func (w *Worker) Serve() error {
 	for {
 		conn, err := w.ln.Accept()
 		if err != nil {
 			w.mu.Lock()
-			closed := w.closed
+			done := w.closed || w.draining
 			w.mu.Unlock()
-			if closed {
+			if done {
 				return nil
 			}
 			return fmt.Errorf("transport: accept: %w", err)
 		}
 		w.mu.Lock()
-		if w.closed {
+		if w.closed || w.draining {
 			w.mu.Unlock()
 			conn.Close()
 			return nil
 		}
 		w.conns[conn] = struct{}{}
+		w.connWG.Add(1)
 		w.mu.Unlock()
 		go w.serveConn(conn)
 	}
@@ -106,6 +112,40 @@ func (w *Worker) Close() error {
 	return err
 }
 
+// Drain shuts the worker down gracefully: it stops accepting, lets each
+// connection finish the request it is serving (replying normally), then
+// sends the master a drain frame — the deregistration notice that makes the
+// pool reroute this worker's partitions without charging a failure — and
+// closes. Drain returns once every connection has wound down, so a worker
+// process can exit 0 immediately after. Requests the master had pipelined
+// but the worker had not yet read are abandoned; at-least-once delivery
+// re-routes them to a surviving worker.
+func (w *Worker) Drain() error {
+	w.mu.Lock()
+	if w.closed || w.draining {
+		w.mu.Unlock()
+		return nil
+	}
+	w.draining = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	err := w.ln.Close()
+	// Wake readers blocked between requests; a serveConn mid-request sees
+	// the expired deadline only after writing its reply, which is exactly
+	// the finish-in-flight-then-deregister contract.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	w.connWG.Wait()
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	return err
+}
+
 func (w *Worker) drop(conn net.Conn) {
 	w.mu.Lock()
 	delete(w.conns, conn)
@@ -113,9 +153,16 @@ func (w *Worker) drop(conn net.Conn) {
 	conn.Close()
 }
 
+func (w *Worker) isDraining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
 // serveConn handshakes, then serves exec and ping frames until the
-// connection dies.
+// connection dies or the worker drains.
 func (w *Worker) serveConn(conn net.Conn) {
+	defer w.connWG.Done()
 	defer w.drop(conn)
 	fp := Fingerprint{
 		Partitions:  w.x.Partitions(),
@@ -145,6 +192,14 @@ func (w *Worker) serveConn(conn net.Conn) {
 	for {
 		typ, seq, payload, n, err := readFrame(conn)
 		if err != nil {
+			if w.isDraining() {
+				// In-flight work is done (its reply was written before this
+				// read); deregister gracefully so the master reroutes
+				// without counting a failure, then close.
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				writeFrame(conn, frameDrain, 0, nil)
+				return
+			}
 			if !errors.Is(err, net.ErrClosed) {
 				w.m.Tracef(obs.Info, "transport", -1, "worker connection ended: %v", err)
 			}
