@@ -48,11 +48,12 @@ bench-micro:
 		./internal/pql/eval/ >> bench-micro.out
 	$(GO) test -run '^$$' -bench 'BenchmarkLayeredEval$$' -benchmem -count 1 \
 		./internal/driver/ >> bench-micro.out
-	$(GO) test -run '^$$' -bench 'BenchmarkTransportRun|BenchmarkTraceRun' -benchmem -count 1 \
+	$(GO) test -run '^$$' -bench 'BenchmarkTransportRun|BenchmarkTraceRun|BenchmarkWireFrame' -benchmem -count 1 \
 		./internal/transport/ >> bench-micro.out
 	$(GO) test -run '^$$' -bench 'BenchmarkSpanDisabled' -benchmem -count 1 \
 		./internal/obs/ >> bench-micro.out
-	$(GO) run ./cmd/benchjson -out BENCH_micro.json < bench-micro.out
+	$(GO) run ./cmd/benchjson -out BENCH_micro.json \
+		-max-transport-overhead 1.5 -min-bytes-reduction 2 < bench-micro.out
 	rm -f bench-micro.out
 
 bench-full:
@@ -79,12 +80,15 @@ fault-matrix:
 
 # fault-matrix-net exercises the network fault sites end to end under the
 # race detector: the transport test suite (wire codec, TCP differential,
-# deterministic net fault matrix, worker-kill recovery, heartbeats), then
-# three distributed CLI runs over spawned TCP-loopback workers — a dropped
-# exchange recovered by retransmit, a connection reset recovered by
-# reconnect, and an unreachable partition recovered by local fallback with
-# its capture shed into a queryable gap. Each CLI run writes its trace and
-# capture gaps to FAULT_net_*.json; CI archives the JSON.
+# deterministic net fault matrix including the peer-mesh scenarios, worker-
+# kill recovery, heartbeats), then four distributed CLI runs over spawned
+# TCP-loopback workers — a dropped exchange recovered by retransmit, a
+# connection reset recovered by reconnect, an unreachable partition
+# recovered by local fallback with its capture shed into a queryable gap,
+# and a worker-to-worker fragment dropped on the peer mesh (injected
+# worker-side via -worker-faults) recovered by the master-relay fallback.
+# Each CLI run writes its trace and capture gaps to FAULT_net_*.json; CI
+# archives the JSON.
 fault-matrix-net:
 	$(GO) test -race -run 'Transport|Net|Wire|WorkerKilled|Heartbeat|Handshake' \
 		./internal/transport/ ./internal/fault/ .
@@ -100,11 +104,18 @@ fault-matrix-net:
 		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms -max-retries 1 \
 		-faults "net.send:mode=drop:part=1:times=1048576" \
 		-trace-buf 1024 -stats-json FAULT_net_fallback.json
+	$(GO) run -race ./cmd/ariadne run -analytic pagerank -dataset IN-04 -supersteps 10 \
+		-transport tcp -workers 2 -partitions 4 -net-deadline 250ms \
+		-worker-faults "peer.send:mode=drop:part=1:ss=2:times=1" \
+		-trace-buf 1024 -stats-json FAULT_net_peer.json
 
 # chaos runs the failover test suites under the race detector, then the
-# seeded chaos-soak harness: two seeds, three workers each, a deterministic
-# schedule of worker kills/restarts plus link delays/resets played out at
-# superstep barriers. Each soak asserts the disturbed run is bit-identical
+# seeded chaos-soak harness: three seeds, three workers each, a
+# deterministic schedule of worker kills/restarts plus link delays/resets
+# played out at superstep barriers — seed 3 with -kill-mid, which arms each
+# kill to land mid-delta-stream and checkpoints the run so recovery
+# re-hydrates worker-resident state from the last checkpoint blob plus
+# replayed supersteps. Each soak asserts the disturbed run is bit-identical
 # to an undisturbed reference — values, provenance layers, zero capture
 # gaps — and that the failover counters account for the schedule, writing
 # the verdict to CHAOS_<seed>.json; CI archives the JSON. A failing seed
@@ -114,6 +125,7 @@ chaos:
 		./internal/transport/ ./internal/fault/ .
 	$(GO) run -race ./cmd/chaos -seed 1 -workers 3 -out CHAOS_1.json
 	$(GO) run -race ./cmd/chaos -seed 2 -workers 3 -out CHAOS_2.json
+	$(GO) run -race ./cmd/chaos -seed 3 -workers 3 -kill-mid -out CHAOS_3.json
 
 # trace-demo produces a span timeline you can open in Perfetto
 # (https://ui.perfetto.dev) or chrome://tracing: a distributed PageRank run

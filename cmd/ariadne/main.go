@@ -205,6 +205,9 @@ func cmdRun(args []string) error {
 	seqEval := fs.Bool("seq-eval", false, "use the reference sequential PQL evaluation path for online queries (identical results, slower)")
 	online := fs.String("online", "", "comma-separated online queries (apt[:eps], q4, q5, q6)")
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "compute:mode=panic:ss=3:vertex=7" or "spill.write:times=2" (clauses joined with ;)`)
+	workerFaults := fs.String("worker-faults", "", `fault spec forwarded to spawned workers (peer-mesh sites live worker-side), e.g. "peer.send:mode=drop:part=1:ss=2"`)
+	fullState := fs.Bool("full-state", false, "disable worker-resident state: ship full frontiers and relay every outbox through the master (the pre-delta classic exchange)")
+	noNetCompress := fs.Bool("no-net-compress", false, "disable snappy frame compression on the TCP transport (skip offering the capability at handshake)")
 	ckDir := fs.String("checkpoint", "", "checkpoint directory (enables superstep checkpointing)")
 	ckEvery := fs.Int("checkpoint-every", 5, "supersteps between checkpoints")
 	ckKeep := fs.Int("checkpoint-keep", 3, "checkpoints to retain in -checkpoint (older ones are pruned)")
@@ -371,7 +374,7 @@ func cmdRun(args []string) error {
 
 	if distributed {
 		addrs, stopWorkers, err := resolveWorkers(ctx, *workerAddrs, *workers, nParts,
-			*analytic, *dataset, *graphFile, *size, *supersteps)
+			*analytic, *dataset, *graphFile, *size, *supersteps, *workerFaults)
 		if err != nil {
 			return err
 		}
@@ -388,6 +391,8 @@ func cmdRun(args []string) error {
 			HeartbeatInterval: *netHeartbeat,
 			HeartbeatMisses:   *netHeartbeatMisses,
 			NoFailover:        !*failover,
+			ForceFullState:    *fullState,
+			NoCompress:        *noNetCompress,
 			Fault:             inj,
 			Metrics:           metrics,
 		})
@@ -473,6 +478,7 @@ func cmdWorker(args []string) error {
 	size := fs.Int("size", 0, "dataset size factor")
 	supersteps := fs.Int("supersteps", 20, "PageRank iterations (must match the master)")
 	partitions := fs.Int("partitions", 0, "partition count (0 = GOMAXPROCS; must match the master)")
+	faults := fs.String("faults", "", `worker-side fault-injection spec for the peer-mesh sites, e.g. "peer.send:mode=drop:part=1:ss=2" (clauses joined with ;)`)
 	fs.Parse(args)
 
 	g, err := loadGraph(*graphFile, *dataset, *size, *analytic == "sssp")
@@ -487,7 +493,15 @@ func cmdWorker(args []string) error {
 	if nParts <= 0 {
 		nParts = runtime.GOMAXPROCS(0)
 	}
-	x, err := engine.NewExecutor(g, prog, engine.Config{Partitions: nParts})
+	var inj *fault.Injector
+	if *faults != "" {
+		rules, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		inj = fault.NewInjector(rules...)
+	}
+	x, err := engine.NewExecutor(g, prog, engine.Config{Partitions: nParts, Fault: inj})
 	if err != nil {
 		return err
 	}
@@ -522,7 +536,7 @@ func cmdWorker(args []string) error {
 // every process deterministically builds the identical graph. The returned
 // cleanup kills spawned workers (a no-op in attach mode).
 func resolveWorkers(ctx context.Context, addrSpec string, n, nParts int,
-	analytic, dataset, graphFile string, size, supersteps int) ([]string, func(), error) {
+	analytic, dataset, graphFile string, size, supersteps int, workerFaults string) ([]string, func(), error) {
 	if addrSpec != "" {
 		return strings.Split(addrSpec, ","), func() {}, nil
 	}
@@ -541,6 +555,9 @@ func resolveWorkers(ctx context.Context, addrSpec string, n, nParts int,
 		wargs = append(wargs, "-graph", graphFile)
 	} else {
 		wargs = append(wargs, "-dataset", dataset, "-size", strconv.Itoa(size))
+	}
+	if workerFaults != "" {
+		wargs = append(wargs, "-faults", workerFaults)
 	}
 	var cmds []*exec.Cmd
 	stop := func() {
@@ -590,15 +607,15 @@ func resolveWorkers(ctx context.Context, addrSpec string, n, nParts int,
 // writeStatsJSON dumps the run summary and per-superstep profiles.
 func writeStatsJSON(path, analytic string, res *ariadne.Result) error {
 	out := struct {
-		Analytic         string                     `json:"analytic"`
-		Supersteps       int                        `json:"supersteps"`
-		Messages         int64                      `json:"messages_sent"`
-		DurationMS       float64                    `json:"duration_ms"`
-		ResumedFrom      int                        `json:"resumed_from,omitempty"`
-		PartitionRetries int64                      `json:"partition_retries,omitempty"`
-		DeadlineHits     int64                      `json:"deadline_hits,omitempty"`
-		StragglerFlags   int64                      `json:"straggler_flags,omitempty"`
-		CaptureGaps      []ariadne.CaptureGap       `json:"capture_gaps,omitempty"`
+		Analytic         string               `json:"analytic"`
+		Supersteps       int                  `json:"supersteps"`
+		Messages         int64                `json:"messages_sent"`
+		DurationMS       float64              `json:"duration_ms"`
+		ResumedFrom      int                  `json:"resumed_from,omitempty"`
+		PartitionRetries int64                `json:"partition_retries,omitempty"`
+		DeadlineHits     int64                `json:"deadline_hits,omitempty"`
+		StragglerFlags   int64                `json:"straggler_flags,omitempty"`
+		CaptureGaps      []ariadne.CaptureGap `json:"capture_gaps,omitempty"`
 		// Net holds the run's ariadne_net_* transport counters plus the
 		// trace-ring drop counter (ariadne_trace_dropped_total); empty for
 		// purely local runs.

@@ -55,6 +55,13 @@ type workerProc struct {
 }
 
 func (p *workerProc) start() error {
+	// A mid-stream kill is armed, not immediate: a worker left idle by sticky
+	// failover may never serve the triggering exec and still hold its port at
+	// restart time. Sever it first — Close is a no-op if the arm already
+	// fired — so the relisten on the stable address always succeeds.
+	if p.w != nil {
+		p.w.Close()
+	}
 	x, err := p.mk()
 	if err != nil {
 		return err
@@ -94,6 +101,12 @@ func (d *driver) ObserveSuperstep(v *engine.SuperstepView) error {
 		switch ev.Action {
 		case fault.ChaosKill:
 			d.workers[ev.Worker].kill()
+		case fault.ChaosKillMid:
+			// Arm the worker to die after serving one more exec: the death
+			// lands inside the next superstep's delta stream, after its
+			// fragments may have partially routed, not cleanly at a barrier.
+			w := d.workers[ev.Worker].w
+			w.KillAfter(int(w.Execs()) + 1)
 		case fault.ChaosRestart:
 			if err := d.workers[ev.Worker].start(); err != nil {
 				// Failing to restart breaks the schedule's ends-alive
@@ -113,18 +126,18 @@ func (d *driver) ObserveSuperstep(v *engine.SuperstepView) error {
 // report is the CHAOS_<seed>.json archive: the schedule, what fired, every
 // failover counter, and the verdict.
 type report struct {
-	Seed       int64               `json:"seed"`
-	Workers    int                 `json:"workers"`
-	Partitions int                 `json:"partitions"`
-	Supersteps int                 `json:"supersteps"`
-	Analytic   string              `json:"analytic"`
-	Dataset    string              `json:"dataset"`
-	Plan       fault.ChaosSchedule `json:"plan"`
-	Applied    []string            `json:"applied"`
-	NetStats   map[string]int64    `json:"net_stats"`
+	Seed       int64                `json:"seed"`
+	Workers    int                  `json:"workers"`
+	Partitions int                  `json:"partitions"`
+	Supersteps int                  `json:"supersteps"`
+	Analytic   string               `json:"analytic"`
+	Dataset    string               `json:"dataset"`
+	Plan       fault.ChaosSchedule  `json:"plan"`
+	Applied    []string             `json:"applied"`
+	NetStats   map[string]int64     `json:"net_stats"`
 	Gaps       []ariadne.CaptureGap `json:"capture_gaps,omitempty"`
-	Failures   []string            `json:"failures,omitempty"`
-	OK         bool                `json:"ok"`
+	Failures   []string             `json:"failures,omitempty"`
+	OK         bool                 `json:"ok"`
 }
 
 func run() error {
@@ -135,6 +148,11 @@ func run() error {
 	dataset := flag.String("dataset", "IN-04", "built-in dataset name")
 	size := flag.Int("size", 0, "dataset size factor")
 	partitions := flag.Int("partitions", 8, "partition count")
+	killMid := flag.Bool("kill-mid", false,
+		"turn every scheduled kill into a mid-delta-stream kill (the worker dies "+
+			"while serving the next superstep, not cleanly at a barrier) and "+
+			"checkpoint the soak run so recovery re-hydrates worker-resident "+
+			"state from the last checkpoint blob plus replayed supersteps")
 	out := flag.String("out", "", "report JSON path (default CHAOS_<seed>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -176,6 +194,9 @@ func run() error {
 	if plan.Kills() == 0 {
 		return fmt.Errorf("seed %d yields no kill over %d supersteps; nothing would be soaked",
 			*seed, base.Stats.Supersteps)
+	}
+	if *killMid {
+		plan = plan.MidStream()
 	}
 	restarts := 0
 	for _, ev := range plan.Events {
@@ -225,13 +246,25 @@ func run() error {
 	}
 	defer tr.Close()
 	drv := &driver{plan: plan, workers: workers}
-	soak, err := ariadne.Run(g, mkProg(), append(opts(),
+	soakOpts := append(opts(),
 		ariadne.WithTransport(tr),
 		ariadne.WithMetrics(m),
 		ariadne.WithObserver(drv),
 		ariadne.WithSupervision(ariadne.SuperviseConfig{
 			MaxRetries: 2, Backoff: time.Millisecond, DegradeCaptureAfter: 1,
-		}))...)
+		}))
+	if *killMid {
+		// Checkpoint the soak leg so a mid-stream death re-hydrates the lost
+		// partitions from the last checkpoint blob plus replayed supersteps —
+		// the recovery path under test — rather than replaying from zero.
+		ckDir, err := os.MkdirTemp("", "chaos-ck-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(ckDir)
+		soakOpts = append(soakOpts, ariadne.WithCheckpoint(ckDir, 3))
+	}
+	soak, err := ariadne.Run(g, mkProg(), soakOpts...)
 	if drv.err != nil {
 		return drv.err
 	}
@@ -306,6 +339,10 @@ func run() error {
 	}
 	if rejoins > int64(restarts) {
 		fail("%d rejoins recorded for %d restarts: rejoins double-counted", rejoins, restarts)
+	}
+	if *killMid && soak.NetStats[obs.MetricNetStateReseeds] == 0 {
+		fail("no resident-state reseed recorded despite %d mid-stream kills: "+
+			"the re-hydration path was not exercised", plan.Kills())
 	}
 
 	rep.OK = len(rep.Failures) == 0

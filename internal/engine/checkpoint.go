@@ -355,15 +355,17 @@ func loadCheckpoint(path string) (*checkpointData, error) {
 	return cp, nil
 }
 
-// restore loads a decoded checkpoint into the engine.
-func (e *Engine) restore(cp *checkpointData) error {
+// restoreCore installs the engine-core slice of a checkpoint — vertex
+// values, last-active marks, in-flight inboxes, merged aggregators, and the
+// resume superstep — without touching run statistics, metrics history, or
+// observer state. It is the re-hydration half of restore(): the resident
+// runtime's replay engine seeds from it (no observers attached, so the full
+// restore()'s observer-set validation must not apply) and then replays the
+// supersteps since to recover state that died with a worker.
+func (e *Engine) restoreCore(cp *checkpointData) error {
 	if cp.nVertices != e.g.NumVertices() || cp.nEdges != int64(e.g.NumEdges()) {
 		return fmt.Errorf("engine: checkpoint was taken over a different graph (%d vertices / %d edges, have %d / %d)",
 			cp.nVertices, cp.nEdges, e.g.NumVertices(), e.g.NumEdges())
-	}
-	if len(cp.obsPresent) != len(e.cfg.Observers) {
-		return fmt.Errorf("engine: checkpoint has %d observer states, config has %d observers — resume with the same observer set",
-			len(cp.obsPresent), len(e.cfg.Observers))
 	}
 	copy(e.values, cp.values)
 	copy(e.lastActive, cp.lastActive)
@@ -374,9 +376,21 @@ func (e *Engine) restore(cp *checkpointData) error {
 		e.inboxes[e.partition(en.dst)][en.dst] = en.msgs
 	}
 	e.agg.current = cp.aggCurrent
-	e.stat = cp.stat
 	e.startSS = cp.resumeSS
 	e.lastCkptSS = cp.resumeSS
+	return nil
+}
+
+// restore loads a decoded checkpoint into the engine.
+func (e *Engine) restore(cp *checkpointData) error {
+	if len(cp.obsPresent) != len(e.cfg.Observers) {
+		return fmt.Errorf("engine: checkpoint has %d observer states, config has %d observers — resume with the same observer set",
+			len(cp.obsPresent), len(e.cfg.Observers))
+	}
+	if err := e.restoreCore(cp); err != nil {
+		return err
+	}
+	e.stat = cp.stat
 	// Restore the metrics history so a recovered run reports cumulative
 	// per-superstep profiles and counters, not just post-resume ones.
 	e.cfg.Metrics.RestoreProfiles(cp.profiles)

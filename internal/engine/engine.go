@@ -291,6 +291,32 @@ type Engine struct {
 	// because the pinning partition goroutine writes while later supersteps'
 	// goroutines read.
 	localPinned []atomic.Bool
+
+	// Worker-resident state (PR 9). When the transport keeps partition state
+	// on the workers, the master stops shipping frontiers and relaying
+	// outboxes: it tracks only each partition's next active set
+	// (residentActive, from the delivery barrier), which superstep its own
+	// arrays were last authoritative for (masterAuthSS, advanced by
+	// checkpoint/final collects), and the barrier frontier (stateSS). A
+	// partition pinned local mid-superstep records the superstep in
+	// pinnedAtSS so that superstep's delivery knows its fragments died with
+	// the workers. effComb is the run's effective combiner (nil when an
+	// observer needs raw messages) — the replay engine must match it.
+	resident       bool
+	stateful       StatefulTransport
+	residentActive [][]VertexID
+	pinnedAtSS     []int
+	masterAuthSS   int
+	stateSS        int
+	effComb        func(a, b value.Value) value.Value
+
+	// Deterministic replay for re-hydration: a private scratch engine over
+	// the same graph and program, seeded from the newest checkpoint and
+	// advanced superstep by superstep to recover state that died with a
+	// worker. Guarded by replayMu (partition goroutines share it).
+	replayMu sync.Mutex
+	replay   *Engine
+	replaySS int
 }
 
 // New creates an engine for prog over g.
@@ -329,6 +355,15 @@ func New(g *graph.Graph, prog Program, cfg Config) (*Engine, error) {
 	e.localPinned = make([]atomic.Bool, e.nParts)
 	e.runCtx = context.Background()
 	e.lastCkptSS = -1
+	if st, ok := cfg.Transport.(StatefulTransport); ok && st.Resident() {
+		e.resident = true
+		e.stateful = st
+		e.residentActive = make([][]VertexID, e.nParts)
+		e.pinnedAtSS = make([]int, e.nParts)
+		for i := range e.pinnedAtSS {
+			e.pinnedAtSS[i] = -2
+		}
+	}
 	if cfg.Supervise != nil {
 		e.sup = supervise.New(*cfg.Supervise, e.nParts, cfg.Metrics)
 	}
@@ -381,10 +416,28 @@ func (e *Engine) Run() (RunStats, error) {
 	// order, so sequential and sharded delivery are bit-identical even for
 	// non-associative float folds.
 	e.sendComb = combiner
+	e.effComb = combiner
 	halter, _ := e.prog.(Halter)
 	m := e.cfg.Metrics
 	if e.cfg.Context != nil {
 		e.runCtx = e.cfg.Context
+	}
+	if e.resident {
+		// The master's arrays are authoritative exactly at the run's start
+		// (fresh init, or a checkpoint restore); workers take over from the
+		// first superstep on. Seed the active tracking from the inboxes —
+		// empty on a fresh run (superstep 0 activates everything anyway),
+		// the restored frontier on a resume.
+		e.masterAuthSS = e.startSS
+		e.stateSS = e.startSS
+		for p := 0; p < e.nParts; p++ {
+			act := make([]VertexID, 0, len(e.inboxes[p]))
+			for v := range e.inboxes[p] {
+				act = append(act, v)
+			}
+			sort.Slice(act, func(i, j int) bool { return act[i] < act[j] })
+			e.residentActive[p] = act
+		}
 	}
 
 	for ss := e.startSS; ; ss++ {
@@ -401,6 +454,11 @@ func (e *Engine) Run() (RunStats, error) {
 				// configured) so the interrupted run resumes from this
 				// superstep instead of the last periodic snapshot.
 				if ck := e.cfg.Checkpoint; ck != nil && ck.Dir != "" && ck.Interval > 0 && ss != e.lastCkptSS {
+					if e.resident {
+						if cerr := e.collectResident(ss); cerr != nil {
+							m.Tracef(obs.Error, "checkpoint", ss, "state collect before final checkpoint failed: %v", cerr)
+						}
+					}
 					if ckErr := e.writeCheckpoint(ss); ckErr != nil {
 						m.Tracef(obs.Error, "checkpoint", ss, "final checkpoint on cancel failed: %v", ckErr)
 					} else {
@@ -426,6 +484,20 @@ func (e *Engine) Run() (RunStats, error) {
 			totalActive = e.g.NumVertices()
 		} else {
 			for p := 0; p < e.nParts; p++ {
+				if e.resident && !e.localPinned[p].Load() {
+					// Worker-resident partition: the active set came back
+					// from the delivery barrier, not a master inbox.
+					act := e.residentActive[p]
+					totalActive += len(act)
+					if forced != nil {
+						for _, v := range forced[p] {
+							if !containsVertex(act, v) {
+								totalActive++
+							}
+						}
+					}
+					continue
+				}
 				totalActive += len(e.inboxes[p])
 				if forced != nil {
 					for _, v := range forced[p] {
@@ -523,7 +595,18 @@ func (e *Engine) Run() (RunStats, error) {
 			sent += results[ri].sent
 			combinedSender += results[ri].combinedSender
 		}
-		if e.cfg.SequentialBarrier {
+		if e.resident {
+			var derr error
+			delivered, combined, maxShard, derr = e.residentDeliver(ss, combiner, results)
+			if derr != nil {
+				e.stat.Aborted = true
+				e.stat.Supersteps = ss + 1
+				m.AbortSuperstep()
+				m.Tracef(obs.Error, "engine", ss, "delivery re-hydration failed: %v", derr)
+				return e.stat, derr
+			}
+			e.stateSS = ss + 1
+		} else if e.cfg.SequentialBarrier {
 			delivered, combined = e.sequentialDeliver(combiner, results)
 		} else {
 			delivered, combined, maxShard = e.shardedDeliver(combiner, results)
@@ -577,6 +660,14 @@ func (e *Engine) Run() (RunStats, error) {
 		// ss+1 depends on, including observer state as of the superstep the
 		// observers just processed.
 		if ck := e.cfg.Checkpoint; ck != nil && ck.Dir != "" && ck.Interval > 0 && (ss+1)%ck.Interval == 0 {
+			if e.resident {
+				// Pull the worker-resident state home first so the snapshot
+				// holds the exact frontier (and later seeds come cheap).
+				if err := e.collectResident(ss + 1); err != nil {
+					e.stat.Aborted = true
+					return e.stat, err
+				}
+			}
 			if err := e.writeCheckpoint(ss + 1); err != nil {
 				e.stat.Aborted = true
 				return e.stat, err
@@ -594,12 +685,26 @@ func (e *Engine) Run() (RunStats, error) {
 		}
 	}
 
+	if e.resident {
+		// The run is over: pull every worker-resident partition's final
+		// state back into the master's arrays so Values() reads the result.
+		if err := e.collectResident(e.stateSS); err != nil {
+			return e.stat, err
+		}
+	}
+
 	for _, o := range e.cfg.Observers {
 		if err := o.Finish(e.stat.Supersteps - 1); err != nil {
 			return e.stat, fmt.Errorf("engine: observer finish: %w", err)
 		}
 	}
 	return e.stat, nil
+}
+
+// containsVertex reports membership in a sorted vertex slice.
+func containsVertex(ids []VertexID, v VertexID) bool {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= v })
+	return i < len(ids) && ids[i] == v
 }
 
 // superviseCompute runs partition p's superstep under the supervisor:
@@ -658,13 +763,8 @@ func (e *Engine) computeOne(actx context.Context, ctx *Context, v VertexID, ss, 
 	return e.prog.Compute(ctx, msgs)
 }
 
-type outMsg struct {
-	src, dst VertexID
-	val      value.Value
-}
-
 type partResult struct {
-	outbox   [][]outMsg // destination partition -> messages
+	outbox   [][]OutMessage // destination partition -> messages
 	records  []VertexRecord
 	computed []VertexID
 	crash    *CrashError
@@ -676,13 +776,18 @@ type partResult struct {
 	// sender-side combiner merged away.
 	sent           int64
 	combinedSender int64
+	// residentRemote marks a result produced by a worker-resident exec: the
+	// routed outbox columns live on the workers, and dstCounts carries their
+	// per-destination-partition sizes for barrier accounting.
+	residentRemote bool
+	dstCounts      []int64
 }
 
 // reset prepares the scratch for a new superstep (or a supervised retry),
 // keeping every backing array for reuse.
 func (r *partResult) reset(nParts int, combining bool) {
 	if r.outbox == nil {
-		r.outbox = make([][]outMsg, nParts)
+		r.outbox = make([][]OutMessage, nParts)
 	}
 	for i := range r.outbox {
 		r.outbox[i] = r.outbox[i][:0]
@@ -691,6 +796,8 @@ func (r *partResult) reset(nParts int, combining bool) {
 	r.computed = r.computed[:0]
 	r.crash = nil
 	r.sent, r.combinedSender = 0, 0
+	r.residentRemote = false
+	r.dstCounts = r.dstCounts[:0]
 	if combining {
 		if r.combIdx == nil {
 			r.combIdx = make(map[VertexID]int32)
@@ -715,13 +822,13 @@ func (e *Engine) sequentialDeliver(combiner func(a, b value.Value) value.Value, 
 		for dp, msgs := range r.outbox {
 			for _, om := range msgs {
 				if combiner != nil {
-					if ex := e.inboxes[dp][om.dst]; len(ex) > 0 {
-						ex[0].Val = combiner(ex[0].Val, om.val)
+					if ex := e.inboxes[dp][om.Dst]; len(ex) > 0 {
+						ex[0].Val = combiner(ex[0].Val, om.Val)
 						combined++
 						continue
 					}
 				}
-				e.inboxes[dp][om.dst] = append(e.inboxes[dp][om.dst], IncomingMessage{Src: om.src, Val: om.val})
+				e.inboxes[dp][om.Dst] = append(e.inboxes[dp][om.Dst], IncomingMessage{Src: om.Src, Val: om.Val})
 				delivered++
 			}
 		}
@@ -750,45 +857,7 @@ func (e *Engine) shardedDeliver(combiner func(a, b value.Value) value.Value, res
 		wg.Add(1)
 		go func(dp int) {
 			defer wg.Done()
-			// Recycle last superstep's inbox: its message slices were fully
-			// consumed by the compute phase (observers copied what they
-			// keep), so both the map and the slices return to the pool.
-			old := e.inboxes[dp]
-			free := e.msgFree[dp]
-			for _, s := range old {
-				if cap(s) > 0 {
-					free = append(free, s[:0])
-				}
-			}
-			clear(old)
-			next := e.spareInboxes[dp]
-			if next == nil {
-				next = make(map[VertexID][]IncomingMessage)
-			}
-			var nDelivered, nCombined int64
-			for sp := range results {
-				for _, om := range results[sp].outbox[dp] {
-					if combiner != nil {
-						if ex := next[om.dst]; len(ex) > 0 {
-							ex[0].Val = combiner(ex[0].Val, om.val)
-							nCombined++
-							continue
-						}
-					}
-					s := next[om.dst]
-					if s == nil && len(free) > 0 {
-						s = free[len(free)-1]
-						free = free[:len(free)-1]
-					}
-					next[om.dst] = append(s, IncomingMessage{Src: om.src, Val: om.val})
-					nDelivered++
-				}
-			}
-			e.inboxes[dp] = next
-			e.spareInboxes[dp] = old
-			e.msgFree[dp] = free
-			shardDelivered[dp] = nDelivered
-			shardCombined[dp] = nCombined
+			shardDelivered[dp], shardCombined[dp] = e.deliverColumn(dp, combiner, results)
 		}(dp)
 	}
 	wg.Wait()
@@ -800,6 +869,52 @@ func (e *Engine) shardedDeliver(combiner func(a, b value.Value) value.Value, res
 		}
 	}
 	return delivered, combined, maxShard
+}
+
+// deliverColumn builds destination partition dp's next inbox from every
+// source partition's outbox column, in ascending source order — the
+// per-shard body of shardedDeliver, also reused by the resident barrier for
+// master-resident (pinned) partitions. Inbox maps and message slices are
+// recycled from the previous superstep instead of reallocated. Safe to call
+// concurrently for distinct dp (everything touched is dp-indexed).
+func (e *Engine) deliverColumn(dp int, combiner func(a, b value.Value) value.Value, results []partResult) (nDelivered, nCombined int64) {
+	// Recycle last superstep's inbox: its message slices were fully
+	// consumed by the compute phase (observers copied what they
+	// keep), so both the map and the slices return to the pool.
+	old := e.inboxes[dp]
+	free := e.msgFree[dp]
+	for _, s := range old {
+		if cap(s) > 0 {
+			free = append(free, s[:0])
+		}
+	}
+	clear(old)
+	next := e.spareInboxes[dp]
+	if next == nil {
+		next = make(map[VertexID][]IncomingMessage)
+	}
+	for sp := range results {
+		for _, om := range results[sp].outbox[dp] {
+			if combiner != nil {
+				if ex := next[om.Dst]; len(ex) > 0 {
+					ex[0].Val = combiner(ex[0].Val, om.Val)
+					nCombined++
+					continue
+				}
+			}
+			s := next[om.Dst]
+			if s == nil && len(free) > 0 {
+				s = free[len(free)-1]
+				free = free[:len(free)-1]
+			}
+			next[om.Dst] = append(s, IncomingMessage{Src: om.Src, Val: om.Val})
+			nDelivered++
+		}
+	}
+	e.inboxes[dp] = next
+	e.spareInboxes[dp] = old
+	e.msgFree[dp] = free
+	return nDelivered, nCombined
 }
 
 // mergeRecords builds the superstep's observer view in ascending vertex
@@ -854,6 +969,18 @@ func (e *Engine) activeIDs(p, ss int, forced []VertexID) []VertexID {
 		}
 		return ids
 	}
+	if e.resident && !e.localPinned[p].Load() {
+		act := e.residentActive[p]
+		ids := make([]VertexID, 0, len(act)+len(forced))
+		ids = append(ids, act...)
+		for _, v := range forced {
+			if !containsVertex(act, v) {
+				ids = append(ids, v)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
 	inbox := e.inboxes[p]
 	ids := make([]VertexID, 0, len(inbox)+len(forced))
 	for v := range inbox {
@@ -904,13 +1031,13 @@ func (e *Engine) runPartition(actx context.Context, p, ss int, observing bool, i
 			if comb != nil {
 				if i, ok := res.combIdx[m.Dst]; ok {
 					om := &res.outbox[dp][i]
-					om.val = comb(om.val, m.Val)
+					om.Val = comb(om.Val, m.Val)
 					res.combinedSender++
 					continue
 				}
 				res.combIdx[m.Dst] = int32(len(res.outbox[dp]))
 			}
-			res.outbox[dp] = append(res.outbox[dp], outMsg{src: v, dst: m.Dst, val: m.Val})
+			res.outbox[dp] = append(res.outbox[dp], OutMessage{Src: v, Dst: m.Dst, Val: m.Val})
 		}
 		res.computed = append(res.computed, v)
 		if observing {

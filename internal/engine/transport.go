@@ -48,6 +48,38 @@ import (
 // instead of aborting the run.
 var ErrTransport = errors.New("transport failure")
 
+// ErrStateMiss reports that a worker could not execute a delta-mode request
+// because it holds no resident state for the partition at that superstep
+// (fresh worker, failover target, or a worker that lost a delivery round).
+// It deliberately does NOT wrap ErrTransport: the worker is alive and
+// answering — the master re-seeds it with a full-state request instead of
+// failing the partition over or pinning it local.
+var ErrStateMiss = errors.New("worker resident-state miss")
+
+// ExecMode selects how much state an ExecRequest carries (wire v3, PR 9).
+//
+// The zero value is ModeClassic — the stateless exchange of PRs 6–8, where
+// every request ships the frontier's values, previous-active marks, and
+// inbox, and every result returns the new values and the full outbox. Direct
+// Executor/Transport users (tests, tools) that construct bare requests get
+// exactly the legacy semantics.
+//
+// Under a StatefulTransport the engine switches to ModeDelta: workers keep
+// partition state resident across supersteps, requests carry only the active
+// vertex IDs and control metadata, and results return accounting, records,
+// and the master-resident outbox columns — the values and the cross-worker
+// messages never transit the master. ModeSeed is ModeDelta plus a full
+// partition state install (stride values, last-active marks, inbox): the
+// master sends it on a fresh run's first superstep miss, after failover, or
+// after a replay re-hydration.
+type ExecMode uint8
+
+const (
+	ModeClassic ExecMode = iota
+	ModeDelta
+	ModeSeed
+)
+
 // Transport executes one partition's superstep compute, either in-process
 // or on a remote worker. Exec must be safe for concurrent calls (the engine
 // issues one call per partition per superstep, from the per-partition worker
@@ -99,6 +131,24 @@ type ExecRequest struct {
 	// when tracing is off — the worker then records nothing.
 	TraceID    uint64
 	ParentSpan uint64
+	// Worker-resident state (PR 9). Mode selects the exchange shape; the
+	// remaining fields only matter when Mode != ModeClassic. For ModeDelta,
+	// Values/PrevActive/Inbox stay nil — the worker already holds them.
+	Mode ExecMode
+	// Route maps each destination partition to the address of the worker
+	// that owns it this superstep, so the executing worker sends outbox
+	// fragments directly across the peer mesh; "" keeps the column in the
+	// reply (the partition is master-resident). Filled by the transport at
+	// send time from its current assignment; nil under ModeClassic.
+	Route []string
+	// LocalParts flags master-resident (pinned-local) partitions; the
+	// transport derives Route from it. Master-side only, not serialized.
+	LocalParts []bool
+	// Seed payload (ModeSeed): the partition's full state in stride order
+	// (vertex p, p+nParts, ...). Inbox then aligns with Active as in classic
+	// mode, carrying the messages of the seed superstep.
+	AllValues []value.Value
+	AllActive []int32
 }
 
 // OutMessage is one outbox entry on the wire: source and destination vertex
@@ -173,6 +223,85 @@ type ExecResult struct {
 	// piggybacked on the result frame (empty unless the request carried
 	// trace context). The master merges them via Metrics.AddRemoteSpans.
 	Spans []obs.Span
+
+	// StateMiss reports a delta-mode request the worker could not serve for
+	// lack of resident state; the transport surfaces it as ErrStateMiss and
+	// the other fields are meaningless.
+	StateMiss bool
+	// DstCounts gives the per-destination-partition outbox sizes (after
+	// sender-side combining) for resident-mode results, where the routed
+	// columns themselves are not in Outbox. The master uses them for message
+	// accounting and to tell workers how many fragments to expect at the
+	// delivery barrier.
+	DstCounts []int64
+}
+
+// DeliverRequest is the delivery-barrier round of a resident-state run: for
+// each listed partition, the owning worker folds the outbox fragments it
+// received over the peer mesh (plus any master-supplied fragments from
+// pinned-local partitions) into the partition's next inbox, mirroring the
+// master barrier's association order exactly. With CollectOnly set, no
+// delivery happens — the worker just returns the partition's resident state
+// entering Superstep (for checkpoints and the final Values() read).
+type DeliverRequest struct {
+	Superstep   int
+	CollectOnly bool
+	// Combine enables barrier-side combining, matching the master's
+	// effective combiner (nil when any observer needs raw messages).
+	Combine bool
+	// Parts lists the partitions to deliver/collect; Expected[i][sp] is the
+	// fragment count partition Parts[i] must have received from source
+	// partition sp, and MasterFrags[i][sp] carries source partition sp's
+	// messages inline when sp is master-resident.
+	Parts       []int
+	Expected    [][]int64
+	MasterFrags [][][]OutMessage
+	TraceID     uint64
+	ParentSpan  uint64
+}
+
+// DeliverPart is one partition's delivery-barrier (or collect) outcome.
+// OK=false means the worker could not serve the partition — it didn't
+// execute the superstep or fragments are missing — and the master falls
+// back to checkpoint + replay re-hydration.
+type DeliverPart struct {
+	Partition int
+	OK        bool
+	// Delivery outcome: inbox entries created, messages folded away by the
+	// combiner, and the sorted next-active vertex set.
+	Delivered int64
+	Combined  int64
+	Dsts      []VertexID
+	// Collect payload: the partition's values in stride order and its inbox
+	// sorted by destination vertex.
+	Values []value.Value
+	Inbox  []InboxChunk
+}
+
+// InboxChunk is one vertex's inbox on the wire (collect payload), in the
+// exact fold order the delivery barrier produced.
+type InboxChunk struct {
+	Dst  VertexID
+	Msgs []IncomingMessage
+}
+
+// DeliverResult carries the per-partition outcomes, aligned with the
+// request's Parts.
+type DeliverResult struct {
+	Parts []DeliverPart
+}
+
+// StatefulTransport is a Transport whose workers keep partition state
+// resident across supersteps. Resident reports whether the resident-state
+// protocol is active (a transport can implement the interface but opt out,
+// e.g. the TCP leg under ForceFullState); when true the engine sends delta
+// requests and drives the delivery barrier through Deliver, and falls back
+// to checkpoint + replay re-hydration when a worker (and the state it held)
+// is lost.
+type StatefulTransport interface {
+	Transport
+	Resident() bool
+	Deliver(ctx context.Context, req *DeliverRequest) (*DeliverResult, error)
 }
 
 // Executor runs partition supersteps against request-supplied state — the
@@ -185,6 +314,32 @@ type ExecResult struct {
 type Executor struct {
 	mu sync.Mutex
 	e  *Engine
+	// res tracks each partition's worker-resident state across supersteps
+	// (PR 9): which superstep the resident values/inbox can execute, which
+	// superstep has executed but not yet passed the delivery barrier, and
+	// the memoized last barrier outcome for retransmit idempotence.
+	res []residentPart
+}
+
+// residentPart is one partition's resident-state bookkeeping on a worker.
+type residentPart struct {
+	// readySS is the superstep the resident state can execute (a fresh
+	// executor is authoritative for superstep 0 by construction: initial
+	// values, empty inboxes, last-active -1 — identical to a fresh master).
+	// -1 after a classic-mode request invalidates residency.
+	readySS int
+	// executedSS is the superstep that has executed but not yet been
+	// assembled at the delivery barrier; -1 when none. ids and snap hold the
+	// executed active set and its pre-exec values so a duplicate exec (lost
+	// reply) or a crash rolls back to an idempotent state.
+	executedSS int
+	ids        []VertexID
+	snap       []value.Value
+	// deliverSS/deliverRes memoize the last Assemble outcome so a
+	// retransmitted delivery round (reply lost, new connection) replays the
+	// identical result instead of double-folding.
+	deliverSS  int
+	deliverRes *DeliverPart
 }
 
 // NewExecutor creates a worker-side executor for prog over g. cfg supplies
@@ -200,7 +355,28 @@ func NewExecutor(g *graph.Graph, prog Program, cfg Config) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Executor{e: e}, nil
+	x := &Executor{e: e, res: make([]residentPart, e.nParts)}
+	for p := range x.res {
+		x.res[p] = residentPart{readySS: 0, executedSS: -1, deliverSS: -1}
+	}
+	return x, nil
+}
+
+// Fault exposes the executor's fault injector so the transport layer can
+// guard the peer-mesh send/recv sites on the worker.
+func (x *Executor) Fault() *fault.Injector { return x.e.cfg.Fault }
+
+// rollback undoes an executed-but-unassembled superstep: the pre-exec
+// values of the executed active set are restored, making a re-execution (or
+// a collect of the entering-readySS state) exact.
+func (x *Executor) rollback(rp *residentPart) {
+	if rp.executedSS < 0 {
+		return
+	}
+	for i, v := range rp.ids {
+		x.e.values[v] = rp.snap[i]
+	}
+	rp.executedSS = -1
 }
 
 // Partitions returns the executor's partition count (handshake check).
@@ -218,15 +394,49 @@ func (x *Executor) Exec(ctx context.Context, req *ExecRequest) *ExecResult {
 	defer x.mu.Unlock()
 	e := x.e
 	p := req.Partition
-	inbox := make(map[VertexID][]IncomingMessage, len(req.Active))
-	for i, v := range req.Active {
-		e.values[v] = req.Values[i]
-		e.lastActive[v] = req.PrevActive[i]
-		if len(req.Inbox[i]) > 0 {
-			inbox[v] = req.Inbox[i]
+	rp := &x.res[p]
+	switch req.Mode {
+	case ModeDelta:
+		if rp.executedSS == req.Superstep {
+			// Duplicate execution (the reply was lost): roll back to the
+			// pre-exec snapshot so the re-run is idempotent.
+			x.rollback(rp)
 		}
+		if rp.readySS != req.Superstep {
+			return &ExecResult{Partition: p, StateMiss: true}
+		}
+	case ModeSeed:
+		// Full state install: any pending exec is obsolete, the seed
+		// overwrites the whole partition (values, last-active, inbox).
+		rp.executedSS = -1
+		rp.deliverSS, rp.deliverRes = -1, nil
+		i := 0
+		for v := p; v < e.g.NumVertices(); v += e.nParts {
+			e.values[VertexID(v)] = req.AllValues[i]
+			e.lastActive[VertexID(v)] = req.AllActive[i]
+			i++
+		}
+		inbox := make(map[VertexID][]IncomingMessage, len(req.Active))
+		for i, v := range req.Active {
+			if len(req.Inbox[i]) > 0 {
+				inbox[v] = req.Inbox[i]
+			}
+		}
+		e.inboxes[p] = inbox
+		rp.readySS = req.Superstep
+	default: // ModeClassic — the stateless exchange, exactly as before PR 9
+		rp.readySS, rp.executedSS = -1, -1
+		rp.deliverSS, rp.deliverRes = -1, nil
+		inbox := make(map[VertexID][]IncomingMessage, len(req.Active))
+		for i, v := range req.Active {
+			e.values[v] = req.Values[i]
+			e.lastActive[v] = req.PrevActive[i]
+			if len(req.Inbox[i]) > 0 {
+				inbox[v] = req.Inbox[i]
+			}
+		}
+		e.inboxes[p] = inbox
 	}
-	e.inboxes[p] = inbox
 	e.agg.setCurrent(req.Agg)
 	e.agg.resetPartition(p)
 	if req.Combine {
@@ -236,11 +446,30 @@ func (x *Executor) Exec(ctx context.Context, req *ExecRequest) *ExecResult {
 	}
 	e.runCtx = context.Background() // any ctx expiry is attempt-scoped here
 
-	var pr partResult
-	e.runPartition(ctx, p, req.Superstep, req.Observing, req.Active, &pr)
+	resident := req.Mode != ModeClassic
+	if resident {
+		rp.ids = append(rp.ids[:0], req.Active...)
+		rp.snap = rp.snap[:0]
+		for _, v := range req.Active {
+			rp.snap = append(rp.snap, e.values[v])
+		}
+	}
+
+	// Reuse the engine's per-partition result buffer: the worker engine
+	// never runs its own barrier, so e.results[p] is idle here, and
+	// everything Exec exports below is copied out of it before return.
+	pr := &e.results[p]
+	e.runPartition(ctx, p, req.Superstep, req.Observing, req.Active, pr)
 
 	res := &ExecResult{Partition: p, Sent: pr.sent, CombinedSender: pr.combinedSender}
 	if c := pr.crash; c != nil {
+		if resident {
+			// Restore the pre-exec values so the resident state stays exact
+			// for the supervised retry the master will issue.
+			for i, v := range rp.ids {
+				e.values[v] = rp.snap[i]
+			}
+		}
 		res.Crash = &RemoteCrash{
 			Vertex:    c.Vertex,
 			Superstep: c.Superstep,
@@ -252,27 +481,173 @@ func (x *Executor) Exec(ctx context.Context, req *ExecRequest) *ExecResult {
 		}
 		return res
 	}
-	res.Computed = append([]VertexID(nil), pr.computed...)
-	res.NewValues = make([]value.Value, len(pr.computed))
-	for i, v := range pr.computed {
-		res.NewValues[i] = e.values[v]
+	if resident {
+		rp.executedSS = req.Superstep
+	} else {
+		res.Computed = append([]VertexID(nil), pr.computed...)
+		res.NewValues = make([]value.Value, len(pr.computed))
+		for i, v := range pr.computed {
+			res.NewValues[i] = e.values[v]
+		}
 	}
 	res.Outbox = make([][]OutMessage, e.nParts)
+	selfRouted := func(dp int) bool {
+		return resident && dp < len(req.Route) && req.Route[dp] == "."
+	}
+	total := 0
+	for dp, msgs := range pr.outbox {
+		if !selfRouted(dp) {
+			total += len(msgs)
+		}
+	}
+	// Columns that leave this worker — reply columns the master folds or
+	// relays, and mesh columns encoded outside x.mu — must not alias pr
+	// (recycled next superstep, and a duplicate exec rewrites it while a
+	// prior attempt's encode could still be reading); they share one flat
+	// backing array, sliced per destination with full-cap bounds.
+	// Self-routed columns (".") never cross an encode boundary: the frag
+	// store holds only the slice header and every element access — the
+	// Assemble fold, and any duplicate-exec rewrite — happens under x.mu
+	// with deterministically identical contents, so they alias pr directly
+	// and the delta path pays no copy at all.
+	flat := make([]OutMessage, 0, total)
 	for dp, msgs := range pr.outbox {
 		if len(msgs) == 0 {
 			continue
 		}
-		out := make([]OutMessage, len(msgs))
-		for i, om := range msgs {
-			out[i] = OutMessage{Src: om.src, Dst: om.dst, Val: om.val}
+		if selfRouted(dp) {
+			res.Outbox[dp] = msgs
+			continue
 		}
-		res.Outbox[dp] = out
+		lo := len(flat)
+		flat = append(flat, msgs...)
+		res.Outbox[dp] = flat[lo:len(flat):len(flat)]
 	}
 	if req.Observing {
 		res.Records = append([]VertexRecord(nil), pr.records...)
 	}
 	res.Agg = e.agg.partial(p)
+	if resident {
+		res.DstCounts = make([]int64, e.nParts)
+		for dp := range res.Outbox {
+			res.DstCounts[dp] = int64(len(res.Outbox[dp]))
+		}
+	}
 	return res
+}
+
+// Assemble runs partition p's delivery barrier for superstep ss on the
+// worker: the per-source-partition fragments fold in ascending source order
+// — the master barrier's exact association tree — into a fresh inbox, which
+// becomes the partition's resident state for superstep ss+1. frags[sp]
+// supplies source partition sp's messages (from the peer mesh, the worker's
+// own outbox, or the master's pinned partitions); expected[sp] is the
+// master's count for validation. Returns OK=false without mutating state
+// when the partition didn't execute ss here or fragments went missing with
+// a dead peer — the master then re-hydrates from checkpoint + replay.
+func (x *Executor) Assemble(ss, p int, combine bool, expected []int64, frags [][]OutMessage) *DeliverPart {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e := x.e
+	rp := &x.res[p]
+	if rp.deliverSS == ss && rp.deliverRes != nil {
+		return rp.deliverRes // duplicate barrier round (lost reply)
+	}
+	dp := &DeliverPart{Partition: p}
+	if rp.executedSS != ss || rp.readySS != ss {
+		return dp
+	}
+	for sp := range expected {
+		if int64(len(frags[sp])) != expected[sp] {
+			return dp
+		}
+	}
+	var comb func(a, b value.Value) value.Value
+	if combine {
+		comb = e.cfg.Combiner
+	}
+	// Recycle last superstep's inbox exactly like deliverColumn does on the
+	// master: the compute phase fully consumed it (executedSS == ss was
+	// checked above), so both the map and its message slices return to the
+	// pool. The worker engine never runs its own barrier, so spareInboxes
+	// and msgFree are otherwise idle here.
+	old := e.inboxes[p]
+	free := e.msgFree[p]
+	for _, s := range old {
+		if cap(s) > 0 {
+			free = append(free, s[:0])
+		}
+	}
+	clear(old)
+	next := e.spareInboxes[p]
+	if next == nil {
+		next = make(map[VertexID][]IncomingMessage)
+	}
+	for sp := range frags {
+		for _, om := range frags[sp] {
+			if comb != nil {
+				if ex := next[om.Dst]; len(ex) > 0 {
+					ex[0].Val = comb(ex[0].Val, om.Val)
+					dp.Combined++
+					continue
+				}
+			}
+			s := next[om.Dst]
+			if s == nil && len(free) > 0 {
+				s = free[len(free)-1]
+				free = free[:len(free)-1]
+			}
+			next[om.Dst] = append(s, IncomingMessage{Src: om.Src, Val: om.Val})
+			dp.Delivered++
+		}
+	}
+	e.inboxes[p] = next
+	e.spareInboxes[p] = old
+	e.msgFree[p] = free
+	for _, v := range rp.ids {
+		e.lastActive[v] = int32(ss)
+	}
+	rp.executedSS = -1
+	rp.readySS = ss + 1
+	dp.OK = true
+	dp.Dsts = make([]VertexID, 0, len(next))
+	for v := range next {
+		dp.Dsts = append(dp.Dsts, v)
+	}
+	sort.Slice(dp.Dsts, func(i, j int) bool { return dp.Dsts[i] < dp.Dsts[j] })
+	rp.deliverSS, rp.deliverRes = ss, dp
+	return dp
+}
+
+// Collect returns partition p's resident state entering superstep target —
+// stride-order values plus the inbox — for master-side checkpoints and the
+// final Values() read. An executed-but-unassembled superstep is rolled back
+// first so the snapshot is exactly "entering readySS". OK=false when the
+// resident state is at a different superstep (the master then re-hydrates
+// by replay). Read-only apart from the rollback, so retransmits are safe.
+func (x *Executor) Collect(target, p int) *DeliverPart {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e := x.e
+	rp := &x.res[p]
+	if rp.executedSS >= 0 && rp.executedSS == rp.readySS {
+		x.rollback(rp)
+	}
+	dp := &DeliverPart{Partition: p}
+	if rp.readySS != target {
+		return dp
+	}
+	dp.OK = true
+	for v := p; v < e.g.NumVertices(); v += e.nParts {
+		dp.Values = append(dp.Values, e.values[VertexID(v)])
+	}
+	inbox := e.inboxes[p]
+	dp.Inbox = make([]InboxChunk, 0, len(inbox))
+	for v, msgs := range inbox {
+		dp.Inbox = append(dp.Inbox, InboxChunk{Dst: v, Msgs: msgs})
+	}
+	sort.Slice(dp.Inbox, func(i, j int) bool { return dp.Inbox[i].Dst < dp.Inbox[j].Dst })
+	return dp
 }
 
 // buildExecRequest snapshots partition p's superstep input for the
@@ -281,21 +656,32 @@ func (x *Executor) Exec(ctx context.Context, req *ExecRequest) *ExecResult {
 // after every Exec of this superstep returned).
 func (e *Engine) buildExecRequest(p, ss int, observing bool, ids []VertexID) *ExecRequest {
 	req := &ExecRequest{
-		Superstep:  ss,
-		Partition:  p,
-		Observing:  observing,
-		Combine:    e.sendComb != nil,
-		Active:     ids,
-		Values:     make([]value.Value, len(ids)),
-		PrevActive: make([]int32, len(ids)),
-		Inbox:      make([][]IncomingMessage, len(ids)),
-		Agg:        e.agg.currentSnapshot(),
+		Superstep: ss,
+		Partition: p,
+		Observing: observing,
+		Combine:   e.sendComb != nil,
+		Active:    ids,
+		Agg:       e.agg.currentSnapshot(),
 	}
-	inbox := e.inboxes[p]
-	for i, v := range ids {
-		req.Values[i] = e.values[v]
-		req.PrevActive[i] = e.lastActive[v]
-		req.Inbox[i] = inbox[v]
+	if e.resident {
+		// Delta exchange: the worker holds the values and inbox resident;
+		// only the active set and control metadata go over the wire. The
+		// transport turns LocalParts into the peer-mesh Route.
+		req.Mode = ModeDelta
+		req.LocalParts = make([]bool, e.nParts)
+		for dp := range req.LocalParts {
+			req.LocalParts[dp] = e.localPinned[dp].Load()
+		}
+	} else {
+		req.Values = make([]value.Value, len(ids))
+		req.PrevActive = make([]int32, len(ids))
+		req.Inbox = make([][]IncomingMessage, len(ids))
+		inbox := e.inboxes[p]
+		for i, v := range ids {
+			req.Values[i] = e.values[v]
+			req.PrevActive[i] = e.lastActive[v]
+			req.Inbox[i] = inbox[v]
+		}
 	}
 	if m := e.cfg.Metrics; m.SpansEnabled() {
 		req.TraceID = m.SpanTraceID()
@@ -304,12 +690,51 @@ func (e *Engine) buildExecRequest(p, ss int, observing bool, ids []VertexID) *Ex
 	return req
 }
 
+// seedRequest upgrades a delta request to a full-state seed after a worker
+// reported a resident-state miss: stride values, last-active marks, and the
+// superstep's inbox. When the master's own arrays are authoritative for
+// this superstep (run start, or right after a checkpoint collect) they are
+// copied directly; otherwise the state is re-hydrated from the newest
+// checkpoint plus a deterministic replay of the supersteps since.
+func (e *Engine) seedRequest(req *ExecRequest) error {
+	p, ss := req.Partition, req.Superstep
+	n := e.g.NumVertices()
+	req.AllActive = req.AllActive[:0]
+	for v := p; v < n; v += e.nParts {
+		// The master's last-active marks stay exact all run (the computed
+		// sets always come back), so the seed takes them from here.
+		req.AllActive = append(req.AllActive, e.lastActive[VertexID(v)])
+	}
+	req.Inbox = make([][]IncomingMessage, len(req.Active))
+	if e.masterAuthSS == ss {
+		req.AllValues = req.AllValues[:0]
+		for v := p; v < n; v += e.nParts {
+			req.AllValues = append(req.AllValues, e.values[VertexID(v)])
+		}
+		inbox := e.inboxes[p]
+		for i, v := range req.Active {
+			req.Inbox[i] = inbox[v]
+		}
+	} else {
+		vals, inbox, err := e.replayState(ss, p)
+		if err != nil {
+			return err
+		}
+		req.AllValues = vals
+		for i, v := range req.Active {
+			req.Inbox[i] = inbox[v]
+		}
+	}
+	req.Mode = ModeSeed
+	return nil
+}
+
 // applyExecResult installs a transport result into the master's state: new
 // values for the computed vertices, the partition's barrier scratch
 // (outboxes, records, accounting), and its aggregator partials. Mirrors
 // what runPartition would have left behind, so the barrier code downstream
 // is unchanged. Partition-local, so safe from p's worker goroutine.
-func (e *Engine) applyExecResult(p int, res *ExecResult, out *partResult) {
+func (e *Engine) applyExecResult(p int, req *ExecRequest, res *ExecResult, out *partResult) {
 	out.reset(e.nParts, false)
 	if len(res.Spans) > 0 {
 		e.cfg.Metrics.AddRemoteSpans(res.Spans)
@@ -318,15 +743,23 @@ func (e *Engine) applyExecResult(p int, res *ExecResult, out *partResult) {
 		out.crash = &CrashError{Vertex: res.Crash.Vertex, Superstep: res.Crash.Superstep, Err: res.Crash.Err()}
 		return
 	}
-	for i, v := range res.Computed {
-		e.values[v] = res.NewValues[i]
+	if req.Mode != ModeClassic {
+		// Worker-resident: the values stay on the worker. The master records
+		// the computed set (identical to the request's active set — every
+		// active vertex computes), the per-destination message counts, and
+		// only the master-resident outbox columns below.
+		out.computed = append(out.computed, req.Active...)
+		out.dstCounts = append(out.dstCounts[:0], res.DstCounts...)
+		out.residentRemote = true
+	} else {
+		for i, v := range res.Computed {
+			e.values[v] = res.NewValues[i]
+		}
+		out.computed = append(out.computed, res.Computed...)
 	}
-	out.computed = append(out.computed, res.Computed...)
 	out.records = append(out.records, res.Records...)
 	for dp := range res.Outbox {
-		for _, m := range res.Outbox[dp] {
-			out.outbox[dp] = append(out.outbox[dp], outMsg{src: m.Src, dst: m.Dst, val: m.Val})
-		}
+		out.outbox[dp] = append(out.outbox[dp], res.Outbox[dp]...)
 	}
 	out.sent = res.Sent
 	out.combinedSender = res.CombinedSender
@@ -360,25 +793,47 @@ func transportRetryable(err error) bool {
 // design (cheap, deterministic, and the gap accounting stays contiguous).
 func (e *Engine) transportCompute(p, ss int, observing bool, ids []VertexID, results []partResult, durs []time.Duration) {
 	start := time.Now()
-	snap := make([]value.Value, len(ids))
-	for i, v := range ids {
-		snap[i] = e.values[v]
+	// The attempt snapshot only matters when a remote result writes values
+	// back into the master (classic full-state mode). Resident-mode results
+	// carry no Computed/NewValues — applyExecResult leaves e.values alone —
+	// so the rollback would restore bytes that never changed; skip it.
+	var snap []value.Value
+	if !e.resident {
+		snap = make([]value.Value, len(ids))
+		for i, v := range ids {
+			snap[i] = e.values[v]
+		}
 	}
 	req := e.buildExecRequest(p, ss, observing, ids)
 	attempt := func(actx context.Context) error {
 		res, err := e.cfg.Transport.Exec(actx, req)
+		if err != nil && errors.Is(err, ErrStateMiss) && req.Mode == ModeDelta {
+			// The worker holds no resident state for this superstep (fresh
+			// worker, failover target, or post-replay): upgrade the request
+			// to a full-state seed in place — retries then keep the seed —
+			// and re-send it.
+			m := e.cfg.Metrics
+			m.Counter(obs.MetricNetStateReseeds).Add(1)
+			m.Tracef(obs.Info, "transport", ss, "partition %d resident-state miss; re-seeding worker", p)
+			if serr := e.seedRequest(req); serr != nil {
+				return serr
+			}
+			res, err = e.cfg.Transport.Exec(actx, req)
+		}
 		if err != nil {
 			return err
 		}
-		e.applyExecResult(p, res, &results[p])
+		e.applyExecResult(p, req, res, &results[p])
 		if c := results[p].crash; c != nil {
 			return c
 		}
 		return nil
 	}
 	reset := func() {
-		for i, v := range ids {
-			e.values[v] = snap[i]
+		if snap != nil {
+			for i, v := range ids {
+				e.values[v] = snap[i]
+			}
 		}
 		e.agg.resetPartition(p)
 		results[p].reset(e.nParts, false)
@@ -402,6 +857,22 @@ func (e *Engine) transportCompute(p, ss int, observing bool, ids []VertexID, res
 			e.localPinned[p].Store(true)
 			e.cfg.Degrade.ShedNow(p, ss)
 			reset()
+			if e.resident {
+				// The partition's state died with its workers: rebuild it
+				// master-side from the last checkpoint plus replayed deltas
+				// before executing locally, so the pinned run stays exact.
+				if serr := e.seedLocalFromReplay(p, ss); serr != nil {
+					v := VertexID(0)
+					if len(ids) > 0 {
+						v = ids[0]
+					}
+					results[p].crash = &CrashError{Vertex: v, Superstep: ss, Err: serr}
+					if durs != nil {
+						durs[p] = time.Since(start)
+					}
+					return
+				}
+			}
 			if e.sup != nil {
 				e.superviseCompute(p, ss, observing, ids, results, durs)
 				return

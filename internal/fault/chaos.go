@@ -17,6 +17,12 @@ const (
 	ChaosRestart
 	ChaosDelay
 	ChaosReset
+	// ChaosKillMid arms the worker to die after serving one more exec
+	// instead of dying cleanly at the barrier: the kill lands mid
+	// delta-stream, after the superstep's fragments may have partially
+	// routed to peers but before the delivery barrier completes — the
+	// hardest point for worker-resident state to recover from.
+	ChaosKillMid
 )
 
 func (a ChaosAction) String() string {
@@ -29,6 +35,8 @@ func (a ChaosAction) String() string {
 		return "delay"
 	case ChaosReset:
 		return "reset"
+	case ChaosKillMid:
+		return "kill-mid"
 	}
 	return fmt.Sprintf("action(%d)", int(a))
 }
@@ -192,13 +200,30 @@ func (s ChaosSchedule) NetRules() []Rule {
 	return rules
 }
 
-// Kills returns how many kill events the schedule holds.
+// Kills returns how many kill events (barrier or mid-stream) the schedule
+// holds.
 func (s ChaosSchedule) Kills() int {
 	n := 0
 	for _, ev := range s.Events {
-		if ev.Action == ChaosKill {
+		if ev.Action == ChaosKill || ev.Action == ChaosKillMid {
 			n++
 		}
 	}
 	return n
+}
+
+// MidStream returns a copy of the schedule with every barrier kill turned
+// into a mid-stream kill. The schedule stays a pure function of its seed —
+// the same events at the same supersteps — only the kill timing within the
+// following superstep changes, which is exactly what a kill-mid soak wants
+// to compare against the barrier-kill soak of the same seed.
+func (s ChaosSchedule) MidStream() ChaosSchedule {
+	out := s
+	out.Events = append([]ChaosEvent(nil), s.Events...)
+	for i := range out.Events {
+		if out.Events[i].Action == ChaosKill {
+			out.Events[i].Action = ChaosKillMid
+		}
+	}
+	return out
 }

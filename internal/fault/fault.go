@@ -42,6 +42,14 @@ const (
 	// one-way-partition scenario: requests arrive at the worker but replies
 	// never make it back.
 	SiteNetRecv = "net.recv"
+	// SitePeerSend guards each worker→worker fragment send on the peer mesh
+	// (PR 9); the partition coordinate is the destination partition and the
+	// vertex slot carries the frame sequence number. Armed on the *worker*
+	// injector, not the master's — the master never sees these frames.
+	SitePeerSend = "peer.send"
+	// SitePeerRecv guards each fragment receive on the peer mesh (same
+	// coordinates as SitePeerSend, consulted by the receiving worker).
+	SitePeerRecv = "peer.recv"
 )
 
 // ErrInjected is the base error of injected (transient) I/O failures.
@@ -238,6 +246,26 @@ func NetMatrix(partition, ss int, delay time.Duration) map[string][]Rule {
 	}
 }
 
+// NetMatrixPeer extends NetMatrix to the worker→worker mesh links (PR 9):
+// the same drop/delay/dup/reset scenarios, but at the peer.* sites, so the
+// fragment routing between workers is exercised rather than the
+// master↔worker legs. These rules are armed on the *workers'* injectors.
+// A dropped or reset fragment either recovers via the sender's mesh retry
+// or surfaces as a missing fragment at the delivery barrier, where the
+// master replays the partition's inbox deterministically — either way the
+// run stays bit-identical. The peer fault matrix test and the CI
+// fault-matrix-net job iterate over these.
+func NetMatrixPeer(partition, ss int, delay time.Duration) map[string][]Rule {
+	return map[string][]Rule{
+		"peer-drop":  {{Site: SitePeerSend, Superstep: ss, Partition: partition, Vertex: -1, Drop: true}},
+		"peer-delay": {{Site: SitePeerSend, Superstep: -1, Partition: partition, Vertex: -1, Delay: delay, Times: 1 << 20}},
+		"peer-dup":   {{Site: SitePeerSend, Superstep: ss, Partition: partition, Vertex: -1, Dup: true}},
+		"peer-reset": {{Site: SitePeerSend, Superstep: ss, Partition: partition, Vertex: -1, Reset: true}},
+		"peer-recv-drop": {{Site: SitePeerRecv, Superstep: ss, Partition: partition, Vertex: -1, Drop: true,
+			Times: 2}},
+	}
+}
+
 // Hit consults the injector at a site. It panics if a matching Panic rule
 // fires, returns a wrapped ErrInjected if a matching error rule fires, and
 // returns nil otherwise. Pass -1 for coordinates a site does not have.
@@ -316,10 +344,12 @@ func ParseSpec(spec string) ([]Rule, error) {
 		parts := strings.Split(clause, ":")
 		r := Rule{Site: parts[0], Superstep: -1, Partition: -1, Vertex: -1}
 		switch r.Site {
-		case SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture, SiteNetSend, SiteNetRecv:
+		case SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture,
+			SiteNetSend, SiteNetRecv, SitePeerSend, SitePeerRecv:
 		default:
-			return nil, fmt.Errorf("fault: unknown site %q (want %s, %s, %s, %s, %s, or %s)",
-				r.Site, SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture, SiteNetSend, SiteNetRecv)
+			return nil, fmt.Errorf("fault: unknown site %q (want %s, %s, %s, %s, %s, %s, %s, or %s)",
+				r.Site, SiteCompute, SiteSpillWrite, SiteCheckpointWrite, SiteCapture,
+				SiteNetSend, SiteNetRecv, SitePeerSend, SitePeerRecv)
 		}
 		for _, kv := range parts[1:] {
 			key, val, ok := strings.Cut(kv, "=")

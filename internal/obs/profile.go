@@ -48,6 +48,12 @@ const (
 	MetricNetHeartbeatMiss  = "ariadne_net_heartbeat_misses_total" // counter: pings that got no pong in time
 	MetricNetReconnects     = "ariadne_net_reconnects_total"       // counter: connections re-established
 	MetricNetLocalFallbacks = "ariadne_net_local_fallbacks_total"  // counter: partitions pinned local after unreachable
+	// Worker-resident state series (PR 9): delta exchanges and the peer mesh.
+	MetricNetStateReseeds = "ariadne_net_state_reseeds_total" // counter: full-state seeds after a worker state miss
+	MetricNetPeerFrags    = "ariadne_net_peer_frags_total"    // counter: worker→worker fragment frames sent
+	MetricNetPeerBytes    = "ariadne_net_peer_bytes_total"    // counter: worker→worker fragment payload bytes
+	MetricNetSnapFrames   = "ariadne_net_snap_frames_total"   // counter: frames sent block-compressed
+	MetricNetSnapSavedB   = "ariadne_net_snap_saved_bytes"    // counter: payload bytes saved by compression
 	// Tracing series (PR 7).
 	MetricTraceDropped = "ariadne_trace_dropped_total" // counter: ring-evicted trace events
 	// Failover series (PR 8): the worker pool's health machine. Deaths count
@@ -55,7 +61,7 @@ const (
 	// heartbeats), reassignments count partition->worker table rewrites,
 	// rejoins count dead or draining workers re-admitted by a fresh
 	// handshake, and drains count workers that deregistered gracefully.
-	MetricFailoverDeaths        = "ariadne_failover_worker_deaths_total"  // counter: workers declared dead
+	MetricFailoverDeaths        = "ariadne_failover_worker_deaths_total" // counter: workers declared dead
 	MetricFailoverReassignments = "ariadne_failover_reassignments_total" // counter: partitions rerouted to a survivor
 	MetricFailoverRejoins       = "ariadne_failover_rejoins_total"       // counter: workers re-admitted mid-run
 	MetricFailoverDrains        = "ariadne_failover_drains_total"        // counter: workers drained gracefully

@@ -41,6 +41,8 @@ const (
 	SpanWorkerCompute = "worker_compute" // partition compute on the worker
 	SpanEncode        = "encode"         // ExecResult body encoding (worker)
 	SpanFailover      = "failover"       // partition reassigned to a surviving worker (master)
+	SpanDeliver       = "deliver"        // one worker's delivery-barrier exchange (master)
+	SpanPeerWire      = "peer_wire"      // worker→worker fragment routing on the mesh (worker)
 )
 
 // Span is one timed operation in the distributed trace. Start is absolute
@@ -256,13 +258,17 @@ func (m *Metrics) spanSuperstepStart() int64 {
 
 // TransportBuckets decomposes the run's transport time into named buckets
 // from the recorded spans: serialize (master request encoding + worker
-// decode/encode), wire (RPC round-trip time not accounted to the worker),
-// worker_compute (partition compute on the worker), and retry (retransmit
-// backoff sleeps). Returns nil when no transport spans were recorded.
-// Nil-safe.
+// decode/encode), wire (RPC round-trip time not accounted to the worker,
+// including worker→worker fragment routing on the peer mesh), worker_compute
+// (partition compute on the worker), and retry (retransmit backoff sleeps).
+// Worker-side SpanPeerWire spans ride back on the same ExecResult piggyback
+// as decode/compute/encode, so peer-mesh wire time is subtracted from the
+// master's RPC window and re-attributed to `wire` rather than silently
+// inflating the residual — and never lands in worker_compute. Returns nil
+// when no transport spans were recorded. Nil-safe.
 func (m *Metrics) TransportBuckets() map[string]int64 {
 	spans := m.Spans()
-	var ser, rpc, dec, enc, wc, back int64
+	var ser, rpc, dec, enc, wc, back, pw int64
 	for i := range spans {
 		switch spans[i].Name {
 		case SpanSerialize:
@@ -277,18 +283,20 @@ func (m *Metrics) TransportBuckets() map[string]int64 {
 			wc += spans[i].Dur
 		case SpanBackoff:
 			back += spans[i].Dur
+		case SpanPeerWire:
+			pw += spans[i].Dur
 		}
 	}
-	if ser+rpc+dec+enc+wc+back == 0 {
+	if ser+rpc+dec+enc+wc+back+pw == 0 {
 		return nil
 	}
-	wire := rpc - dec - enc - wc
+	wire := rpc - dec - enc - wc - pw
 	if wire < 0 {
 		wire = 0
 	}
 	return map[string]int64{
 		"serialize":      ser + dec + enc,
-		"wire":           wire,
+		"wire":           wire + pw,
 		"worker_compute": wc,
 		"retry":          back,
 	}

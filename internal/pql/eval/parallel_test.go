@@ -80,7 +80,7 @@ func diffSignatures(t *testing.T, label string, want, got map[string][]string) {
 func parallelPrograms() map[string]struct {
 	src     string
 	batches []feedBatch
-}{
+} {
 	const n = 160
 	edge := func(mod int) feedBatch {
 		var b feedBatch

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Snappy-style LZ77 block compression for wire-v3 frames (DESIGN.md §15).
+// The format is deliberately tiny and self-contained — no external codec
+// dependency — and is only ever spoken between two processes built from the
+// same tree, negotiated by the capSnappy handshake bit, so there is no
+// cross-version compatibility surface beyond the wire version itself.
+//
+// Block layout: uvarint(decoded length), then a tag stream:
+//
+//	tag&1 == 0 — literal run of (tag>>1)+1 bytes (1..128), bytes follow
+//	tag&1 == 1 — copy of (tag>>1)+4 bytes (4..131) from uvarint(offset)
+//	             bytes back in the decoded output (offset >= 1; offsets
+//	             shorter than the copy length replicate, RLE-style)
+//
+// Compression is greedy with a 4-byte rolling hash table, like snappy's
+// fast path. Encoding is fully deterministic: identical input yields an
+// identical block on every run, which the retransmit dedup relies on
+// (a re-sent compressed frame must be byte-identical to the original).
+
+const (
+	snapMaxLit    = 128 // longest literal run one tag can carry
+	snapMaxCopy   = 131 // longest copy one tag can carry
+	snapMinMatch  = 4   // shortest match worth a copy tag
+	snapTableBits = 12
+	snapTableSize = 1 << snapTableBits
+)
+
+var errSnapCorrupt = errors.New("transport: corrupt compressed block")
+
+// snapMaxEncodedLen bounds the encoder output for sizing scratch buffers:
+// worst case is all literals — one tag byte per 128 input bytes — plus the
+// length header.
+func snapMaxEncodedLen(srcLen int) int {
+	return srcLen + srcLen/snapMaxLit + 1 + binary.MaxVarintLen64
+}
+
+func snapHash(v uint32) uint32 {
+	return (v * 0x1e35a7bd) >> (32 - snapTableBits)
+}
+
+// snapCompress appends the compressed form of src to dst and returns the
+// extended slice. An empty src encodes to just the zero length header.
+func snapCompress(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	var table [snapTableSize]int32 // position+1 of the last occurrence per bucket
+	litStart := 0                  // start of the pending literal run
+	i := 0
+	for i+snapMinMatch <= len(src) {
+		cur := binary.LittleEndian.Uint32(src[i:])
+		h := snapHash(cur)
+		cand := int(table[h]) - 1
+		table[h] = int32(i) + 1
+		if cand < 0 || binary.LittleEndian.Uint32(src[cand:]) != cur {
+			i++
+			continue
+		}
+		length := snapMinMatch
+		for i+length < len(src) && src[cand+length] == src[i+length] {
+			length++
+		}
+		dst = snapEmitLiterals(dst, src[litStart:i])
+		offset := i - cand
+		// Split matches longer than one tag can carry; the offset stays
+		// constant because source and destination advance in lockstep.
+		rem := length
+		for rem > 0 {
+			n := rem
+			if n > snapMaxCopy {
+				n = snapMaxCopy
+				if rem-n > 0 && rem-n < snapMinMatch {
+					n = rem - snapMinMatch
+				}
+			}
+			dst = append(dst, byte((n-snapMinMatch)<<1|1))
+			dst = binary.AppendUvarint(dst, uint64(offset))
+			rem -= n
+		}
+		i += length
+		litStart = i
+		if i+snapMinMatch <= len(src) {
+			table[snapHash(binary.LittleEndian.Uint32(src[i-1:]))] = int32(i-1) + 1
+		}
+	}
+	return snapEmitLiterals(dst, src[litStart:])
+}
+
+// snapEmitLiterals appends literal-run tags covering lit.
+func snapEmitLiterals(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		if n > snapMaxLit {
+			n = snapMaxLit
+		}
+		dst = append(dst, byte((n-1)<<1))
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+// snapDecode appends the decompressed form of block to dst and returns the
+// extended slice. The block must be exactly one snapCompress output;
+// truncated runs, bad offsets, and length mismatches all error.
+func snapDecode(dst, block []byte) ([]byte, error) {
+	want, n := binary.Uvarint(block)
+	if n <= 0 {
+		return dst, errSnapCorrupt
+	}
+	block = block[n:]
+	base := len(dst)
+	for len(block) > 0 {
+		tag := block[0]
+		block = block[1:]
+		if tag&1 == 0 {
+			runLen := int(tag>>1) + 1
+			if runLen > len(block) {
+				return dst, fmt.Errorf("%w: literal run past end", errSnapCorrupt)
+			}
+			dst = append(dst, block[:runLen]...)
+			block = block[runLen:]
+			continue
+		}
+		cpLen := int(tag>>1) + snapMinMatch
+		off, n := binary.Uvarint(block)
+		if n <= 0 || off == 0 || int(off) > len(dst)-base {
+			return dst, fmt.Errorf("%w: bad copy offset", errSnapCorrupt)
+		}
+		block = block[n:]
+		// Byte-at-a-time so overlapping offsets replicate like the
+		// encoder assumed.
+		pos := len(dst) - int(off)
+		for j := 0; j < cpLen; j++ {
+			dst = append(dst, dst[pos+j])
+		}
+	}
+	if len(dst)-base != int(want) {
+		return dst, fmt.Errorf("%w: decoded %d bytes, header said %d", errSnapCorrupt, len(dst)-base, want)
+	}
+	return dst, nil
+}

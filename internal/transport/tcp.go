@@ -60,6 +60,15 @@ type TCPConfig struct {
 	// immediately (the PR 6 behavior — the engine then pins the partition
 	// local and sheds its capture). Default off: failover on.
 	NoFailover bool
+	// ForceFullState disables worker-resident state: Resident() reports
+	// false, so the engine ships full frontiers every superstep and relays
+	// all messages through the master (the pre-PR 9 exchange). The
+	// before/after leg of the distributed bench.
+	ForceFullState bool
+	// NoCompress stops offering the snap-compression capability in the
+	// handshake, so every master<->worker frame travels raw. Worker-to-
+	// worker mesh links negotiate independently and are unaffected.
+	NoCompress bool
 	// Fault injects deterministic network faults at the net.send/net.recv
 	// sites (drop, delay, duplicate, reset).
 	Fault *fault.Injector
@@ -106,9 +115,14 @@ type TCP struct {
 	wg     sync.WaitGroup
 
 	// assign is the partition -> peer-index table (pool.go); absent entries
-	// mean the static partition % len(peers) rule still holds.
-	amu    sync.Mutex
-	assign map[int]int
+	// mean the static partition % len(peers) rule still holds. lastExec
+	// records which peer actually executed each partition's latest resident
+	// superstep — that's where its state (and parked fragments) live, so
+	// the delivery barrier routes there rather than to the nominal
+	// assignment.
+	amu      sync.Mutex
+	assign   map[int]int
+	lastExec map[int]int
 }
 
 // DialTCP connects to every worker, performs the versioned handshake, and
@@ -126,7 +140,7 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 		}
 		seen[addr] = true
 	}
-	t := &TCP{cfg: cfg, stop: make(chan struct{}), assign: map[int]int{}}
+	t := &TCP{cfg: cfg, stop: make(chan struct{}), assign: map[int]int{}, lastExec: map[int]int{}}
 	for _, addr := range cfg.Addrs {
 		t.peers = append(t.peers, &peer{t: t, addr: addr, pending: map[uint64]chan []byte{}, probedSS: -1})
 	}
@@ -162,18 +176,26 @@ func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecRe
 	}
 	m := t.cfg.Metrics
 	traced := req.TraceID != 0 && m.SpansEnabled()
-	var encStart time.Time
-	if traced {
-		encStart = time.Now()
+	encode := func() []byte {
+		var encStart time.Time
+		if traced {
+			encStart = time.Now()
+		}
+		p := encodeExecRequest(req)
+		if traced {
+			m.RecordSpan(obs.Span{
+				Parent: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanSerialize,
+				Superstep: req.Superstep, Partition: req.Partition,
+				Start: encStart.UnixNano(), Dur: int64(time.Since(encStart)),
+				Bytes: int64(len(p)),
+			})
+		}
+		return p
 	}
-	payload := encodeExecRequest(req)
-	if traced {
-		m.RecordSpan(obs.Span{
-			Parent: req.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanSerialize,
-			Superstep: req.Superstep, Partition: req.Partition,
-			Start: encStart.UnixNano(), Dur: int64(time.Since(encStart)),
-			Bytes: int64(len(payload)),
-		})
+	classic := req.Mode == engine.ModeClassic
+	var payload []byte
+	if classic {
+		payload = encode()
 	}
 	execStart := time.Now()
 	seq := t.seq.Add(1)
@@ -193,6 +215,13 @@ func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecRe
 		}
 		tried[pi] = true
 		p := t.peers[pi]
+		if !classic {
+			// The mesh route depends on which peer executes the request (its
+			// own partitions route "." into the local frag store), so resident
+			// requests re-encode per attempt.
+			req.Route = t.routesFor(req, pi)
+			payload = encode()
+		}
 		res, replyLen, attempts, err := t.exchange(ctx, p, req, seq, payload, traced, retries)
 		retries += attempts
 		if err == nil {
@@ -202,6 +231,18 @@ func (t *TCP) Exec(ctx context.Context, req *engine.ExecRequest) (*engine.ExecRe
 			// independent of span tracing.
 			m.AddRPC(req.Superstep, req.Partition,
 				int64(len(payload)+replyLen), int64(retries), time.Since(execStart))
+			if res.StateMiss {
+				// The worker (usually a failover target) lacks resident state
+				// for this superstep. Not a transport failure — the peer is
+				// healthy — the engine reseeds and retries.
+				return nil, fmt.Errorf("partition %d superstep %d: worker %s: %w",
+					req.Partition, req.Superstep, p.addr, engine.ErrStateMiss)
+			}
+			if !classic {
+				t.amu.Lock()
+				t.lastExec[req.Partition] = pi
+				t.amu.Unlock()
+			}
 			return res, nil
 		}
 		lastErr = err
@@ -285,6 +326,157 @@ func (t *TCP) Close() error {
 	return nil
 }
 
+// Resident implements engine.StatefulTransport: the TCP leg keeps partition
+// state worker-resident unless the run forces the classic full-state
+// exchange.
+func (t *TCP) Resident() bool { return !t.cfg.ForceFullState }
+
+// routesFor builds the peer-mesh routing table for a resident request about
+// to be sent to peer pi: master-resident partitions stay "", the executing
+// peer's own partitions route "." into its local frag store, everything
+// else routes to the owning peer's address. Ownership is the current
+// assignment — if a partition fails over later in the same superstep, its
+// fragments land on the old owner, the deliver round comes up short there,
+// and the engine replays (exactness is never at stake, only efficiency).
+func (t *TCP) routesFor(req *engine.ExecRequest, pi int) []string {
+	n := t.cfg.Fingerprint.Partitions
+	route := make([]string, n)
+	for dp := 0; dp < n; dp++ {
+		if dp < len(req.LocalParts) && req.LocalParts[dp] {
+			continue
+		}
+		if ai := t.assigned(dp); ai == pi {
+			route[dp] = "."
+		} else {
+			route[dp] = t.peers[ai].addr
+		}
+	}
+	return route
+}
+
+// lastExecPeer returns the peer holding partition p's resident state: the
+// peer that executed its latest resident superstep, falling back to the
+// nominal assignment before any exec happened.
+func (t *TCP) lastExecPeer(p int) int {
+	t.amu.Lock()
+	pi, ok := t.lastExec[p]
+	t.amu.Unlock()
+	if !ok {
+		return t.assigned(p)
+	}
+	return pi
+}
+
+// Deliver implements engine.StatefulTransport: it fans the delivery-barrier
+// (or collect) round out to the workers holding the listed partitions, one
+// concurrent exchange per worker, and merges the per-partition outcomes.
+// A worker that cannot be reached within the retransmit budget leaves its
+// partitions OK=false — the engine's cue to re-hydrate them from
+// checkpoint + replay — so Deliver itself never fails the run.
+func (t *TCP) Deliver(ctx context.Context, req *engine.DeliverRequest) (*engine.DeliverResult, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("%w: client closed", engine.ErrTransport)
+	}
+	out := &engine.DeliverResult{Parts: make([]engine.DeliverPart, len(req.Parts))}
+	groups := map[int][]int{}
+	for i, p := range req.Parts {
+		out.Parts[i].Partition = p
+		pi := t.lastExecPeer(p)
+		groups[pi] = append(groups[pi], i)
+	}
+	var wg sync.WaitGroup
+	for pi, idxs := range groups {
+		wg.Add(1)
+		go func(pi int, idxs []int) {
+			defer wg.Done()
+			sub := &engine.DeliverRequest{
+				Superstep:   req.Superstep,
+				CollectOnly: req.CollectOnly,
+				Combine:     req.Combine,
+				Parts:       make([]int, len(idxs)),
+				TraceID:     req.TraceID,
+				ParentSpan:  req.ParentSpan,
+			}
+			if !req.CollectOnly {
+				sub.Expected = make([][]int64, len(idxs))
+				sub.MasterFrags = make([][][]engine.OutMessage, len(idxs))
+			}
+			for j, k := range idxs {
+				sub.Parts[j] = req.Parts[k]
+				if !req.CollectOnly {
+					sub.Expected[j] = req.Expected[k]
+					sub.MasterFrags[j] = req.MasterFrags[k]
+				}
+			}
+			res := t.deliverPeer(ctx, pi, sub)
+			if res == nil {
+				return
+			}
+			for j, k := range idxs {
+				if j < len(res.Parts) && res.Parts[j].Partition == req.Parts[k] {
+					out.Parts[k] = res.Parts[j]
+				}
+			}
+		}(pi, idxs)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// deliverPeer runs one worker's slice of a deliver round under the same
+// retransmit budget as exec exchanges (the worker memoizes per-partition
+// outcomes and dedups by seq, so retries never double-fold). Returns nil on
+// failure; the caller's parts stay OK=false.
+func (t *TCP) deliverPeer(ctx context.Context, pi int, sub *engine.DeliverRequest) *engine.DeliverResult {
+	m := t.cfg.Metrics
+	p := t.peers[pi]
+	traced := sub.TraceID != 0 && m.SpansEnabled()
+	payload := encodeDeliverRequest(sub)
+	seq := t.seq.Add(1)
+	start := time.Now()
+	var reply []byte
+	for try := 0; try <= t.cfg.MaxRetries; try++ {
+		if try > 0 {
+			m.Counter(obs.MetricNetRetransmits).Add(1)
+			supervise.SleepCtx(ctx, supervise.BackoffDuration(t.cfg.Backoff, maxNetBackoff,
+				sub.Parts[0], sub.Superstep, try-1))
+			if !p.routable() {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		r, _, err := p.call(ctx, frameDeliver, sub.Superstep, -1, seq, payload)
+		if err == nil {
+			reply = r
+			break
+		}
+		p.noteFailure()
+		m.Tracef(obs.Warn, "transport", sub.Superstep,
+			"deliver round with %s attempt %d failed: %v", p.addr, try+1, err)
+	}
+	if traced {
+		m.RecordSpan(obs.Span{
+			Parent: sub.ParentSpan, Proc: obs.ProcMaster, Name: obs.SpanDeliver,
+			Superstep: sub.Superstep, Partition: -1,
+			Start: start.UnixNano(), Dur: int64(time.Since(start)),
+			Bytes: int64(len(payload) + len(reply)),
+		})
+	}
+	m.AddRPC(sub.Superstep, -1, int64(len(payload)+len(reply)), 0, time.Since(start))
+	if reply == nil {
+		return nil
+	}
+	p.noteSuccess()
+	res, err := decodeDeliverResult(reply)
+	if err != nil {
+		m.Tracef(obs.Error, "transport", sub.Superstep, "deliver reply from %s: %v", p.addr, err)
+		return nil
+	}
+	return res
+}
+
 // peer is one worker connection with its demux and pool-health state.
 type peer struct {
 	t    *TCP
@@ -294,6 +486,7 @@ type peer struct {
 	conn    net.Conn
 	w       *bufio.Writer
 	gen     int // bumped per established connection; reader goroutines check it
+	snappy  bool
 	pending map[uint64]chan []byte
 	hbMiss  int
 	// Failover state machine (pool.go): healthy/suspect/dead/draining,
@@ -324,10 +517,12 @@ func (p *peer) ensure() error {
 	if err != nil {
 		return p.wrapErr("dial: %v", err)
 	}
-	if err := p.handshake(conn); err != nil {
+	snappy, err := p.handshake(conn)
+	if err != nil {
 		conn.Close()
 		return err
 	}
+	p.snappy = snappy
 	p.gen++
 	m := p.t.cfg.Metrics
 	if p.gen > 1 {
@@ -350,32 +545,37 @@ func (p *peer) ensure() error {
 	return nil
 }
 
-// handshake runs the versioned hello/welcome exchange on a fresh conn.
-func (p *peer) handshake(conn net.Conn) error {
+// handshake runs the versioned hello/welcome exchange on a fresh conn and
+// returns whether both sides negotiated snap compression.
+func (p *peer) handshake(conn net.Conn) (bool, error) {
 	conn.SetDeadline(time.Now().Add(p.t.cfg.DialTimeout))
 	defer conn.SetDeadline(time.Time{})
-	if _, err := writeFrame(conn, frameHello, 0, p.t.cfg.Fingerprint.encode()); err != nil {
-		return p.wrapErr("handshake send: %v", err)
+	caps := capSnappy
+	if p.t.cfg.NoCompress {
+		caps = 0
+	}
+	if _, err := writeFrame(conn, frameHello, 0, encodeHello(p.t.cfg.Fingerprint, caps)); err != nil {
+		return false, p.wrapErr("handshake send: %v", err)
 	}
 	typ, _, payload, _, err := readFrame(bufio.NewReader(conn))
 	if err != nil {
-		return p.wrapErr("handshake recv: %v", err)
+		return false, p.wrapErr("handshake recv: %v", err)
 	}
 	switch typ {
 	case frameWelcome:
 	case frameError:
-		return p.wrapErr("handshake rejected: %s", payload)
+		return false, p.wrapErr("handshake rejected: %s", payload)
 	default:
-		return p.wrapErr("handshake: unexpected frame type %d", typ)
+		return false, p.wrapErr("handshake: unexpected frame type %d", typ)
 	}
-	fp, err := decodeFingerprint(payload)
+	fp, peerCaps, err := decodeHello(payload)
 	if err != nil {
-		return p.wrapErr("%v", err)
+		return false, p.wrapErr("%v", err)
 	}
 	if fp != p.t.cfg.Fingerprint {
-		return p.wrapErr("graph fingerprint mismatch: worker %+v, master %+v", fp, p.t.cfg.Fingerprint)
+		return false, p.wrapErr("graph fingerprint mismatch: worker %+v, master %+v", fp, p.t.cfg.Fingerprint)
 	}
-	return nil
+	return caps&peerCaps&capSnappy != 0, nil
 }
 
 // readLoop owns conn's receive side: it dispatches result and pong frames
@@ -392,8 +592,16 @@ func (p *peer) readLoop(conn net.Conn, gen int) {
 		m := p.t.cfg.Metrics
 		m.Counter(obs.MetricNetMessagesRecv).Add(1)
 		m.Counter(obs.MetricNetBytesRecv).Add(int64(n))
+		if typ == frameSnap {
+			ityp, dec, derr := unsnapOwned(payload)
+			if derr != nil {
+				m.Tracef(obs.Error, "transport", -1, "peer %s: %v", p.addr, derr)
+				continue
+			}
+			typ, payload = ityp, dec
+		}
 		switch typ {
-		case frameResult, framePong:
+		case frameResult, framePong, frameDeliverRes:
 			p.mu.Lock()
 			ch := p.pending[seq]
 			p.mu.Unlock()
@@ -472,9 +680,13 @@ func (p *peer) send(typ byte, seq uint64, payload []byte) error {
 		p.mu.Unlock()
 		return p.wrapErr("connection lost")
 	}
-	n, err := writeFrame(w, typ, seq, payload)
+	wtyp, wpay, scratch := frameForSend(typ, payload, p.snappy, p.t.cfg.Metrics)
+	n, err := writeFrame(w, wtyp, seq, wpay)
 	if err == nil {
 		err = w.Flush()
+	}
+	if scratch != nil {
+		putFrameBuf(scratch)
 	}
 	p.mu.Unlock()
 	if err != nil {
@@ -492,11 +704,26 @@ func (p *peer) send(typ byte, seq uint64, payload []byte) error {
 // reply payload length alongside the result for per-exchange wire-byte
 // accounting.
 func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint64, payload []byte) (*engine.ExecResult, int, error) {
+	reply, n, err := p.call(ctx, frameExec, req.Superstep, req.Partition, seq, payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := decodeExecResult(reply)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %w", engine.ErrTransport, err)
+	}
+	return res, n, nil
+}
+
+// call performs one request/reply frame exchange attempt of any type under
+// the message deadline, consulting the fault injector on both directions.
+// Returns the raw reply payload and its length.
+func (p *peer) call(ctx context.Context, typ byte, ss, part int, seq uint64, payload []byte) ([]byte, int, error) {
 	ch := p.register(seq)
 	defer p.unregister(seq)
 
 	inj := p.t.cfg.Fault
-	act, ferr := inj.NetHit(ctx, fault.SiteNetSend, req.Superstep, req.Partition, int64(seq))
+	act, ferr := inj.NetHit(ctx, fault.SiteNetSend, ss, part, int64(seq))
 	if ferr != nil {
 		return nil, 0, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
 	}
@@ -507,12 +734,12 @@ func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint6
 		p.teardownAny()
 		return nil, 0, p.wrapErr("connection reset by injected fault")
 	case fault.NetDup:
-		if err := p.send(frameExec, seq, payload); err != nil {
+		if err := p.send(typ, seq, payload); err != nil {
 			return nil, 0, err
 		}
 		fallthrough
 	default:
-		if err := p.send(frameExec, seq, payload); err != nil {
+		if err := p.send(typ, seq, payload); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -529,7 +756,7 @@ func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint6
 			if !ok {
 				return nil, 0, p.wrapErr("connection lost awaiting seq %d", seq)
 			}
-			act, ferr := inj.NetHit(ctx, fault.SiteNetRecv, req.Superstep, req.Partition, int64(seq))
+			act, ferr := inj.NetHit(ctx, fault.SiteNetRecv, ss, part, int64(seq))
 			if ferr != nil {
 				return nil, 0, fmt.Errorf("%w: %w", engine.ErrTransport, ferr)
 			}
@@ -543,11 +770,7 @@ func (p *peer) roundTrip(ctx context.Context, req *engine.ExecRequest, seq uint6
 				p.teardownAny()
 				return nil, 0, p.wrapErr("connection reset by injected fault")
 			}
-			res, err := decodeExecResult(reply)
-			if err != nil {
-				return nil, 0, fmt.Errorf("%w: %w", engine.ErrTransport, err)
-			}
-			return res, len(reply), nil
+			return reply, len(reply), nil
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ariadne/internal/engine"
+	"ariadne/internal/fault"
 	"ariadne/internal/obs"
 )
 
@@ -19,16 +20,25 @@ import (
 const replyCacheSize = 128
 
 // Worker is the worker-process side of the TCP leg: it serves partition
-// ExecRequests from a master over framed connections. Each connection is
-// handled by one goroutine, serially — ordering within a connection is the
-// arrival order — and requests are deduplicated by sequence number: a
-// retransmitted exec replays the cached reply instead of recomputing (the
-// request is a pure function, so recomputing would also be correct; the
-// cache just makes at-least-once delivery cheap).
+// ExecRequests, delivery-barrier rounds, and peer fragments over framed
+// connections. Connections are pipelined (PR 9): the reader goroutine keeps
+// draining frames while exec and deliver handlers run concurrently — so the
+// worker can decode superstep S+1's deltas while still encoding S's records
+// — with a per-connection write mutex keeping reply frames whole. Requests
+// are deduplicated by sequence number: a retransmitted exec replays the
+// cached reply instead of recomputing, and an exec that is still in flight
+// parks the duplicate until the original finishes.
 type Worker struct {
 	x  *engine.Executor
 	ln net.Listener
 	m  *obs.Metrics
+
+	// caps is the capability mask offered in handshakes (snap compression).
+	caps uint64
+	// frags parks peer- and self-routed outbox columns between exec and the
+	// delivery round; mesh owns the worker->worker connections.
+	frags fragStore
+	mesh  *mesh
 
 	// killAfter, when positive, makes the worker die abruptly — listener
 	// and connections closed, no reply sent — after that many exec requests
@@ -54,7 +64,9 @@ func NewWorker(x *engine.Executor, addr string, m *obs.Metrics) (*Worker, error)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &Worker{x: x, ln: ln, m: m, conns: map[net.Conn]struct{}{}}, nil
+	w := &Worker{x: x, ln: ln, m: m, caps: capSnappy, conns: map[net.Conn]struct{}{}}
+	w.mesh = newMesh(w)
+	return w, nil
 }
 
 // Addr returns the bound listen address.
@@ -63,6 +75,10 @@ func (w *Worker) Addr() string { return w.ln.Addr().String() }
 // KillAfter arms the abrupt-death knob: the worker closes everything,
 // mid-exchange, after n exec requests. For fault testing only.
 func (w *Worker) KillAfter(n int) { w.killAfter = int64(n) }
+
+// Execs returns how many exec requests this worker has received, for tests
+// that time kills against the request stream.
+func (w *Worker) Execs() int64 { return w.execs.Load() }
 
 // Serve accepts and serves connections until Close or Drain. It returns nil
 // on a clean shutdown, the accept error otherwise.
@@ -92,7 +108,7 @@ func (w *Worker) Serve() error {
 }
 
 // Close shuts the worker down: stops accepting and severs every
-// connection.
+// connection, including the peer mesh.
 func (w *Worker) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -109,11 +125,12 @@ func (w *Worker) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	w.mesh.close()
 	return err
 }
 
 // Drain shuts the worker down gracefully: it stops accepting, lets each
-// connection finish the request it is serving (replying normally), then
+// connection finish the requests it is serving (replying normally), then
 // sends the master a drain frame — the deregistration notice that makes the
 // pool reroute this worker's partitions without charging a failure — and
 // closes. Drain returns once every connection has wound down, so a worker
@@ -133,13 +150,14 @@ func (w *Worker) Drain() error {
 	}
 	w.mu.Unlock()
 	err := w.ln.Close()
-	// Wake readers blocked between requests; a serveConn mid-request sees
-	// the expired deadline only after writing its reply, which is exactly
-	// the finish-in-flight-then-deregister contract.
+	// Wake readers blocked between requests; a serveConn with requests in
+	// flight waits for its handlers to reply before deregistering, which is
+	// exactly the finish-in-flight-then-deregister contract.
 	for _, c := range conns {
 		c.SetReadDeadline(time.Now())
 	}
 	w.connWG.Wait()
+	w.mesh.close()
 	w.mu.Lock()
 	w.closed = true
 	w.mu.Unlock()
@@ -159,8 +177,20 @@ func (w *Worker) isDraining() bool {
 	return w.draining
 }
 
-// serveConn handshakes, then serves exec and ping frames until the
-// connection dies or the worker drains.
+// connState is one served connection's shared state: the write mutex that
+// keeps pipelined reply frames whole, the negotiated capability set, the
+// seq dedup cache, and the in-flight handler count the drain path waits on.
+type connState struct {
+	conn   net.Conn
+	wmu    sync.Mutex
+	snappy bool
+	cache  *replyCache
+	wg     sync.WaitGroup
+}
+
+// serveConn handshakes, then serves frames until the connection dies or the
+// worker drains. Exec and deliver frames are handled in goroutines so the
+// reader keeps pipelining; pings, peer frags, and the kill knob stay inline.
 func (w *Worker) serveConn(conn net.Conn) {
 	defer w.connWG.Done()
 	defer w.drop(conn)
@@ -174,7 +204,7 @@ func (w *Worker) serveConn(conn net.Conn) {
 		writeFrame(conn, frameError, 0, []byte("expected hello frame"))
 		return
 	}
-	peerFP, err := decodeFingerprint(payload)
+	peerFP, peerCaps, err := decodeHello(payload)
 	if err != nil {
 		writeFrame(conn, frameError, 0, []byte(err.Error()))
 		return
@@ -184,22 +214,24 @@ func (w *Worker) serveConn(conn net.Conn) {
 			[]byte(fmt.Sprintf("graph fingerprint mismatch: master %+v, worker %+v", peerFP, fp)))
 		return
 	}
-	if _, err := writeFrame(conn, frameWelcome, 0, fp.encode()); err != nil {
+	if _, err := writeFrame(conn, frameWelcome, 0, encodeHello(fp, w.caps)); err != nil {
 		return
 	}
 
-	cache := newReplyCache(replyCacheSize)
+	cs := &connState{conn: conn, snappy: w.caps&peerCaps&capSnappy != 0, cache: newReplyCache(replyCacheSize)}
 	for {
-		typ, seq, payload, n, err := readFrame(conn)
+		typ, seq, payload, n, release, err := readFramePooled(conn)
 		if err != nil {
 			if w.isDraining() {
-				// In-flight work is done (its reply was written before this
-				// read); deregister gracefully so the master reroutes
-				// without counting a failure, then close.
+				// Wait out in-flight handlers (their replies were written
+				// under the conn's write mutex), then deregister gracefully
+				// so the master reroutes without counting a failure.
+				cs.wg.Wait()
 				conn.SetWriteDeadline(time.Now().Add(time.Second))
 				writeFrame(conn, frameDrain, 0, nil)
 				return
 			}
+			cs.wg.Wait()
 			if !errors.Is(err, net.ErrClosed) {
 				w.m.Tracef(obs.Info, "transport", -1, "worker connection ended: %v", err)
 			}
@@ -207,66 +239,214 @@ func (w *Worker) serveConn(conn net.Conn) {
 		}
 		w.m.Counter(obs.MetricNetMessagesRecv).Add(1)
 		w.m.Counter(obs.MetricNetBytesRecv).Add(int64(n))
-		switch typ {
-		case framePing:
-			if err := w.reply(conn, framePong, seq, nil); err != nil {
-				return
-			}
-		case frameExec:
-			if w.killAfter > 0 && w.execs.Add(1) >= w.killAfter {
-				w.Close()
-				return
-			}
-			if cached, ok := cache.get(seq); ok {
-				if err := w.reply(conn, frameResult, seq, cached); err != nil {
-					return
-				}
-				continue
-			}
-			t0 := time.Now()
-			req, err := decodeExecRequest(payload)
+		if typ == frameSnap {
+			typ, payload, release, err = unsnapPooled(payload, release)
 			if err != nil {
 				writeFrame(conn, frameError, seq, []byte(err.Error()))
 				return
 			}
-			t1 := time.Now()
-			res := w.x.Exec(context.Background(), req)
-			t2 := time.Now()
-			out := encodeExecResultBody(res)
-			// When the master sent trace context, time decode/compute/encode
-			// as child spans of its exchange span and piggyback them on the
-			// result — measured first, appended after, so the encode span
-			// covers exactly the body it rode behind.
-			var spans []obs.Span
-			if req.TraceID != 0 && res.Crash == nil {
-				t3 := time.Now()
-				proc := "worker:" + w.Addr()
-				spans = []obs.Span{
-					{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanDecode,
-						Superstep: req.Superstep, Partition: req.Partition,
-						Start: t0.UnixNano(), Dur: int64(t1.Sub(t0)), Bytes: int64(len(payload))},
-					{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanWorkerCompute,
-						Superstep: req.Superstep, Partition: req.Partition,
-						Start: t1.UnixNano(), Dur: int64(t2.Sub(t1)), Tuples: int64(len(req.Active))},
-					{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanEncode,
-						Superstep: req.Superstep, Partition: req.Partition,
-						Start: t2.UnixNano(), Dur: int64(t3.Sub(t2)), Bytes: int64(len(out))},
-				}
-			}
-			out = appendSpanSection(out, spans)
-			cache.put(seq, out)
-			if err := w.reply(conn, frameResult, seq, out); err != nil {
+		}
+		switch typ {
+		case framePing:
+			release()
+			if err := w.reply(cs, framePong, seq, nil); err != nil {
 				return
 			}
+		case frameExec:
+			if w.killAfter > 0 && w.execs.Add(1) >= w.killAfter {
+				release()
+				w.Close()
+				return
+			}
+			cs.wg.Add(1)
+			go w.handleExec(cs, seq, payload, release)
+		case frameDeliver:
+			cs.wg.Add(1)
+			go w.handleDeliver(cs, seq, payload, release)
+		case framePeerFrag:
+			w.handlePeerFrag(cs, seq, payload, release)
 		default:
+			release()
 			writeFrame(conn, frameError, seq, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
 			return
 		}
 	}
 }
 
-func (w *Worker) reply(conn net.Conn, typ byte, seq uint64, payload []byte) error {
-	n, err := writeFrame(conn, typ, seq, payload)
+// handleExec decodes, executes, peer-routes, and replies to one exec frame.
+// Runs on its own goroutine; duplicates of an in-flight seq park on the
+// dedup cache until the original finishes, then replay its reply.
+func (w *Worker) handleExec(cs *connState, seq uint64, payload []byte, release func()) {
+	defer cs.wg.Done()
+	if cached, ok := cs.cache.claim(seq); ok {
+		release()
+		w.reply(cs, frameResult, seq, cached)
+		return
+	}
+	t0 := time.Now()
+	req, err := decodeExecRequest(payload)
+	release()
+	if err != nil {
+		cs.cache.finish(seq, nil)
+		w.replyErr(cs, seq, err.Error())
+		return
+	}
+	t1 := time.Now()
+	res := w.x.Exec(context.Background(), req)
+	t2 := time.Now()
+	var peerBytes int64
+	var peerDur time.Duration
+	if req.Mode != engine.ModeClassic && res.Crash == nil && !res.StateMiss {
+		peerBytes = w.routeOutbox(req, res)
+		peerDur = time.Since(t2)
+	}
+	t2b := time.Now()
+	out := encodeExecResultBody(res)
+	// When the master sent trace context, time decode/compute/route/encode
+	// as child spans of its exchange span and piggyback them on the result —
+	// measured first, appended after, so the encode span covers exactly the
+	// body it rode behind.
+	var spans []obs.Span
+	if req.TraceID != 0 && res.Crash == nil {
+		t3 := time.Now()
+		proc := "worker:" + w.Addr()
+		spans = []obs.Span{
+			{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanDecode,
+				Superstep: req.Superstep, Partition: req.Partition,
+				Start: t0.UnixNano(), Dur: int64(t1.Sub(t0)), Bytes: int64(len(payload))},
+			{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanWorkerCompute,
+				Superstep: req.Superstep, Partition: req.Partition,
+				Start: t1.UnixNano(), Dur: int64(t2.Sub(t1)), Tuples: int64(len(req.Active))},
+			{TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanEncode,
+				Superstep: req.Superstep, Partition: req.Partition,
+				Start: t2b.UnixNano(), Dur: int64(t3.Sub(t2b)), Bytes: int64(len(out))},
+		}
+		if peerDur > 0 {
+			spans = append(spans, obs.Span{
+				TraceID: req.TraceID, Parent: req.ParentSpan, Proc: proc, Name: obs.SpanPeerWire,
+				Superstep: req.Superstep, Partition: req.Partition,
+				Start: t2.UnixNano(), Dur: int64(peerDur), Bytes: peerBytes,
+			})
+		}
+	}
+	out = appendSpanSection(out, spans)
+	cs.cache.finish(seq, out)
+	w.reply(cs, frameResult, seq, out)
+}
+
+// routeOutbox sends a resident-mode result's outbox columns to the workers
+// that own their destination partitions, per the request's route: "." parks
+// the column in this worker's own frag store, a peer address ships it over
+// the mesh, and "" (master-resident) leaves it in the reply. A failed peer
+// send also leaves the column in the reply — the master forwards it inside
+// the deliver round, so one lost mesh link degrades to master relay for
+// that column instead of a replay. Returns the mesh bytes written.
+func (w *Worker) routeOutbox(req *engine.ExecRequest, res *engine.ExecResult) int64 {
+	var bytes int64
+	ctx := context.Background()
+	for dp := range res.Outbox {
+		col := res.Outbox[dp]
+		if len(col) == 0 {
+			continue
+		}
+		var route string
+		if dp < len(req.Route) {
+			route = req.Route[dp]
+		}
+		switch route {
+		case "":
+		case ".":
+			w.frags.put(req.Superstep, dp, req.Partition, col)
+			res.Outbox[dp] = nil
+		default:
+			n, err := w.mesh.sendFrag(ctx, route, &peerFrag{ss: req.Superstep, sp: req.Partition, dp: dp, msgs: col})
+			bytes += n
+			if err != nil {
+				w.m.Tracef(obs.Warn, "transport", req.Superstep,
+					"peer frag %d->%d via %s failed: %v (column falls back to master relay)",
+					req.Partition, dp, route, err)
+				continue
+			}
+			res.Outbox[dp] = nil
+		}
+	}
+	return bytes
+}
+
+// handleDeliver runs one delivery-barrier (or collect) round for the
+// partitions this worker owns, folding parked peer fragments and any
+// master-supplied columns.
+func (w *Worker) handleDeliver(cs *connState, seq uint64, payload []byte, release func()) {
+	defer cs.wg.Done()
+	if cached, ok := cs.cache.claim(seq); ok {
+		release()
+		w.reply(cs, frameDeliverRes, seq, cached)
+		return
+	}
+	req, err := decodeDeliverRequest(payload)
+	release()
+	if err != nil {
+		cs.cache.finish(seq, nil)
+		w.replyErr(cs, seq, err.Error())
+		return
+	}
+	nParts := w.x.Partitions()
+	res := &engine.DeliverResult{Parts: make([]engine.DeliverPart, len(req.Parts))}
+	for i, p := range req.Parts {
+		var dp *engine.DeliverPart
+		if req.CollectOnly {
+			dp = w.x.Collect(req.Superstep, p)
+		} else {
+			frags := make([][]engine.OutMessage, nParts)
+			for sp := 0; sp < nParts; sp++ {
+				if sp < len(req.MasterFrags[i]) && len(req.MasterFrags[i][sp]) > 0 {
+					frags[sp] = req.MasterFrags[i][sp]
+				} else {
+					frags[sp] = w.frags.get(req.Superstep, p, sp)
+				}
+			}
+			dp = w.x.Assemble(req.Superstep, p, req.Combine, req.Expected[i], frags)
+		}
+		res.Parts[i] = *dp
+	}
+	w.frags.prune(req.Superstep)
+	out := encodeDeliverResult(res)
+	cs.cache.finish(seq, out)
+	w.reply(cs, frameDeliverRes, seq, out)
+}
+
+// handlePeerFrag parks one mesh fragment, consulting the peer.recv fault
+// site: a recv-drop skips the store but still acks (application-level loss
+// — the deliver round then comes up short and the master replays), a reset
+// kills the connection unacked.
+func (w *Worker) handlePeerFrag(cs *connState, seq uint64, payload []byte, release func()) {
+	f, err := decodePeerFrag(payload)
+	release()
+	if err != nil {
+		w.replyErr(cs, seq, err.Error())
+		return
+	}
+	act, ferr := w.x.Fault().NetHit(context.Background(), fault.SitePeerRecv, f.ss, f.dp, int64(seq))
+	if ferr == nil && act != fault.NetDrop {
+		w.frags.put(f.ss, f.dp, f.sp, f.msgs)
+	}
+	if act == fault.NetReset {
+		cs.conn.Close()
+		return
+	}
+	w.reply(cs, framePeerAck, seq, nil)
+}
+
+// reply writes one reply frame under the connection's write mutex,
+// compressing when the connection negotiated it.
+func (w *Worker) reply(cs *connState, typ byte, seq uint64, payload []byte) error {
+	wtyp, wpay, scratch := frameForSend(typ, payload, cs.snappy, w.m)
+	cs.wmu.Lock()
+	n, err := writeFrame(cs.conn, wtyp, seq, wpay)
+	cs.wmu.Unlock()
+	if scratch != nil {
+		putFrameBuf(scratch)
+	}
 	if err != nil {
 		return err
 	}
@@ -275,31 +455,79 @@ func (w *Worker) reply(conn net.Conn, typ byte, seq uint64, payload []byte) erro
 	return nil
 }
 
+func (w *Worker) replyErr(cs *connState, seq uint64, msg string) {
+	cs.wmu.Lock()
+	writeFrame(cs.conn, frameError, seq, []byte(msg))
+	cs.wmu.Unlock()
+}
+
 // replyCache is a bounded FIFO map of encoded replies keyed by sequence
-// number, the dedup half of the at-least-once contract.
+// number — the dedup half of the at-least-once contract — extended for
+// pipelining with in-flight claims: the first handler of a seq claims it
+// and computes, duplicates park until the claim finishes and then replay
+// the cached reply (or re-claim if the original aborted).
 type replyCache struct {
-	cap     int
-	order   []uint64
-	replies map[uint64][]byte
+	mu       sync.Mutex
+	cap      int
+	order    []uint64
+	replies  map[uint64][]byte
+	inflight map[uint64]chan struct{}
 }
 
 func newReplyCache(cap int) *replyCache {
-	return &replyCache{cap: cap, replies: make(map[uint64][]byte, cap)}
+	return &replyCache{cap: cap, replies: make(map[uint64][]byte, cap), inflight: map[uint64]chan struct{}{}}
 }
 
+// claim returns the cached reply for seq, or claims the seq for this caller
+// (second return false): the caller must call finish exactly once. A
+// duplicate of an in-flight seq blocks until the original finishes.
+func (c *replyCache) claim(seq uint64) ([]byte, bool) {
+	for {
+		c.mu.Lock()
+		if r, ok := c.replies[seq]; ok {
+			c.mu.Unlock()
+			return r, true
+		}
+		ch, ok := c.inflight[seq]
+		if !ok {
+			c.inflight[seq] = make(chan struct{})
+			c.mu.Unlock()
+			return nil, false
+		}
+		c.mu.Unlock()
+		<-ch
+	}
+}
+
+// finish resolves a claim: caches the reply (nil on abort — a parked
+// duplicate then re-claims and recomputes) and wakes waiters.
+func (c *replyCache) finish(seq uint64, reply []byte) {
+	c.mu.Lock()
+	if ch, ok := c.inflight[seq]; ok {
+		delete(c.inflight, seq)
+		close(ch)
+	}
+	if reply != nil {
+		if _, ok := c.replies[seq]; !ok {
+			if len(c.order) >= c.cap {
+				delete(c.replies, c.order[0])
+				c.order = c.order[1:]
+			}
+			c.order = append(c.order, seq)
+			c.replies[seq] = reply
+		}
+	}
+	c.mu.Unlock()
+}
+
+// get and put keep the pre-pipelining surface for tests.
 func (c *replyCache) get(seq uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	r, ok := c.replies[seq]
 	return r, ok
 }
 
 func (c *replyCache) put(seq uint64, reply []byte) {
-	if _, ok := c.replies[seq]; ok {
-		return
-	}
-	if len(c.order) >= c.cap {
-		delete(c.replies, c.order[0])
-		c.order = c.order[1:]
-	}
-	c.order = append(c.order, seq)
-	c.replies[seq] = reply
+	c.finish(seq, reply)
 }

@@ -78,7 +78,7 @@ func TestTransportDifferentialAPI(t *testing.T) {
 	}
 	defer base.Provenance.Close()
 
-	for _, nw := range []int{1, 2} {
+	for _, nw := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("workers-%d", nw), func(t *testing.T) {
 			addrs := make([]string, nw)
 			for i := range addrs {
