@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench bench-micro bench-full vet race ci fault-matrix fault-matrix-net chaos trace-demo clean
+.PHONY: all build test bench bench-micro bench-store bench-full vet race ci fault-matrix fault-matrix-net chaos trace-demo clean
 
 all: build test
 
@@ -52,9 +52,29 @@ bench-micro:
 		./internal/transport/ >> bench-micro.out
 	$(GO) test -run '^$$' -bench 'BenchmarkSpanDisabled' -benchmem -count 1 \
 		./internal/obs/ >> bench-micro.out
+	$(GO) test -run '^$$' -bench 'BenchmarkStoreFormat' -benchmem -count 1 \
+		./internal/provenance/ >> bench-micro.out
+	$(GO) test -run '^$$' -bench 'BenchmarkLayeredReplay' -benchmem -count 1 \
+		./internal/driver/ >> bench-micro.out
 	$(GO) run ./cmd/benchjson -out BENCH_micro.json \
 		-max-transport-overhead 1.5 -min-bytes-reduction 2 < bench-micro.out
 	rm -f bench-micro.out
+
+# bench-store runs just the provenance-storage benchmarks — spill pipeline,
+# v1-vs-v2 on-disk density, projected-vs-unprojected layered replay — and
+# gates their three ratios (spill_async_speedup, bytes_per_tuple_reduction,
+# layered_replay_facts_s) via cmd/benchjson -expect, writing BENCH_store.json.
+# Faster than bench-micro when iterating on the layer file format; CI runs it
+# in the bench job and archives the JSON.
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkSpillPipeline|BenchmarkStoreFormat' -benchmem -count 1 \
+		./internal/provenance/ > bench-store.out
+	$(GO) test -run '^$$' -bench 'BenchmarkLayeredReplay' -benchmem -count 1 \
+		./internal/driver/ >> bench-store.out
+	$(GO) run ./cmd/benchjson -out BENCH_store.json \
+		-expect spill_async_speedup,bytes_per_tuple_reduction,layered_replay_facts_s \
+		< bench-store.out
+	rm -f bench-store.out
 
 bench-full:
 	$(GO) test -bench=. -benchmem ./...

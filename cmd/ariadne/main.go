@@ -192,6 +192,7 @@ func cmdRun(args []string) error {
 	syncSpill := fs.Bool("sync-spill", false, "write spilled layers inline in the barrier instead of on the async writer goroutine")
 	spillQueue := fs.Int("spill-queue", 0, "async spill queue depth in layers (0 = default double-buffering)")
 	reloadCache := fs.Int("reload-cache", 0, "spilled-layer reload cache capacity in layers (0 = default, negative = disabled)")
+	storeFormat := fs.String("store-format", "v2", "spilled layer file format: v2 (compressed columnar) or v1 (row-oriented); reads always auto-detect")
 	seqBarrier := fs.Bool("seq-barrier", false, "use the reference sequential superstep barrier instead of the sharded parallel one (bit-identical results, slower)")
 	transportName := fs.String("transport", "inproc", "partition transport: inproc, or tcp to run partitions on worker processes")
 	workers := fs.Int("workers", 0, "worker processes to spawn with -transport tcp (0 = 1)")
@@ -264,6 +265,15 @@ func cmdRun(args []string) error {
 			onlineNames = append(onlineNames, def.Name)
 		}
 	}
+	var layerFormat int
+	switch *storeFormat {
+	case "", "v2":
+		layerFormat = provenance.FormatV2
+	case "v1":
+		layerFormat = provenance.FormatV1
+	default:
+		return fmt.Errorf("-store-format: unknown format %q (want v1 or v2)", *storeFormat)
+	}
 	if *captureSpec != "" {
 		if *spill != "" {
 			if err := os.MkdirAll(*spill, 0o755); err != nil {
@@ -276,6 +286,7 @@ func cmdRun(args []string) error {
 			SyncSpill:    *syncSpill,
 			SpillQueue:   *spillQueue,
 			ReloadCache:  *reloadCache,
+			Format:       layerFormat,
 		}
 		var def queries.Definition
 		switch {

@@ -88,10 +88,14 @@ func main() {
 	out := flag.String("out", "BENCH_micro.json", "output JSON path")
 	minBarrier := flag.Float64("min-barrier-speedup", 1.2,
 		"minimum sequential/parallel barrier-phase time ratio (uncombined leg)")
-	minSpill := flag.Float64("min-spill-speedup", 0.9,
-		"minimum sync/async spill pipeline time ratio (on a single core the "+
-			"pipeline cannot overlap, so the guard only rejects async being "+
-			"materially slower than sync)")
+	minSpill := flag.Float64("min-spill-speedup", 0.7,
+		"minimum sync/async spill pipeline time ratio. The benchmark now "+
+			"interleaves layer construction with appends (the shape a real run "+
+			"has), so on multi-core hardware the async leg overlaps encode+write "+
+			"with the next layer's build and the ratio exceeds 1; on a "+
+			"single-core runner no overlap is possible and the async leg pays "+
+			"its per-layer scheduling handoffs (~0.9 observed), so the guard "+
+			"only rejects async being materially slower than sync")
 	minEval := flag.Float64("min-eval-speedup", 1.5,
 		"minimum sequential/parallel8 eval-phase time ratio (the parallel leg "+
 			"wins even on one core via the slot-compiled join path)")
@@ -108,7 +112,27 @@ func main() {
 	maxTrace := flag.Float64("max-trace-overhead", 1.05,
 		"maximum traced/untraced full-run time ratio over TCP loopback "+
 			"(span tracing must cost at most 5% on an instrumented run)")
+	minTupleReduction := flag.Float64("min-bytes-per-tuple-reduction", 3,
+		"minimum v1/v2 on-disk bytes-per-tuple ratio on the WCC-shaped "+
+			"store-format benchmark (how much the columnar layer format "+
+			"shrinks spilled provenance)")
+	minReplayProj := flag.Float64("min-replay-projection-speedup", 1.3,
+		"minimum projected/unprojected facts-per-second ratio on the layered "+
+			"replay of a vector-valued capture (what projection pushdown "+
+			"saves when the query never reads the payload columns)")
+	expect := flag.String("expect", "all",
+		"comma-separated gate keys to enforce, or \"all\"; a gate not listed "+
+			"is skipped entirely, so partial benchmark runs (make bench-store) "+
+			"can reuse this binary without tripping missing-benchmark failures")
 	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, k := range strings.Split(*expect, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			wanted[k] = true
+		}
+	}
+	wants := func(key string) bool { return wanted["all"] || wanted[key] }
 
 	var lines []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -120,89 +144,131 @@ func main() {
 	benches := parse(lines)
 	rep := &Report{Benchmarks: benches, Ratios: map[string]float64{}}
 
-	if v := ratio(rep, benches, "barrier_phase_speedup",
-		"BenchmarkBarrier/sequential/nocombine",
-		"BenchmarkBarrier/parallel/nocombine", "barrier-ns/op"); v > 0 && v < *minBarrier {
-		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("barrier_phase_speedup %.2f < %.2f", v, *minBarrier))
+	if wants("barrier_phase_speedup") {
+		if v := ratio(rep, benches, "barrier_phase_speedup",
+			"BenchmarkBarrier/sequential/nocombine",
+			"BenchmarkBarrier/parallel/nocombine", "barrier-ns/op"); v > 0 && v < *minBarrier {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("barrier_phase_speedup %.2f < %.2f", v, *minBarrier))
+		}
+		ratio(rep, benches, "barrier_run_speedup",
+			"BenchmarkBarrier/sequential/nocombine",
+			"BenchmarkBarrier/parallel/nocombine", "ns/op")
+		ratio(rep, benches, "combine_barrier_speedup",
+			"BenchmarkBarrier/sequential/combine",
+			"BenchmarkBarrier/parallel/combine", "barrier-ns/op")
 	}
-	ratio(rep, benches, "barrier_run_speedup",
-		"BenchmarkBarrier/sequential/nocombine",
-		"BenchmarkBarrier/parallel/nocombine", "ns/op")
-	ratio(rep, benches, "combine_barrier_speedup",
-		"BenchmarkBarrier/sequential/combine",
-		"BenchmarkBarrier/parallel/combine", "barrier-ns/op")
-	if v := ratio(rep, benches, "spill_async_speedup",
-		"BenchmarkSpillPipeline/sync",
-		"BenchmarkSpillPipeline/async", "ns/op"); v > 0 && v < *minSpill {
-		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("spill_async_speedup %.2f < %.2f", v, *minSpill))
+	if wants("spill_async_speedup") {
+		if v := ratio(rep, benches, "spill_async_speedup",
+			"BenchmarkSpillPipeline/sync",
+			"BenchmarkSpillPipeline/async", "ns/op"); v > 0 && v < *minSpill {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("spill_async_speedup %.2f < %.2f", v, *minSpill))
+		}
 	}
-	if v := ratio(rep, benches, "eval_phase_speedup",
-		"BenchmarkParallelEval/sequential",
-		"BenchmarkParallelEval/parallel8", "ns/op"); v > 0 && v < *minEval {
-		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("eval_phase_speedup %.2f < %.2f", v, *minEval))
-	}
-	// Informational: throughput ratio of the same legs.
-	if seq, ok := metric(benches, "BenchmarkParallelEval/sequential", "tuples/s"); ok {
-		if par, ok := metric(benches, "BenchmarkParallelEval/parallel8", "tuples/s"); ok && seq > 0 {
-			rep.Ratios["eval_tuples_speedup"] = par / seq
+	if wants("eval_phase_speedup") {
+		if v := ratio(rep, benches, "eval_phase_speedup",
+			"BenchmarkParallelEval/sequential",
+			"BenchmarkParallelEval/parallel8", "ns/op"); v > 0 && v < *minEval {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("eval_phase_speedup %.2f < %.2f", v, *minEval))
+		}
+		// Informational: throughput ratio of the same legs.
+		if seq, ok := metric(benches, "BenchmarkParallelEval/sequential", "tuples/s"); ok {
+			if par, ok := metric(benches, "BenchmarkParallelEval/parallel8", "tuples/s"); ok && seq > 0 {
+				rep.Ratios["eval_tuples_speedup"] = par / seq
+			}
 		}
 	}
 	// transport_overhead is a ceiling, not a floor: the TCP leg is allowed
 	// to cost more than in-process, but not unboundedly more.
-	if v := ratio(rep, benches, "transport_overhead",
-		"BenchmarkTransportRun/tcp",
-		"BenchmarkTransportRun/inproc", "ns/op"); v > *maxTransport {
-		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("transport_overhead %.2f > %.2f", v, *maxTransport))
+	if wants("transport_overhead") {
+		if v := ratio(rep, benches, "transport_overhead",
+			"BenchmarkTransportRun/tcp",
+			"BenchmarkTransportRun/inproc", "ns/op"); v > *maxTransport {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("transport_overhead %.2f > %.2f", v, *maxTransport))
+		}
 	}
 	// bytes_per_superstep_reduction is a floor: the delta exchange must move
 	// materially fewer bytes per superstep than the classic full-frontier
 	// exchange of the same run (tcp-full forces ForceFullState).
-	if v := ratio(rep, benches, "bytes_per_superstep_reduction",
-		"BenchmarkTransportRun/tcp-full",
-		"BenchmarkTransportRun/tcp", "wire-B/ss"); v > 0 && v < *minBytesReduction {
-		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("bytes_per_superstep_reduction %.2f < %.2f", v, *minBytesReduction))
+	if wants("bytes_per_superstep_reduction") {
+		if v := ratio(rep, benches, "bytes_per_superstep_reduction",
+			"BenchmarkTransportRun/tcp-full",
+			"BenchmarkTransportRun/tcp", "wire-B/ss"); v > 0 && v < *minBytesReduction {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("bytes_per_superstep_reduction %.2f < %.2f", v, *minBytesReduction))
+		}
 	}
 	// Assembling and writing a wire frame must not allocate: the pooled
 	// single-buffer encode is what lets delta exchanges pipeline without
 	// GC pressure (the PR 9 invariant, like span_disabled_allocs for PR 2).
-	if v, ok := metric(benches, "BenchmarkWireFrame/write", "allocs/op"); !ok {
-		rep.Failures = append(rep.Failures, "wire_frame_allocs: missing BenchmarkWireFrame/write")
-	} else {
-		rep.Ratios["wire_frame_allocs"] = v
-		if v != 0 {
-			rep.Failures = append(rep.Failures,
-				fmt.Sprintf("wire_frame_allocs %.1f != 0 (frame write path allocates)", v))
+	if wants("wire_frame_allocs") {
+		if v, ok := metric(benches, "BenchmarkWireFrame/write", "allocs/op"); !ok {
+			rep.Failures = append(rep.Failures, "wire_frame_allocs: missing BenchmarkWireFrame/write")
+		} else {
+			rep.Ratios["wire_frame_allocs"] = v
+			if v != 0 {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("wire_frame_allocs %.1f != 0 (frame write path allocates)", v))
+			}
 		}
 	}
 	// trace_overhead compares two TCP-loopback legs of the same run, one
 	// with spans enabled. Like transport_overhead it is a ceiling.
-	if v := ratio(rep, benches, "trace_overhead",
-		"BenchmarkTraceRun/traced",
-		"BenchmarkTraceRun/untraced", "ns/op"); v > *maxTrace {
-		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("trace_overhead %.2f > %.2f", v, *maxTrace))
+	if wants("trace_overhead") {
+		if v := ratio(rep, benches, "trace_overhead",
+			"BenchmarkTraceRun/traced",
+			"BenchmarkTraceRun/untraced", "ns/op"); v > *maxTrace {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("trace_overhead %.2f > %.2f", v, *maxTrace))
+		}
 	}
 	// The disabled span path must be literally free: zero allocations per
 	// RecordSpan call when no sink is installed (the PR 2 invariant).
-	if v, ok := metric(benches, "BenchmarkSpanDisabled", "allocs/op"); !ok {
-		rep.Failures = append(rep.Failures, "span_disabled_allocs: missing BenchmarkSpanDisabled")
-	} else {
-		rep.Ratios["span_disabled_allocs"] = v
-		if v != 0 {
-			rep.Failures = append(rep.Failures,
-				fmt.Sprintf("span_disabled_allocs %.1f != 0 (disabled span path allocates)", v))
+	if wants("span_disabled_allocs") {
+		if v, ok := metric(benches, "BenchmarkSpanDisabled", "allocs/op"); !ok {
+			rep.Failures = append(rep.Failures, "span_disabled_allocs: missing BenchmarkSpanDisabled")
+		} else {
+			rep.Ratios["span_disabled_allocs"] = v
+			if v != 0 {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("span_disabled_allocs %.1f != 0 (disabled span path allocates)", v))
+			}
 		}
 	}
-	if v := ratio(rep, benches, "layered_run_speedup",
-		"BenchmarkLayeredEval/sequential",
-		"BenchmarkLayeredEval/pipelined", "ns/op"); v > 0 && v < *minLayered {
-		rep.Failures = append(rep.Failures,
-			fmt.Sprintf("layered_run_speedup %.2f < %.2f", v, *minLayered))
+	if wants("layered_run_speedup") {
+		if v := ratio(rep, benches, "layered_run_speedup",
+			"BenchmarkLayeredEval/sequential",
+			"BenchmarkLayeredEval/pipelined", "ns/op"); v > 0 && v < *minLayered {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("layered_run_speedup %.2f < %.2f", v, *minLayered))
+		}
+	}
+	// bytes_per_tuple_reduction is a floor on storage compression: the same
+	// WCC-shaped capture spilled by both formats, compared by on-disk bytes
+	// per provenance tuple. The v2 columnar blocks (dictionary + delta/varint)
+	// must be at least 3x denser than the v1 row format.
+	if wants("bytes_per_tuple_reduction") {
+		if v := ratio(rep, benches, "bytes_per_tuple_reduction",
+			"BenchmarkStoreFormat/v1",
+			"BenchmarkStoreFormat/v2", "B/tuple"); v > 0 && v < *minTupleReduction {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("bytes_per_tuple_reduction %.2f < %.2f", v, *minTupleReduction))
+		}
+	}
+	// layered_replay_facts_s is a floor on projection pushdown: replaying a
+	// vector-valued capture for a query that never touches the payload
+	// columns must be materially faster when the store only materializes the
+	// columns the query asked for.
+	if wants("layered_replay_facts_s") {
+		if v := ratio(rep, benches, "layered_replay_facts_s",
+			"BenchmarkLayeredReplay/projected",
+			"BenchmarkLayeredReplay/unprojected", "facts/s"); v > 0 && v < *minReplayProj {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("layered_replay_facts_s %.2f < %.2f", v, *minReplayProj))
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

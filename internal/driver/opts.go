@@ -14,6 +14,7 @@ type evalConfig struct {
 	workers      int // 0: auto (min(8, GOMAXPROCS))
 	sequential   bool
 	noPrefetch   bool
+	noProjection bool
 	interpretive bool
 	metrics      *obs.Metrics
 }
@@ -39,6 +40,14 @@ func SequentialEval() EvalOpt {
 // keeping parallel evaluation (isolates the two optimizations).
 func NoPrefetch() EvalOpt {
 	return func(c *evalConfig) { c.noPrefetch = true }
+}
+
+// NoProjection disables the layered driver's column projection pushdown:
+// every layer is materialized full-width regardless of what the query
+// reads. This is the reference leg for differential tests and the
+// projected-replay benchmark.
+func NoProjection() EvalOpt {
+	return func(c *evalConfig) { c.noProjection = true }
 }
 
 // Interpretive forces the interpretive (Datalog) evaluator even when the

@@ -89,9 +89,11 @@ type layerSource interface {
 	close()
 }
 
-// loadStage decodes and indexes one layer (no evaluation-side prep).
-func loadStage(store *provenance.Store, step, layerIdx int) *layerStage {
-	l, err := store.Layer(layerIdx)
+// loadStage decodes and indexes one layer (no evaluation-side prep). The
+// projection bounds which payload columns the store materializes; nil means
+// all columns.
+func loadStage(store *provenance.Store, step, layerIdx int, proj *provenance.LayerProjection) *layerStage {
+	l, err := store.LayerProjected(layerIdx, proj)
 	if err != nil {
 		return &layerStage{step: step, err: err}
 	}
@@ -136,15 +138,16 @@ type layerCursor struct {
 	n       int
 	order   func(step int) int
 	builder *stageBuilder
+	proj    *provenance.LayerProjection
 
 	mu  sync.Mutex
 	cur *layerStage
 	err error
 }
 
-func newLayerCursor(store *provenance.Store, ascending bool, b *stageBuilder) *layerCursor {
+func newLayerCursor(store *provenance.Store, ascending bool, b *stageBuilder, proj *provenance.LayerProjection) *layerCursor {
 	n := store.NumLayers()
-	return &layerCursor{store: store, n: n, order: replayOrder(n, ascending), builder: b}
+	return &layerCursor{store: store, n: n, order: replayOrder(n, ascending), builder: b, proj: proj}
 }
 
 func (c *layerCursor) numLayers() int { return c.n }
@@ -156,7 +159,7 @@ func (c *layerCursor) stageAt(step int) (*layerStage, error) {
 		return nil, c.err
 	}
 	if c.cur == nil || c.cur.step != step {
-		st := loadStage(c.store, step, c.order(step))
+		st := loadStage(c.store, step, c.order(step), c.proj)
 		if st.err == nil {
 			c.builder.build(st)
 		}
@@ -201,7 +204,7 @@ type prefetchCursor struct {
 	err error
 }
 
-func newPrefetchCursor(store *provenance.Store, ascending bool, b *stageBuilder, m *obs.Metrics) *prefetchCursor {
+func newPrefetchCursor(store *provenance.Store, ascending bool, b *stageBuilder, m *obs.Metrics, proj *provenance.LayerProjection) *prefetchCursor {
 	n := store.NumLayers()
 	pc := &prefetchCursor{
 		n:       n,
@@ -213,7 +216,7 @@ func newPrefetchCursor(store *provenance.Store, ascending bool, b *stageBuilder,
 	go func() {
 		defer close(pc.stages)
 		for step := 0; step < n; step++ {
-			st := loadStage(store, step, order(step))
+			st := loadStage(store, step, order(step), proj)
 			if st.err == nil {
 				b.build(st)
 			}
@@ -399,11 +402,18 @@ func Layered(q *analysis.Query, store *provenance.Store, g *graph.Graph, opts ..
 	if store.NumLayers() == 0 {
 		return res, nil
 	}
+	// Projection pushdown: ask the store for only the payload columns this
+	// query's evaluation path can observe (v2 columnar layers skip the rest
+	// on disk). NoProjection pins the full-width reference leg.
+	var proj *provenance.LayerProjection
+	if !cfg.noProjection {
+		proj = projectionFor(q, obs.compiled != nil)
+	}
 	var src layerSource
 	if cfg.noPrefetch {
-		src = newLayerCursor(store, ascending, builder)
+		src = newLayerCursor(store, ascending, builder, proj)
 	} else {
-		src = newPrefetchCursor(store, ascending, builder, cfg.metrics)
+		src = newPrefetchCursor(store, ascending, builder, cfg.metrics, proj)
 	}
 	defer src.close()
 	obs.src = src

@@ -1,0 +1,106 @@
+package analysis
+
+import "ariadne/internal/pql"
+
+// ColumnUse reports, for each EDB predicate the query references, which
+// argument positions evaluation can actually observe. A position is unused
+// only when every occurrence across every rule is a bare variable that the
+// rule cannot see again: a wildcard, or a variable with a single occurrence
+// (no join, no comparison, no head projection). Everything else — constants,
+// expressions, repeated variables — marks the position used.
+//
+// This is the contract the layered driver's projection pushdown relies on:
+// an unused position may be materialized as Null when the layer is read
+// back, so it must be impossible for the query's answer to depend on the
+// value at that position. Two blanket conservatisms keep that true in the
+// presence of multiset-sensitive operators:
+//
+//   - A negated literal marks all its positions used: negation-as-failure
+//     tests tuple existence against the concrete column values, and a
+//     Null-ed column would collapse distinct tuples into one.
+//   - A rule whose head carries an aggregate marks every EDB position in
+//     that rule used: aggregates observe tuple multiplicity, and collapsing
+//     a projected-away column can merge tuples that were distinct on disk
+//     (COUNT over value(X, D, I) with D projected away would undercount).
+//
+// Positions of EDBs the query never mentions are simply absent from the map.
+func (q *Query) ColumnUse() map[string][]bool {
+	use := make(map[string][]bool, len(q.EDBs))
+	for name, arity := range q.EDBs {
+		use[name] = make([]bool, arity)
+	}
+	for _, r := range q.Rules {
+		// Count variable occurrences across the whole rule (head, every
+		// body literal, both comparison sides). pql.Vars yields one entry
+		// per occurrence, so a self-join inside one atom counts twice.
+		occ := map[string]int{}
+		count := func(t pql.Term) {
+			var vs []*pql.Var
+			vs = pql.Vars(t, vs)
+			for _, v := range vs {
+				if !v.Wildcard() {
+					occ[v.Name]++
+				}
+			}
+		}
+		agg := false
+		for _, a := range r.Head.Args {
+			count(a)
+			if hasAggregate(a) {
+				agg = true
+			}
+		}
+		for _, lit := range r.Body {
+			switch lit := lit.(type) {
+			case *pql.PredLit:
+				for _, a := range lit.Atom.Args {
+					count(a)
+				}
+			case *pql.CmpLit:
+				count(lit.L)
+				count(lit.R)
+			}
+		}
+		for _, lit := range r.Body {
+			pl, ok := lit.(*pql.PredLit)
+			if !ok {
+				continue
+			}
+			u, isEDB := use[pl.Atom.Pred]
+			if !isEDB {
+				continue
+			}
+			for i, a := range pl.Atom.Args {
+				if i >= len(u) {
+					break
+				}
+				if pl.Negated || agg {
+					u[i] = true
+					continue
+				}
+				if v, bare := a.(*pql.Var); bare && (v.Wildcard() || occ[v.Name] <= 1) {
+					continue
+				}
+				u[i] = true
+			}
+		}
+	}
+	return use
+}
+
+// hasAggregate reports whether an aggregate appears anywhere in the term.
+func hasAggregate(t pql.Term) bool {
+	switch t := t.(type) {
+	case *pql.Aggregate:
+		return true
+	case *pql.BinExpr:
+		return hasAggregate(t.L) || (t.R != nil && hasAggregate(t.R))
+	case *pql.Call:
+		for _, a := range t.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	}
+	return false
+}

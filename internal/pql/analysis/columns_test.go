@@ -1,0 +1,93 @@
+package analysis
+
+import "testing"
+
+func colUse(t *testing.T, src string) map[string][]bool {
+	t.Helper()
+	env := NewEnv()
+	env.DeclareEDB("prov_error", 2)
+	return MustAnalyze(src, env).ColumnUse()
+}
+
+func wantUse(t *testing.T, use map[string][]bool, pred string, want []bool) {
+	t.Helper()
+	got, ok := use[pred]
+	if !ok {
+		t.Fatalf("no column use recorded for %s (have %v)", pred, use)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d positions, want %d", pred, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s position %d: used=%v, want %v (full: %v)", pred, i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestColumnUseWildcardAndSingleOccurrence(t *testing.T) {
+	// M is a wildcard, Y occurs once: only the join/head positions of
+	// receive_message are observable.
+	use := colUse(t, `reached(X, I) :- superstep(X, I), receive_message(X, Y, _, I).`)
+	wantUse(t, use, "receive_message", []bool{true, false, false, true})
+	wantUse(t, use, "superstep", []bool{true, true})
+}
+
+func TestColumnUseJoinedVariable(t *testing.T) {
+	// D occurs in the comparison, D2 in two atoms: both value columns used.
+	use := colUse(t, `
+		grew(X, I) :- value(X, D, I), evolution(X, J, I), value(X, D2, J), D > D2.`)
+	wantUse(t, use, "value", []bool{true, true, true})
+	wantUse(t, use, "evolution", []bool{true, true, true})
+}
+
+func TestColumnUseHeadProjection(t *testing.T) {
+	// M reaches the head: used even though it occurs once in the body.
+	use := colUse(t, `msg(X, M) :- receive_message(X, _, M, _).`)
+	wantUse(t, use, "receive_message", []bool{true, false, true, false})
+}
+
+func TestColumnUseNegationForcesAll(t *testing.T) {
+	// The negated literal must observe full tuples: even its wildcard
+	// positions are marked used, since negation-as-failure tests existence
+	// against concrete column values.
+	use := colUse(t, `
+		quiet(X, I) :- superstep(X, I), !send_message(X, _, _, I).`)
+	wantUse(t, use, "send_message", []bool{true, true, true, true})
+}
+
+func TestColumnUseAggregateForcesRule(t *testing.T) {
+	// COUNT observes multiplicity: every EDB position in the rule is used,
+	// including the otherwise-wildcarded message payload.
+	use := colUse(t, `fanin(X, COUNT(Y)) :- receive_message(X, Y, _, _).`)
+	wantUse(t, use, "receive_message", []bool{true, true, true, true})
+}
+
+func TestColumnUseMergesAcrossRules(t *testing.T) {
+	// Rule 1 ignores the payload, rule 2 projects it: the union is used.
+	use := colUse(t, `
+		touched(X, I) :- receive_message(X, _, _, I).
+		payload(X, M) :- receive_message(X, _, M, I), I > 3.`)
+	wantUse(t, use, "receive_message", []bool{true, false, true, true})
+}
+
+func TestColumnUseConstantsAndExprs(t *testing.T) {
+	// A constant filters and an expression computes: both mark the position
+	// used, even when the variable inside the expression occurs nowhere else
+	// as a bare term.
+	use := colUse(t, `spiked(X) :- value(X, D, 3), abs(D) > 0.5.`)
+	wantUse(t, use, "value", []bool{true, true, true})
+}
+
+func TestColumnUseSelfJoinInOneAtom(t *testing.T) {
+	// X repeats inside one atom: a self-join, both positions used.
+	use := colUse(t, `selfmsg(X, I) :- send_message(X, X, _, I).`)
+	wantUse(t, use, "send_message", []bool{true, true, false, true})
+}
+
+func TestColumnUseUnreferencedEDBAbsent(t *testing.T) {
+	use := colUse(t, `on(X, I) :- superstep(X, I).`)
+	if _, ok := use["value"]; ok {
+		t.Error("value was never referenced but has a column-use entry")
+	}
+}

@@ -1,0 +1,793 @@
+package provenance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ariadne/internal/value"
+)
+
+// Version 2 columnar layer file format. Where v1 streams self-describing
+// row records, v2 splits the layer into per-column blocks so a reader can
+// seek to and decode only the columns a query projects (the
+// workflow-provenance-on-SPARK lesson: store provenance scan-friendly):
+//
+//	magic "APRV" | version:2 | superstep:uvarint | nrecords:uvarint |
+//	column blocks (ascending column ID, contiguous) |
+//	footer | footerLen:uint32-LE | end magic "VRPA"
+//
+// footer: ncols:uvarint { colID:uvarint | offset:uvarint | length:uvarint }
+// with offsets absolute from the start of the file, so a reader stats the
+// file, reads the 8-byte trailer, then the footer, and issues one ReadAt
+// per selected column.
+//
+// Columns (IDs are stable on disk — append new ones, never renumber):
+//
+//	0 vertex      zigzag delta varints (records are sorted by vertex, so
+//	              deltas are small non-negatives; zigzag keeps unsorted
+//	              layers encodable)
+//	1 prevActive  zigzag varint of (superstep-1 - prevActive): the common
+//	              "active last superstep" case encodes as one zero byte
+//	2 flags       2 bits per record (bit0 HasValue, bit1 SentAny), packed
+//	              four records per byte
+//	3 sendPeers   per record: count uvarint, then zigzag deltas between
+//	              consecutive peer IDs (first delta from the record's own
+//	              vertex); capture order is preserved — replay delivery
+//	              order must stay bit-identical
+//	4 sendValues  packed values, aligned by the counts in column 3
+//	5 recvPeers   as column 3, for received messages
+//	6 recvValues  packed values, aligned by the counts in column 5
+//	7 values      packed values, one per record with HasValue set
+//	8 emitted     table-name dictionary, then per record: fact count,
+//	              { tableIdx uvarint | nargs uvarint | packed args }
+//
+// Columns 0-3 are "core": replay always needs the vertex set, activation
+// lineage, flags, and the send topology to regenerate the layer's message
+// structure, so every decode materializes them. Columns 4-8 decode only
+// when projected, and can be merged into a cached partial layer later.
+
+const layerVersionColumnar = 2
+
+// Column IDs of the v2 format.
+const (
+	colVertex = iota
+	colPrevActive
+	colFlags
+	colSendPeers
+	colSendValues
+	colRecvPeers
+	colRecvValues
+	colValues
+	colEmitted
+	numColumns
+)
+
+// colMask is a bitset of column IDs.
+type colMask uint16
+
+const (
+	maskCore colMask = 1<<colVertex | 1<<colPrevActive | 1<<colFlags | 1<<colSendPeers
+	maskAll  colMask = 1<<numColumns - 1
+)
+
+func (m colMask) has(col int) bool { return m&(1<<col) != 0 }
+
+// LayerProjection selects which optional layer columns a reader needs
+// materialized. The zero value requests only the core columns (vertex,
+// activation, flags, send topology); a nil *LayerProjection means "all
+// columns". Requesting RecvValues implies RecvPeers (values align to the
+// per-record receive counts).
+type LayerProjection struct {
+	Values     bool // the value(X, D, I) payload column
+	SendValues bool // message payloads on send_message tuples
+	RecvPeers  bool // receive topology (peer IDs and counts)
+	RecvValues bool // message payloads on receive_message tuples
+	Emitted    bool // analytic-emitted fact tables
+}
+
+// mask folds the projection into a column bitset. nil selects every column.
+func (p *LayerProjection) mask() colMask {
+	if p == nil {
+		return maskAll
+	}
+	m := maskCore
+	if p.Values {
+		m |= 1 << colValues
+	}
+	if p.SendValues {
+		m |= 1 << colSendValues
+	}
+	if p.RecvPeers || p.RecvValues {
+		m |= 1 << colRecvPeers
+	}
+	if p.RecvValues {
+		m |= 1 << colRecvValues
+	}
+	if p.Emitted {
+		m |= 1 << colEmitted
+	}
+	return m
+}
+
+var layerEndMagic = [4]byte{'V', 'R', 'P', 'A'}
+
+func zigzag(i int64) uint64   { return uint64(i<<1) ^ uint64(i>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Packed value encoding: a tag byte selects the representation. Integers
+// and integral floats become zigzag varints (graph analytics values —
+// component labels, hop counts, iteration-rounded ranks — are
+// overwhelmingly small integers); only genuinely fractional floats pay the
+// raw 8 bytes.
+const (
+	pvNull     = 0
+	pvFalse    = 1
+	pvTrue     = 2
+	pvInt      = 3 // zigzag varint
+	pvFloatInt = 4 // zigzag varint, value is float64(int64)
+	pvFloatRaw = 5 // 8 bytes little-endian Float64bits
+	pvString   = 6 // uvarint length + bytes
+	pvVecRaw   = 7 // uvarint n + n*8 bytes little-endian
+	pvVecInt   = 8 // uvarint n + n zigzag varints (all elements integral)
+)
+
+// integralFloat reports whether f round-trips bit-exactly through int64
+// (rejects NaN, infinities, -0.0, fractions, and magnitudes where float64
+// spacing exceeds 1).
+func integralFloat(f float64) (int64, bool) {
+	if f != math.Trunc(f) || f < -(1<<62) || f > 1<<62 {
+		return 0, false
+	}
+	i := int64(f)
+	if math.Float64bits(float64(i)) != math.Float64bits(f) {
+		return 0, false
+	}
+	return i, true
+}
+
+func appendPackedValue(buf []byte, v value.Value) []byte {
+	switch v.Kind() {
+	case value.Null:
+		return append(buf, pvNull)
+	case value.Bool:
+		if v.Bool() {
+			return append(buf, pvTrue)
+		}
+		return append(buf, pvFalse)
+	case value.Int:
+		buf = append(buf, pvInt)
+		return binary.AppendUvarint(buf, zigzag(v.Int()))
+	case value.Float:
+		f := v.Float()
+		if i, ok := integralFloat(f); ok {
+			buf = append(buf, pvFloatInt)
+			return binary.AppendUvarint(buf, zigzag(i))
+		}
+		buf = append(buf, pvFloatRaw)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	case value.String:
+		s := v.Str()
+		buf = append(buf, pvString)
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		return append(buf, s...)
+	case value.Vector:
+		vec := v.Vec()
+		allInt := true
+		for _, f := range vec {
+			if _, ok := integralFloat(f); !ok {
+				allInt = false
+				break
+			}
+		}
+		if allInt {
+			buf = append(buf, pvVecInt)
+			buf = binary.AppendUvarint(buf, uint64(len(vec)))
+			for _, f := range vec {
+				i, _ := integralFloat(f)
+				buf = binary.AppendUvarint(buf, zigzag(i))
+			}
+			return buf
+		}
+		buf = append(buf, pvVecRaw)
+		buf = binary.AppendUvarint(buf, uint64(len(vec)))
+		for _, f := range vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		return buf
+	default:
+		// Unknown kinds cannot occur from the value package; encode Null so
+		// the file stays decodable.
+		return append(buf, pvNull)
+	}
+}
+
+// bcursor is a bounds-checked cursor over one column block. Every decode
+// error is a clean "corrupt layer" error, never a panic — the fuzz target
+// holds the codec to that.
+type bcursor struct {
+	b   []byte
+	off int
+}
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("provenance: corrupt v2 layer: "+format, args...)
+}
+
+func (c *bcursor) remaining() int { return len(c.b) - c.off }
+
+func (c *bcursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated varint at block offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *bcursor) zigzag() (int64, error) {
+	u, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+func (c *bcursor) byte() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, corruptf("truncated block at offset %d", c.off)
+	}
+	b := c.b[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *bcursor) take(n int) ([]byte, error) {
+	if n < 0 || n > c.remaining() {
+		return nil, corruptf("length %d exceeds %d remaining block bytes", n, c.remaining())
+	}
+	b := c.b[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+// count reads a uvarint element count and sanity-checks it against the
+// remaining block bytes at perElem minimum bytes per element, so a corrupt
+// count fails before any oversized allocation.
+func (c *bcursor) count(perElem int) (int, error) {
+	u, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > uint64(maxDecodeLen) || int64(u)*int64(perElem) > int64(c.remaining()) {
+		return 0, corruptf("count %d exceeds %d remaining block bytes", u, c.remaining())
+	}
+	return int(u), nil
+}
+
+func (c *bcursor) packedValue() (value.Value, error) {
+	tag, err := c.byte()
+	if err != nil {
+		return value.NullValue, err
+	}
+	switch tag {
+	case pvNull:
+		return value.NullValue, nil
+	case pvFalse:
+		return value.NewBool(false), nil
+	case pvTrue:
+		return value.NewBool(true), nil
+	case pvInt:
+		i, err := c.zigzag()
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewInt(i), nil
+	case pvFloatInt:
+		i, err := c.zigzag()
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewFloat(float64(i)), nil
+	case pvFloatRaw:
+		raw, err := c.take(8)
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(raw))), nil
+	case pvString:
+		n, err := c.count(1)
+		if err != nil {
+			return value.NullValue, err
+		}
+		raw, err := c.take(n)
+		if err != nil {
+			return value.NullValue, err
+		}
+		return value.NewString(string(raw)), nil
+	case pvVecRaw:
+		n, err := c.count(8)
+		if err != nil {
+			return value.NullValue, err
+		}
+		raw, err := c.take(8 * n)
+		if err != nil {
+			return value.NullValue, err
+		}
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		return value.NewVector(vec), nil
+	case pvVecInt:
+		n, err := c.count(1)
+		if err != nil {
+			return value.NullValue, err
+		}
+		vec := make([]float64, n)
+		for i := range vec {
+			z, err := c.zigzag()
+			if err != nil {
+				return value.NullValue, err
+			}
+			vec[i] = float64(z)
+		}
+		return value.NewVector(vec), nil
+	default:
+		return value.NullValue, corruptf("unknown packed value tag %d", tag)
+	}
+}
+
+// encodeLayerColumnar serializes l in the v2 columnar format.
+func encodeLayerColumnar(w io.Writer, l *Layer) error {
+	var head []byte
+	head = append(head, layerMagic[:]...)
+	head = append(head, layerVersionColumnar)
+	head = binary.AppendUvarint(head, uint64(l.Superstep))
+	head = binary.AppendUvarint(head, uint64(len(l.Records)))
+
+	var blocks [numColumns][]byte
+	prevVertex := int64(0)
+	prevBase := int64(l.Superstep - 1)
+	var flagAcc byte
+	flagBits := 0
+	dict := map[string]int{}
+	var tables []string
+	var emittedBody []byte
+	for i := range l.Records {
+		r := &l.Records[i]
+		v := int64(r.Vertex)
+		blocks[colVertex] = binary.AppendUvarint(blocks[colVertex], zigzag(v-prevVertex))
+		prevVertex = v
+		blocks[colPrevActive] = binary.AppendUvarint(blocks[colPrevActive], zigzag(prevBase-int64(r.PrevActive)))
+		var fl byte
+		if r.HasValue {
+			fl |= 1
+		}
+		if r.SentAny {
+			fl |= 2
+		}
+		flagAcc |= fl << flagBits
+		flagBits += 2
+		if flagBits == 8 {
+			blocks[colFlags] = append(blocks[colFlags], flagAcc)
+			flagAcc, flagBits = 0, 0
+		}
+		blocks[colSendPeers] = appendPeerDeltas(blocks[colSendPeers], v, r.Sends)
+		for _, m := range r.Sends {
+			blocks[colSendValues] = appendPackedValue(blocks[colSendValues], m.Val)
+		}
+		blocks[colRecvPeers] = appendPeerDeltas(blocks[colRecvPeers], v, r.Recvs)
+		for _, m := range r.Recvs {
+			blocks[colRecvValues] = appendPackedValue(blocks[colRecvValues], m.Val)
+		}
+		if r.HasValue {
+			blocks[colValues] = appendPackedValue(blocks[colValues], r.Value)
+		}
+		emittedBody = binary.AppendUvarint(emittedBody, uint64(len(r.Emitted)))
+		for _, fc := range r.Emitted {
+			idx, ok := dict[fc.Table]
+			if !ok {
+				idx = len(tables)
+				dict[fc.Table] = idx
+				tables = append(tables, fc.Table)
+			}
+			emittedBody = binary.AppendUvarint(emittedBody, uint64(idx))
+			emittedBody = binary.AppendUvarint(emittedBody, uint64(len(fc.Args)))
+			for _, a := range fc.Args {
+				emittedBody = appendPackedValue(emittedBody, a)
+			}
+		}
+	}
+	if flagBits > 0 {
+		blocks[colFlags] = append(blocks[colFlags], flagAcc)
+	}
+	var emitted []byte
+	emitted = binary.AppendUvarint(emitted, uint64(len(tables)))
+	for _, t := range tables {
+		emitted = binary.AppendUvarint(emitted, uint64(len(t)))
+		emitted = append(emitted, t...)
+	}
+	blocks[colEmitted] = append(emitted, emittedBody...)
+
+	var foot []byte
+	foot = binary.AppendUvarint(foot, numColumns)
+	off := uint64(len(head))
+	for id, b := range blocks {
+		foot = binary.AppendUvarint(foot, uint64(id))
+		foot = binary.AppendUvarint(foot, off)
+		foot = binary.AppendUvarint(foot, uint64(len(b)))
+		off += uint64(len(b))
+	}
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write(foot); err != nil {
+		return err
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[:4], uint32(len(foot)))
+	copy(trailer[4:], layerEndMagic[:])
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// appendPeerDeltas encodes one record's message peer list: a count, then
+// zigzag deltas between consecutive peers, the first relative to the
+// record's own vertex. Capture order is preserved exactly — replay walks
+// this list to regenerate deliveries, and the differential suite demands
+// bit-identical runs.
+func appendPeerDeltas(buf []byte, vertex int64, ms []MsgHalf) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ms)))
+	prev := vertex
+	for _, m := range ms {
+		p := int64(m.Peer)
+		buf = binary.AppendUvarint(buf, zigzag(p-prev))
+		prev = p
+	}
+	return buf
+}
+
+// columnarLayer is an opened v2 layer file: parsed header and footer, with
+// column blocks still on storage until decodeInto reads the projected ones.
+type columnarLayer struct {
+	r         io.ReaderAt
+	superstep int
+	nrecords  int
+	present   colMask
+	offs      [numColumns]int64
+	lens      [numColumns]int64
+}
+
+// openColumnar parses the header and footer of a v2 layer file of the given
+// size without reading any column block.
+func openColumnar(r io.ReaderAt, size int64) (*columnarLayer, error) {
+	hdr := make([]byte, 64)
+	if size < int64(len(hdr)) {
+		hdr = hdr[:size]
+	}
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, corruptf("short header read: %v", err)
+	}
+	if len(hdr) < 5 || [4]byte(hdr[:4]) != layerMagic {
+		return nil, fmt.Errorf("provenance: bad layer magic %q", hdr[:min(len(hdr), 4)])
+	}
+	if hdr[4] != layerVersionColumnar {
+		return nil, fmt.Errorf("provenance: unsupported layer version %d", hdr[4])
+	}
+	c := bcursor{b: hdr, off: 5}
+	ss, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxDecodeLen {
+		return nil, corruptf("record count %d exceeds sanity cap", n)
+	}
+	headerEnd := int64(c.off)
+
+	var trailer [8]byte
+	if size < headerEnd+int64(len(trailer)) {
+		return nil, corruptf("file size %d too small for trailer", size)
+	}
+	if _, err := r.ReadAt(trailer[:], size-8); err != nil {
+		return nil, corruptf("short trailer read: %v", err)
+	}
+	if [4]byte(trailer[4:]) != layerEndMagic {
+		return nil, corruptf("bad end magic %q (truncated write?)", trailer[4:])
+	}
+	footLen := int64(binary.LittleEndian.Uint32(trailer[:4]))
+	if footLen <= 0 || footLen > size-8-headerEnd {
+		return nil, corruptf("footer length %d out of range", footLen)
+	}
+	foot := make([]byte, footLen)
+	if _, err := r.ReadAt(foot, size-8-footLen); err != nil {
+		return nil, corruptf("short footer read: %v", err)
+	}
+	fc := bcursor{b: foot}
+	ncols, err := fc.count(1)
+	if err != nil {
+		return nil, err
+	}
+	cl := &columnarLayer{r: r, superstep: int(ss), nrecords: int(n)}
+	blocksEnd := size - 8 - footLen
+	for i := 0; i < ncols; i++ {
+		id, err := fc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		off, err := fc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		length, err := fc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id >= numColumns {
+			// Unknown trailing columns from a future writer are skippable.
+			continue
+		}
+		if cl.present.has(int(id)) {
+			return nil, corruptf("duplicate column %d in footer", id)
+		}
+		if int64(off) < headerEnd || int64(off)+int64(length) > blocksEnd || int64(off)+int64(length) < int64(off) {
+			return nil, corruptf("column %d extent [%d,%d) outside blocks region [%d,%d)", id, off, off+length, headerEnd, blocksEnd)
+		}
+		cl.present |= 1 << id
+		cl.offs[id] = int64(off)
+		cl.lens[id] = int64(length)
+	}
+	if cl.present&maskCore != maskCore {
+		return nil, corruptf("missing core columns (footer mask %09b)", cl.present)
+	}
+	// Each record costs at least one vertex-delta byte, so the record count
+	// is bounded by the vertex block length — reject a lying header before
+	// allocating records.
+	if int64(cl.nrecords) > cl.lens[colVertex] {
+		return nil, corruptf("record count %d exceeds vertex column of %d bytes", cl.nrecords, cl.lens[colVertex])
+	}
+	return cl, nil
+}
+
+func (cl *columnarLayer) readBlock(col int) (*bcursor, error) {
+	if !cl.present.has(col) {
+		return nil, corruptf("column %d absent from footer", col)
+	}
+	b := make([]byte, cl.lens[col])
+	if _, err := cl.r.ReadAt(b, cl.offs[col]); err != nil {
+		return nil, corruptf("short read of column %d: %v", col, err)
+	}
+	return &bcursor{b: b}, nil
+}
+
+// decodeInto materializes the core columns plus the optional columns
+// selected by mask into l (which must be empty).
+func (cl *columnarLayer) decodeInto(l *Layer, mask colMask) error {
+	l.Superstep = cl.superstep
+	n := cl.nrecords
+	l.Records = make([]Record, n)
+
+	vc, err := cl.readBlock(colVertex)
+	if err != nil {
+		return err
+	}
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, err := vc.zigzag()
+		if err != nil {
+			return err
+		}
+		prev += d
+		l.Records[i].Vertex = VertexID(prev)
+	}
+
+	pc, err := cl.readBlock(colPrevActive)
+	if err != nil {
+		return err
+	}
+	base := int64(cl.superstep - 1)
+	for i := 0; i < n; i++ {
+		d, err := pc.zigzag()
+		if err != nil {
+			return err
+		}
+		pa := base - d
+		if pa < -1 || pa > int64(math.MaxInt32) {
+			return corruptf("prevActive %d out of range for record %d", pa, i)
+		}
+		l.Records[i].PrevActive = int32(pa)
+	}
+
+	fc, err := cl.readBlock(colFlags)
+	if err != nil {
+		return err
+	}
+	if len(fc.b) < (n+3)/4 {
+		return corruptf("flags column holds %d bytes, need %d", len(fc.b), (n+3)/4)
+	}
+	for i := 0; i < n; i++ {
+		fl := fc.b[i/4] >> ((i % 4) * 2)
+		l.Records[i].HasValue = fl&1 != 0
+		l.Records[i].SentAny = fl&2 != 0
+	}
+
+	if err := cl.decodePeers(l, colSendPeers); err != nil {
+		return err
+	}
+	for col := colSendValues; col < numColumns; col++ {
+		if !mask.has(col) {
+			continue
+		}
+		if err := cl.decodeOptional(l, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodePeers decodes a peer-list column (send or receive topology).
+func (cl *columnarLayer) decodePeers(l *Layer, col int) error {
+	c, err := cl.readBlock(col)
+	if err != nil {
+		return err
+	}
+	for i := range l.Records {
+		r := &l.Records[i]
+		cnt, err := c.count(1)
+		if err != nil {
+			return err
+		}
+		if cnt == 0 {
+			continue
+		}
+		ms := make([]MsgHalf, cnt)
+		prev := int64(r.Vertex)
+		for j := range ms {
+			d, err := c.zigzag()
+			if err != nil {
+				return err
+			}
+			prev += d
+			ms[j].Peer = VertexID(prev)
+		}
+		if col == colSendPeers {
+			r.Sends = ms
+		} else {
+			r.Recvs = ms
+		}
+	}
+	return nil
+}
+
+// decodeOptional decodes one non-core column into an already-materialized
+// layer. Alignment invariants: sendValues needs Sends populated (core),
+// recvValues needs Recvs (so colRecvPeers must decode first — callers
+// iterate columns in ID order and LayerProjection.mask guarantees the
+// peers bit accompanies the values bit).
+func (cl *columnarLayer) decodeOptional(l *Layer, col int) error {
+	switch col {
+	case colRecvPeers:
+		return cl.decodePeers(l, col)
+	case colSendValues, colRecvValues:
+		c, err := cl.readBlock(col)
+		if err != nil {
+			return err
+		}
+		for i := range l.Records {
+			ms := l.Records[i].Sends
+			if col == colRecvValues {
+				ms = l.Records[i].Recvs
+			}
+			for j := range ms {
+				if ms[j].Val, err = c.packedValue(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case colValues:
+		c, err := cl.readBlock(col)
+		if err != nil {
+			return err
+		}
+		for i := range l.Records {
+			if !l.Records[i].HasValue {
+				continue
+			}
+			var err error
+			if l.Records[i].Value, err = c.packedValue(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case colEmitted:
+		c, err := cl.readBlock(col)
+		if err != nil {
+			return err
+		}
+		ntables, err := c.count(1)
+		if err != nil {
+			return err
+		}
+		tables := make([]string, ntables)
+		for i := range tables {
+			tl, err := c.count(1)
+			if err != nil {
+				return err
+			}
+			raw, err := c.take(tl)
+			if err != nil {
+				return err
+			}
+			tables[i] = string(raw)
+		}
+		for i := range l.Records {
+			nf, err := c.count(1)
+			if err != nil {
+				return err
+			}
+			if nf == 0 {
+				continue
+			}
+			facts := make([]Fact, nf)
+			for j := range facts {
+				ti, err := c.uvarint()
+				if err != nil {
+					return err
+				}
+				if ti >= uint64(len(tables)) {
+					return corruptf("fact table index %d out of dictionary range %d", ti, len(tables))
+				}
+				facts[j].Table = tables[ti]
+				na, err := c.count(1)
+				if err != nil {
+					return err
+				}
+				if na > 0 {
+					args := make([]value.Value, na)
+					for k := range args {
+						if args[k], err = c.packedValue(); err != nil {
+							return err
+						}
+					}
+					facts[j].Args = args
+				}
+			}
+			l.Records[i].Emitted = facts
+		}
+		return nil
+	default:
+		return corruptf("column %d is not decodable", col)
+	}
+}
+
+// mergeInto decodes the columns in add into a layer previously materialized
+// from the same file with a narrower projection ("lazily decodable"
+// columns). add must contain only optional columns; if it includes
+// recvValues without the layer having receive topology yet, add must also
+// include recvPeers (LayerProjection.mask maintains that invariant).
+func (cl *columnarLayer) mergeInto(l *Layer, add colMask) error {
+	if cl.nrecords != len(l.Records) || cl.superstep != l.Superstep {
+		return corruptf("merge target mismatch: file holds %d records of superstep %d, layer %d of %d",
+			cl.nrecords, cl.superstep, len(l.Records), l.Superstep)
+	}
+	for col := colSendValues; col < numColumns; col++ {
+		if !add.has(col) {
+			continue
+		}
+		if err := cl.decodeOptional(l, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}

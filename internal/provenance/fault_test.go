@@ -101,54 +101,74 @@ func TestSpillWriteExhaustedRetriesLeaveNoPartialFile(t *testing.T) {
 	})
 }
 
+// formatCases names both layer file formats for format-matrix subtests.
+var formatCases = []struct {
+	name   string
+	format int
+}{{"v1", FormatV1}, {"v2", FormatV2}}
+
 // TestLayerTruncationNeverPanics reads a layer file truncated at every byte
-// boundary; each truncation must yield an error, never a panic.
+// boundary, in both formats; each truncation must yield an error, never a
+// panic. The v2 leg also exercises the projected decode path, whose footer
+// seek reads the file back-to-front.
 func TestLayerTruncationNeverPanics(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "layer.prov")
-	if err := writeLayerFile(path, sampleLayer(0, 6), nil, nil); err != nil {
-		t.Fatal(err)
-	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	trunc := filepath.Join(dir, "trunc.prov")
-	for cut := 0; cut < len(raw); cut++ {
-		if err := os.WriteFile(trunc, raw[:cut], 0o644); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := readLayerFile(trunc); err == nil {
-			t.Fatalf("truncation at byte %d of %d decoded without error", cut, len(raw))
-		}
+	for _, fc := range formatCases {
+		t.Run(fc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "layer.prov")
+			if _, err := writeLayerFile(path, sampleLayer(0, 6), fc.format, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trunc := filepath.Join(dir, "trunc.prov")
+			for cut := 0; cut < len(raw); cut++ {
+				if err := os.WriteFile(trunc, raw[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := readLayerFile(trunc); err == nil {
+					t.Fatalf("truncation at byte %d of %d decoded without error", cut, len(raw))
+				}
+				if _, _, err := readLayerFileProjected(trunc, maskCore); err == nil {
+					t.Fatalf("projected decode of truncation at byte %d of %d succeeded", cut, len(raw))
+				}
+			}
+		})
 	}
 }
 
-// TestLayerCorruptCountsNeverPanic flips bytes in the header region (where
-// the record/message counts live) and checks decode errors out rather than
-// over-allocating or panicking.
+// TestLayerCorruptCountsNeverPanic flips bytes across the file (header
+// counts, column footers, packed values) and checks decode errors out
+// rather than over-allocating or panicking, in both formats.
 func TestLayerCorruptCountsNeverPanic(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "layer.prov")
-	if err := writeLayerFile(path, sampleLayer(0, 6), nil, nil); err != nil {
-		t.Fatal(err)
-	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mut := filepath.Join(dir, "mut.prov")
-	for pos := 5; pos < len(raw); pos++ {
-		for _, bit := range []byte{0x80, 0xff} {
-			b := append([]byte(nil), raw...)
-			b[pos] ^= bit
-			if err := os.WriteFile(mut, b, 0o644); err != nil {
+	for _, fc := range formatCases {
+		t.Run(fc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "layer.prov")
+			if _, err := writeLayerFile(path, sampleLayer(0, 6), fc.format, nil, nil); err != nil {
 				t.Fatal(err)
 			}
-			// Any outcome but a panic is acceptable: some flips still decode
-			// (payload bytes), corrupt counts must error.
-			readLayerFile(mut)
-		}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mut := filepath.Join(dir, "mut.prov")
+			for pos := 5; pos < len(raw); pos++ {
+				for _, bit := range []byte{0x80, 0xff} {
+					b := append([]byte(nil), raw...)
+					b[pos] ^= bit
+					if err := os.WriteFile(mut, b, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					// Any outcome but a panic is acceptable: some flips still
+					// decode (payload bytes), corrupt counts must error.
+					readLayerFile(mut)
+					readLayerFileProjected(mut, maskCore)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,48 @@
+package provenance
+
+import (
+	"testing"
+)
+
+// BenchmarkStoreFormat measures the on-disk footprint and write cost of the
+// two layer file formats over the same WCC-shaped capture (integer labels,
+// label messages, a shared emitted table — the workload behind the paper's
+// Table 3/4 storage numbers). The headline metric is B/tuple = DiskBytes /
+// TotalTuples; benchjson derives bytes_per_tuple_reduction from the v1/v2
+// ratio and requires the columnar format to be at least 3x smaller.
+func BenchmarkStoreFormat(b *testing.B) {
+	const (
+		layersPerRun = 8
+		recsPerLayer = 4000
+		fanout       = 4
+	)
+	layers := make([]*Layer, layersPerRun)
+	for ss := range layers {
+		layers[ss] = wccLayer(ss, recsPerLayer, fanout)
+	}
+	for _, fc := range formatCases {
+		b.Run(fc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			dir := b.TempDir()
+			var bytesPerTuple float64
+			for i := 0; i < b.N; i++ {
+				s := NewStore(StoreConfig{
+					SpillAll:  true,
+					SyncSpill: true,
+					SpillDir:  dir,
+					Format:    fc.format,
+				})
+				for _, l := range layers {
+					if err := s.AppendLayer(l); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bytesPerTuple = float64(s.DiskBytes()) / float64(s.TotalTuples())
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bytesPerTuple, "B/tuple")
+		})
+	}
+}

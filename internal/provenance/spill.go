@@ -13,7 +13,7 @@ import (
 	"ariadne/internal/value"
 )
 
-// Binary layer file format (the HDFS-offload stand-in):
+// Binary layer file format, version 1 (the HDFS-offload stand-in):
 //
 //	magic "APRV" | version:1 | superstep:uvarint | nrecords:uvarint | records
 //
@@ -24,6 +24,9 @@ import (
 //	nemitted:uvarint { tableLen:uvarint table nargs:uvarint args }
 //
 // flags: bit0 HasValue, bit1 SentAny.
+//
+// Version 2 is the columnar format in columnar.go; readers sniff the
+// version byte, so v1 files written by earlier builds keep loading.
 
 var layerMagic = [4]byte{'A', 'P', 'R', 'V'}
 
@@ -38,15 +41,17 @@ const (
 	maxDecodeLen = 1 << 26
 )
 
-// writeLayerFile persists one layer atomically: the bytes go to a temp
-// file, are fsynced, and only then renamed to the final path, so a crash or
-// I/O error mid-write never leaves a partial layer visible where
-// readLayerFile would trip over it. Transient errors (injectable via inj
-// for testing) are retried with capped exponential backoff; each fallback
-// to retry is recorded as a warning trace event and a retry counter bump —
-// never silently — so fault-injection runs are auditable from the trace
-// buffer alone.
-func writeLayerFile(path string, l *Layer, inj *fault.Injector, m *obs.Metrics) error {
+// writeLayerFile persists one layer atomically in the given format (v1 row
+// or v2 columnar): the bytes go to a temp file, are fsynced, and only then
+// renamed to the final path, so a crash or I/O error mid-write never leaves
+// a partial layer visible where readLayerFile would trip over it. Transient
+// errors (injectable via inj for testing) are retried with capped
+// exponential backoff; each fallback to retry is recorded as a warning
+// trace event and a retry counter bump — never silently — so
+// fault-injection runs are auditable from the trace buffer alone. Returns
+// the on-disk size of the written file.
+func writeLayerFile(path string, l *Layer, format int, inj *fault.Injector, m *obs.Metrics) (int64, error) {
+	var written int64
 	attempt := func() error {
 		if err := inj.Hit(fault.SiteSpillWrite, l.Superstep, -1, -1); err != nil {
 			return err
@@ -56,13 +61,18 @@ func writeLayerFile(path string, l *Layer, inj *fault.Injector, m *obs.Metrics) 
 		if err != nil {
 			return err
 		}
-		w := bufio.NewWriter(f)
-		if err := encodeLayer(w, l); err != nil {
+		cw := &countingWriter{w: bufio.NewWriter(f)}
+		if format == FormatV1 {
+			err = encodeLayer(cw, l)
+		} else {
+			err = encodeLayerColumnar(cw, l)
+		}
+		if err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return err
 		}
-		if err := w.Flush(); err != nil {
+		if err := cw.w.Flush(); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return err
@@ -80,6 +90,7 @@ func writeLayerFile(path string, l *Layer, inj *fault.Injector, m *obs.Metrics) 
 			os.Remove(tmp)
 			return err
 		}
+		written = cw.n
 		return nil
 	}
 	notify := func(n int, err error) {
@@ -89,25 +100,99 @@ func writeLayerFile(path string, l *Layer, inj *fault.Injector, m *obs.Metrics) 
 	}
 	if err := fault.RetryNotify(spillAttempts, spillBackoff, attempt, notify); err != nil {
 		m.Tracef(obs.Error, "spill", l.Superstep, "layer write giving up after %d attempts: %v", spillAttempts, err)
-		return err
+		return 0, err
 	}
-	return nil
+	return written, nil
 }
 
+// countingWriter counts bytes through to a bufio.Writer (the actual on-disk
+// layer size, which v2 makes much smaller than EncodedSize's v1-shaped
+// estimate).
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readLayerFile loads a complete layer, sniffing the format version.
 func readLayerFile(path string) (*Layer, error) {
+	l, _, err := readLayerFileProjected(path, maskAll)
+	return l, err
+}
+
+// readLayerFileProjected loads a layer materializing only the columns in
+// mask (core columns always). v1 row files ignore the mask — every column
+// streams past the reader anyway — and report maskAll. The returned mask
+// records which columns are actually materialized, for cache bookkeeping.
+func readLayerFileProjected(path string, mask colMask) (*Layer, colMask, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	return decodeLayer(bufio.NewReader(f))
+	var ver [5]byte
+	if _, err := io.ReadFull(f, ver[:]); err != nil {
+		return nil, 0, fmt.Errorf("provenance: layer file too short: %w", err)
+	}
+	if [4]byte(ver[:4]) != layerMagic {
+		return nil, 0, fmt.Errorf("provenance: bad layer magic %q", ver[:4])
+	}
+	switch ver[4] {
+	case layerVersion:
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, 0, err
+		}
+		l, err := decodeLayer(bufio.NewReader(f))
+		return l, maskAll, err
+	case layerVersionColumnar:
+		st, err := f.Stat()
+		if err != nil {
+			return nil, 0, err
+		}
+		cl, err := openColumnar(f, st.Size())
+		if err != nil {
+			return nil, 0, err
+		}
+		l := &Layer{}
+		if err := cl.decodeInto(l, mask); err != nil {
+			return nil, 0, err
+		}
+		return l, mask | maskCore, nil
+	default:
+		return nil, 0, fmt.Errorf("provenance: unsupported layer version %d", ver[4])
+	}
 }
 
-func encodeLayer(w *bufio.Writer, l *Layer) error {
+// mergeLayerColumns decodes the additional columns in add from a v2 layer
+// file into a previously projected layer (in place). Only columnar files
+// ever yield partial layers, so a v1 file here is a bookkeeping bug.
+func mergeLayerColumns(path string, l *Layer, add colMask) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	cl, err := openColumnar(f, st.Size())
+	if err != nil {
+		return err
+	}
+	return cl.mergeInto(l, add)
+}
+
+func encodeLayer(w io.Writer, l *Layer) error {
 	if _, err := w.Write(layerMagic[:]); err != nil {
 		return err
 	}
-	if err := w.WriteByte(layerVersion); err != nil {
+	if _, err := w.Write([]byte{layerVersion}); err != nil {
 		return err
 	}
 	var buf []byte

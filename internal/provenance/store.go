@@ -56,7 +56,18 @@ type StoreConfig struct {
 	// rule body, so rereading the file each visit is pure waste. 0 means
 	// the default of 3 layers; negative disables caching.
 	ReloadCache int
+	// Format selects the layer file format for spilled layers: FormatV1
+	// (row-oriented) or FormatV2 (columnar with projection support). 0
+	// means FormatV2. Reads sniff the version byte, so a store always loads
+	// files of either format regardless of this setting.
+	Format int
 }
+
+// Layer file format selectors for StoreConfig.Format.
+const (
+	FormatV1 = 1 // row-oriented stream (the original format)
+	FormatV2 = 2 // columnar blocks with per-column footer offsets
+)
 
 const (
 	defaultSpillQueue  = 2
@@ -93,6 +104,7 @@ type Store struct {
 
 	resident    int64 // in-memory bytes of resident layers
 	totalBytes  int64 // serialized bytes ever captured (resident + spilled)
+	diskBytes   int64 // actual on-disk bytes of spilled layer files
 	totalTuples int64
 	vertices    map[VertexID]struct{} // distinct captured vertices
 
@@ -114,9 +126,29 @@ type Store struct {
 	highWater   int64
 	asyncErr    error
 
-	// LRU reload cache for spilled layers (satellite: bounded, default 3).
-	cache    map[int]*Layer
-	cacheLRU []int // least-recently-used first
+	// LRU reload cache for spilled layers (bounded, default 3). Entries may
+	// be partially materialized (a projected reload); their byte charge
+	// covers only the decoded columns, and a wider later projection merges
+	// the missing columns into the cached layer in place.
+	cache      map[int]*cacheEntry
+	cacheLRU   []int // least-recently-used first
+	cacheBytes int64 // sum of cached layers' MemSize (decoded columns only)
+}
+
+// cacheEntry is one cached reload: the (possibly partial) layer, the
+// columns it has materialized, and its current byte charge.
+type cacheEntry struct {
+	l     *Layer
+	mask  colMask
+	bytes int64
+}
+
+// format returns the layer file format in effect for new spill writes.
+func (s *Store) format() int {
+	if s.cfg.Format == 0 {
+		return FormatV2
+	}
+	return s.cfg.Format
 }
 
 // NewStore creates an empty store.
@@ -144,8 +176,9 @@ type spillJob struct {
 }
 
 type spillDone struct {
-	idx int
-	err error
+	idx   int
+	err   error
+	bytes int64 // on-disk size of the written layer file
 }
 
 // pipeline lazily starts the background writer the first time an async
@@ -163,8 +196,8 @@ func (s *Store) pipeline() *spillPipeline {
 		s.pending = make(map[int]*Layer)
 		go func(sp *spillPipeline) {
 			for j := range sp.jobs {
-				err := s.spillLayer(j.path, j.l, j.enc, j.attrSS)
-				sp.done <- spillDone{idx: j.idx, err: err}
+				n, err := s.spillLayer(j.path, j.l, j.enc, j.attrSS)
+				sp.done <- spillDone{idx: j.idx, err: err, bytes: n}
 			}
 			close(sp.done)
 		}(s.sp)
@@ -182,9 +215,11 @@ func (s *Store) enqueueSpill(i int, l *Layer) error {
 	enc := l.EncodedSize()
 	attrSS := len(s.layers) - 1 // the superstep being appended
 	if s.cfg.SyncSpill {
-		if err := s.spillLayer(path, l, enc, attrSS); err != nil {
+		n, err := s.spillLayer(path, l, enc, attrSS)
+		if err != nil {
 			return fmt.Errorf("provenance: spilling layer %d: %w", i, err)
 		}
+		s.diskBytes += n
 		s.resident -= l.MemSize()
 		s.layers[i] = nil
 		s.spilled[i] = true
@@ -220,6 +255,9 @@ func (s *Store) complete(d spillDone) {
 	s.outstanding--
 	l := s.pending[d.idx]
 	delete(s.pending, d.idx)
+	if d.err == nil {
+		s.diskBytes += d.bytes
+	}
 	if d.err != nil && l != nil {
 		s.layers[d.idx] = l
 		s.spilled[d.idx] = false
@@ -456,41 +494,55 @@ func (s *Store) spillOldest() error {
 	return nil
 }
 
-// spillLayer writes one layer file, accounting bytes and duration to the
-// metrics registry under superstep attrSS (enc is the layer's encoded
-// size, which the caller has already computed for its own bookkeeping).
-// Runs on the caller goroutine under SyncSpill and on the pipeline's
-// writer goroutine otherwise — everything it touches is either job-local
-// or internally synchronized.
-func (s *Store) spillLayer(path string, l *Layer, enc int64, attrSS int) error {
+// spillLayer writes one layer file in the configured format, accounting
+// bytes and duration to the metrics registry under superstep attrSS (enc is
+// the layer's encoded size, which the caller has already computed for its
+// own bookkeeping). Returns the on-disk file size. Runs on the caller
+// goroutine under SyncSpill and on the pipeline's writer goroutine
+// otherwise — everything it touches is either job-local or internally
+// synchronized.
+func (s *Store) spillLayer(path string, l *Layer, enc int64, attrSS int) (int64, error) {
 	m := s.cfg.Metrics
 	var start time.Time
 	if m != nil {
 		start = time.Now()
 	}
-	if err := writeLayerFile(path, l, s.cfg.Fault, m); err != nil {
-		return err
+	n, err := writeLayerFile(path, l, s.format(), s.cfg.Fault, m)
+	if err != nil {
+		return 0, err
 	}
 	if m != nil {
 		m.AddSpill(attrSS, enc, time.Since(start))
 	}
-	return nil
+	return n, nil
 }
 
 // NumLayers returns the number of captured layers (supersteps).
 func (s *Store) NumLayers() int { return len(s.layers) }
 
-// Layer returns layer i. Resident layers come from memory; layers whose
-// spill write is still in flight are served from the pending set (the write
-// need not be waited for); already-spilled layers are read back from disk
-// through a small LRU cache, since layered backward evaluation visits the
-// same layer once per rule body.
+// Layer returns layer i fully materialized. Resident layers come from
+// memory; layers whose spill write is still in flight are served from the
+// pending set (the write need not be waited for); already-spilled layers
+// are read back from disk through a small LRU cache, since layered
+// backward evaluation visits the same layer once per rule body.
 //
 // Layer is not safe for concurrent use: the cache's LRU bookkeeping and the
 // spill-completion drain mutate store state. The layered driver's prefetch
 // pipeline respects this by making its producer goroutine the sole Layer
 // caller for the duration of a replay.
-func (s *Store) Layer(i int) (*Layer, error) {
+func (s *Store) Layer(i int) (*Layer, error) { return s.LayerProjected(i, nil) }
+
+// LayerProjected returns layer i with at least the columns selected by
+// proj materialized (nil means all — Layer's behavior). Resident and
+// pending layers are always full. For spilled v2 layers only the projected
+// column blocks are read and decoded; a cached partial layer is widened in
+// place when a later caller asks for more columns (the untouched columns
+// stay lazily decodable on disk). The returned layer may hold more columns
+// than requested — never fewer — so callers must treat extra columns as
+// present-but-ignorable.
+//
+// Same concurrency contract as Layer.
+func (s *Store) LayerProjected(i int, proj *LayerProjection) (*Layer, error) {
 	if i < 0 || i >= len(s.layers) {
 		return nil, fmt.Errorf("provenance: layer %d out of range [0,%d)", i, len(s.layers))
 	}
@@ -501,24 +553,36 @@ func (s *Store) Layer(i int) (*Layer, error) {
 	if l := s.pending[i]; l != nil {
 		return l, nil
 	}
-	if l := s.cacheGet(i); l != nil {
+	want := proj.mask()
+	if e := s.cacheGet(i); e != nil {
+		if missing := want &^ e.mask; missing != 0 {
+			if err := mergeLayerColumns(s.files[i], e.l, missing); err != nil {
+				return nil, fmt.Errorf("provenance: widening cached layer %d: %w", i, err)
+			}
+			e.mask |= missing
+			nb := e.l.MemSize()
+			s.cacheBytes += nb - e.bytes
+			e.bytes = nb
+			s.cfg.Metrics.Counter("store_layer_cache_widen_total").Add(1)
+			s.cfg.Metrics.Gauge("store_layer_cache_bytes").Set(s.cacheBytes)
+		}
 		s.cfg.Metrics.Counter("store_layer_cache_hits_total").Add(1)
-		return l, nil
+		return e.l, nil
 	}
 	s.cfg.Metrics.Counter("store_layer_reload_total").Add(1)
-	l, err := readLayerFile(s.files[i])
+	l, got, err := readLayerFileProjected(s.files[i], want)
 	if err != nil {
 		return nil, fmt.Errorf("provenance: reloading spilled layer %d: %w", i, err)
 	}
-	s.cachePut(i, l)
+	s.cachePut(i, l, got)
 	return l, nil
 }
 
 // cacheGet returns the cached reload of layer i, marking it most recently
 // used.
-func (s *Store) cacheGet(i int) *Layer {
-	l := s.cache[i]
-	if l == nil {
+func (s *Store) cacheGet(i int) *cacheEntry {
+	e := s.cache[i]
+	if e == nil {
 		return nil
 	}
 	for j, k := range s.cacheLRU {
@@ -527,12 +591,15 @@ func (s *Store) cacheGet(i int) *Layer {
 			break
 		}
 	}
-	return l
+	return e
 }
 
-// cachePut inserts a reloaded layer, evicting the least recently used entry
-// beyond the configured capacity.
-func (s *Store) cachePut(i int, l *Layer) {
+// cachePut inserts a reloaded layer with the columns it has materialized,
+// evicting the least recently used entry beyond the configured capacity.
+// Byte accounting charges each entry for its decoded columns only: a
+// projected layer without its value/message payloads costs a fraction of
+// the full layer (the reload LRU's budget, surfaced via CacheBytes).
+func (s *Store) cachePut(i int, l *Layer, mask colMask) {
 	capLayers := s.cfg.ReloadCache
 	if capLayers == 0 {
 		capLayers = defaultReloadCache
@@ -541,28 +608,48 @@ func (s *Store) cachePut(i int, l *Layer) {
 		return
 	}
 	if s.cache == nil {
-		s.cache = make(map[int]*Layer, capLayers)
+		s.cache = make(map[int]*cacheEntry, capLayers)
 	}
-	s.cache[i] = l
+	e := &cacheEntry{l: l, mask: mask, bytes: l.MemSize()}
+	if old := s.cache[i]; old != nil {
+		s.cacheBytes -= old.bytes
+	}
+	s.cache[i] = e
+	s.cacheBytes += e.bytes
 	s.cacheLRU = append(s.cacheLRU, i)
 	for len(s.cacheLRU) > capLayers {
 		evict := s.cacheLRU[0]
 		s.cacheLRU = s.cacheLRU[1:]
-		delete(s.cache, evict)
+		if old := s.cache[evict]; old != nil {
+			s.cacheBytes -= old.bytes
+			delete(s.cache, evict)
+		}
 	}
+	s.cfg.Metrics.Gauge("store_layer_cache_bytes").Set(s.cacheBytes)
 }
 
 // invalidateCache drops every cached reload (truncation/close).
 func (s *Store) invalidateCache() {
 	s.cache = nil
 	s.cacheLRU = nil
+	s.cacheBytes = 0
 }
+
+// CacheBytes returns the in-memory bytes currently charged to the reload
+// cache — partially materialized layers count their decoded columns only.
+func (s *Store) CacheBytes() int64 { return s.cacheBytes }
 
 // TotalBytes returns the *serialized* size of the captured provenance graph
 // in bytes — the on-storage footprint paper Tables 3 and 4 compare against
 // the input graph size. (Resident memory is tracked separately via
 // ResidentBytes and the memory budget.)
 func (s *Store) TotalBytes() int64 { return s.totalBytes }
+
+// DiskBytes returns the actual on-disk size of the spilled layer files —
+// what the columnar format shrinks relative to TotalBytes' v1-shaped
+// logical size (the bytes_per_tuple benchmark ratio divides this by
+// TotalTuples).
+func (s *Store) DiskBytes() int64 { return s.diskBytes }
 
 // TotalTuples returns the number of provenance tuples captured.
 func (s *Store) TotalTuples() int64 { return s.totalTuples }
@@ -612,7 +699,7 @@ func (s *Store) TruncateLayers(n int) error {
 	s.spilled = s.spilled[:n]
 	s.files = s.files[:n]
 	s.truncateGaps(n)
-	s.resident, s.totalBytes, s.totalTuples = 0, 0, 0
+	s.resident, s.totalBytes, s.totalTuples, s.diskBytes = 0, 0, 0, 0
 	s.vertices = make(map[VertexID]struct{})
 	for i := 0; i < n; i++ {
 		l, err := s.Layer(i)
@@ -621,6 +708,8 @@ func (s *Store) TruncateLayers(n int) error {
 		}
 		if !s.spilled[i] {
 			s.resident += l.MemSize()
+		} else if st, err := os.Stat(s.files[i]); err == nil {
+			s.diskBytes += st.Size()
 		}
 		s.totalBytes += l.EncodedSize()
 		s.totalTuples += l.NumTuples()
@@ -654,6 +743,9 @@ func (s *Store) Reattach(n int) error {
 		s.layers = append(s.layers, nil)
 		s.spilled = append(s.spilled, true)
 		s.files = append(s.files, path)
+		if st, err := os.Stat(path); err == nil {
+			s.diskBytes += st.Size()
+		}
 		s.totalBytes += l.EncodedSize()
 		s.totalTuples += l.NumTuples()
 		for ri := range l.Records {

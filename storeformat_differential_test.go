@@ -1,0 +1,133 @@
+package ariadne_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ariadne"
+	"ariadne/internal/analytics"
+	"ariadne/internal/engine"
+	"ariadne/internal/queries"
+)
+
+// TestStoreFormatDifferential is the non-interference check for the
+// compressed columnar layer format and projection pushdown: for each paper
+// monitoring query, the same analytic run captured under full policy and
+// spilled as v1 (row) and as v2 (columnar) must produce identical online
+// results, identical analytic values, zero capture gaps, and — replayed
+// layered with projection pushdown on and off — identical offline results
+// across all four format × projection legs. Run under -race in CI, which
+// also exercises the prefetch pipeline's projected reloads for data races.
+func TestStoreFormatDifferential(t *testing.T) {
+	cases := []struct {
+		name    string
+		prog    engine.Program
+		steps   int
+		online  []queries.Definition
+		offline []queries.Definition
+	}{
+		{"pagerank", &analytics.PageRank{Iterations: 8}, 9,
+			[]queries.Definition{queries.PageRankCheck()},
+			[]queries.Definition{queries.PageRankCheck(), queries.BackwardTrace(3, 6)}},
+		{"sssp", &analytics.SSSP{Source: 0}, 30,
+			[]queries.Definition{queries.MonotoneCheck()},
+			[]queries.Definition{queries.MonotoneCheck()}},
+		{"wcc", analytics.WCC{}, 30,
+			[]queries.Definition{queries.SilentChange()},
+			[]queries.Definition{queries.SilentChange()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGraph(t, 7, 5, 9)
+			runs := map[int]*ariadne.Result{}
+			for _, format := range []int{ariadne.FormatV1, ariadne.FormatV2} {
+				opts := []ariadne.Option{
+					ariadne.WithMaxSupersteps(tc.steps),
+					ariadne.WithCaptureQuery(queries.CaptureFull(), ariadne.StoreConfig{
+						SpillAll: true,
+						SpillDir: t.TempDir(),
+						Format:   format,
+					}),
+				}
+				for _, d := range tc.online {
+					opts = append(opts, ariadne.WithOnlineQuery(d))
+				}
+				res, err := ariadne.Run(g, tc.prog, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer res.Provenance.Close()
+				if len(res.CaptureGaps) != 0 {
+					t.Fatalf("format %d: capture gaps %v on an undisturbed run", format, res.CaptureGaps)
+				}
+				runs[format] = res
+			}
+			v1, v2 := runs[ariadne.FormatV1], runs[ariadne.FormatV2]
+
+			// The spill format must not touch the analytic: values bit-identical.
+			for v := range v1.Values {
+				if !bitIdentical(v1.Values[v], v2.Values[v]) {
+					t.Fatalf("vertex %d value %v (v1 run) != %v (v2 run)", v, v1.Values[v], v2.Values[v])
+				}
+			}
+			// Nor the capture: both stores hold the same layers tuple for tuple.
+			assertSameProvenance(t, v1.Provenance, v2.Provenance)
+
+			// Online results agree across formats.
+			for _, d := range tc.online {
+				assertSameQueryResult(t, "online/"+d.Name,
+					v1.Query(d.Name), v2.Query(d.Name))
+			}
+
+			// Offline layered replay: v1 without projection is the reference
+			// leg; v1 projected (table-level), v2 unprojected, and v2
+			// projected (column-level partial reads) must all agree with it.
+			for _, d := range tc.offline {
+				ref, err := ariadne.QueryOffline(d, v1.Provenance, g, ariadne.ModeLayered, 0,
+					ariadne.NoProjection())
+				if err != nil {
+					t.Fatal(err)
+				}
+				legs := []struct {
+					name  string
+					store *ariadne.Store
+					opts  []ariadne.EvalOption
+				}{
+					{"v1/projected", v1.Provenance, nil},
+					{"v2/unprojected", v2.Provenance, []ariadne.EvalOption{ariadne.NoProjection()}},
+					{"v2/projected", v2.Provenance, nil},
+				}
+				for _, leg := range legs {
+					got, err := ariadne.QueryOffline(d, leg.store, g, ariadne.ModeLayered, 0, leg.opts...)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", d.Name, leg.name, err)
+					}
+					assertSameQueryResult(t, d.Name+"/"+leg.name, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// assertSameQueryResult checks got derives exactly the same relations as
+// ref, tuple for tuple.
+func assertSameQueryResult(t *testing.T, leg string, ref, got *ariadne.QueryResult) {
+	t.Helper()
+	if ref == nil || got == nil {
+		t.Errorf("%s: missing query result (ref %v, got %v)", leg, ref != nil, got != nil)
+		return
+	}
+	refRels, gotRels := ref.DerivedRelations(), got.DerivedRelations()
+	if !reflect.DeepEqual(refRels, gotRels) {
+		t.Errorf("%s: derived relations %v != %v", leg, gotRels, refRels)
+		return
+	}
+	for _, ri := range refRels {
+		r, g := ref.Relation(ri.Name), got.Relation(ri.Name)
+		for _, tup := range r.All() {
+			if !g.Contains(tup) {
+				t.Errorf("%s: %s tuple %v missing", leg, ri.Name, tup)
+			}
+		}
+	}
+}
